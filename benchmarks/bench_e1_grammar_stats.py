@@ -1,0 +1,42 @@
+"""E1 — section 8 grammar/table statistics.
+
+Paper: 458 productions / 115 terminals / 96 non-terminals generic;
+1073 / 219 / 148 after type replication; 2216 parser states.
+Regenerates the same table for our description and benchmarks both the
+replication and the table construction.
+"""
+
+from conftest import write_report
+
+from repro.grammar import Grammar
+from repro.grammar.macro import replicate_all
+from repro.grammar.reader import read_generic
+from repro.tables import construct_tables
+from repro.tools import gather_statistics
+from repro.vax import build_vax_grammar, vax_grammar_text
+
+
+def test_statistics_table(vax_bundle, vax_tables):
+    report = gather_statistics(vax_bundle, vax_tables)
+    write_report("E1", report.format())
+    # shape assertions: same growth structure as the paper
+    assert report.replicated_productions / report.generic_productions > 1.8
+    assert report.states > report.replicated_productions
+    assert report.replicated_terminals > report.generic_terminals
+
+
+def test_type_replication_speed(benchmark):
+    text = vax_grammar_text()
+
+    def replicate():
+        start, generics = read_generic(text)
+        productions, _ = replicate_all(generics)
+        return Grammar(start, productions)
+
+    grammar = benchmark(replicate)
+    assert len(grammar) > 300
+
+
+def test_table_construction_speed(benchmark, vax_bundle):
+    tables = benchmark(construct_tables, vax_bundle.grammar)
+    assert tables.stats.states > 500

@@ -1,0 +1,52 @@
+"""E2 — section 8 compile time: GG 80.1 s vs PCC 55.4 s (GG ~1.45x
+slower).  Times both code generators over the same corpus; the *ratio* is
+the reproduction target (absolute seconds are Python's, not a 1982 VAX's).
+"""
+
+import time
+
+from conftest import write_report
+
+from repro.pcc import pcc_compile
+
+
+def _compile_all_gg(gg, program):
+    return [gg.compile(program.forest(f)) for f in program.order]
+
+
+def _compile_all_pcc(program):
+    return [pcc_compile(program.forest(f)) for f in program.order]
+
+
+def test_compile_time_ratio(gg, corpus_program):
+    # warm up (tables already built by the fixture)
+    _compile_all_gg(gg, corpus_program)
+    _compile_all_pcc(corpus_program)
+
+    started = time.perf_counter()
+    for _ in range(3):
+        _compile_all_gg(gg, corpus_program)
+    gg_seconds = (time.perf_counter() - started) / 3
+
+    started = time.perf_counter()
+    for _ in range(3):
+        _compile_all_pcc(corpus_program)
+    pcc_seconds = (time.perf_counter() - started) / 3
+
+    ratio = gg_seconds / pcc_seconds
+    lines = [
+        "second-pass compile time over the corpus:",
+        f"  table-driven (GG): {gg_seconds:8.3f} s   (paper: 80.1 s)",
+        f"  ad hoc (PCC):      {pcc_seconds:8.3f} s   (paper: 55.4 s)",
+        f"  ratio GG/PCC:      {ratio:8.2f}x   (paper: 1.45x)",
+    ]
+    write_report("E2", "\n".join(lines))
+    assert 0.8 < ratio < 12, "ratio out of the paper's order of magnitude"
+
+
+def test_gg_throughput(benchmark, gg, corpus_program):
+    benchmark(_compile_all_gg, gg, corpus_program)
+
+
+def test_pcc_throughput(benchmark, corpus_program):
+    benchmark(_compile_all_pcc, corpus_program)

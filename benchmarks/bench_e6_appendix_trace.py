@@ -1,0 +1,44 @@
+"""E6 — the appendix: the complete code-generation example.
+
+Regenerates the shift/reduce/accept action table the paper prints for the
+Pascal statement ``a := 27 + b`` and benchmarks one matcher run over it.
+"""
+
+from conftest import write_report
+
+from repro.ir import Forest, MachineType, assign, const, linearize, local, name, plus
+from repro.matcher import Tracer, format_trace
+
+L = MachineType.LONG
+B = MachineType.BYTE
+
+
+def appendix_tree():
+    # program appendix: a global integer, b a frame byte at -4(fp)
+    return assign(name("a", L), plus(const(27), local(-4, B), L))
+
+
+def test_appendix_trace(gg):
+    tree = appendix_tree()
+    tokens = " ".join(t.symbol for t in linearize(tree))
+    forest = Forest([tree], name="appendix")
+    tracer = Tracer()
+    result = gg.compile(forest, trace=tracer)
+    lines = [
+        "input (prefix form):",
+        f"  {tokens}",
+        "",
+        format_trace(tracer),
+        "",
+        "generated code:",
+        result.unit.listing().rstrip(),
+    ]
+    write_report("E6", "\n".join(lines))
+    assert tracer.shifts() == 8
+    assert result.instruction_count == 2
+
+
+def test_appendix_match_speed(benchmark, gg):
+    forest = Forest([appendix_tree()], name="appendix")
+    result = benchmark(gg.compile, forest)
+    assert result.instruction_count == 2

@@ -1,0 +1,57 @@
+"""F1 — Figure 1: the terminal/non-terminal symbol inventory.
+
+Regenerates the paper's symbol table from our operator metadata and
+benchmarks the hot path it feeds: tree linearization into terminal
+symbols.
+"""
+
+from conftest import write_report
+
+from repro.ir import MachineType, Op, assign, const, linearize, local, name, plus
+
+FIGURE1 = [
+    ("Assign", "assignment", "destination", "source"),
+    ("Plus", "add", "operand", "operand"),
+    ("Mul", "multiply", "operand", "operand"),
+    ("Cbranch", "conditional branch", "test", "destination"),
+    ("Cmp", "compare", "operand", "operand"),
+    ("Indir", "memory fetch", "address", ""),
+    ("Name", "global variable", "", ""),
+    ("Dreg", "dedicated register", "", ""),
+    ("Zero", "0", "", ""),
+    ("One", "1", "", ""),
+    ("Two", "2", "", ""),
+    ("Four", "4", "", ""),
+    ("Eight", "8", "", ""),
+    ("Const", "constant", "", ""),
+    ("Label", "label", "", ""),
+]
+
+NONTERMINALS = [
+    ("rval", "source operand (any addressing mode)"),
+    ("lval", "destination operand"),
+    ("reg", "allocatable register"),
+]
+
+
+def test_figure1_regenerated(vax_bundle):
+    terminals = vax_bundle.grammar.terminals
+    lines = [f"{'symbol':10} {'meaning':22} {'present in grammar'}"]
+    for symbol, meaning, left, right in FIGURE1:
+        in_grammar = any(t.split(".")[0] == symbol for t in terminals)
+        lines.append(f"{symbol:10} {meaning:22} {'yes' if in_grammar else 'NO'}")
+        assert in_grammar, symbol
+    nts = vax_bundle.grammar.nonterminals
+    for symbol, meaning in NONTERMINALS:
+        in_grammar = any(nt.split(".")[0] == symbol for nt in nts)
+        lines.append(f"{symbol:10} {meaning:22} {'yes' if in_grammar else 'NO'}")
+        assert in_grammar, symbol
+    write_report("F1", "\n".join(lines))
+
+
+def test_linearization_speed(benchmark):
+    tree = assign(name("a", MachineType.LONG),
+                  plus(const(27), local(-4, MachineType.BYTE),
+                       MachineType.LONG))
+    tokens = benchmark(linearize, tree)
+    assert [t.symbol for t in tokens][0] == "Assign.l"

@@ -1,0 +1,40 @@
+"""F2 — Figure 2: the phase pipeline and its time profile.
+
+"Roughly one half the code generation time is spent in the pattern
+matching phase" (section 5).  Compiles the corpus, reports the wall-clock
+split across transform / matching / semantics / output, and benchmarks
+one full compilation.
+"""
+
+from conftest import write_report
+
+
+def test_phase_profile(gg, corpus_program):
+    totals = {"transform": 0.0, "matching": 0.0, "semantics": 0.0,
+              "output": 0.0}
+    for fname in corpus_program.order:
+        result = gg.compile(corpus_program.forest(fname))
+        totals["transform"] += result.times.transform
+        totals["matching"] += result.times.matching
+        totals["semantics"] += result.times.semantics
+        totals["output"] += result.times.output
+    total = sum(totals.values())
+    lines = [
+        "phase profile over the corpus (paper: ~half in pattern matching;",
+        "our 'matching' is the parser actions alone, 'semantics' the",
+        "instruction generation invoked from reductions):",
+        f"{'phase':12} {'seconds':>9} {'share':>7}",
+    ]
+    for phase, seconds in totals.items():
+        lines.append(f"{phase:12} {seconds:9.4f} {seconds / total:6.1%}")
+    match_side = (totals["matching"] + totals["semantics"]) / total
+    lines.append(f"{'match+sem':12} {'':9} {match_side:6.1%}")
+    write_report("F2", "\n".join(lines))
+    # the matcher-centred phases must dominate, as in the paper
+    assert match_side > 0.4
+
+
+def test_full_compilation(benchmark, gg, corpus_program):
+    forest = corpus_program.forest(corpus_program.order[0])
+    result = benchmark(gg.compile, forest)
+    assert result.instruction_count > 0

@@ -1,0 +1,49 @@
+"""F3 — Figure 3: the instruction-table entry for long addition and the
+section 5.3 walkthrough of ``a = 17 + b``.
+
+Regenerates the table rows and the idiom decisions, and benchmarks the
+cluster walk (binding idiom, then range idiom).
+"""
+
+from conftest import write_report
+
+from repro.ir import MachineType
+from repro.matcher import imm, mem
+from repro.vax import figure3_entry, select_variant
+
+L = MachineType.LONG
+
+
+def test_figure3_table_and_walkthrough():
+    cluster = figure3_entry()
+    lines = ["instruction table entry for long addition (Figure 3):",
+             f"{'print':8} {'ops':>3} {'binding':8} {'-o-o':5} {'range'}"]
+    for variant in cluster.variants:
+        lines.append(
+            f"{variant.mnemonic:8} {variant.operands:>3} "
+            f"{variant.binding or '-':8} "
+            f"{'yes' if variant.commutes else 'no':5} "
+            f"{variant.range_idiom or '-'}"
+        )
+
+    lines.append("")
+    lines.append("walkthrough (section 5.3.2):")
+    cases = [
+        ("a = 17 + b", mem("_a", L), [imm(17, L), mem("_b", L)], "addl3"),
+        ("a = 17 + a", mem("_a", L), [imm(17, L), mem("_a", L)], "addl2"),
+        ("a = a + 1 ", mem("_a", L), [imm(1, L), mem("_a", L)], "incl"),
+    ]
+    for label, dest, sources, expected in cases:
+        selection = select_variant(cluster, dest, sources)
+        idioms = ", ".join(selection.idioms_applied) or "none"
+        lines.append(f"{label}  ->  {selection.mnemonic:6} (idioms: {idioms})")
+        assert selection.mnemonic == expected
+    write_report("F3", "\n".join(lines))
+
+
+def test_idiom_walk_speed(benchmark):
+    cluster = figure3_entry()
+    dest = mem("_a", L)
+    sources = [imm(1, L), mem("_a", L)]
+    selection = benchmark(select_variant, cluster, dest, sources)
+    assert selection.mnemonic == "incl"

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Retargeting sketch: a machine description for a tiny accumulator
+machine, written in the same grammar language as the VAX description.
+
+The paper's point is that "almost all the knowledge about instruction
+patterns" lives in the machine description: here the *same* table
+constructor and the *same* pattern-matching engine drive code generation
+for a two-register load/store machine, with the semantics supplied as a
+small SemanticActions subclass — the static/dynamic split of section 3.
+
+    python examples/retarget_toy.py
+"""
+
+from repro.grammar import read_grammar
+from repro.ir import MachineType, assign, const, minus, mul, name, plus
+from repro.matcher import (
+    Descriptor, DKind, Matcher, SemanticActions, Tracer, format_trace, void,
+)
+from repro.tables import construct_tables
+
+L = MachineType.LONG
+
+# A classic single-accumulator machine: LOAD/STORE/ADD/SUB/MUL against
+# memory, with one scratch cell for the non-accumulator operand.
+TOY_DESCRIPTION = """
+%start stmt
+stmt <- Assign.l lval.l acc.l :: emit "STORE %2" !store
+acc.l <- Plus.l acc.l opnd.l :: emit "ADD %3" !add
+acc.l <- Minus.l acc.l opnd.l :: emit "SUB %3" !sub
+acc.l <- Mul.l acc.l opnd.l :: emit "MUL %3" !mul
+acc.l <- opnd.l :: emit "LOAD %1" !load
+opnd.l <- Name.l :: encap !name
+opnd.l <- Const.l :: encap !const
+# the IR turns 0,1,2,4,8 into their own tokens (section 6.3): a machine
+# description must mention them to accept those literals as operands
+opnd.l <- Zero.l :: encap !const
+opnd.l <- One.l :: encap !const
+opnd.l <- Two.l :: encap !const
+opnd.l <- Four.l :: encap !const
+opnd.l <- Eight.l :: encap !const
+lval.l <- Name.l :: encap !name
+"""
+
+
+class ToySemantics(SemanticActions):
+    """Semantic routines for the accumulator machine."""
+
+    def __init__(self) -> None:
+        self.code = []
+
+    def on_shift(self, token):
+        node = token.node
+        descriptor = void()
+        if node.value is not None:
+            descriptor.text = str(node.value)
+        return descriptor
+
+    def on_reduce(self, production, kids):
+        tag = production.semantic
+        if tag == "name":
+            return kids[0].with_text(kids[0].text.upper()), ""
+        if tag == "const":
+            return kids[0].with_text(f"#{kids[0].text}"), ""
+        if tag == "load":
+            self.code.append(f"LOAD  {kids[0].text}")
+            return void(), self.code[-1]
+        if tag in ("add", "sub", "mul"):
+            self.code.append(f"{tag.upper():5} {kids[2].text}")
+            return void(), self.code[-1]
+        if tag == "store":
+            self.code.append(f"STORE {kids[1].text}")
+            return void(), self.code[-1]
+        return (kids[0] if kids else void()), ""
+
+
+def main() -> None:
+    grammar = read_grammar(TOY_DESCRIPTION)
+    print(f"toy machine description: {grammar.stats().productions} "
+          f"productions")
+    tables = construct_tables(grammar)
+    print(f"constructed tables: {tables.stats.states} states, "
+          f"{tables.stats.shift_reduce_resolved} shift/reduce and "
+          f"{tables.stats.reduce_reduce_resolved} reduce/reduce conflicts "
+          "resolved\n")
+
+    # total = (alpha + 4) * (alpha - beta)   [left-to-right accumulator!]
+    # note: the accumulator machine forces a temp-free left-leaning form
+    tree = assign(
+        name("total", L),
+        minus(mul(plus(name("alpha", L), const(4, L), L),
+                  name("gamma", L), L),
+              name("beta", L), L),
+    )
+    print("expression: total = (alpha + 4) * gamma - beta")
+    semantics = ToySemantics()
+    tracer = Tracer()
+    Matcher(tables, semantics).match_tree(tree, tracer)
+
+    print()
+    print(format_trace(tracer))
+    print()
+    print("generated accumulator code:")
+    for line in semantics.code:
+        print(f"    {line}")
+
+
+if __name__ == "__main__":
+    main()

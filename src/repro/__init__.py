@@ -1,0 +1,49 @@
+"""repro — a reproduction of Graham, Henry & Schulman,
+"An Experiment in Table Driven Code Generation" (SIGPLAN/PLDI 1982).
+
+The package rebuilds the paper's whole system in Python:
+
+* :mod:`repro.ir` — the PCC-style expression-tree intermediate
+  representation both code generators consume;
+* :mod:`repro.grammar` — machine-description grammars, with the
+  type-replication macro preprocessor of section 6.4;
+* :mod:`repro.tables` — the SLR(1)-style table constructor with
+  Graham-Glanville disambiguation (and the deliberately slow historical
+  constructor for the speedup experiment);
+* :mod:`repro.matcher` — the table-driven instruction pattern matcher;
+* :mod:`repro.vax` — the VAX-11 target: grammar, instruction table
+  (Figure 3), register manager, semantic actions;
+* :mod:`repro.codegen` — the phase pipeline of Figure 2 (tree transforms,
+  matching, instruction generation, output);
+* :mod:`repro.pcc` — the PCC-style ad hoc baseline the paper compares
+  against;
+* :mod:`repro.frontend` — a C-subset front end producing IR forests;
+* :mod:`repro.sim` — a VAX-subset assembler + CPU simulator and an IR
+  reference interpreter for differential validation;
+* :mod:`repro.workloads` — benchmark kernels and a synthetic generator;
+* :mod:`repro.tools` — statistics, dumps, and the ``ggcc`` CLI.
+
+Quickstart::
+
+    from repro import compile_program
+    assembly = compile_program("int f(int x) { return x + 1; }")
+    print(assembly.text)
+    print(assembly.simulator().call("f", [41]))   # -> 42
+"""
+
+from .codegen.driver import (
+    CompileResult, GrahamGlanvilleCodeGenerator, compile_forest,
+)
+from .compile import ProgramAssembly, compile_program, run_program
+from .frontend.lower import compile_c
+from .pcc.codegen import PccCodeGenerator, pcc_compile
+from .vax.grammar_gen import build_vax_grammar
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GrahamGlanvilleCodeGenerator", "CompileResult", "compile_forest",
+    "compile_program", "run_program", "ProgramAssembly",
+    "compile_c", "pcc_compile", "PccCodeGenerator", "build_vax_grammar",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""The Graham-Glanville code generator: Figure 2's phase pipeline."""
+
+from .controlflow import (
+    ControlFlowRewriter, Phase1RegisterPool, make_control_flow_explicit,
+)
+from .driver import (
+    CompileResult, GrahamGlanvilleCodeGenerator, PhaseTimes, compile_forest,
+)
+from .expand import expand_operators, has_side_effects
+from .ordering import OrderingStats, order_for_evaluation, su_number
+from .output import AssemblyUnit, count_assembly_lines
+from .peephole import PeepholeStats, optimize as peephole_optimize
+
+__all__ = [
+    "GrahamGlanvilleCodeGenerator", "CompileResult", "PhaseTimes",
+    "compile_forest",
+    "make_control_flow_explicit", "ControlFlowRewriter", "Phase1RegisterPool",
+    "expand_operators", "has_side_effects",
+    "order_for_evaluation", "OrderingStats", "su_number",
+    "AssemblyUnit", "count_assembly_lines",
+    "peephole_optimize", "PeepholeStats",
+]

@@ -1,0 +1,369 @@
+"""Phase 1a: explicit control flow (section 5.1.1).
+
+Rewrites performed here, in the paper's order:
+
+* short-circuit ``&&``/``||`` (and ``!``) become explicit tests and
+  conditional branches;
+* function calls nested in expressions are factored out: argument pushes
+  and the call become statement trees, the call site is replaced by a
+  compiler temporary;
+* selection operators (``?:``) become conditional branches assigning into
+  a phase-1 register;
+* truth values (a comparison used for its value) become the test/jump/
+  assign sequence the VAX requires, also into a phase-1 register.
+
+The last two need a register manager "totally disjoint from the register
+manager in the third phase"; phase 1 takes registers from the *top* of the
+allocatable bank and announces each with a ``Reghint`` tree carrying a use
+count, which the phase-3 manager honours (section 5.3.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.builder import cmp as build_cmp
+from ..ir.ops import Cond, Op, OpClass
+from ..ir.tree import Forest, ForestItem, LabelDef, Node
+from ..ir.types import MachineType
+from ..vax.machine import VAX, VaxMachine
+
+_BOOL_OPS = frozenset({Op.ANDAND, Op.OROR, Op.NOT, Op.CMP})
+
+
+class Phase1RegisterPool:
+    """The disjoint phase-1 register allocator: registers come off the top
+    of the allocatable bank so phase 3's bottom-up allocation rarely
+    collides before the Reghint arrives.
+
+    The paper notes this split "needs to be reevaluated" (section 5.1.1):
+    a statement with many truth values would pin the whole bank.  We cap
+    phase 1 at half the bank and overflow into compiler temporaries —
+    ``take`` then returns None and the rewriter materializes the value in
+    memory instead.
+    """
+
+    def __init__(self, machine: VaxMachine = VAX, limit: int = 3) -> None:
+        self._bank = list(reversed(machine.allocatable))[:limit]
+        self._next = 0
+
+    def take(self) -> Optional[str]:
+        if self._next >= len(self._bank):
+            return None
+        register = self._bank[self._next]
+        self._next += 1
+        return register
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class ControlFlowRewriter:
+    """Applies the 1a rewrites to one forest, producing a new item list."""
+
+    def __init__(self, forest: Forest, machine: VaxMachine = VAX) -> None:
+        self.forest = forest
+        self.machine = machine
+        self.pool = Phase1RegisterPool(machine)
+        self.out: List[ForestItem] = []
+
+    # ------------------------------------------------------------- driver
+    def run(self) -> Forest:
+        items: List[ForestItem] = []
+        for item in self.forest.items:
+            self.out = []
+            if isinstance(item, LabelDef):
+                self.out.append(item)
+            else:
+                self.pool.reset()
+                self._statement(item)
+            items.extend(self.out)
+        result = Forest(items, name=self.forest.name)
+        # the source forest's counters advanced as we invented temps/labels
+        result._next_temp = self.forest._next_temp
+        result._next_label = self.forest._next_label
+        return result
+
+    def _new_temp(self) -> str:
+        return self.forest.new_temp()
+
+    def _new_label(self) -> str:
+        return self.forest.new_label()
+
+    # --------------------------------------------------------- statements
+    def _statement(self, tree: Node) -> None:
+        if tree.op is Op.CBRANCH:
+            test, target = tree.kids
+            self._branch_true(test, str(target.value))
+            return
+        if tree.op is Op.EXPR:
+            inner = tree.kids[0]
+            if inner.op is Op.CALL:
+                self._flatten_call(inner, dest=None)
+                return
+            if inner.op in (Op.POSTINC, Op.PREINC):
+                self._emit_inc(inner, positive=True)
+                return
+            if inner.op in (Op.POSTDEC, Op.PREDEC):
+                self._emit_inc(inner, positive=False)
+                return
+            if inner.op in (Op.ASSIGN, Op.RASSIGN):
+                self._statement(inner)
+                return
+            tree.kids[0] = self._expression(inner)
+            self.out.append(tree)
+            return
+        if tree.op is Op.ASSIGN and tree.kids[1].op is Op.CALL:
+            dest = self._expression(tree.kids[0])
+            self._flatten_call(tree.kids[1], dest=dest, dest_ty=tree.ty)
+            return
+        for index, kid in enumerate(tree.kids):
+            tree.kids[index] = self._expression(kid)
+        self.out.append(tree)
+
+    # -------------------------------------------------------- expressions
+    def _expression(self, node: Node) -> Node:
+        """Rewrite control flow out of an expression tree.
+
+        Control operators are handled *before* their children so a
+        boolean network under a selector becomes one branch tree rather
+        than a cascade of materialized truth values; each handler recurses
+        into the operand positions it keeps.
+        """
+        if node.op is Op.SELECT:
+            return self._select_to_register(node)
+        if node.op in (Op.ANDAND, Op.OROR, Op.NOT):
+            return self._truth_value(node)
+        if node.op is Op.CMP:
+            # A comparison here is a *value* use (branch tests were peeled
+            # off in _statement): build the truth value.
+            return self._truth_value(node)
+
+        if node.op is Op.INDIR:
+            inner = node.kids[0]
+            if self._autoinc_eligible(inner, node.ty):
+                return node  # the autoincrement addressing mode covers it
+            node.kids[0] = self._expression(inner)
+            return node
+
+        for index, kid in enumerate(node.kids):
+            node.kids[index] = self._expression(kid)
+
+        if node.op is Op.CALL:
+            return self._call_to_temp(node)
+        if node.op in (Op.POSTINC, Op.POSTDEC, Op.PREINC, Op.PREDEC):
+            return self._inc_value(node)
+        return node
+
+    @staticmethod
+    def _autoinc_eligible(inner: Node, access_ty: MachineType) -> bool:
+        """Does ``Indir(inner)`` match the grammar's autoincrement /
+        autodecrement patterns?  Dedicated-register pointer, post-increment
+        or pre-decrement, step equal to the datum size (section 6.1)."""
+        if inner.op not in (Op.POSTINC, Op.PREDEC):
+            return False
+        if inner.kids[0].op is not Op.DREG:
+            return False
+        amount = inner.kids[1]
+        return amount.op is Op.CONST and amount.value == access_ty.size
+
+    # ----------------------------------------------------------- branches
+    def _branch_true(self, test: Node, target: str) -> None:
+        """Emit branches so control reaches *target* iff *test* is true."""
+        test = self._peel(test)
+        if test.op is Op.ANDAND:
+            fall = self._new_label()
+            self._branch_false(test.kids[0], fall)
+            self._branch_true(test.kids[1], target)
+            self.out.append(LabelDef(fall))
+        elif test.op is Op.OROR:
+            self._branch_true(test.kids[0], target)
+            self._branch_true(test.kids[1], target)
+        elif test.op is Op.NOT:
+            self._branch_false(test.kids[0], target)
+        else:
+            cmp_tree = self._as_comparison(test)
+            self.out.append(
+                Node(Op.CBRANCH, MachineType.LONG,
+                     [cmp_tree, Node(Op.LABEL, MachineType.LONG, value=target)])
+            )
+
+    def _branch_false(self, test: Node, target: str) -> None:
+        test = self._peel(test)
+        if test.op is Op.ANDAND:
+            self._branch_false(test.kids[0], target)
+            self._branch_false(test.kids[1], target)
+        elif test.op is Op.OROR:
+            fall = self._new_label()
+            self._branch_true(test.kids[0], fall)
+            self._branch_false(test.kids[1], target)
+            self.out.append(LabelDef(fall))
+        elif test.op is Op.NOT:
+            self._branch_true(test.kids[0], target)
+        else:
+            cmp_tree = self._as_comparison(test)
+            negated = Node(Op.CMP, cmp_tree.ty, cmp_tree.kids,
+                           cond=(cmp_tree.cond or Cond.NE).negated)
+            self.out.append(
+                Node(Op.CBRANCH, MachineType.LONG,
+                     [negated, Node(Op.LABEL, MachineType.LONG, value=target)])
+            )
+
+    def _peel(self, test: Node) -> Node:
+        """Strip no-op wrappers around a test."""
+        while test.op is Op.CONV and test.kids:
+            test = test.kids[0]
+        return test
+
+    def _as_comparison(self, test: Node) -> Node:
+        if test.op is Op.CMP:
+            for index, kid in enumerate(test.kids):
+                test.kids[index] = self._expression(kid)
+            return test
+        value = self._expression(test)
+        zero = Node(Op.CONST, value.ty, value=0)
+        return build_cmp(Cond.NE, value, zero)
+
+    # --------------------------------------------------------- truth value
+    def _value_cell(self, ty: MachineType) -> Node:
+        """A place for a phase-1-computed value: one of the reserved
+        registers (announced with Reghint), or a compiler temporary once
+        the pool runs dry."""
+        register = self.pool.take()
+        if register is None:
+            return Node(Op.TEMP, ty, value=self._new_temp())
+        self.out.append(
+            Node(Op.REGHINT, MachineType.LONG,
+                 [Node(Op.REG, MachineType.LONG, value=register)], value=3)
+        )
+        return Node(Op.REG, ty, value=register)
+
+    def _truth_value(self, node: Node) -> Node:
+        """section 5.1.1: "a truth value ... must be constructed by a
+        sequence of tests, jumps and assignments"."""
+        reg_node = self._value_cell(MachineType.LONG)
+        true_label = self._new_label()
+        end_label = self._new_label()
+        self._branch_true(node, true_label)
+        self.out.append(
+            Node(Op.ASSIGN, MachineType.LONG,
+                 [reg_node.clone(), Node(Op.CONST, MachineType.LONG, value=0)])
+        )
+        self.out.append(
+            Node(Op.JUMP, MachineType.LONG,
+                 [Node(Op.LABEL, MachineType.LONG, value=end_label)])
+        )
+        self.out.append(LabelDef(true_label))
+        self.out.append(
+            Node(Op.ASSIGN, MachineType.LONG,
+                 [reg_node.clone(), Node(Op.CONST, MachineType.LONG, value=1)])
+        )
+        self.out.append(LabelDef(end_label))
+        return reg_node.clone()
+
+    # ------------------------------------------------------------- select
+    def _select_to_register(self, node: Node) -> Node:
+        """``cond ? a : b`` into explicit branches (section 5.1.1)."""
+        cond_tree, then_tree, else_tree = node.kids
+        then_tree = self._expression(then_tree)
+        else_tree = self._expression(else_tree)
+        ty = node.ty
+        reg_node = self._value_cell(ty)
+        else_label = self._new_label()
+        end_label = self._new_label()
+        self._branch_false(cond_tree, else_label)
+        self.out.append(Node(Op.ASSIGN, ty, [reg_node.clone(), then_tree]))
+        self.out.append(
+            Node(Op.JUMP, MachineType.LONG,
+                 [Node(Op.LABEL, MachineType.LONG, value=end_label)])
+        )
+        self.out.append(LabelDef(else_label))
+        self.out.append(Node(Op.ASSIGN, ty, [reg_node.clone(), else_tree]))
+        self.out.append(LabelDef(end_label))
+        return reg_node.clone()
+
+    # --------------------------------------------------------------- calls
+    def _call_to_temp(self, node: Node) -> Node:
+        """Replace a nested call by a compiler temporary, preceded by the
+        argument pushes and the call-assign statement."""
+        temp_name = self._new_temp()
+        dest = Node(Op.TEMP, node.ty, value=temp_name)
+        self._flatten_call(node, dest=dest.clone(), dest_ty=node.ty)
+        return dest
+
+    def _flatten_call(
+        self,
+        call: Node,
+        dest: Optional[Node],
+        dest_ty: Optional[MachineType] = None,
+    ) -> None:
+        """Emit Arg statements (rightmost pushed first, per the C calling
+        convention) and the call statement itself."""
+        args = [self._expression(arg) for arg in call.kids]
+        argc = len(args)
+        for arg in reversed(args):
+            if arg.ty.is_float:
+                self.out.append(Node(Op.ARG, arg.ty, [arg]))
+            else:
+                widened = arg
+                if arg.ty.size < 4:
+                    widened = Node(Op.CONV, MachineType.LONG, [arg])
+                self.out.append(Node(Op.ARG, MachineType.LONG, [widened]))
+        argc_node = Node(Op.CONST, MachineType.LONG, value=argc)
+        bare = Node(Op.CALL, call.ty, [argc_node], value=call.value)
+        if dest is None:
+            self.out.append(bare)
+        else:
+            self.out.append(
+                Node(Op.ASSIGN, dest_ty or call.ty, [dest, bare])
+            )
+
+    # ----------------------------------------------------- inc/dec values
+    def _is_autoinc_context(self, node: Node) -> bool:
+        """Would the grammar's autoincrement mode cover this?  Only a
+        dedicated-register pointer under Indir qualifies (section 6.1),
+        and that shape is left intact by the *parent's* rewrite."""
+        return node.kids[0].op is Op.DREG
+
+    def _emit_inc(self, node: Node, positive: bool) -> None:
+        """A statement-level ``x++``: plain add/sub assignment, which the
+        binding+range idioms turn into inc/dec instructions."""
+        lvalue, amount = node.kids
+        lvalue = self._expression(lvalue)
+        op = Op.PLUS if positive else Op.MINUS
+        self.out.append(
+            Node(Op.ASSIGN, lvalue.ty,
+                 [lvalue, Node(op, lvalue.ty, [lvalue.clone(), amount])])
+        )
+
+    def _inc_value(self, node: Node) -> Node:
+        """An increment used as a value.  Dedicated-register post-forms in
+        an Indir context stay put for the autoincrement addressing mode;
+        everything else becomes explicit statements plus a temporary."""
+        lvalue, amount = node.kids
+        positive = node.op in (Op.POSTINC, Op.PREINC)
+        post = node.op in (Op.POSTINC, Op.POSTDEC)
+        arith_op = Op.PLUS if positive else Op.MINUS
+        if post:
+            temp_name = self._new_temp()
+            temp_node = Node(Op.TEMP, lvalue.ty, value=temp_name)
+            self.out.append(
+                Node(Op.ASSIGN, lvalue.ty, [temp_node.clone(), lvalue.clone()])
+            )
+            self.out.append(
+                Node(Op.ASSIGN, lvalue.ty,
+                     [lvalue.clone(),
+                      Node(arith_op, lvalue.ty, [lvalue.clone(), amount])])
+            )
+            return temp_node
+        self.out.append(
+            Node(Op.ASSIGN, lvalue.ty,
+                 [lvalue.clone(),
+                  Node(arith_op, lvalue.ty, [lvalue.clone(), amount])])
+        )
+        return lvalue.clone()
+
+
+def make_control_flow_explicit(forest: Forest, machine: VaxMachine = VAX) -> Forest:
+    """Run phase 1a over a forest, returning the rewritten forest."""
+    return ControlFlowRewriter(forest, machine).run()

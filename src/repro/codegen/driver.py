@@ -1,0 +1,235 @@
+"""The code generator driver — Figure 2's phase pipeline.
+
+One :class:`GrahamGlanvilleCodeGenerator` owns the constructed parse
+tables (built once per target, reused across compilations, exactly like
+the static/dynamic split of section 3) and runs, per routine:
+
+  phase 1a  explicit control flow        (controlflow)
+  phase 1b  operator expansion           (expand)
+  phase 1c  evaluation ordering          (ordering)
+  phase 2   pattern matching             (repro.matcher + tables)
+  phase 3   instruction generation       (repro.vax.semantics)
+  phase 4   output formatting            (output)
+
+Per-phase wall-clock is recorded so experiment F2 can reproduce the
+"roughly one half the code generation time is spent in the pattern
+matching phase" observation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..grammar.production import Production
+from ..ir.linearize import Token
+from ..ir.ops import Op
+from ..ir.tree import Forest, LabelDef, Node
+from ..matcher.descriptors import Descriptor
+from ..matcher.engine import Matcher, MatchResult, SemanticActions
+from ..matcher.trace import Tracer
+from ..tables.slr import ParseTables, construct_tables
+from ..vax.grammar_gen import VaxGrammarBundle, build_vax_grammar
+from ..vax.machine import VAX, VaxMachine
+from ..vax.semantics import CodeBuffer, VaxSemantics
+from .controlflow import make_control_flow_explicit
+from .expand import expand_operators
+from .ordering import OrderingStats, order_for_evaluation
+from .output import AssemblyUnit
+
+
+@dataclass
+class PhaseTimes:
+    """Seconds spent per logical phase across one compilation."""
+
+    transform: float = 0.0
+    matching: float = 0.0   # parse actions: shifts/reduces/table lookups
+    semantics: float = 0.0  # instruction generation inside reductions
+    output: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.transform + self.matching + self.semantics + self.output
+
+    @property
+    def matching_fraction(self) -> float:
+        total = self.total
+        return self.matching / total if total else 0.0
+
+
+@dataclass
+class CompileResult:
+    """Everything produced by compiling one routine."""
+
+    unit: AssemblyUnit
+    times: PhaseTimes
+    ordering: OrderingStats
+    shifts: int = 0
+    reductions: int = 0
+    chain_reductions: int = 0
+    statements: int = 0
+
+    @property
+    def assembly(self) -> str:
+        return self.unit.text()
+
+    @property
+    def instruction_count(self) -> int:
+        return self.unit.instruction_count
+
+
+class _TimedSemantics(SemanticActions):
+    """Delegating wrapper that charges semantic time separately from
+    parse time, for the F2/E8 phase-profile experiments."""
+
+    def __init__(self, inner: SemanticActions, times: PhaseTimes) -> None:
+        self.inner = inner
+        self.times = times
+
+    def on_shift(self, token: Token) -> Descriptor:
+        started = time.perf_counter()
+        try:
+            return self.inner.on_shift(token)
+        finally:
+            self.times.semantics += time.perf_counter() - started
+
+    def on_reduce(self, production: Production, kids: Sequence[Descriptor]):
+        started = time.perf_counter()
+        try:
+            return self.inner.on_reduce(production, kids)
+        finally:
+            self.times.semantics += time.perf_counter() - started
+
+    def choose(self, productions, kids):
+        started = time.perf_counter()
+        try:
+            return self.inner.choose(productions, kids)
+        finally:
+            self.times.semantics += time.perf_counter() - started
+
+
+class GrahamGlanvilleCodeGenerator:
+    """The replacement second pass: table-driven instruction selection."""
+
+    def __init__(
+        self,
+        machine: VaxMachine = VAX,
+        reversed_ops: bool = True,
+        overfactoring_fix: bool = True,
+        peephole: bool = False,
+        bundle: Optional[VaxGrammarBundle] = None,
+        tables: Optional[ParseTables] = None,
+    ) -> None:
+        self.machine = machine
+        self.reversed_ops = reversed_ops
+        self.peephole = peephole
+        self.bundle = bundle or build_vax_grammar(
+            reversed_ops=reversed_ops, overfactoring_fix=overfactoring_fix
+        )
+        self.tables = tables or construct_tables(self.bundle.grammar)
+
+    # ------------------------------------------------------------ pipeline
+    def transform(self, forest: Forest) -> Tuple[Forest, OrderingStats]:
+        """Phases 1a-1c on a (copy of a) forest."""
+        work = forest.clone()
+        work = make_control_flow_explicit(work, self.machine)
+        work = expand_operators(work)
+        stats = order_for_evaluation(
+            work, self.machine, enable_reversed=self.reversed_ops
+        )
+        return work, stats
+
+    def compile(
+        self,
+        forest: Forest,
+        trace: Optional[Tracer] = None,
+    ) -> CompileResult:
+        """Compile one routine to VAX assembly."""
+        times = PhaseTimes()
+
+        started = time.perf_counter()
+        work, ordering_stats = self.transform(forest)
+        times.transform = time.perf_counter() - started
+
+        # Compiler temporaries (call results, hoisted subtrees, spill
+        # slots) live in the frame, as PCC's did — statics would break
+        # under recursion.  Map each temp name to an fp displacement.
+        assign_temp_slots(work)
+        spills = _SpillSlotAllocator()
+
+        unit = AssemblyUnit(name=forest.name)
+        buffer = CodeBuffer(lines=unit.body_lines)
+        semantics = VaxSemantics(self.machine, buffer=buffer,
+                                 new_temp=spills.take)
+        timed = _TimedSemantics(semantics, times)
+        matcher = Matcher(self.tables, timed)
+
+        shifts = reductions = chains = statements = 0
+        for item in work.items:
+            if isinstance(item, LabelDef):
+                buffer.label(item.name)
+                continue
+            statements += 1
+            started = time.perf_counter()
+            result = matcher.match_tree(item, trace)
+            times.matching += time.perf_counter() - started
+            semantics.statement_boundary()
+            shifts += item.size()
+            reductions += len(result.reductions)
+            chains += result.chain_reductions
+        # matching time includes the semantic callbacks; separate them
+        times.matching = max(0.0, times.matching - times.semantics)
+
+        started = time.perf_counter()
+        if self.peephole:
+            from .peephole import optimize
+
+            optimized, _ = optimize(unit.body_lines)
+            unit.body_lines[:] = optimized
+        text = unit.text()  # force formatting for timing purposes
+        times.output = time.perf_counter() - started
+
+        return CompileResult(
+            unit=unit, times=times, ordering=ordering_stats,
+            shifts=shifts, reductions=reductions,
+            chain_reductions=chains, statements=statements,
+        )
+
+#: Frame offsets below the front end's locals, reserved for compiler
+#: temporaries and spill slots (the simulator reserves 4 KiB per frame).
+TEMP_AREA_BASE = -2048
+SPILL_AREA_BASE = -3584
+
+
+def assign_temp_slots(forest: Forest, base: int = TEMP_AREA_BASE) -> Dict[str, str]:
+    """Rewrite every ``Temp`` leaf's name to its frame slot ``off(fp)``."""
+    slots: Dict[str, str] = {}
+    offset = base
+    for tree in forest.trees():
+        for node in tree.preorder():
+            if node.op is not Op.TEMP or not isinstance(node.value, str):
+                continue
+            if node.value.endswith("(fp)"):
+                continue  # already assigned
+            if node.value not in slots:
+                offset -= max(4, node.ty.size)
+                slots[node.value] = f"{offset}(fp)"
+            node.value = slots[node.value]
+    return slots
+
+
+class _SpillSlotAllocator:
+    """Frame slots for register spills ("virtual registers")."""
+
+    def __init__(self, base: int = SPILL_AREA_BASE) -> None:
+        self._next = base
+
+    def take(self) -> str:
+        self._next -= 4
+        return f"{self._next}(fp)"
+
+
+def compile_forest(forest: Forest, **options) -> CompileResult:
+    """One-shot convenience: build a generator and compile *forest*."""
+    return GrahamGlanvilleCodeGenerator(**options).compile(forest)

@@ -1,0 +1,176 @@
+"""Phase 1b: operator expansion and commutative canonicalization
+(section 5.1.2).
+
+* operators with no hardware twin are expanded (left shift by a constant
+  becomes multiplication by the power of two — which the displacement-
+  indexed addressing hardware then absorbs for free);
+* subtraction of a constant becomes addition of its negation;
+* a constant operand of a commutative operator is forced to be the *left*
+  child, which is the shape every addressing-phrase pattern expects;
+* constant folding (the paper assumes the front ends fold; ours verifies);
+* narrowing and int/float-mixing assignments get explicit ``Conv``
+  operators, since the grammar only widens implicitly;
+* value-less ``Expr`` statements are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.ops import Op, OpClass
+from ..ir.tree import Forest, ForestItem, LabelDef, Node, walk_postorder
+from ..ir.types import MachineType
+
+_FOLDABLE = {
+    Op.PLUS: lambda a, b: a + b,
+    Op.MINUS: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.LSH: lambda a, b: a << b,
+}
+
+#: operators whose value may be discarded only if their subtree is pure
+_SIDE_EFFECT_OPS = frozenset({
+    Op.CALL, Op.ASSIGN, Op.RASSIGN, Op.POSTINC, Op.POSTDEC,
+    Op.PREINC, Op.PREDEC,
+})
+
+
+def has_side_effects(node: Node) -> bool:
+    return any(n.op in _SIDE_EFFECT_OPS for n in node.preorder())
+
+
+def expand_operators(forest: Forest) -> Forest:
+    """Run phase 1b over a forest (in place rewrites; returns the forest)."""
+    kept: List[ForestItem] = []
+    for item in forest.items:
+        if isinstance(item, LabelDef):
+            kept.append(item)
+            continue
+        _rewrite_tree(item)
+        if item.op is Op.EXPR and not has_side_effects(item.kids[0]):
+            continue  # evaluate-for-effect with no effects: drop
+        kept.append(item)
+    forest.items[:] = kept
+    return forest
+
+
+def _rewrite_tree(tree: Node) -> None:
+    for node in list(walk_postorder(tree)):
+        _fold_constants(node)
+        _expand_shift(node)
+        _sub_const_to_add(node)
+        _constant_left(node)
+        _insert_conversions(node)
+        _fold_conv_const(node)
+
+
+def _fold_conv_const(node: Node) -> None:
+    """Conv of an integer constant folds at compile time — the assembler
+    extends/truncates immediates; no cvt instruction is needed."""
+    if node.op is not Op.CONV or not node.kids:
+        return
+    kid = node.kids[0]
+    if kid.op is Op.CONST and node.ty.is_integer and isinstance(kid.value, int):
+        node.replace_with(Node(Op.CONST, node.ty, value=node.ty.wrap(kid.value)))
+    elif kid.op is Op.CONST and node.ty.is_float and isinstance(kid.value, (int, float)):
+        node.replace_with(Node(Op.CONST, node.ty, value=float(kid.value)))
+
+
+def _const_value(node: Node) -> Optional[int]:
+    if node.op is Op.CONST and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _fold_constants(node: Node) -> None:
+    folder = _FOLDABLE.get(node.op)
+    if folder is None or len(node.kids) != 2:
+        return
+    left = _const_value(node.kids[0])
+    right = _const_value(node.kids[1])
+    if left is None or right is None:
+        return
+    value = folder(left, right)
+    if node.ty.is_integer:
+        value = node.ty.wrap(value)
+    node.replace_with(Node(Op.CONST, node.ty, value=value))
+
+
+def _expand_shift(node: Node) -> None:
+    """Left shift by a constant becomes multiplication by 2**c, so the
+    pattern matcher can fold it into scaled-index addressing."""
+    if node.op is not Op.LSH:
+        return
+    count = _const_value(node.kids[1])
+    if count is None or not (0 <= count < 8 * node.ty.size):
+        return
+    power = Node(Op.CONST, node.ty, value=1 << count)
+    node.replace_with(Node(Op.MUL, node.ty, [power, node.kids[0]]))
+
+
+def _sub_const_to_add(node: Node) -> None:
+    """x - c  ==>  (-c) + x."""
+    if node.op is not Op.MINUS or not node.ty.is_integer:
+        return
+    value = _const_value(node.kids[1])
+    if value is None:
+        return
+    negated = Node(Op.CONST, node.ty, value=node.ty.wrap(-value))
+    node.replace_with(Node(Op.PLUS, node.ty, [negated, node.kids[0]]))
+
+
+def _constant_left(node: Node) -> None:
+    """Commutative operators put their constant operand on the left."""
+    if not node.op.commutative or len(node.kids) != 2:
+        return
+    left, right = node.kids
+    if right.op is Op.CONST and left.op is not Op.CONST:
+        node.kids = [right, left]
+
+
+def _coerce(kid: Node, target: MachineType) -> Node:
+    """Wrap *kid* in a Conv to *target* — except constants, which simply
+    retype (the assembler truncates/extends immediates for free)."""
+    if kid.op is Op.CONST and target.is_integer and isinstance(kid.value, int):
+        return Node(Op.CONST, target, value=target.wrap(kid.value))
+    if kid.op is Op.CONST and target.is_float and isinstance(kid.value, (int, float)):
+        return Node(Op.CONST, target, value=float(kid.value))
+    return Node(Op.CONV, target, [kid])
+
+
+def _insert_conversions(node: Node) -> None:
+    """Make narrowing (and int<->float) conversions explicit: the grammar
+    widens implicitly but narrows only through Conv (section 6.4)."""
+    if node.op in (Op.ASSIGN,):
+        dest, src = node.kids
+        if _needs_conv(src.ty, dest.ty):
+            node.kids[1] = _coerce(src, dest.ty)
+        return
+    if node.op.klass is OpClass.BINARY and node.op not in (
+        Op.ASSIGN, Op.RASSIGN, Op.CMP, Op.RCMP,
+        Op.LSH, Op.RSH, Op.RLSH, Op.RRSH,
+        Op.POSTINC, Op.POSTDEC, Op.PREINC, Op.PREDEC,
+    ):
+        for index, kid in enumerate(node.kids):
+            if _needs_conv(kid.ty, node.ty):
+                node.kids[index] = _coerce(kid, node.ty)
+        return
+    if node.op in (Op.CMP, Op.RCMP):
+        target = node.ty
+        for index, kid in enumerate(node.kids):
+            if _needs_conv(kid.ty, target):
+                node.kids[index] = _coerce(kid, target)
+
+
+def _needs_conv(src: MachineType, dst: MachineType) -> bool:
+    """Widening same-kind conversions are implicit in the grammar; any
+    narrowing or kind change requires an explicit Conv node.  Constants
+    never need one (the assembler extends immediates)."""
+    if src.kind is not dst.kind:
+        return True
+    if src.size > dst.size:
+        return True
+    return False

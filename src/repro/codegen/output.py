@@ -1,0 +1,58 @@
+"""Phase 4 support: assembling the complete output unit.
+
+Individual instructions are already formatted by the semantic routines
+(print templates + the addressing-mode texts condensed into descriptors);
+this module wraps a routine's code with the Unix-`as`-style scaffolding —
+entry point, register save mask, and storage for the compiler-generated
+temporaries (the virtual registers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..ir.types import MachineType
+
+
+@dataclass
+class AssemblyUnit:
+    """One routine's finished assembly."""
+
+    name: str
+    body_lines: List[str] = field(default_factory=list)
+    temp_sizes: Dict[str, int] = field(default_factory=dict)
+
+    def note_temp(self, name: str, size: int = 4) -> None:
+        current = self.temp_sizes.get(name, 0)
+        self.temp_sizes[name] = max(current, size)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(
+            1 for line in self.body_lines
+            if line.startswith("\t") and not line.lstrip().startswith(("#", "."))
+        )
+
+    def text(self) -> str:
+        """The full unit: text segment, then temporary storage."""
+        lines = [
+            "\t.text",
+            f"\t.globl _{self.name}",
+            f"_{self.name}:",
+            "\t.word 0",  # register save mask (none: r0-r5 are scratch)
+        ]
+        lines.extend(self.body_lines)
+        if self.temp_sizes:
+            lines.append("\t.data")
+            for temp, size in sorted(self.temp_sizes.items()):
+                lines.append(f"\t.lcomm {temp},{size}")
+        return "\n".join(lines) + "\n"
+
+    def listing(self) -> str:
+        """Just the instruction body, for comparisons and tests."""
+        return "\n".join(self.body_lines) + ("\n" if self.body_lines else "")
+
+
+def count_assembly_lines(text: str) -> int:
+    """The section-8 "lines of assembly code" metric: non-blank lines."""
+    return sum(1 for line in text.splitlines() if line.strip())

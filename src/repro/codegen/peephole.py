@@ -1,0 +1,218 @@
+"""A peephole optimizer over the generated assembly.
+
+Section 6.1 sketches the organization the authors were "currently
+examining": a simpler code generator paired with "a peephole optimizer
+with data flow analysis [Davidson81] [Giegerich82]" that would introduce
+the autoincrement and condition-code improvements after the fact.  This
+module is that future-work extension: a window-based optimizer over the
+emitted assembly, conservative enough to run after either back end.
+
+Rules (each straight out of the classic peephole repertoire):
+
+* ``mov a,b`` immediately followed by ``mov b,a``  →  drop the second;
+* ``mov x,x``  →  drop;
+* ``jbr L`` when the next line defines ``L``  →  drop;
+* ``jCOND L1; jbr L2; L1:``  →  ``j!COND L2; L1:`` (branch inversion);
+* ``jbr L1`` where ``L1:`` is immediately followed by ``jbr L2``  →
+  ``jbr L2`` (jump chaining);
+* ``moval 1(rN),rN`` → ``incl rN`` and ``moval -1(rN),rN`` → ``decl rN``
+  (the §6.1 observation that a peephole pass can recover the idioms).
+
+Condition-code safety: a removed ``mov`` also removed its condition-code
+side effect, so ``mov b,a`` is only elided when the following
+instruction does not *use* the codes (i.e. is not a conditional branch).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_MOV_RE = re.compile(r"^\s*(mov[bwlqfd])\s+([^,]+),(\S+)\s*$")
+_BRANCH_RE = re.compile(r"^\s*(j\w+)\s+(\S+)\s*$")
+_LABEL_RE = re.compile(r"^(\S+):\s*$")
+_MOVAL_INC_RE = re.compile(r"^\s*moval\s+(-?1)\((r\d+|r1[01])\),(\2)\s*$")
+
+#: branch mnemonic inversion table
+_INVERT = {
+    "jeql": "jneq", "jneq": "jeql",
+    "jlss": "jgeq", "jgeq": "jlss",
+    "jleq": "jgtr", "jgtr": "jleq",
+    "jlssu": "jgequ", "jgequ": "jlssu",
+    "jlequ": "jgtru", "jgtru": "jlequ",
+}
+
+_CONDITIONALS = frozenset(_INVERT)
+
+
+@dataclass
+class PeepholeStats:
+    """What each rule removed/rewrote, for the ablation report."""
+
+    redundant_moves: int = 0
+    self_moves: int = 0
+    jumps_to_next: int = 0
+    branches_inverted: int = 0
+    jumps_chained: int = 0
+    incs_recovered: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.redundant_moves + self.self_moves + self.jumps_to_next
+                + self.branches_inverted + self.jumps_chained
+                + self.incs_recovered)
+
+
+def _is_instruction(line: str) -> bool:
+    stripped = line.strip()
+    return bool(stripped) and not stripped.startswith((".", "#")) \
+        and not stripped.endswith(":")
+
+
+def _label_of(line: str) -> Optional[str]:
+    match = _LABEL_RE.match(line.strip())
+    return match.group(1) if match else None
+
+
+def _uses_condition_codes(line: str) -> bool:
+    match = _BRANCH_RE.match(line)
+    return bool(match) and match.group(1) in _CONDITIONALS
+
+
+def optimize(lines: List[str]) -> Tuple[List[str], PeepholeStats]:
+    """Run the peephole rules to a fixpoint over assembly body lines.
+
+    *lines* are the per-routine body (tab-indented instructions plus
+    label definitions); directives pass through untouched.
+    """
+    stats = PeepholeStats()
+    work = list(lines)
+    changed = True
+    passes = 0
+    while changed and passes < 8:
+        changed = False
+        passes += 1
+        work, hit = _one_pass(work, stats)
+        changed = changed or hit
+    return work, stats
+
+
+def _one_pass(lines: List[str], stats: PeepholeStats) -> Tuple[List[str], bool]:
+    out: List[str] = []
+    changed = False
+    jump_targets = _jump_chain_map(lines)
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        nxt = lines[index + 1] if index + 1 < len(lines) else ""
+        after = lines[index + 2] if index + 2 < len(lines) else ""
+
+        # mov x,x
+        mov = _MOV_RE.match(line)
+        if mov and mov.group(2).strip() == mov.group(3).strip() \
+                and "+" not in line and "-(" not in line:
+            stats.self_moves += 1
+            changed = True
+            index += 1
+            continue
+
+        # mov a,b ; mov b,a  (second redundant; keep cc-users safe)
+        if mov:
+            nxt_mov = _MOV_RE.match(nxt)
+            if (
+                nxt_mov
+                and nxt_mov.group(1) == mov.group(1)
+                and nxt_mov.group(2).strip() == mov.group(3).strip()
+                and nxt_mov.group(3).strip() == mov.group(2).strip()
+                and "+" not in line and "+" not in nxt
+                and "-(" not in line and "-(" not in nxt
+                and not _uses_condition_codes(after)
+            ):
+                out.append(line)
+                stats.redundant_moves += 1
+                changed = True
+                index += 2
+                continue
+
+        # moval +/-1(rN),rN -> incl/decl rN
+        inc = _MOVAL_INC_RE.match(line)
+        if inc:
+            mnemonic = "incl" if inc.group(1) == "1" else "decl"
+            out.append(f"\t{mnemonic} {inc.group(2)}")
+            stats.incs_recovered += 1
+            changed = True
+            index += 1
+            continue
+
+        branch = _BRANCH_RE.match(line)
+        if branch:
+            mnemonic, target = branch.groups()
+
+            # jbr L ; L:
+            if mnemonic == "jbr" and _label_of(nxt) == target:
+                stats.jumps_to_next += 1
+                changed = True
+                index += 1
+                continue
+
+            # jCOND L1 ; jbr L2 ; L1:   ->   j!COND L2 ; L1:
+            nxt_branch = _BRANCH_RE.match(nxt)
+            if (
+                mnemonic in _INVERT
+                and nxt_branch and nxt_branch.group(1) == "jbr"
+                and _label_of(after) == target
+            ):
+                out.append(f"\t{_INVERT[mnemonic]} {nxt_branch.group(2)}")
+                stats.branches_inverted += 1
+                changed = True
+                index += 2
+                continue
+
+            # jump chaining: jbr L1 where L1: jbr L2
+            chained = jump_targets.get(target)
+            if mnemonic == "jbr" and chained and chained != target:
+                out.append(f"\tjbr {chained}")
+                stats.jumps_chained += 1
+                changed = True
+                index += 1
+                continue
+
+        out.append(line)
+        index += 1
+    return out, changed
+
+
+def _jump_chain_map(lines: List[str]) -> Dict[str, str]:
+    """label -> ultimate target, for labels whose first instruction is a
+    jbr (bounded to break cycles)."""
+    first_jump: Dict[str, str] = {}
+    pending: List[str] = []
+    for line in lines:
+        label = _label_of(line)
+        if label is not None:
+            pending.append(label)
+            continue
+        if not _is_instruction(line):
+            continue
+        branch = _BRANCH_RE.match(line)
+        if branch and branch.group(1) == "jbr":
+            for label in pending:
+                first_jump[label] = branch.group(2)
+        pending = []
+
+    resolved: Dict[str, str] = {}
+    for label in first_jump:
+        target = first_jump[label]
+        for _ in range(8):  # bound cycles
+            if target not in first_jump or first_jump[target] == target:
+                break
+            target = first_jump[target]
+        if target != label:
+            resolved[label] = target
+    return resolved
+
+
+def optimize_unit(body_lines: List[str]) -> Tuple[List[str], PeepholeStats]:
+    """Optimize an AssemblyUnit body in place-compatible form."""
+    return optimize(body_lines)

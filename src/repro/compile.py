@@ -1,0 +1,95 @@
+"""Whole-program convenience pipeline.
+
+Ties the substrates together: C-subset source -> IR forests -> either
+code generator -> one assembly unit with global-data declarations ->
+(optionally) the simulator.  This is the porcelain the examples, CLI,
+benchmarks and differential tests use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .codegen.driver import CompileResult, GrahamGlanvilleCodeGenerator
+from .frontend.lower import CompiledProgram, compile_c
+from .pcc.codegen import PccResult, pcc_compile
+from .sim.assembler import AsmProgram, assemble
+from .sim.cpu import Vax
+
+
+@dataclass
+class ProgramAssembly:
+    """A fully compiled program: per-function assembly plus data."""
+
+    source_program: CompiledProgram
+    function_results: Dict[str, object] = field(default_factory=dict)
+    backend: str = "gg"
+    seconds: float = 0.0
+
+    @property
+    def text(self) -> str:
+        parts = [self.data_section()]
+        for name in self.source_program.order:
+            result = self.function_results[name]
+            parts.append(result.assembly)  # type: ignore[attr-defined]
+        return "\n".join(parts)
+
+    def data_section(self) -> str:
+        lines = ["\t.data"]
+        for name, ctype in self.source_program.globals.items():
+            lines.append(f"\t.comm _{name},{ctype.size()}")
+        return "\n".join(lines) + "\n"
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(
+            r.instruction_count  # type: ignore[attr-defined]
+            for r in self.function_results.values()
+        )
+
+    def assembled(self) -> AsmProgram:
+        return assemble(self.text)
+
+    def simulator(self, max_steps: int = 2_000_000) -> Vax:
+        return Vax(self.assembled(), max_steps=max_steps)
+
+
+def compile_program(
+    source: str,
+    backend: str = "gg",
+    generator: Optional[GrahamGlanvilleCodeGenerator] = None,
+) -> ProgramAssembly:
+    """Compile C-subset source with the chosen backend ("gg" or "pcc")."""
+    program = compile_c(source)
+    started = time.perf_counter()
+    out = ProgramAssembly(source_program=program, backend=backend)
+    if backend == "gg":
+        gen = generator or GrahamGlanvilleCodeGenerator()
+        for name in program.order:
+            out.function_results[name] = gen.compile(program.forest(name))
+    elif backend == "pcc":
+        for name in program.order:
+            out.function_results[name] = pcc_compile(program.forest(name))
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    out.seconds = time.perf_counter() - started
+    return out
+
+
+def run_program(
+    source: str,
+    entry: str,
+    args: Sequence[int] = (),
+    backend: str = "gg",
+    globals_init: Optional[Dict[str, int]] = None,
+    generator: Optional[GrahamGlanvilleCodeGenerator] = None,
+) -> int:
+    """Compile and execute on the simulated VAX; returns the entry's r0."""
+    assembly = compile_program(source, backend, generator)
+    vax = assembly.simulator()
+    if globals_init:
+        for name, value in globals_init.items():
+            vax.set_global(name, value)
+    return vax.call(entry, list(args))

@@ -1,0 +1,14 @@
+"""The C-subset front end ("the front ends" substrate of section 2)."""
+
+from . import cast
+from .cast import CType, VOID
+from .lexer import LexError, Tok, TokKind, tokenize
+from .lower import CompiledProgram, LowerError, compile_c, lower_program
+from .parser import ParseError, Parser, parse
+
+__all__ = [
+    "cast", "CType", "VOID",
+    "tokenize", "Tok", "TokKind", "LexError",
+    "parse", "Parser", "ParseError",
+    "lower_program", "compile_c", "CompiledProgram", "LowerError",
+]

@@ -1,0 +1,172 @@
+"""Lexer for the C subset ("the front ends" substrate).
+
+The paper's code generator consumed intermediate forests from the PCC C,
+Berkeley Pascal and f77 front ends; ours come from this small C-like
+language, rich enough to exercise every code-generation path: scalar
+types with signedness, pointers, one-dimensional arrays, register
+variables, all the C operators including short-circuit and selection, and
+the control statements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "char", "short", "int", "long", "unsigned", "float", "double", "void",
+    "register", "if", "else", "while", "for", "do", "return", "goto",
+    "break", "continue",
+}
+
+# multi-character operators, longest first
+_OPERATORS = [
+    "<<=", ">>=",
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "[", "]", "{", "}", ",", ";", "?", ":",
+]
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    CHAR = "char"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Tok:
+    kind: TokKind
+    text: str
+    value: object = None
+    line: int = 0
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind is TokKind.OP and self.text in ops
+
+    def is_kw(self, *kws: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text in kws
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}:{self.text}"
+
+
+class LexError(SyntaxError):
+    pass
+
+
+def tokenize(source: str) -> List[Tok]:
+    """Tokenize C-subset source into a token list ending with EOF."""
+    tokens: List[Tok] = []
+    line = 1
+    position = 0
+    length = len(source)
+
+    while position < length:
+        ch = source[position]
+
+        if ch == "\n":
+            line += 1
+            position += 1
+            continue
+        if ch.isspace():
+            position += 1
+            continue
+
+        # comments
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end < 0:
+                raise LexError(f"line {line}: unterminated comment")
+            line += source.count("\n", position, end)
+            position = end + 2
+            continue
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end < 0 else end
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start = position
+            while position < length and (source[position].isalnum() or source[position] == "_"):
+                position += 1
+            word = source[start:position]
+            kind = TokKind.KEYWORD if word in KEYWORDS else TokKind.IDENT
+            tokens.append(Tok(kind, word, line=line))
+            continue
+
+        if ch.isdigit() or (ch == "." and position + 1 < length and source[position + 1].isdigit()):
+            start = position
+            is_float = False
+            if source.startswith("0x", position) or source.startswith("0X", position):
+                position += 2
+                while position < length and source[position] in "0123456789abcdefABCDEF":
+                    position += 1
+                tokens.append(Tok(TokKind.INT, source[start:position],
+                                  value=int(source[start:position], 16), line=line))
+                continue
+            while position < length and source[position].isdigit():
+                position += 1
+            if position < length and source[position] == ".":
+                is_float = True
+                position += 1
+                while position < length and source[position].isdigit():
+                    position += 1
+            if position < length and source[position] in "eE":
+                is_float = True
+                position += 1
+                if position < length and source[position] in "+-":
+                    position += 1
+                while position < length and source[position].isdigit():
+                    position += 1
+            text = source[start:position]
+            if is_float:
+                tokens.append(Tok(TokKind.FLOAT, text, value=float(text), line=line))
+            else:
+                tokens.append(Tok(TokKind.INT, text, value=int(text), line=line))
+            continue
+
+        if ch == "'":
+            end = position + 1
+            if end < length and source[end] == "\\":
+                end += 1
+            end += 1
+            if end >= length or source[end] != "'":
+                raise LexError(f"line {line}: bad character constant")
+            body = source[position + 1:end]
+            value = _char_value(body, line)
+            tokens.append(Tok(TokKind.CHAR, source[position:end + 1],
+                              value=value, line=line))
+            position = end + 1
+            continue
+
+        for operator in _OPERATORS:
+            if source.startswith(operator, position):
+                tokens.append(Tok(TokKind.OP, operator, line=line))
+                position += len(operator)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {ch!r}")
+
+    tokens.append(Tok(TokKind.EOF, "", line=line))
+    return tokens
+
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39}
+
+
+def _char_value(body: str, line: int) -> int:
+    if body.startswith("\\"):
+        try:
+            return _ESCAPES[body[1]]
+        except (KeyError, IndexError):
+            raise LexError(f"line {line}: bad escape {body!r}") from None
+    if len(body) != 1:
+        raise LexError(f"line {line}: bad character constant {body!r}")
+    return ord(body)

@@ -1,0 +1,41 @@
+"""Machine-description grammar infrastructure.
+
+Target-machine instructions are described as attributed productions whose
+right-hand sides are prefix-linearized patterns (section 3.1).  This
+package holds the grammar data model, the text reader, the type-replication
+macro preprocessor (section 6.4), and the factoring diagnostics.
+"""
+
+from .analyses import (
+    chain_depth, chain_graph, find_chain_cycles, first_sets, follow_sets,
+    unproductive_nonterminals,
+)
+from .factoring import (
+    FactoringReport, OverfactoringWarning, analyze_factoring,
+    find_overfactoring, operator_classes,
+)
+from .grammar import Grammar, GrammarError, GrammarStats
+from .macro import (
+    GenericProduction, MacroError, SCALE_TOKEN, replicate_all, substitute,
+    suffixes,
+)
+from .production import ActionKind, Production
+from .reader import GrammarSyntaxError, read_generic, read_grammar, try_parse
+from .symbols import (
+    END, START, base_name, is_nonterminal, is_terminal, split_typed, typed,
+    type_suffix,
+)
+
+__all__ = [
+    "Grammar", "GrammarError", "GrammarStats",
+    "Production", "ActionKind",
+    "GenericProduction", "MacroError", "SCALE_TOKEN", "substitute",
+    "replicate_all", "suffixes",
+    "read_grammar", "read_generic", "try_parse", "GrammarSyntaxError",
+    "first_sets", "follow_sets", "chain_graph", "find_chain_cycles",
+    "chain_depth", "unproductive_nonterminals",
+    "analyze_factoring", "find_overfactoring", "operator_classes",
+    "FactoringReport", "OverfactoringWarning",
+    "END", "START", "is_terminal", "is_nonterminal", "typed", "split_typed",
+    "base_name", "type_suffix",
+]

@@ -1,0 +1,149 @@
+"""Classic grammar analyses needed by the table constructor.
+
+Machine-description grammars have no empty productions (every pattern
+matches at least one input symbol), so NULLABLE is trivially empty; FIRST
+and FOLLOW reduce to the simple fixpoints below.  The chain-production
+analyses implement the section-3.2 guarantee that "the pattern matcher
+will not get into a looping configuration, where non-terminal chain rules
+are cyclically reduced".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from .grammar import Grammar
+from .symbols import END, is_nonterminal, is_terminal
+
+
+def first_sets(grammar: Grammar) -> Dict[str, FrozenSet[str]]:
+    """FIRST sets for every symbol (terminals map to themselves)."""
+    first: Dict[str, Set[str]] = {t: {t} for t in grammar.terminals}
+    first[END] = {END}
+    for nt in grammar.nonterminals:
+        first.setdefault(nt, set())
+
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar:
+            head = production.rhs[0]
+            target = first[production.lhs]
+            source = first.get(head)
+            if source is None:
+                # Undefined non-terminal: Grammar.check() reports these;
+                # keep the analysis total regardless.
+                continue
+            before = len(target)
+            target |= source
+            if len(target) != before:
+                changed = True
+    return {symbol: frozenset(values) for symbol, values in first.items()}
+
+
+def follow_sets(grammar: Grammar) -> Dict[str, FrozenSet[str]]:
+    """FOLLOW sets for every non-terminal (SLR(1) reduce lookaheads)."""
+    first = first_sets(grammar)
+    follow: Dict[str, Set[str]] = {nt: set() for nt in grammar.nonterminals}
+    follow[grammar.start].add(END)
+
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar:
+            rhs = production.rhs
+            for position, symbol in enumerate(rhs):
+                if not is_nonterminal(symbol):
+                    continue
+                target = follow[symbol]
+                before = len(target)
+                if position + 1 < len(rhs):
+                    follower = rhs[position + 1]
+                    target |= first.get(follower, frozenset())
+                else:
+                    target |= follow[production.lhs]
+                if len(target) != before:
+                    changed = True
+    return {symbol: frozenset(values) for symbol, values in follow.items()}
+
+
+def chain_graph(grammar: Grammar) -> Dict[str, Set[str]]:
+    """Directed graph: LHS -> {RHS non-terminal} for chain productions."""
+    graph: Dict[str, Set[str]] = {}
+    for production in grammar.chain_productions():
+        graph.setdefault(production.lhs, set()).add(production.rhs[0])
+    return graph
+
+
+def find_chain_cycles(grammar: Grammar) -> List[List[str]]:
+    """All elementary cycles among chain productions.
+
+    A cycle such as ``a <- b`` / ``b <- a`` would let the pattern matcher
+    reduce forever; the table constructor refuses such grammars.
+    """
+    graph = chain_graph(grammar)
+    cycles: List[List[str]] = []
+    seen_cycles: Set[FrozenSet[str]] = set()
+
+    def visit(node: str, stack: List[str], on_stack: Set[str]) -> None:
+        for successor in sorted(graph.get(node, ())):
+            if successor in on_stack:
+                cycle = stack[stack.index(successor):] + [successor]
+                key = frozenset(cycle)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    cycles.append(cycle)
+                continue
+            stack.append(successor)
+            on_stack.add(successor)
+            visit(successor, stack, on_stack)
+            on_stack.discard(successor)
+            stack.pop()
+
+    for origin in sorted(graph):
+        visit(origin, [origin], {origin})
+    return cycles
+
+
+def unproductive_nonterminals(grammar: Grammar) -> Set[str]:
+    """Non-terminals that derive no terminal string (dead patterns)."""
+    productive: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar:
+            if production.lhs in productive:
+                continue
+            if all(
+                is_terminal(s) or s in productive for s in production.rhs
+            ):
+                productive.add(production.lhs)
+                changed = True
+    return grammar.nonterminals - productive
+
+
+def chain_depth(grammar: Grammar) -> Dict[str, int]:
+    """Longest chain-reduction path out of each non-terminal.
+
+    Section 8 attributes the matcher's parse-heavy profile to "the large
+    number of chain productions in the grammar"; this measures how deep
+    those chains go.  Cycles must be absent (see find_chain_cycles).
+    """
+    graph = chain_graph(grammar)
+    depth: Dict[str, int] = {}
+
+    def visit(node: str, active: Set[str]) -> int:
+        if node in depth:
+            return depth[node]
+        if node in active:
+            raise ValueError(f"chain cycle through {node!r}")
+        active.add(node)
+        successors = graph.get(node, ())
+        value = 0 if not successors else 1 + max(visit(s, active) for s in successors)
+        active.discard(node)
+        depth[node] = value
+        return value
+
+    for nt in grammar.nonterminals:
+        visit(nt, set())
+    return depth

@@ -1,0 +1,137 @@
+"""Factoring diagnostics — toward the paper's "factoring theory".
+
+A flat VAX grammar would need millions of productions (section 4), so the
+description is *factored*: complete subtrees become phrase non-terminals
+and operator symbols are grouped into classes.  Section 6.2.1 shows how
+easily this is overdone: grouping ``Plus`` into a ``binop`` class while
+``Plus`` also occurs as a *secondary* operation inside addressing modes
+creates shift/reduce conflicts that the shift-preference then resolves
+*wrongly*.  The authors write they "are developing a factoring theory to
+help us find and repair these cases automatically" — this module is our
+version of that tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .grammar import Grammar
+from .production import Production
+from .symbols import is_terminal
+
+
+@dataclass(frozen=True)
+class OverfactoringWarning:
+    """A terminal grouped into an operator class that also occurs as a
+    secondary operation elsewhere in the grammar."""
+
+    class_nonterminal: str
+    terminal: str
+    class_production: Production
+    conflicting_production: Production
+
+    def __str__(self) -> str:
+        return (
+            f"terminal {self.terminal!r} is grouped into class "
+            f"{self.class_nonterminal!r} (production {self.class_production.index}) "
+            f"but also appears inside production "
+            f"{self.conflicting_production.index}: {self.conflicting_production}; "
+            "a shift decision there would prematurely commit against the class"
+        )
+
+
+def operator_classes(grammar: Grammar) -> Dict[str, Set[str]]:
+    """Map each operator-class non-terminal to the terminals it groups.
+
+    An operator class is defined by productions like ``binop <- Or.l``
+    whose RHS is a single terminal.
+    """
+    classes: Dict[str, Set[str]] = {}
+    for production in grammar:
+        if production.is_operator_class:
+            classes.setdefault(production.lhs, set()).add(production.rhs[0])
+    return classes
+
+
+def secondary_occurrences(grammar: Grammar) -> Dict[str, List[Tuple[Production, int]]]:
+    """Where each terminal occurs inside a multi-symbol pattern.
+
+    Position 0 of a pattern is the *primary* operation; any later position
+    is secondary (it belongs to an operand subtree such as an addressing
+    mode).  Both matter for overfactoring, but secondary occurrences are
+    the dangerous ones.
+    """
+    occurrences: Dict[str, List[Tuple[Production, int]]] = {}
+    for production in grammar:
+        if len(production.rhs) < 2:
+            continue
+        for position, symbol in enumerate(production.rhs):
+            if is_terminal(symbol):
+                occurrences.setdefault(symbol, []).append((production, position))
+    return occurrences
+
+
+def find_overfactoring(grammar: Grammar) -> List[OverfactoringWarning]:
+    """Detect the section-6.2.1 overfactoring pattern.
+
+    For every terminal ``t`` grouped into a class ``c``, any occurrence of
+    ``t`` inside a longer pattern means some state can contain both
+    ``[... t . ...]`` (wanting a shift to continue the long pattern) and
+    ``[c <- t .]`` (wanting a reduce to the class): the shift-preference
+    then commits prematurely against the class, which is exactly the
+    ``displ <- Plus Const reg`` vs ``binop <- Plus`` conflict of section
+    6.2.1.  We report each such pair.
+    """
+    warnings: List[OverfactoringWarning] = []
+    classes = operator_classes(grammar)
+    occurrences = secondary_occurrences(grammar)
+    class_productions = {
+        (p.lhs, p.rhs[0]): p for p in grammar if p.is_operator_class
+    }
+
+    for class_nt, terminals in sorted(classes.items()):
+        for terminal in sorted(terminals):
+            for production, position in occurrences.get(terminal, ()):
+                warnings.append(
+                    OverfactoringWarning(
+                        class_nonterminal=class_nt,
+                        terminal=terminal,
+                        class_production=class_productions[(class_nt, terminal)],
+                        conflicting_production=production,
+                    )
+                )
+    return warnings
+
+
+@dataclass(frozen=True)
+class FactoringReport:
+    """Summary of how a grammar is factored."""
+
+    operator_classes: Dict[str, Set[str]]
+    phrase_nonterminals: Set[str]
+    overfactoring: List[OverfactoringWarning]
+
+    def __str__(self) -> str:
+        lines = [
+            f"operator classes: {len(self.operator_classes)}",
+            f"phrase non-terminals: {len(self.phrase_nonterminals)}",
+            f"overfactoring warnings: {len(self.overfactoring)}",
+        ]
+        lines.extend(f"  - {warning}" for warning in self.overfactoring)
+        return "\n".join(lines)
+
+
+def analyze_factoring(grammar: Grammar) -> FactoringReport:
+    """Full factoring report for a grammar."""
+    classes = operator_classes(grammar)
+    phrase = {
+        production.lhs
+        for production in grammar
+        if len(production.rhs) > 1 and production.lhs != grammar.start
+    }
+    return FactoringReport(
+        operator_classes=classes,
+        phrase_nonterminals=phrase - set(classes),
+        overfactoring=find_overfactoring(grammar),
+    )

@@ -1,0 +1,194 @@
+"""The machine-description grammar container.
+
+A :class:`Grammar` owns an ordered list of :class:`Production` objects plus
+the sentential start symbol.  It offers the derived views the table
+constructor and the diagnostics need: terminal/non-terminal inventories,
+productions grouped by LHS, chain-production structure, and the summary
+statistics reported in section 8 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from .production import ActionKind, Production
+from .symbols import END, START, is_nonterminal, is_terminal
+
+
+class GrammarError(ValueError):
+    """Raised for structurally invalid machine descriptions."""
+
+
+@dataclass(frozen=True)
+class GrammarStats:
+    """The section-8 statistics row for one grammar."""
+
+    productions: int
+    terminals: int
+    nonterminals: int
+    chain_productions: int
+    emitting: int
+    encapsulating: int
+    glue: int
+
+    def as_row(self) -> Dict[str, int]:
+        return {
+            "productions": self.productions,
+            "terminals": self.terminals,
+            "nonterminals": self.nonterminals,
+            "chain productions": self.chain_productions,
+            "emitting": self.emitting,
+            "encapsulating": self.encapsulating,
+            "glue": self.glue,
+        }
+
+
+class Grammar:
+    """An attributed machine-description grammar.
+
+    Productions are numbered densely in insertion order; the numbering is
+    the identity the parse tables and semantic routines use, mirroring the
+    paper's hand-assigned production numbers.
+    """
+
+    def __init__(self, start: str, productions: Iterable[Production] = ()) -> None:
+        if not is_nonterminal(start):
+            raise GrammarError(f"start symbol {start!r} must be a non-terminal")
+        self.start = start
+        self.productions: List[Production] = []
+        self._by_lhs: Dict[str, List[Production]] = {}
+        for production in productions:
+            self.add(production)
+
+    # ---------------------------------------------------------- building
+    def add(self, production: Production) -> Production:
+        """Append a production, assigning its index.  Exact duplicates
+        (same LHS and RHS) are rejected — they would create unresolvable
+        reduce/reduce ties that carry no information."""
+        for existing in self._by_lhs.get(production.lhs, ()):
+            if existing.rhs == production.rhs:
+                raise GrammarError(f"duplicate production: {production}")
+        numbered = production.with_index(len(self.productions))
+        self.productions.append(numbered)
+        self._by_lhs.setdefault(numbered.lhs, []).append(numbered)
+        return numbered
+
+    def extend(self, productions: Iterable[Production]) -> None:
+        for production in productions:
+            self.add(production)
+
+    # ------------------------------------------------------------- views
+    def __len__(self) -> int:
+        return len(self.productions)
+
+    def __iter__(self) -> Iterator[Production]:
+        return iter(self.productions)
+
+    def __getitem__(self, index: int) -> Production:
+        return self.productions[index]
+
+    def by_lhs(self, lhs: str) -> Sequence[Production]:
+        return tuple(self._by_lhs.get(lhs, ()))
+
+    @property
+    def nonterminals(self) -> Set[str]:
+        symbols: Set[str] = set(self._by_lhs)
+        symbols.add(self.start)
+        for production in self.productions:
+            symbols.update(s for s in production.rhs if is_nonterminal(s))
+        return symbols
+
+    @property
+    def terminals(self) -> Set[str]:
+        symbols: Set[str] = set()
+        for production in self.productions:
+            symbols.update(s for s in production.rhs if is_terminal(s))
+        return symbols
+
+    @property
+    def symbols(self) -> Set[str]:
+        return self.nonterminals | self.terminals
+
+    def chain_productions(self) -> List[Production]:
+        return [p for p in self.productions if p.is_chain]
+
+    # -------------------------------------------------------- validation
+    def undefined_nonterminals(self) -> Set[str]:
+        """Non-terminals used on some RHS but never defined."""
+        return {
+            symbol
+            for production in self.productions
+            for symbol in production.rhs
+            if is_nonterminal(symbol) and symbol not in self._by_lhs
+        }
+
+    def unreachable_nonterminals(self) -> Set[str]:
+        """Non-terminals not derivable from the start symbol."""
+        reachable = {self.start}
+        frontier = [self.start]
+        while frontier:
+            lhs = frontier.pop()
+            for production in self._by_lhs.get(lhs, ()):
+                for symbol in production.rhs:
+                    if is_nonterminal(symbol) and symbol not in reachable:
+                        reachable.add(symbol)
+                        frontier.append(symbol)
+        return self.nonterminals - reachable
+
+    def check(self, allow_unreachable: bool = False) -> None:
+        """Raise :class:`GrammarError` on structural defects."""
+        undefined = self.undefined_nonterminals()
+        if undefined:
+            raise GrammarError(
+                f"undefined non-terminals: {', '.join(sorted(undefined))}"
+            )
+        if self.start not in self._by_lhs:
+            raise GrammarError(f"start symbol {self.start!r} has no productions")
+        if not allow_unreachable:
+            unreachable = self.unreachable_nonterminals()
+            if unreachable:
+                raise GrammarError(
+                    f"unreachable non-terminals: {', '.join(sorted(unreachable))}"
+                )
+
+    # ------------------------------------------------------------- stats
+    def stats(self) -> GrammarStats:
+        kinds = {kind: 0 for kind in ActionKind}
+        for production in self.productions:
+            kinds[production.action] += 1
+        return GrammarStats(
+            productions=len(self.productions),
+            terminals=len(self.terminals),
+            nonterminals=len(self.nonterminals),
+            chain_productions=len(self.chain_productions()),
+            emitting=kinds[ActionKind.EMIT],
+            encapsulating=kinds[ActionKind.ENCAPSULATE],
+            glue=kinds[ActionKind.GLUE],
+        )
+
+    # --------------------------------------------------------- augmented
+    def augmented(self) -> Tuple["Grammar", Production]:
+        """A copy with ``$accept <- start $end`` prepended, for the
+        table constructor."""
+        accept = Production(START, (self.start, END), ActionKind.GLUE,
+                            origin="augmentation")
+        grammar = Grammar(START)
+        grammar.add(accept)
+        for production in self.productions:
+            grammar.add(production)
+        return grammar, grammar.productions[0]
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"<Grammar start={self.start!r} productions={stats.productions} "
+            f"terminals={stats.terminals} nonterminals={stats.nonterminals}>"
+        )
+
+    def dump(self) -> str:
+        """The grammar in the text format `repro.grammar.reader` accepts."""
+        lines = [f"%start {self.start}"]
+        for production in self.productions:
+            lines.append(str(production))
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,162 @@
+"""Type replication — the macro preprocessor of section 6.4.
+
+Because this code generator treats data types *syntactically*, "every
+symbol that can possibly have a different type attribute must be replaced
+by a different symbol, one for each type".  The authors wrote *generic*
+productions containing three-character macros and replicated them over the
+machine types.  We implement the same mechanism with readable named macros:
+
+``$t``
+    the type-suffix character of the replication type (``b w l q f d``);
+    spliced into symbol names and mnemonics: ``reg.$t``, ``"add$t3 ..."``.
+``$scale(t)``
+    the special-constant token that scales indexing for the replication
+    type: ``One`` for bytes, ``Two`` for words, ``Four`` for longs,
+    ``Eight`` for quads/doubles (section 6.3).
+``$size(t)``
+    the size in bytes, for templates that need it.
+
+A :class:`GenericProduction` replicates into one concrete
+:class:`Production` per type in its class.  Multi-variable generics (used
+for the conversion-instruction cross product the authors "performed by
+hand and introduced several errors" doing) replicate over the cartesian
+product of their classes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ir.types import MachineType
+from .production import ActionKind, Production
+
+#: scale token per type-suffix character (displacement indexing, section 6.3)
+SCALE_TOKEN = {"b": "One", "w": "Two", "l": "Four", "q": "Eight",
+               "f": "Four", "d": "Eight"}
+
+SIZE_OF_SUFFIX = {"b": 1, "w": 2, "l": 4, "q": 8, "f": 4, "d": 8}
+
+# Type-variable names are alphabetic so a trailing digit stays literal:
+# in "add$Y3" the variable is Y and the 3 is part of the mnemonic.
+_MACRO_RE = re.compile(r"\$(?:scale\(([A-Za-z]+)\)|size\(([A-Za-z]+)\)|([A-Za-z]+))")
+
+
+class MacroError(ValueError):
+    """Raised for malformed generic productions."""
+
+
+def substitute(text: str, bindings: Dict[str, str]) -> str:
+    """Expand ``$var`` / ``$scale(var)`` / ``$size(var)`` macros in *text*."""
+
+    def expand(match: "re.Match[str]") -> str:
+        scale_var, size_var, plain_var = match.groups()
+        if scale_var is not None:
+            suffix = _lookup(scale_var, bindings, match.group(0))
+            return SCALE_TOKEN[suffix]
+        if size_var is not None:
+            suffix = _lookup(size_var, bindings, match.group(0))
+            return str(SIZE_OF_SUFFIX[suffix])
+        return _lookup(plain_var, bindings, match.group(0))
+
+    return _MACRO_RE.sub(expand, text)
+
+
+def _lookup(var: str, bindings: Dict[str, str], original: str) -> str:
+    try:
+        return bindings[var]
+    except KeyError:
+        raise MacroError(f"unbound type variable in {original!r}") from None
+
+
+@dataclass(frozen=True)
+class GenericProduction:
+    """A pre-replication production over one or more type variables.
+
+    ``classes`` maps each type variable to the suffix characters it ranges
+    over, e.g. ``{"t": ("b", "w", "l", "q")}`` — the paper's class ``Y``.
+    """
+
+    lhs: str
+    rhs: Tuple[str, ...]
+    action: ActionKind = ActionKind.GLUE
+    template: Optional[str] = None
+    semantic: Optional[str] = None
+    cost: int = 0
+    origin: str = ""
+    classes: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def variables(self) -> List[str]:
+        found: List[str] = []
+        for text in (self.lhs, *self.rhs, self.template or "", self.semantic or ""):
+            for match in _MACRO_RE.finditer(text):
+                var = match.group(1) or match.group(2) or match.group(3)
+                if var not in found:
+                    found.append(var)
+        return found
+
+    def replicate(self) -> List[Production]:
+        """Expand into concrete productions, one per type combination."""
+        variables = self.variables()
+        for var in variables:
+            if var not in self.classes:
+                raise MacroError(
+                    f"type variable ${var} in {self.lhs} <- "
+                    f"{' '.join(self.rhs)} has no class"
+                )
+        if not variables:
+            return [
+                Production(self.lhs, self.rhs, self.action, self.template,
+                           self.semantic, self.cost, self.origin)
+            ]
+        productions = []
+        domains = [self.classes[var] for var in variables]
+        for combo in itertools.product(*domains):
+            bindings = dict(zip(variables, combo))
+            productions.append(
+                Production(
+                    substitute(self.lhs, bindings),
+                    tuple(substitute(s, bindings) for s in self.rhs),
+                    self.action,
+                    substitute(self.template, bindings) if self.template else None,
+                    substitute(self.semantic, bindings) if self.semantic else None,
+                    self.cost,
+                    self.origin or f"generic {self.lhs} <- {' '.join(self.rhs)}",
+                )
+            )
+        return productions
+
+
+def replicate_all(
+    generics: Iterable[GenericProduction],
+) -> Tuple[List[Production], Dict[str, int]]:
+    """Replicate a generic grammar; returns (productions, expansion counts).
+
+    Duplicate concrete productions (same LHS and RHS) are coalesced — the
+    cartesian product of conversion generics legitimately produces a few —
+    keeping the first occurrence, whose action carries the semantics.
+    """
+    seen: Dict[Tuple[str, Tuple[str, ...]], Production] = {}
+    counts: Dict[str, int] = {}
+    ordered: List[Production] = []
+    for generic in generics:
+        expanded = generic.replicate()
+        counts[f"{generic.lhs} <- {' '.join(generic.rhs)}"] = len(expanded)
+        for production in expanded:
+            key = (production.lhs, production.rhs)
+            if key in seen:
+                continue
+            seen[key] = production
+            ordered.append(production)
+    return ordered, counts
+
+
+def suffixes(types: Sequence[MachineType]) -> Tuple[str, ...]:
+    """The suffix-character tuple for a type class, deduplicated in order."""
+    out: List[str] = []
+    for ty in types:
+        if ty.suffix not in out:
+            out.append(ty.suffix)
+    return tuple(out)

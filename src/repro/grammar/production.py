@@ -1,0 +1,112 @@
+"""Attributed productions of a machine-description grammar.
+
+In the factored grammar of section 4, *"productions now either encapsulate
+phrases (subtrees), emit instructions, or serve as glue"*; a production's
+:class:`ActionKind` records which.  An emitting production carries the
+print template used by phase 4 to format assembly, in which ``%0`` denotes
+the left-hand-side result and ``%1``/``%2``/... the right-hand-side
+non-terminal operands in order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .symbols import is_nonterminal, is_terminal
+
+
+class ActionKind(enum.Enum):
+    """What a reduction by this production does (section 4)."""
+
+    EMIT = "emit"            # emit one logical instruction
+    ENCAPSULATE = "encap"    # condense a phrase (e.g. an addressing mode)
+    GLUE = "glue"            # parsing-only: chain/bridge/class productions
+
+
+@dataclass(frozen=True)
+class Production:
+    """One attributed production ``lhs <- rhs`` of the machine grammar.
+
+    Attributes
+    ----------
+    lhs:
+        Left-hand-side non-terminal (how the computation affects the
+        processor — a register class, an addressing mode, or the
+        sentential symbol).
+    rhs:
+        Prefix-linearized pattern: terminals and non-terminals.
+    action:
+        EMIT / ENCAPSULATE / GLUE.
+    template:
+        Assembly print format for EMIT productions (``"addl3 %1,%2,%0"``);
+        for ENCAPSULATE productions it may name the addressing-mode
+        constructor the semantic routines should apply.
+    semantic:
+        Name of the instruction-table cluster or semantic routine the
+        reduction invokes — the analogue of the paper's hand-assigned
+        production-number argument to ``R()`` (section 6.4).
+    cost:
+        Static instruction-count cost of the reduction, used for the code
+        quality experiment (E7) and by the PCC comparison.
+    origin:
+        Provenance note: which generic production (pre-replication) or
+        which repair (bridge production, overfactoring fix) created it.
+    """
+
+    lhs: str
+    rhs: Tuple[str, ...]
+    action: ActionKind = ActionKind.GLUE
+    template: Optional[str] = None
+    semantic: Optional[str] = None
+    cost: int = 0
+    origin: str = ""
+    index: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if not is_nonterminal(self.lhs):
+            raise ValueError(f"LHS {self.lhs!r} must be a non-terminal")
+        if not self.rhs:
+            raise ValueError(f"production {self.lhs!r} has an empty RHS")
+        if self.action is ActionKind.EMIT and self.template is None:
+            raise ValueError(
+                f"emitting production {self.lhs} <- {' '.join(self.rhs)} "
+                "lacks a print template"
+            )
+
+    # ------------------------------------------------------------- shape
+    @property
+    def is_chain(self) -> bool:
+        """A unit production ``a <- b`` between non-terminals."""
+        return len(self.rhs) == 1 and is_nonterminal(self.rhs[0])
+
+    @property
+    def is_operator_class(self) -> bool:
+        """A production grouping a terminal operator into a class
+        non-terminal, e.g. ``binop <- Or.l`` (section 6.2.1)."""
+        return len(self.rhs) == 1 and is_terminal(self.rhs[0])
+
+    @property
+    def length(self) -> int:
+        return len(self.rhs)
+
+    def terminals(self) -> Tuple[str, ...]:
+        return tuple(s for s in self.rhs if is_terminal(s))
+
+    def nonterminals(self) -> Tuple[str, ...]:
+        return tuple(s for s in self.rhs if is_nonterminal(s))
+
+    def with_index(self, index: int) -> "Production":
+        return Production(
+            self.lhs, self.rhs, self.action, self.template,
+            self.semantic, self.cost, self.origin, index,
+        )
+
+    def __str__(self) -> str:
+        text = f"{self.lhs} <- {' '.join(self.rhs)}"
+        if self.action is not ActionKind.GLUE:
+            text += f"  :: {self.action.value}"
+        if self.template:
+            text += f' "{self.template}"'
+        return text

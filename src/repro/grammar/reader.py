@@ -1,0 +1,156 @@
+"""Text format for machine-description grammars.
+
+The CGGWS took machine descriptions as text; so do we.  The format is one
+production per line::
+
+    %start stmt
+    %class Y b w l q          # a type class: variable Y ranges over b,w,l,q
+
+    reg.$Y <- Plus.$Y rval.$Y rval.$Y :: emit "add$Y3 %1,%2,%0" @1 !add
+    rval.$Y <- reg.$Y
+    dx.$Y <- Plus.l plusc.l Mul.l $scale(Y) reg.l :: encap
+
+Everything after ``::`` is the attribute list: an action keyword (``emit``,
+``encap``, ``glue``), an optional quoted print template, an optional
+``@cost`` integer and an optional ``!name`` naming the semantic cluster.
+Lines mentioning a type variable ``$Y`` are *generic* and are replicated
+over the class declared by ``%class Y ...`` (section 6.4).  ``#`` starts a
+comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .grammar import Grammar, GrammarError
+from .macro import GenericProduction, replicate_all
+from .production import ActionKind, Production
+
+_ACTIONS = {
+    "emit": ActionKind.EMIT,
+    "encap": ActionKind.ENCAPSULATE,
+    "encapsulate": ActionKind.ENCAPSULATE,
+    "glue": ActionKind.GLUE,
+}
+
+_TEMPLATE_RE = re.compile(r'"([^"]*)"')
+_VAR_RE = re.compile(r"\$(?:scale\(([A-Za-z]+)\)|size\(([A-Za-z]+)\)|([A-Za-z]+))")
+
+
+class GrammarSyntaxError(GrammarError):
+    """Raised with a line number for malformed grammar text."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def read_generic(text: str) -> Tuple[str, List[GenericProduction]]:
+    """Parse grammar text into its start symbol and generic productions."""
+    start: Optional[str] = None
+    classes: Dict[str, Tuple[str, ...]] = {}
+    generics: List[GenericProduction] = []
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("%start"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise GrammarSyntaxError(line_number, "%start takes one symbol")
+            start = parts[1]
+            continue
+        if line.startswith("%class"):
+            parts = line.split()
+            if len(parts) < 3:
+                raise GrammarSyntaxError(
+                    line_number, "%class takes a variable and suffixes"
+                )
+            classes[parts[1]] = tuple(parts[2:])
+            continue
+        if line.startswith("%"):
+            raise GrammarSyntaxError(line_number, f"unknown directive {line!r}")
+        generics.append(_parse_production(line_number, line, classes))
+
+    if start is None:
+        raise GrammarError("grammar text lacks a %start directive")
+    return start, generics
+
+
+def read_grammar(text: str, check: bool = True) -> Grammar:
+    """Parse grammar text, replicate generics, and return the Grammar."""
+    start, generics = read_generic(text)
+    productions, _ = replicate_all(generics)
+    grammar = Grammar(start, productions)
+    if check:
+        grammar.check()
+    return grammar
+
+
+def _parse_production(
+    line_number: int, line: str, classes: Dict[str, Tuple[str, ...]]
+) -> GenericProduction:
+    if "<-" not in line:
+        raise GrammarSyntaxError(line_number, "missing '<-'")
+    head, _, tail = line.partition("<-")
+    lhs = head.strip()
+    if not lhs or " " in lhs:
+        raise GrammarSyntaxError(line_number, f"bad LHS {lhs!r}")
+
+    rhs_text, _, attr_text = tail.partition("::")
+    rhs = tuple(rhs_text.split())
+    if not rhs:
+        raise GrammarSyntaxError(line_number, "empty RHS")
+
+    action = ActionKind.GLUE
+    template: Optional[str] = None
+    semantic: Optional[str] = None
+    cost = 0
+
+    attr_text = attr_text.strip()
+    if attr_text:
+        template_match = _TEMPLATE_RE.search(attr_text)
+        if template_match:
+            template = template_match.group(1)
+            attr_text = attr_text[: template_match.start()] + attr_text[template_match.end():]
+        for word in attr_text.split():
+            if word in _ACTIONS:
+                action = _ACTIONS[word]
+            elif word.startswith("@"):
+                try:
+                    cost = int(word[1:])
+                except ValueError:
+                    raise GrammarSyntaxError(line_number, f"bad cost {word!r}") from None
+            elif word.startswith("!"):
+                semantic = word[1:]
+            else:
+                raise GrammarSyntaxError(line_number, f"unknown attribute {word!r}")
+
+    if action is ActionKind.EMIT and cost == 0:
+        cost = 1
+
+    used: Dict[str, Tuple[str, ...]] = {}
+    for text_piece in (lhs, *rhs, template or "", semantic or ""):
+        for match in _VAR_RE.finditer(text_piece):
+            var = match.group(1) or match.group(2) or match.group(3)
+            if var not in classes:
+                raise GrammarSyntaxError(
+                    line_number, f"type variable ${var} has no %class"
+                )
+            used[var] = classes[var]
+
+    return GenericProduction(
+        lhs=lhs, rhs=rhs, action=action, template=template,
+        semantic=semantic, cost=cost, origin=f"line {line_number}",
+        classes=used,
+    )
+
+
+def try_parse(text: str) -> Tuple[Optional[Grammar], List[str]]:
+    """Parse leniently: returns (grammar-or-None, list of error strings)."""
+    try:
+        return read_grammar(text), []
+    except GrammarError as error:
+        return None, [str(error)]

@@ -1,0 +1,64 @@
+"""Grammar symbols and their spelling conventions.
+
+We adopt the paper's convention directly (section 3.1): *"all terminal
+symbols start with an upper case letter; non-terminal symbols begin with
+lower case letters."*  Symbols are plain strings — table construction over
+a thousand-production grammar touches millions of symbols, and interned
+strings are the cheapest representation Python offers.
+
+A *typed* symbol is ``base.suffix`` (``reg.l``, ``Plus.b``); the suffix is
+one of the machine-type characters from :mod:`repro.ir.types`.  Untyped
+symbols (``One``, ``Label``, ``stmt``) have no dot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..ir.types import MachineType
+
+#: The end-of-input marker used by the table constructor and matcher.
+END = "$end"
+
+#: The augmented start symbol.
+START = "$accept"
+
+
+def is_terminal(symbol: str) -> bool:
+    """True when *symbol* is a terminal (starts with an upper-case letter).
+
+    The markers ``$end``/``$accept`` are classified as terminal and
+    non-terminal respectively, which is what the constructor needs.
+    """
+    if symbol == END:
+        return True
+    if symbol == START:
+        return False
+    return symbol[0].isupper()
+
+
+def is_nonterminal(symbol: str) -> bool:
+    return not is_terminal(symbol)
+
+
+def typed(base: str, ty: MachineType) -> str:
+    """Attach a machine-type suffix: ``typed("reg", LONG) == "reg.l"``."""
+    return f"{base}.{ty.suffix}"
+
+
+def split_typed(symbol: str) -> Tuple[str, Optional[str]]:
+    """Split ``"reg.l"`` into ``("reg", "l")``; untyped gives ``(sym, None)``."""
+    if "." in symbol:
+        base, suffix = symbol.rsplit(".", 1)
+        return base, suffix
+    return symbol, None
+
+
+def base_name(symbol: str) -> str:
+    """The symbol without its type suffix."""
+    return split_typed(symbol)[0]
+
+
+def type_suffix(symbol: str) -> Optional[str]:
+    """The type-suffix character, or None for untyped symbols."""
+    return split_typed(symbol)[1]

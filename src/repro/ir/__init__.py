@@ -1,0 +1,48 @@
+"""PCC-style expression-tree intermediate representation.
+
+The IR is the interface between "front ends" (our C-subset front end, the
+workload generator, hand-built trees) and the two code generators (the
+Graham-Glanville table-driven one in :mod:`repro.codegen` and the PCC-style
+baseline in :mod:`repro.pcc`).
+"""
+
+from . import builder
+from .builder import (
+    addrof, andand, assign, bitand, bitor, bitxor, call, cbranch, cmp, compl,
+    const, conv, dreg, div, expr_stmt, indir, jump, label, local, lshift,
+    minus, mod, mul, name, neg, oror, plus, postdec, postinc, predec, preinc,
+    reg, ret, rshift, select, temp,
+)
+from .linearize import (
+    Token, UNTYPED_OPS, linearize, parse_sexpr, prefix_string, split_symbol,
+    terminal_symbol,
+)
+from .ops import Cond, Op, OpClass, SPECIAL_CONSTS, op_for_symbol
+from .tree import Forest, LabelDef, Node, walk_postorder
+from .types import (
+    FLOAT_TYPES, GRAMMAR_TYPES, INTEGER_TYPES, MachineType, TypeKind,
+    integer_promote, smallest_literal_type, type_for_suffix,
+)
+from .validate import IRValidationError, LVALUE_OPS, check_forest, check_tree, validate
+
+__all__ = [
+    "builder",
+    # types
+    "MachineType", "TypeKind", "INTEGER_TYPES", "FLOAT_TYPES", "GRAMMAR_TYPES",
+    "integer_promote", "smallest_literal_type", "type_for_suffix",
+    # ops
+    "Op", "OpClass", "Cond", "SPECIAL_CONSTS", "op_for_symbol",
+    # tree
+    "Node", "Forest", "LabelDef", "walk_postorder",
+    # linearize
+    "Token", "UNTYPED_OPS", "linearize", "terminal_symbol", "split_symbol",
+    "prefix_string", "parse_sexpr",
+    # validate
+    "validate", "check_tree", "check_forest", "IRValidationError", "LVALUE_OPS",
+    # builders
+    "const", "name", "temp", "dreg", "reg", "label", "indir", "addrof",
+    "assign", "plus", "minus", "mul", "div", "mod", "bitand", "bitor",
+    "bitxor", "lshift", "rshift", "neg", "compl", "conv", "cmp", "cbranch",
+    "jump", "ret", "expr_stmt", "call", "andand", "oror", "select",
+    "postinc", "postdec", "preinc", "predec", "local",
+]

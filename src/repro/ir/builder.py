@@ -1,0 +1,197 @@
+"""Ergonomic constructors for IR trees.
+
+These mirror the trees the PCC/Berkeley-Pascal front ends emit, so tests and
+examples can build the paper's trees tersely::
+
+    a := 27 + b   ==>   assign(name("a", LONG),
+                               plus(const(27), indir(BYTE,
+                                   plus(const_b("b"), dreg("fp"))), LONG))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .ops import Cond, Op
+from .tree import Node
+from .types import MachineType, smallest_literal_type
+
+LONG = MachineType.LONG
+
+
+def const(value: Union[int, float], ty: Optional[MachineType] = None) -> Node:
+    """An integer or floating constant; integers default to their
+    narrowest signed type, matching the appendix (27 is a *byte* constant)."""
+    if ty is None:
+        if isinstance(value, float):
+            ty = MachineType.DOUBLE
+        else:
+            ty = smallest_literal_type(value)
+    return Node(Op.CONST, ty, value=value)
+
+
+def name(ident: str, ty: MachineType = LONG) -> Node:
+    """A global variable name (addressable memory location)."""
+    return Node(Op.NAME, ty, value=ident)
+
+
+def temp(ident: str, ty: MachineType = LONG) -> Node:
+    """A compiler temporary (virtual register in memory)."""
+    return Node(Op.TEMP, ty, value=ident)
+
+
+def dreg(register: str, ty: MachineType = LONG) -> Node:
+    """A dedicated register (assigned by the first pass), e.g. ``fp``."""
+    return Node(Op.DREG, ty, value=register)
+
+
+def reg(register: str, ty: MachineType = LONG) -> Node:
+    """A register assigned by phase 1 of the code generator."""
+    return Node(Op.REG, ty, value=register)
+
+
+def label(ident: str) -> Node:
+    return Node(Op.LABEL, LONG, value=ident)
+
+
+def indir(ty: MachineType, address: Node) -> Node:
+    """A memory fetch of type *ty* through *address*."""
+    return Node(Op.INDIR, ty, [address])
+
+
+def addrof(lvalue: Node) -> Node:
+    return Node(Op.ADDROF, LONG, [lvalue])
+
+
+def assign(dest: Node, src: Node, ty: Optional[MachineType] = None) -> Node:
+    return Node(Op.ASSIGN, ty if ty is not None else dest.ty, [dest, src])
+
+
+def _binary(op: Op, left: Node, right: Node, ty: Optional[MachineType]) -> Node:
+    from .types import integer_promote
+
+    if ty is None:
+        ty = integer_promote(left.ty, right.ty)
+    return Node(op, ty, [left, right])
+
+
+def plus(left: Node, right: Node, ty: Optional[MachineType] = None) -> Node:
+    return _binary(Op.PLUS, left, right, ty)
+
+
+def minus(left: Node, right: Node, ty: Optional[MachineType] = None) -> Node:
+    return _binary(Op.MINUS, left, right, ty)
+
+
+def mul(left: Node, right: Node, ty: Optional[MachineType] = None) -> Node:
+    return _binary(Op.MUL, left, right, ty)
+
+
+def div(left: Node, right: Node, ty: Optional[MachineType] = None) -> Node:
+    return _binary(Op.DIV, left, right, ty)
+
+
+def mod(left: Node, right: Node, ty: Optional[MachineType] = None) -> Node:
+    return _binary(Op.MOD, left, right, ty)
+
+
+def bitand(left: Node, right: Node, ty: Optional[MachineType] = None) -> Node:
+    return _binary(Op.AND, left, right, ty)
+
+
+def bitor(left: Node, right: Node, ty: Optional[MachineType] = None) -> Node:
+    return _binary(Op.OR, left, right, ty)
+
+
+def bitxor(left: Node, right: Node, ty: Optional[MachineType] = None) -> Node:
+    return _binary(Op.XOR, left, right, ty)
+
+
+def lshift(left: Node, right: Node, ty: Optional[MachineType] = None) -> Node:
+    return Node(Op.LSH, ty if ty is not None else left.ty, [left, right])
+
+
+def rshift(left: Node, right: Node, ty: Optional[MachineType] = None) -> Node:
+    return Node(Op.RSH, ty if ty is not None else left.ty, [left, right])
+
+
+def neg(operand: Node) -> Node:
+    return Node(Op.NEG, operand.ty, [operand])
+
+
+def compl(operand: Node) -> Node:
+    return Node(Op.COMPL, operand.ty, [operand])
+
+
+def conv(ty: MachineType, operand: Node) -> Node:
+    """An explicit data-type conversion to *ty*."""
+    return Node(Op.CONV, ty, [operand])
+
+
+def cmp(condition: Cond, left: Node, right: Node) -> Node:
+    """A comparison; its type is the comparison type of its operands."""
+    from .types import integer_promote
+
+    ty = integer_promote(left.ty, right.ty)
+    return Node(Op.CMP, ty, [left, right], cond=condition)
+
+
+def cbranch(test: Node, target: str) -> Node:
+    """Conditional branch to *target* when *test* holds."""
+    return Node(Op.CBRANCH, LONG, [test, label(target)])
+
+
+def jump(target: str) -> Node:
+    return Node(Op.JUMP, LONG, [label(target)])
+
+
+def ret(value: Optional[Node] = None) -> Node:
+    if value is None:
+        return Node(Op.RETURN, LONG, [Node(Op.ZERO, LONG, value=0)])
+    return Node(Op.RETURN, value.ty, [value])
+
+
+def expr_stmt(value: Node) -> Node:
+    """Evaluate *value* for its side effects."""
+    return Node(Op.EXPR, value.ty, [value])
+
+
+def call(callee: str, args: Sequence[Node] = (), ty: MachineType = LONG) -> Node:
+    return Node(Op.CALL, ty, list(args), value=callee)
+
+
+def andand(left: Node, right: Node) -> Node:
+    return Node(Op.ANDAND, MachineType.LONG, [left, right])
+
+
+def oror(left: Node, right: Node) -> Node:
+    return Node(Op.OROR, MachineType.LONG, [left, right])
+
+
+def select(cond_tree: Node, then_tree: Node, else_tree: Node) -> Node:
+    return Node(Op.SELECT, then_tree.ty, [cond_tree, then_tree, else_tree])
+
+
+def postinc(lvalue: Node, amount: int = 1) -> Node:
+    return Node(Op.POSTINC, lvalue.ty, [lvalue, const(amount, lvalue.ty)])
+
+
+def postdec(lvalue: Node, amount: int = 1) -> Node:
+    return Node(Op.POSTDEC, lvalue.ty, [lvalue, const(amount, lvalue.ty)])
+
+
+def preinc(lvalue: Node, amount: int = 1) -> Node:
+    return Node(Op.PREINC, lvalue.ty, [lvalue, const(amount, lvalue.ty)])
+
+
+def predec(lvalue: Node, amount: int = 1) -> Node:
+    return Node(Op.PREDEC, lvalue.ty, [lvalue, const(amount, lvalue.ty)])
+
+
+def local(offset: int, ty: MachineType, frame_reg: str = "fp") -> Node:
+    """A frame-relative local variable: ``Indir ty (Plus Const(off) Dreg(fp))``.
+
+    This is the shape the Berkeley Pascal front end produces for the local
+    ``b`` in the appendix example.
+    """
+    return indir(ty, plus(const(offset), dreg(frame_reg), MachineType.LONG))

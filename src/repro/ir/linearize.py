@@ -1,0 +1,183 @@
+"""Prefix linearization of expression trees.
+
+The Graham-Glanville pattern matcher consumes "the prefix linearized form
+of a computation tree" (section 3.1).  This module turns a tree into the
+token stream the matcher parses, and parses the s-expression notation used
+throughout our tests, examples and documentation back into trees.
+
+Terminal-symbol spelling
+------------------------
+A terminal is the operator's base symbol plus a type-suffix character,
+joined with a dot: ``Plus.l``, ``Const.b``, ``Indir.b``.  Only ``Label``
+is untyped.  The special constants are typed (``Four.l``) because, per
+section 6.4, "the special constants 0, 1, 2, 4 and 8 must have their own
+terminal symbols" *within* the type-replicated grammar — a scale constant
+in an address computation is long arithmetic, while a byte-typed ``One.b``
+is an ordinary operand.
+
+Following section 6.3, integer ``Const`` nodes whose value is 0, 1, 2, 4 or
+8 are linearized as the corresponding special token — this is the
+"converted to syntactic tokens when the input was generated" guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .ops import Cond, Op, SPECIAL_CONSTS, op_for_symbol
+from .tree import Node
+from .types import MachineType, type_for_suffix
+
+#: Operators whose terminal symbol carries no type suffix.
+UNTYPED_OPS = frozenset({Op.LABEL})
+
+
+def terminal_symbol(node: Node) -> str:
+    """The grammar terminal symbol for *node*.
+
+    ``Cmp`` nodes fold their condition into the symbol (``Cmp.l``) — the
+    condition itself is a semantic attribute read off the node by the
+    instruction generator, not part of the syntax, per section 6.1.
+    """
+    op = node.op
+    if op is Op.CONST and isinstance(node.value, int) and node.value in SPECIAL_CONSTS:
+        return f"{SPECIAL_CONSTS[node.value].symbol}.{node.ty.suffix}"
+    if op in UNTYPED_OPS:
+        return op.symbol
+    return f"{op.symbol}.{node.ty.suffix}"
+
+
+def split_symbol(symbol: str) -> Tuple[Op, Optional[MachineType]]:
+    """Inverse of :func:`terminal_symbol` (modulo special-constant folding)."""
+    if "." in symbol:
+        base, suffix = symbol.split(".", 1)
+        return op_for_symbol(base), type_for_suffix(suffix)
+    return op_for_symbol(symbol), None
+
+
+@dataclass(frozen=True)
+class Token:
+    """One element of the pattern matcher's input stream.
+
+    ``symbol`` is what the parse tables see; ``node`` carries the semantic
+    attributes (value, exact type, condition) along for the descriptor
+    machinery.
+    """
+
+    symbol: str
+    node: Node
+
+    def __repr__(self) -> str:
+        if self.node.value is not None:
+            return f"{self.symbol}:{self.node.value}"
+        return self.symbol
+
+
+def linearize(tree: Node) -> List[Token]:
+    """Prefix-order token stream for one expression tree."""
+    return list(_emit(tree))
+
+
+def _emit(node: Node) -> Iterator[Token]:
+    yield Token(terminal_symbol(node), node)
+    for kid in node.kids:
+        yield from _emit(kid)
+
+
+def prefix_string(tree: Node) -> str:
+    """Human-readable one-line prefix form, as printed in the appendix."""
+    return " ".join(repr(token) for token in linearize(tree))
+
+
+# --------------------------------------------------------------------------
+# S-expression parsing: "(Assign.l (Name.l a) (Plus.l (Const.b 27) ...))"
+# --------------------------------------------------------------------------
+
+class SexprError(ValueError):
+    """Raised for malformed s-expression input."""
+
+
+def parse_sexpr(text: str) -> Node:
+    """Parse the notation produced by :meth:`Node.sexpr` back into a tree."""
+    tokens = _tokenize_sexpr(text)
+    node, rest = _parse_node(tokens, 0)
+    if rest != len(tokens):
+        raise SexprError(f"trailing input after tree: {tokens[rest:]}")
+    return node
+
+
+def _tokenize_sexpr(text: str) -> List[str]:
+    tokens: List[str] = []
+    word = ""
+    for ch in text:
+        if ch in "()":
+            if word:
+                tokens.append(word)
+                word = ""
+            tokens.append(ch)
+        elif ch.isspace():
+            if word:
+                tokens.append(word)
+                word = ""
+        else:
+            word += ch
+    if word:
+        tokens.append(word)
+    return tokens
+
+
+def _parse_node(tokens: List[str], pos: int) -> Tuple[Node, int]:
+    if pos >= len(tokens) or tokens[pos] != "(":
+        raise SexprError(f"expected '(' at token {pos}")
+    pos += 1
+    if pos >= len(tokens):
+        raise SexprError("unexpected end of input after '('")
+    head = tokens[pos]
+    pos += 1
+
+    cond: Optional[Cond] = None
+    if ":" in head:
+        head, cond_name = head.split(":", 1)
+        try:
+            cond = Cond[cond_name.upper()]
+        except KeyError:
+            raise SexprError(f"unknown condition {cond_name!r}") from None
+
+    op, ty = split_symbol(head)
+    if ty is None:
+        ty = MachineType.LONG
+
+    value = None
+    kids: List[Node] = []
+    while pos < len(tokens) and tokens[pos] != ")":
+        if tokens[pos] == "(":
+            kid, pos = _parse_node(tokens, pos)
+            kids.append(kid)
+        else:
+            if value is not None:
+                raise SexprError(f"two atoms in one node near token {pos}")
+            value = _parse_atom(tokens[pos])
+            pos += 1
+    if pos >= len(tokens):
+        raise SexprError("missing ')'")
+    pos += 1  # consume ')'
+
+    # Special constant tokens re-enter as Const nodes so the IR stays uniform.
+    from .ops import SPECIAL_CONST_VALUES
+
+    if op in SPECIAL_CONST_VALUES:
+        return Node(Op.CONST, ty, value=SPECIAL_CONST_VALUES[op]), pos
+    return Node(op, ty, kids, value=value, cond=cond), pos
+
+
+def _parse_atom(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text

@@ -1,0 +1,244 @@
+"""Expression-tree nodes and statement forests.
+
+The intermediate representation mirrors what the PCC first pass hands to
+the second pass: "a forest of expression trees interspersed with target
+machine specific instructions" (section 2).  A :class:`Node` is one tree
+node — a generic operator, attributed with the machine data type of its
+result, plus operator-specific attributes (the constant value, the variable
+name, the comparison condition ...).  A :class:`Forest` is the per-routine
+sequence of statement trees, labels and directives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Union
+
+from .ops import Cond, Op
+from .types import MachineType
+
+
+class Node:
+    """One IR expression-tree node.
+
+    Attributes
+    ----------
+    op:
+        The generic operator.
+    ty:
+        The machine data type of the value this node computes.
+    kids:
+        Child nodes (left to right).
+    value:
+        Operator-specific payload: the integer value of a ``Const``, the
+        string name of a ``Name``/``Temp``/``Label``/``Call``, the register
+        name of a ``Dreg``/``Reg``.
+    cond:
+        Comparison condition, only meaningful on ``Cmp``/``Rcmp`` nodes.
+    """
+
+    __slots__ = ("op", "ty", "kids", "value", "cond")
+
+    def __init__(
+        self,
+        op: Op,
+        ty: MachineType,
+        kids: Sequence["Node"] = (),
+        value: Union[int, float, str, None] = None,
+        cond: Optional[Cond] = None,
+    ) -> None:
+        if op.arity >= 0 and len(kids) != op.arity:
+            raise ValueError(
+                f"{op.name} takes {op.arity} kids, got {len(kids)}"
+            )
+        self.op = op
+        self.ty = ty
+        self.kids: List[Node] = list(kids)
+        self.value = value
+        self.cond = cond
+
+    # ------------------------------------------------------------ shape
+    @property
+    def left(self) -> "Node":
+        return self.kids[0]
+
+    @property
+    def right(self) -> "Node":
+        return self.kids[1]
+
+    def size(self) -> int:
+        """Number of nodes in this subtree (the phase-1c complexity measure)."""
+        return 1 + sum(kid.size() for kid in self.kids)
+
+    def depth(self) -> int:
+        """Height of this subtree (a leaf has depth 1)."""
+        if not self.kids:
+            return 1
+        return 1 + max(kid.depth() for kid in self.kids)
+
+    def preorder(self) -> Iterator["Node"]:
+        """Yield this node and all descendants in prefix order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.kids))
+
+    def count(self, pred: Callable[["Node"], bool]) -> int:
+        """Count nodes in the subtree satisfying *pred*."""
+        return sum(1 for node in self.preorder() if pred(node))
+
+    # ----------------------------------------------------------- copying
+    def clone(self) -> "Node":
+        """Deep structural copy."""
+        return Node(
+            self.op,
+            self.ty,
+            [kid.clone() for kid in self.kids],
+            self.value,
+            self.cond,
+        )
+
+    def replace_with(self, other: "Node") -> None:
+        """Overwrite this node in place with *other*'s contents.
+
+        The tree rewriters in phase 1 patch trees in place so parents need
+        no fix-up; this is the single primitive they use.
+        """
+        self.op = other.op
+        self.ty = other.ty
+        self.kids = other.kids
+        self.value = other.value
+        self.cond = other.cond
+
+    # ---------------------------------------------------------- equality
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return (
+            self.op is other.op
+            and self.ty is other.ty
+            and self.value == other.value
+            and self.cond is other.cond
+            and self.kids == other.kids
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.op, self.ty, self.value, self.cond, tuple(map(id, self.kids)))
+        )
+
+    # ------------------------------------------------------------ output
+    def sexpr(self) -> str:
+        """Render as an s-expression, the format `parse_sexpr` reads back."""
+        head = f"{self.op.symbol}.{self.ty.suffix}"
+        if self.cond is not None:
+            head += f":{self.cond.name.lower()}"
+        if self.value is not None:
+            head += f" {self.value}"
+        if not self.kids:
+            return f"({head})"
+        inner = " ".join(kid.sexpr() for kid in self.kids)
+        return f"({head} {inner})"
+
+    def __repr__(self) -> str:
+        return self.sexpr()
+
+
+class LabelDef:
+    """A label definition point between statement trees."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabelDef) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("LabelDef", self.name))
+
+    def __repr__(self) -> str:
+        return f"{self.name}:"
+
+
+ForestItem = Union[Node, LabelDef]
+
+
+class Forest:
+    """A routine's worth of IR: statement trees and label definitions.
+
+    This is the unit handed to a code generator.  ``temps_base`` seeds the
+    compiler-temporary counter so that transformation passes and the
+    register spiller never collide when inventing new temporaries.
+    """
+
+    def __init__(self, items: Sequence[ForestItem] = (), name: str = "main") -> None:
+        self.name = name
+        self.items: List[ForestItem] = list(items)
+        self._next_temp = 0
+        self._next_label = 0
+
+    # ---------------------------------------------------------- building
+    def add(self, item: ForestItem) -> None:
+        self.items.append(item)
+
+    def extend(self, items: Sequence[ForestItem]) -> None:
+        self.items.extend(items)
+
+    def new_temp(self, prefix: str = "T") -> str:
+        """A fresh compiler-temporary name (a *virtual register*)."""
+        self._next_temp += 1
+        return f"{prefix}{self._next_temp}"
+
+    def new_label(self) -> str:
+        """A fresh compiler-generated label name.
+
+        Labels embed the routine name: generated assembly for several
+        routines is concatenated into one unit, and label numbering
+        restarting at 1 per routine must not collide there.
+        """
+        self._next_label += 1
+        return f"L{self.name}_{self._next_label}" if self.name != "main" \
+            else f"L{self._next_label}"
+
+    # --------------------------------------------------------- traversal
+    def trees(self) -> Iterator[Node]:
+        """All statement trees, skipping label definitions."""
+        for item in self.items:
+            if isinstance(item, Node):
+                yield item
+
+    def all_nodes(self) -> Iterator[Node]:
+        for tree in self.trees():
+            yield from tree.preorder()
+
+    def node_count(self) -> int:
+        return sum(tree.size() for tree in self.trees())
+
+    def clone(self) -> "Forest":
+        copy = Forest(name=self.name)
+        for item in self.items:
+            copy.add(item.clone() if isinstance(item, Node) else LabelDef(item.name))
+        copy._next_temp = self._next_temp
+        copy._next_label = self._next_label
+        return copy
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[ForestItem]:
+        return iter(self.items)
+
+    def __repr__(self) -> str:
+        lines = []
+        for item in self.items:
+            lines.append(repr(item) if isinstance(item, LabelDef) else item.sexpr())
+        return "\n".join(lines)
+
+
+def walk_postorder(node: Node) -> Iterator[Node]:
+    """Yield the subtree's nodes children-first (used by the rewriters)."""
+    for kid in node.kids:
+        yield from walk_postorder(kid)
+    yield node

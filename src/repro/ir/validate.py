@@ -1,0 +1,115 @@
+"""Well-formedness checks on IR trees and forests.
+
+The paper's authors "spent inordinate amounts of time writing and testing
+expressions that exercise the union of problem areas" (section 6.5); a
+validator catches malformed trees before they reach the pattern matcher,
+where a shape error would surface as a mystifying syntactic block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .ops import Op, OpClass
+from .tree import Forest, LabelDef, Node
+
+
+class IRValidationError(ValueError):
+    """Raised when a tree or forest violates IR well-formedness rules."""
+
+    def __init__(self, errors: List[str]) -> None:
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+#: Operators that denote an assignable location.
+LVALUE_OPS = frozenset({Op.NAME, Op.TEMP, Op.INDIR, Op.DREG, Op.REG})
+
+#: Leaf operators that must carry a string value.
+_STRING_LEAVES = frozenset({Op.NAME, Op.TEMP, Op.LABEL, Op.DREG, Op.REG})
+
+
+def check_tree(tree: Node, path: str = "root") -> List[str]:
+    """Return a list of violations found in *tree* (empty when valid)."""
+    errors: List[str] = []
+    _check(tree, path, errors, statement=True)
+    return errors
+
+
+def _check(node: Node, path: str, errors: List[str], statement: bool) -> None:
+    op = node.op
+
+    if op.arity >= 0 and len(node.kids) != op.arity:
+        errors.append(
+            f"{path}: {op.name} expects {op.arity} kids, has {len(node.kids)}"
+        )
+
+    if op in _STRING_LEAVES and not isinstance(node.value, str):
+        errors.append(f"{path}: {op.name} needs a string value, has {node.value!r}")
+
+    if op is Op.CONST and not isinstance(node.value, (int, float)):
+        errors.append(f"{path}: Const needs a numeric value, has {node.value!r}")
+
+    if op in (Op.CMP, Op.RCMP) and node.cond is None:
+        errors.append(f"{path}: {op.name} node lacks a condition")
+
+    if op is Op.CALL and not isinstance(node.value, str):
+        errors.append(f"{path}: Call needs a callee name")
+
+    if op in (Op.ASSIGN, Op.RASSIGN) and node.kids:
+        dest = node.kids[0] if op is Op.ASSIGN else node.kids[-1]
+        if dest.op not in LVALUE_OPS:
+            errors.append(
+                f"{path}: {op.name} destination {dest.op.name} is not an lvalue"
+            )
+
+    if op in (Op.POSTINC, Op.POSTDEC, Op.PREINC, Op.PREDEC) and node.kids:
+        if node.kids[0].op not in LVALUE_OPS:
+            errors.append(f"{path}: {op.name} operand is not an lvalue")
+        if len(node.kids) > 1 and node.kids[1].op is not Op.CONST:
+            errors.append(f"{path}: {op.name} amount must be a Const")
+
+    if op is Op.CBRANCH and node.kids:
+        test = node.kids[0]
+        if test.op not in (Op.CMP, Op.RCMP):
+            errors.append(f"{path}: Cbranch test is {test.op.name}, expected Cmp")
+        if len(node.kids) > 1 and node.kids[1].op is not Op.LABEL:
+            errors.append(f"{path}: Cbranch target is not a Label")
+
+    if op is Op.JUMP and node.kids and node.kids[0].op is not Op.LABEL:
+        errors.append(f"{path}: Jump target is not a Label")
+
+    if not statement and op.klass is OpClass.STMT:
+        errors.append(f"{path}: statement operator {op.name} nested in expression")
+
+    for index, kid in enumerate(node.kids):
+        _check(kid, f"{path}.{index}", errors, statement=False)
+
+
+def check_forest(forest: Forest) -> List[str]:
+    """Validate every tree in the forest plus label-reference integrity."""
+    errors: List[str] = []
+    defined = set()
+    referenced = set()
+
+    for position, item in enumerate(forest):
+        if isinstance(item, LabelDef):
+            if item.name in defined:
+                errors.append(f"item {position}: label {item.name} defined twice")
+            defined.add(item.name)
+            continue
+        errors.extend(check_tree(item, path=f"item {position}"))
+        for node in item.preorder():
+            if node.op is Op.LABEL and isinstance(node.value, str):
+                referenced.add(node.value)
+
+    for missing in sorted(referenced - defined):
+        errors.append(f"label {missing} referenced but never defined")
+    return errors
+
+
+def validate(subject: Union[Node, Forest]) -> None:
+    """Raise :class:`IRValidationError` if *subject* is malformed."""
+    errors = check_tree(subject) if isinstance(subject, Node) else check_forest(subject)
+    if errors:
+        raise IRValidationError(errors)

@@ -1,0 +1,18 @@
+"""The instruction pattern matcher — dynamic half of the system."""
+
+from .descriptors import (
+    Descriptor, DKind, dregdesc, imm, labeldesc, mem, regdesc, void,
+)
+from .engine import (
+    MatchError, Matcher, MatchResult, ReductionLoop, SemanticActions,
+    SyntacticBlock,
+)
+from .trace import HEADERS, NullTracer, TraceEntry, Tracer, format_trace
+
+__all__ = [
+    "Descriptor", "DKind", "imm", "mem", "regdesc", "dregdesc", "labeldesc",
+    "void",
+    "Matcher", "MatchResult", "MatchError", "SyntacticBlock", "ReductionLoop",
+    "SemanticActions",
+    "Tracer", "NullTracer", "TraceEntry", "format_trace", "HEADERS",
+]

@@ -1,0 +1,145 @@
+"""Semantic descriptors — the attributes riding the parse stack.
+
+"Within the pattern matcher, each encapsulating reduction condenses the
+semantic attributes of the pattern into a signature associated with the
+left-hand side non-terminal" (section 5.2).  A :class:`Descriptor` is that
+signature: enough information for the instruction generator to print an
+assembler operand and to check idioms, and nothing else — all
+communication between phases flows through these.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from ..ir.ops import Cond
+from ..ir.types import MachineType
+
+
+class DKind(enum.Enum):
+    """What kind of locatable thing a descriptor denotes."""
+
+    REG = "reg"            # an allocatable register
+    DREG = "dreg"          # a dedicated register (fp, ap, sp, r11...)
+    MEM = "mem"            # a directly addressable memory operand
+    IMM = "imm"            # an immediate constant
+    ADDR = "addr"          # a condensed addressing-mode phrase
+    LABEL = "label"        # a branch target
+    CC = "cc"              # a condition-code setting (test context)
+    VOID = "void"          # statement-level: no value
+    OPCLASS = "opclass"    # an operator-class non-terminal (binop ...)
+
+
+@dataclass(eq=False)
+class Descriptor:
+    """One semantic signature.
+
+    Descriptors are *mutable cells* with identity semantics: the register
+    manager patches the descriptor of a spilled register in place, so
+    every stack slot referencing it sees the new (memory) location — this
+    is how "registers are always spilled to compiler generated variables"
+    stays coherent while values sit mid-pattern on the parse stack.
+
+    Attributes
+    ----------
+    kind:
+        Classification used by idiom checks and the register manager.
+    ty:
+        Machine type of the value.
+    text:
+        The assembler rendering of the operand (``r0``, ``_a``, ``$27``,
+        ``-4(fp)``, ``(r1)[r2]``).  Condensation means exactly: build this
+        string (plus the bookkeeping fields) and forget the subtree.
+    value:
+        Constant value when known (immediates), for range idioms.
+    register:
+        Register name when the operand lives in (or is addressed through)
+        an allocatable register the manager should track.
+    index_register:
+        Second tracked register for indexed modes.
+    cond:
+        Comparison condition, for CC descriptors.
+    side_effected:
+        Set once an autoincrement/decrement side effect has been consumed,
+        so "any subsequent reference will refer to the same location"
+        (section 6.1).
+    """
+
+    kind: DKind
+    ty: MachineType
+    text: str = ""
+    value: Union[int, float, None] = None
+    register: Optional[str] = None
+    index_register: Optional[str] = None
+    cond: Optional[Cond] = None
+    side_effected: bool = False
+    signed: bool = True
+    spilled: bool = False  # set when the register manager evicted this value
+    #: False when the *last emitted instruction* does not leave this value's
+    #: condition codes set (e.g. ediv's codes reflect the quotient, not the
+    #: remainder) — the implicit-condition-code branch must then tst first.
+    cc_valid: bool = True
+    #: For autoincrement/decrement modes: the plain (side-effect-free)
+    #: operand text any *subsequent* reference must use, so the side effect
+    #: happens exactly once (section 6.1).
+    after_text: Optional[str] = None
+
+    # ----------------------------------------------------------- queries
+    @property
+    def is_constant(self) -> bool:
+        return self.kind is DKind.IMM and self.value is not None
+
+    @property
+    def is_register(self) -> bool:
+        return self.kind in (DKind.REG, DKind.DREG)
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in (DKind.MEM, DKind.ADDR)
+
+    def same_location(self, other: "Descriptor") -> bool:
+        """Do the two descriptors name the identical location?  This is
+        the binding-idiom test (section 5.3.2)."""
+        if self.kind is not other.kind:
+            return False
+        return self.text == other.text and self.text != ""
+
+    # ---------------------------------------------------------- mutation
+    def with_text(self, text: str) -> "Descriptor":
+        return replace(self, text=text)
+
+    def with_type(self, ty: MachineType) -> "Descriptor":
+        return replace(self, ty=ty)
+
+    def consumed_side_effect(self) -> "Descriptor":
+        return replace(self, side_effected=True)
+
+    def __str__(self) -> str:
+        return self.text or f"<{self.kind.value}.{self.ty.suffix}>"
+
+
+def imm(value: Union[int, float], ty: MachineType) -> Descriptor:
+    """An immediate-constant descriptor, printed with the ``$`` prefix."""
+    return Descriptor(DKind.IMM, ty, text=f"${value}", value=value)
+
+
+def mem(text: str, ty: MachineType, register: Optional[str] = None) -> Descriptor:
+    return Descriptor(DKind.MEM, ty, text=text, register=register)
+
+
+def regdesc(register: str, ty: MachineType) -> Descriptor:
+    return Descriptor(DKind.REG, ty, text=register, register=register)
+
+
+def dregdesc(register: str, ty: MachineType) -> Descriptor:
+    return Descriptor(DKind.DREG, ty, text=register, register=register)
+
+
+def labeldesc(name: str) -> Descriptor:
+    return Descriptor(DKind.LABEL, MachineType.LONG, text=name)
+
+
+def void() -> Descriptor:
+    return Descriptor(DKind.VOID, MachineType.LONG)

@@ -1,0 +1,216 @@
+"""The table-driven instruction pattern matcher (section 3.3).
+
+"The instruction pattern matcher is a table-driven shift/reduce parser,
+invoked once for each expression to be compiled."  The engine below is
+target-independent: everything semantic — descriptor condensation,
+instruction emission, choosing among tied reductions — is delegated to a
+:class:`SemanticActions` object, mirroring the paper's decision to code
+semantics as hand-written target-specific routines keyed by production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..grammar.production import Production
+from ..grammar.symbols import END
+from ..ir.linearize import Token, linearize
+from ..ir.tree import Node
+from ..tables.actions import Accept, Reduce, Shift
+from ..tables.slr import ParseTables
+from .descriptors import Descriptor, void
+from .trace import NullTracer, Tracer
+
+
+class MatchError(Exception):
+    """Base class for pattern-matching failures."""
+
+
+class SyntacticBlock(MatchError):
+    """The parser hit the error action on well-formed input: the machine
+    description cannot cover this tree (section 6.2.2)."""
+
+    def __init__(self, state: int, token: Token, state_dump: str) -> None:
+        super().__init__(
+            f"syntactic block in state {state} on {token!r}\n{state_dump}"
+        )
+        self.state = state
+        self.token = token
+
+
+class ReductionLoop(MatchError):
+    """Chain reductions cycled — statically impossible if the table
+    constructor's loop check ran, kept as a dynamic backstop."""
+
+
+class SemanticActions:
+    """Default do-nothing semantics: descriptors are opaque voids.
+
+    Target back ends (``repro.vax.semantics``) override the three hooks.
+    ``on_reduce`` may return either a descriptor or a ``(descriptor,
+    note)`` pair; the note lands in the trace's "Semantic Action" column.
+    """
+
+    def on_shift(self, token: Token) -> Descriptor:
+        return void()
+
+    def on_reduce(
+        self, production: Production, kids: Sequence[Descriptor]
+    ) -> Union[Descriptor, Tuple[Descriptor, str]]:
+        return void()
+
+    def choose(
+        self, productions: Sequence[Production], kids: Sequence[Descriptor]
+    ) -> Production:
+        """Resolve a reduce/reduce tie the tables left to run time.
+
+        The default takes the first (lowest-numbered) production, which
+        makes grammar order the priority — the paper's grammars rely on
+        semantic attributes here; the VAX semantics override this.
+        """
+        return productions[0]
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching one expression tree."""
+
+    descriptor: Descriptor          # signature of the whole tree
+    reductions: List[Production]    # in emission order
+    tracer: Tracer
+
+    @property
+    def chain_reductions(self) -> int:
+        return sum(1 for p in self.reductions if p.is_chain)
+
+
+class Matcher:
+    """A reusable pattern matcher bound to one set of parse tables."""
+
+    def __init__(self, tables: ParseTables, semantics: Optional[SemanticActions] = None) -> None:
+        self.tables = tables
+        self.semantics = semantics or SemanticActions()
+
+    # ----------------------------------------------------------- driving
+    def match_tree(self, tree: Node, tracer: Optional[Tracer] = None) -> MatchResult:
+        """Linearize *tree* and parse it to acceptance."""
+        return self.match_tokens(linearize(tree), tracer)
+
+    def match_tokens(
+        self, tokens: Sequence[Token], tracer: Optional[Tracer] = None
+    ) -> MatchResult:
+        if tracer is None:
+            tracer = NullTracer()
+        tables = self.tables
+        semantics = self.semantics
+
+        # Stack of (state, symbol, descriptor); bottom carries the start state.
+        states: List[int] = [tables.start_state]
+        symbols: List[str] = ["$"]
+        descriptors: List[Descriptor] = [void()]
+        reductions: List[Production] = []
+
+        end_node = Node.__new__(Node)  # sentinel token payload, never inspected
+        end_node.op, end_node.ty, end_node.kids = None, None, []  # type: ignore
+        end_node.value, end_node.cond = None, None
+        stream = list(tokens) + [Token(END, end_node)]
+
+        position = 0
+        reduces_since_shift = 0
+        loop_limit = max(64, 4 * len(tables.grammar))
+
+        while True:
+            state = states[-1]
+            token = stream[position]
+            action = tables.action_for(state, token.symbol)
+
+            if action is None:
+                raise SyntacticBlock(
+                    state, token, tables.automaton.describe_state(state)
+                )
+
+            if isinstance(action, Shift):
+                descriptor = semantics.on_shift(token)
+                states.append(action.state)
+                symbols.append(token.symbol)
+                descriptors.append(descriptor)
+                position += 1
+                reduces_since_shift = 0
+                tracer.record(
+                    "shift", repr(token), state=action.state,
+                    stack=" ".join(symbols[1:]),
+                )
+                continue
+
+            if isinstance(action, Accept):
+                tracer.record("accept", symbols[-1] if len(symbols) > 1 else "")
+                return MatchResult(descriptors[-1], reductions, tracer)
+
+            assert isinstance(action, Reduce)
+            reduces_since_shift += 1
+            if reduces_since_shift > loop_limit:
+                raise ReductionLoop(
+                    f"{reduces_since_shift} consecutive reductions in state {state}"
+                )
+
+            production = self._select(action, states, descriptors)
+            count = len(production.rhs)
+            kids = descriptors[-count:]
+            del states[-count:], symbols[-count:], descriptors[-count:]
+
+            goto = tables.goto_for(states[-1], production.lhs)
+            if goto is None:
+                raise MatchError(
+                    f"no goto from state {states[-1]} on {production.lhs!r} "
+                    f"after reducing {production}"
+                )
+
+            outcome = semantics.on_reduce(production, kids)
+            if isinstance(outcome, tuple):
+                descriptor, note = outcome
+            else:
+                descriptor, note = outcome, ""
+
+            states.append(goto)
+            symbols.append(production.lhs)
+            descriptors.append(descriptor)
+            reductions.append(production)
+            tracer.record(
+                "reduce",
+                f"{production.lhs} <- {' '.join(production.rhs)}",
+                semantic=note,
+                state=goto,
+                stack=" ".join(symbols[1:]),
+            )
+
+    # --------------------------------------------------------- selection
+    def _select(
+        self, action: Reduce, states: List[int], descriptors: List[Descriptor]
+    ) -> Production:
+        """Pick the production for a (possibly tied) reduce action.
+
+        Tied rules have equal length, so the popped stack slice is the
+        same; candidates whose LHS has no goto from the exposed state are
+        unviable and dropped first, then the semantic hook chooses.
+        """
+        grammar = self.tables.grammar
+        if not action.is_ambiguous:
+            return grammar[action.production]
+
+        candidates = [grammar[index] for index in action.productions]
+        count = len(candidates[0].rhs)
+        exposed = states[-count - 1]
+        viable = [
+            production for production in candidates
+            if self.tables.goto_for(exposed, production.lhs) is not None
+        ]
+        if not viable:
+            raise MatchError(
+                f"reduce/reduce tie {action.productions} has no viable goto "
+                f"from state {exposed}"
+            )
+        if len(viable) == 1:
+            return viable[0]
+        kids = descriptors[-count:]
+        return self.semantics.choose(viable, kids)

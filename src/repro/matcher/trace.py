@@ -1,0 +1,89 @@
+"""Appendix-style action traces.
+
+The paper's appendix prints, for ``a := 27 + b``, "the following sequences
+of shift, reduce, and accept actions" in three columns: the action, what
+it acted on, and the semantic action taken.  :class:`Tracer` records
+exactly that, and :func:`format_trace` renders the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One matcher step."""
+
+    action: str           # "shift" | "reduce" | "accept" | "error"
+    subject: str          # the token or production acted on
+    semantic: str = ""    # what the semantic routines did
+    state: int = -1       # parser state after the step
+    stack: str = ""       # rendered symbol stack after the step
+
+    def row(self) -> List[str]:
+        return [self.action, self.subject, self.semantic]
+
+
+class Tracer:
+    """Collects matcher steps; a no-op subclass silences tracing."""
+
+    def __init__(self, keep_stacks: bool = False) -> None:
+        self.entries: List[TraceEntry] = []
+        self.keep_stacks = keep_stacks
+
+    def record(
+        self,
+        action: str,
+        subject: str,
+        semantic: str = "",
+        state: int = -1,
+        stack: str = "",
+    ) -> None:
+        self.entries.append(
+            TraceEntry(action, subject, semantic, state,
+                       stack if self.keep_stacks else "")
+        )
+
+    # Counters used by the E8 experiment (parse-time / chain-rule share).
+    def shifts(self) -> int:
+        return sum(1 for e in self.entries if e.action == "shift")
+
+    def reduces(self) -> int:
+        return sum(1 for e in self.entries if e.action == "reduce")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class NullTracer(Tracer):
+    """Tracing disabled: record() is free."""
+
+    def record(self, *args, **kwargs) -> None:  # noqa: D102
+        pass
+
+
+HEADERS = ("Action", "On What", "Semantic Action")
+
+
+def format_trace(tracer: Tracer, include_stacks: bool = False) -> str:
+    """Render the collected steps as the appendix's three-column table."""
+    headers = list(HEADERS)
+    rows = [entry.row() for entry in tracer.entries]
+    if include_stacks:
+        headers.append("Stack")
+        for entry, row in zip(tracer.entries, rows):
+            row.append(entry.stack)
+
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def line(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)

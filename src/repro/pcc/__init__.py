@@ -1,0 +1,9 @@
+"""The PCC-style baseline code generator (the paper's comparator)."""
+
+from .codegen import PccCodeGenerator, PccError, PccResult, pcc_compile
+from .shapes import SEVAL, Shape, is_addressable, matches, node_shape
+
+__all__ = [
+    "PccCodeGenerator", "PccResult", "PccError", "pcc_compile",
+    "Shape", "SEVAL", "node_shape", "matches", "is_addressable",
+]

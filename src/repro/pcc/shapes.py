@@ -1,0 +1,85 @@
+"""Operand shape predicates for the PCC-style template matcher.
+
+The Portable C Compiler's second pass matches tree nodes against
+hand-written templates whose operand positions carry *shape* masks
+(``SAREG``, ``SNAME``, ``SCON``, ``SOREG`` ...).  We reproduce that
+machinery: a :class:`Shape` is a named predicate over IR nodes, and
+templates request a set of acceptable shapes per operand.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+from ..ir.ops import Op
+from ..ir.tree import Node
+
+
+class Shape(enum.Flag):
+    """PCC operand shapes (a Flag so templates can OR them)."""
+
+    NONE = 0
+    SAREG = enum.auto()   # value in an allocatable register
+    SNAME = enum.auto()   # directly addressable: global or temporary
+    SCON = enum.auto()    # integer/float constant
+    SOREG = enum.auto()   # offset(register) memory reference
+    SZERO = enum.auto()   # the constant zero
+    SONE = enum.auto()    # the constant one
+    SANY = enum.auto()    # anything already evaluated
+
+    def __contains__(self, other: "Shape") -> bool:
+        return bool(self & other)
+
+
+#: the catch-all operand mask used by most arithmetic templates
+SEVAL = Shape.SAREG | Shape.SNAME | Shape.SCON | Shape.SOREG
+
+
+def node_shape(node: Node) -> Shape:
+    """Classify an IR node into the shapes it satisfies *as it stands*
+    (before any rewriting), the analogue of PCC's ``tshape``."""
+    op = node.op
+    if op in (Op.REG, Op.DREG):
+        return Shape.SAREG | Shape.SANY
+    if op in (Op.NAME, Op.TEMP):
+        return Shape.SNAME | Shape.SANY
+    if op is Op.CONST:
+        shape = Shape.SCON | Shape.SANY
+        if node.value == 0:
+            shape |= Shape.SZERO
+        if node.value == 1:
+            shape |= Shape.SONE
+        return shape
+    if op is Op.ADDROF and node.kids and node.kids[0].op is Op.NAME:
+        return Shape.SCON | Shape.SANY  # $_symbol immediate
+    if op is Op.INDIR:
+        address = node.kids[0]
+        if address.op in (Op.REG, Op.DREG):
+            return Shape.SOREG | Shape.SANY
+        if (
+            address.op is Op.PLUS
+            and address.kids[0].op is Op.CONST
+            and address.kids[1].op in (Op.REG, Op.DREG)
+        ):
+            return Shape.SOREG | Shape.SANY
+        if (
+            address.op is Op.PLUS
+            and address.kids[1].op is Op.CONST
+            and address.kids[0].op in (Op.REG, Op.DREG)
+        ):
+            return Shape.SOREG | Shape.SANY
+        return Shape.SANY
+    return Shape.SANY
+
+
+def matches(node: Node, wanted: Shape) -> bool:
+    """Does *node* currently satisfy one of the wanted shapes?"""
+    if wanted is Shape.SANY:
+        return True
+    return bool(node_shape(node) & wanted)
+
+
+def is_addressable(node: Node) -> bool:
+    """Can the assembler reference this node as one operand?"""
+    return bool(node_shape(node) & (Shape.SAREG | Shape.SNAME | Shape.SCON | Shape.SOREG))

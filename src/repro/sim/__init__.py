@@ -1,0 +1,18 @@
+"""VAX-subset simulator: assembler, CPU interpreter, and the IR reference
+interpreter used for differential validation (our "validation suites")."""
+
+from .assembler import (
+    AsmError, AsmProgram, Instruction, Operand, assemble, parse_operand,
+)
+from .cpu import SimError, Vax
+from .interp import (
+    Interpreter, InterpError, Machine, interpret_c, interpret_program,
+)
+
+__all__ = [
+    "assemble", "AsmProgram", "Instruction", "Operand", "AsmError",
+    "parse_operand",
+    "Vax", "SimError",
+    "Interpreter", "Machine", "InterpError", "interpret_program",
+    "interpret_c",
+]

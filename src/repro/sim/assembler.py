@@ -1,0 +1,224 @@
+"""Assembler for the VAX subset the code generators emit.
+
+Parses Unix-``as``-flavoured assembly text into instruction objects the
+:mod:`repro.sim.cpu` interpreter executes.  This substrate replaces the
+paper's real VAX-11/780 + Unix assembler: it understands exactly the
+mnemonics, directives and addressing-mode spellings our phase 4 (and the
+PCC baseline) produce.
+
+Operand syntax accepted::
+
+    $5  $-7  $_sym        immediate (literal or symbol address)
+    r0..r11 ap fp sp pc   register
+    _name  T1  S2         memory direct (symbol)
+    -4(fp)  _a(r0)        displacement
+    (r1)                  register deferred
+    (r1)+  -(r1)          autoincrement / autodecrement
+    base[r2]              indexed (scaled by the operand size)
+    *operand              one extra level of deferral
+    L7                    branch-target label
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+
+class AsmError(ValueError):
+    """Malformed assembly input."""
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One decoded operand.
+
+    ``mode`` is one of: imm, reg, mem, disp, deferred, autoinc, autodec,
+    index, label.  ``index`` wraps another operand as the base of an
+    indexed mode; ``deferred`` marks an extra ``*`` indirection level.
+    """
+
+    mode: str
+    value: object = None          # int (imm), register name, symbol, label
+    base: Optional["Operand"] = None  # for index mode
+    register: Optional[str] = None
+    offset: object = 0            # int or symbol string for disp mode
+    deferred: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.mode} {self.value or self.register or self.offset}>"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    mnemonic: str
+    operands: Tuple[Operand, ...]
+    line_number: int
+    source: str
+
+
+@dataclass
+class AsmProgram:
+    """An assembled unit: instructions, label map, symbol sizes."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)  # name -> byte size
+    entry_points: Dict[str, int] = field(default_factory=dict)
+
+    def label_target(self, name: str) -> int:
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise AsmError(f"undefined label {name!r}") from None
+
+
+_REGISTERS = {f"r{i}" for i in range(12)} | {"ap", "fp", "sp", "pc"}
+
+_DISP_RE = re.compile(r"^(?P<off>[A-Za-z_$0-9.+-]*)\((?P<reg>\w+)\)$")
+_INDEX_RE = re.compile(r"^(?P<base>.+)\[(?P<reg>\w+)\]$")
+
+
+def parse_operand(text: str) -> Operand:
+    text = text.strip()
+    if not text:
+        raise AsmError("empty operand")
+
+    deferred = False
+    if text.startswith("*"):
+        deferred = True
+        text = text[1:]
+
+    index_match = _INDEX_RE.match(text)
+    if index_match:
+        base = parse_operand(index_match.group("base"))
+        register = index_match.group("reg")
+        if register not in _REGISTERS:
+            raise AsmError(f"bad index register {register!r}")
+        if deferred:
+            base = replace(base, deferred=True)
+        return Operand("index", base=base, register=register)
+
+    if text.startswith("$"):
+        body = text[1:]
+        try:
+            return Operand("imm", value=int(body, 0), deferred=deferred)
+        except ValueError:
+            return Operand("imm", value=body, deferred=deferred)  # $_sym
+
+    if text in _REGISTERS:
+        return Operand("reg", register=text, deferred=deferred)
+
+    if text.endswith(")+"):
+        register = text[1:-2]
+        if register not in _REGISTERS:
+            raise AsmError(f"bad autoincrement {text!r}")
+        return Operand("autoinc", register=register, deferred=deferred)
+
+    if text.startswith("-(") and text.endswith(")"):
+        register = text[2:-1]
+        if register not in _REGISTERS:
+            raise AsmError(f"bad autodecrement {text!r}")
+        return Operand("autodec", register=register, deferred=deferred)
+
+    disp_match = _DISP_RE.match(text)
+    if disp_match:
+        register = disp_match.group("reg")
+        if register not in _REGISTERS:
+            raise AsmError(f"bad base register in {text!r}")
+        offset_text = disp_match.group("off")
+        if offset_text in ("", None):
+            return Operand("deferred_reg", register=register, deferred=deferred)
+        try:
+            offset: object = int(offset_text, 0)
+        except ValueError:
+            offset = offset_text  # symbolic displacement (_a(r0))
+        return Operand("disp", register=register, offset=offset,
+                       deferred=deferred)
+
+    # numeric absolute
+    try:
+        return Operand("imm", value=int(text, 0), deferred=deferred)
+    except ValueError:
+        pass
+
+    # bare symbol: memory direct (or a branch label; the CPU decides)
+    return Operand("mem", value=text, deferred=deferred)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas not inside brackets/parens."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current)
+    return parts
+
+
+def assemble(text: str) -> AsmProgram:
+    """Assemble one unit of generated assembly."""
+    program = AsmProgram()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+
+        if stripped.startswith("."):
+            _directive(program, stripped, line_number)
+            continue
+
+        while ":" in stripped and not stripped.startswith("\t"):
+            label, _, rest = stripped.partition(":")
+            label = label.strip()
+            if not label or " " in label:
+                break
+            program.labels[label] = len(program.instructions)
+            if label.startswith("_"):
+                program.entry_points[label[1:]] = len(program.instructions)
+            stripped = rest.strip()
+            if not stripped:
+                break
+        if not stripped or stripped.startswith("."):
+            if stripped.startswith("."):
+                _directive(program, stripped, line_number)
+            continue
+
+        parts = stripped.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = tuple(
+            parse_operand(part) for part in _split_operands(operand_text)
+        )
+        program.instructions.append(
+            Instruction(mnemonic, operands, line_number, raw)
+        )
+    return program
+
+
+def _directive(program: AsmProgram, text: str, line_number: int) -> None:
+    parts = text.replace(",", " ").split()
+    name = parts[0]
+    if name == ".lcomm":
+        if len(parts) < 3:
+            raise AsmError(f"line {line_number}: .lcomm needs name,size")
+        program.symbols[parts[1]] = int(parts[2])
+    elif name == ".comm":
+        program.symbols[parts[1].lstrip("_")] = int(parts[2])
+    elif name in (".text", ".data", ".globl", ".word", ".long", ".byte",
+                  ".align"):
+        return
+    else:
+        raise AsmError(f"line {line_number}: unknown directive {name!r}")

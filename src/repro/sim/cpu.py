@@ -1,0 +1,634 @@
+"""Interpreter for the assembled VAX subset.
+
+This stands in for the VAX-11/780: it executes the instructions our code
+generators emit, with faithful operand addressing (including index-mode
+scaling by the operand size, autoincrement side effects and deferral) and
+enough condition-code modelling for every branch we generate (N and Z
+from results; C from compares, for the unsigned branches).
+
+Calling convention (a simplification of VAX ``calls``): arguments are
+longwords pushed right-to-left; ``calls $n,_f`` pushes the count and a
+return frame, points ``ap`` at the count cell (so the first argument is
+at ``4(ap)``), sets ``fp``, and reserves a fixed local area below ``fp``
+since our generated code never emits an explicit frame-allocation
+instruction.  ``_udiv``/``_urem`` are built-in library routines, exactly
+the functions the paper's unsigned-division pseudo-instruction calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .assembler import AsmError, AsmProgram, Instruction, Operand
+
+MEMORY_SIZE = 1 << 20
+STACK_TOP = MEMORY_SIZE - 16
+LOCAL_AREA = 1 << 12  # bytes reserved below fp for locals per activation
+
+_SUFFIX_SIZE = {"b": 1, "w": 2, "l": 4, "q": 8, "f": 4, "d": 8}
+
+_REG_NAMES = [f"r{i}" for i in range(12)] + ["ap", "fp", "sp", "pc"]
+
+
+class SimError(RuntimeError):
+    """Runtime fault in the simulated machine."""
+
+
+@dataclass
+class CC:
+    n: bool = False
+    z: bool = False
+    c: bool = False
+    v: bool = False
+
+
+class Vax:
+    """One simulated machine instance."""
+
+    def __init__(self, program: AsmProgram, max_steps: int = 2_000_000) -> None:
+        self.program = program
+        self.memory = bytearray(MEMORY_SIZE)
+        self.float_store: Dict[int, float] = {}  # float values by address
+        self.registers: Dict[str, int] = {name: 0 for name in _REG_NAMES}
+        self.float_registers: Dict[str, float] = {}
+        self.cc = CC()
+        self.max_steps = max_steps
+        self.steps = 0
+        self.symbol_addresses: Dict[str, int] = {}
+        self._next_data = 0x1000
+        self._call_stack: List[Tuple[int, int, int, int]] = []
+        self.builtins: Dict[str, Callable[["Vax"], None]] = {
+            "udiv": _builtin_udiv,
+            "urem": _builtin_urem,
+            "abs": _builtin_abs,
+        }
+        for symbol, size in program.symbols.items():
+            self._allocate(symbol, size)
+
+    # ----------------------------------------------------------- memory
+    def _allocate(self, symbol: str, size: int) -> int:
+        address = self._next_data
+        self._next_data += max(4, size + (-size) % 4)
+        self.symbol_addresses[symbol] = address
+        return address
+
+    def address_of(self, symbol: str) -> int:
+        key = symbol
+        if key not in self.symbol_addresses and key.startswith("_"):
+            key = key[1:]
+        if key not in self.symbol_addresses:
+            return self._allocate(key, 4)
+        return self.symbol_addresses[key]
+
+    def read_memory(self, address: int, size: int, signed: bool = True) -> int:
+        if not (0 <= address <= MEMORY_SIZE - size):
+            raise SimError(f"memory read out of range: {address:#x}")
+        return int.from_bytes(self.memory[address:address + size],
+                              "little", signed=signed)
+
+    def write_memory(self, address: int, size: int, value: int) -> None:
+        if not (0 <= address <= MEMORY_SIZE - size):
+            raise SimError(f"memory write out of range: {address:#x}")
+        mask = (1 << (8 * size)) - 1
+        self.memory[address:address + size] = (value & mask).to_bytes(
+            size, "little"
+        )
+
+    # ------------------------------------------------- variables (tests)
+    def set_global(self, name: str, value: int, size: int = 4) -> None:
+        self.write_memory(self.address_of(name), size, value)
+
+    def get_global(self, name: str, size: int = 4, signed: bool = True) -> int:
+        return self.read_memory(self.address_of(name), size, signed)
+
+    def set_float_global(self, name: str, value: float) -> None:
+        self.float_store[self.address_of(name)] = value
+
+    def get_float_global(self, name: str) -> float:
+        return self.float_store.get(self.address_of(name), 0.0)
+
+    # ----------------------------------------------------------- operands
+    def _operand_address(self, operand: Operand, size: int) -> int:
+        mode = operand.mode
+        if mode == "mem":
+            address = self.address_of(str(operand.value))
+        elif mode == "disp":
+            offset = operand.offset
+            base = self.registers[operand.register]
+            if isinstance(offset, str):
+                address = self.address_of(offset) + base
+            else:
+                address = base + int(offset)
+        elif mode == "deferred_reg":
+            address = self.registers[operand.register]
+        elif mode == "autoinc":
+            address = self.registers[operand.register]
+            self.registers[operand.register] = address + size
+        elif mode == "autodec":
+            address = self.registers[operand.register] - size
+            self.registers[operand.register] = address
+        elif mode == "index":
+            base_address = self._operand_address(operand.base, size) \
+                if operand.base.mode != "imm" else self._imm_address(operand.base)
+            address = base_address + self.registers[operand.register] * size
+        elif mode == "imm":
+            address = self._imm_address(operand)
+        else:
+            raise SimError(f"operand {operand!r} has no address")
+        if operand.deferred:
+            address = self.read_memory(address, 4, signed=False)
+        return address
+
+    def _imm_address(self, operand: Operand) -> int:
+        value = operand.value
+        if isinstance(value, str):
+            return self.address_of(value)
+        return int(value)
+
+    def read_operand(self, operand: Operand, size: int, signed: bool = True) -> int:
+        if operand.mode == "imm" and not operand.deferred:
+            value = operand.value
+            if isinstance(value, str):
+                return self.address_of(value)
+            return int(value)
+        if operand.mode == "reg" and not operand.deferred:
+            if size == 8:
+                number = int(operand.register[1:])
+                low = self.registers[operand.register] & 0xFFFFFFFF
+                high = self.registers[f"r{number + 1}"] & 0xFFFFFFFF
+                return _wrap(low | (high << 32), 8, signed)
+            value = self.registers[operand.register]
+            return _wrap(value, size, signed)
+        address = self._operand_address(operand, size)
+        return self.read_memory(address, size, signed)
+
+    def write_operand(self, operand: Operand, size: int, value: int) -> None:
+        if operand.mode == "reg" and not operand.deferred:
+            if size == 8:
+                low = value & 0xFFFFFFFF
+                high = (value >> 32) & 0xFFFFFFFF
+                number = int(operand.register[1:])
+                self.registers[operand.register] = low
+                self.registers[f"r{number + 1}"] = high
+                return
+            current = self.registers[operand.register]
+            mask = (1 << (8 * size)) - 1
+            self.registers[operand.register] = (current & ~mask) | (value & mask)
+            return
+        address = self._operand_address(operand, size)
+        self.write_memory(address, size, value)
+
+    def read_float(self, operand: Operand, size: int) -> float:
+        if operand.mode == "imm":
+            return float(operand.value)  # type: ignore[arg-type]
+        if operand.mode == "reg" and not operand.deferred:
+            return self.float_registers.get(operand.register, 0.0)
+        address = self._operand_address(operand, size)
+        return self.float_store.get(address, 0.0)
+
+    def write_float(self, operand: Operand, size: int, value: float) -> None:
+        if operand.mode == "reg" and not operand.deferred:
+            self.float_registers[operand.register] = value
+            return
+        address = self._operand_address(operand, size)
+        self.float_store[address] = value
+
+    # ---------------------------------------------------------- execution
+    def call(self, function: str, args: Sequence[int] = ()) -> int:
+        """Call an assembled function with integer arguments; returns r0."""
+        self.registers["sp"] = STACK_TOP
+        for arg in reversed(list(args)):
+            self._push(int(arg))
+        entry = f"_{function}"
+        if entry not in self.program.labels:
+            raise SimError(f"no entry point {entry!r}")
+        self._do_calls(len(list(args)), entry, return_pc=-1)
+        self._run(until_return_below=0)
+        return _wrap(self.registers["r0"], 4, signed=True)
+
+    def _push(self, value: int) -> None:
+        self.registers["sp"] -= 4
+        self.write_memory(self.registers["sp"], 4, value)
+
+    def _pop(self) -> int:
+        value = self.read_memory(self.registers["sp"], 4)
+        self.registers["sp"] += 4
+        return value
+
+    #: callee-saved registers, as PCC's entry masks save the register
+    #: variables; our generated prologues write `.word 0` but every
+    #: routine may use r6-r11 as register variables, so the simulator
+    #: saves them all (equivalent to an entry mask of 0x0fc0)
+    _SAVED = ("r6", "r7", "r8", "r9", "r10", "r11")
+
+    def _do_calls(self, argc: int, target_label: str, return_pc: int) -> None:
+        self._push(argc)
+        ap_cell = self.registers["sp"]
+        self._push(return_pc)
+        self._push(self.registers["fp"])
+        self._push(self.registers["ap"])
+        for register in self._SAVED:
+            self._push(self.registers[register])
+        self.registers["ap"] = ap_cell
+        self.registers["fp"] = self.registers["sp"]
+        self.registers["sp"] -= LOCAL_AREA
+        self.registers["pc"] = self.program.label_target(target_label)
+        self._call_stack.append((ap_cell, 0, 0, 0))
+
+    def _do_ret(self) -> int:
+        self.registers["sp"] = self.registers["fp"]
+        for register in reversed(self._SAVED):
+            self.registers[register] = self._pop()
+        self.registers["ap"] = self._pop()
+        self.registers["fp"] = self._pop()
+        return_pc = self._pop()
+        argc = self._pop()
+        self.registers["sp"] += 4 * argc
+        if self._call_stack:
+            self._call_stack.pop()
+        return return_pc
+
+    def _run(self, until_return_below: int) -> None:
+        while True:
+            if len(self._call_stack) <= until_return_below:
+                return
+            pc = self.registers["pc"]
+            if pc < 0 or pc >= len(self.program.instructions):
+                raise SimError(f"pc out of range: {pc}")
+            instruction = self.program.instructions[pc]
+            self.registers["pc"] = pc + 1
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise SimError("step limit exceeded (infinite loop?)")
+            self._execute(instruction)
+
+    # -------------------------------------------------------- instruction
+    def _execute(self, ins: Instruction) -> None:
+        mnemonic = ins.mnemonic
+        handler = _DISPATCH.get(mnemonic)
+        if handler is not None:
+            handler(self, ins)
+            return
+        raise SimError(f"line {ins.line_number}: unknown mnemonic "
+                       f"{mnemonic!r} ({ins.source.strip()})")
+
+    def _set_nz(self, value: int) -> None:
+        self.cc.n = value < 0
+        self.cc.z = value == 0
+        self.cc.c = False
+        self.cc.v = False
+
+    def _branch(self, ins: Instruction) -> None:
+        target = ins.operands[0]
+        if target.mode not in ("mem", "imm"):
+            raise SimError(f"bad branch target {target!r}")
+        name = str(target.value)
+        self.registers["pc"] = self.program.label_target(name)
+
+
+# --------------------------------------------------------------------------
+# Instruction handlers.
+# --------------------------------------------------------------------------
+
+def _wrap(value: int, size: int, signed: bool) -> int:
+    mask = (1 << (8 * size)) - 1
+    value &= mask
+    if signed and value > (mask >> 1):
+        value -= mask + 1
+    return value
+
+
+_DISPATCH: Dict[str, Callable[[Vax, Instruction], None]] = {}
+
+
+def _op(*names: str):
+    def register(fn):
+        for name in names:
+            _DISPATCH[name] = fn
+        return fn
+    return register
+
+
+def _suffix_of(mnemonic: str) -> str:
+    return mnemonic.rstrip("23")[-1]
+
+
+def _is_float_suffix(suffix: str) -> bool:
+    return suffix in ("f", "d")
+
+
+@_op(*[f"mov{s}" for s in "bwlq"], *[f"clr{s}" for s in "bwlq"],
+     *[f"tst{s}" for s in "bwl"], *[f"cmp{s}" for s in "bwl"],
+     *[f"mneg{s}" for s in "bwl"], *[f"mcom{s}" for s in "bwl"],
+     *[f"inc{s}" for s in "bwl"], *[f"dec{s}" for s in "bwl"])
+def _simple(vax: Vax, ins: Instruction) -> None:
+    mnemonic = ins.mnemonic
+    suffix = mnemonic[-1]
+    size = _SUFFIX_SIZE[suffix]
+    base = mnemonic[:-1]
+    if base == "mov":
+        value = vax.read_operand(ins.operands[0], size)
+        vax.write_operand(ins.operands[1], size, value)
+        vax._set_nz(value)
+    elif base == "clr":
+        vax.write_operand(ins.operands[0], size, 0)
+        vax._set_nz(0)
+    elif base == "tst":
+        value = vax.read_operand(ins.operands[0], size)
+        vax._set_nz(value)
+    elif base == "cmp":
+        left = vax.read_operand(ins.operands[0], size)
+        right = vax.read_operand(ins.operands[1], size)
+        result = left - right
+        vax.cc.n = result < 0
+        vax.cc.z = result == 0
+        unsigned_left = left & ((1 << (8 * size)) - 1)
+        unsigned_right = right & ((1 << (8 * size)) - 1)
+        vax.cc.c = unsigned_left < unsigned_right
+    elif base == "mneg":
+        value = _wrap(-vax.read_operand(ins.operands[0], size), size, True)
+        vax.write_operand(ins.operands[1], size, value)
+        vax._set_nz(value)
+    elif base == "mcom":
+        value = _wrap(~vax.read_operand(ins.operands[0], size), size, True)
+        vax.write_operand(ins.operands[1], size, value)
+        vax._set_nz(value)
+    elif base == "inc":
+        value = _wrap(vax.read_operand(ins.operands[0], size) + 1, size, True)
+        vax.write_operand(ins.operands[0], size, value)
+        vax._set_nz(value)
+    elif base == "dec":
+        value = _wrap(vax.read_operand(ins.operands[0], size) - 1, size, True)
+        vax.write_operand(ins.operands[0], size, value)
+        vax._set_nz(value)
+
+
+_ARITH = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: b - a,       # subX src,dst: dst - src
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: _int_div(b, a),
+    "bis": lambda a, b: a | b,
+    "bic": lambda a, b: b & ~a,
+    "xor": lambda a, b: a ^ b,
+}
+
+
+def _int_div(dividend: int, divisor: int) -> int:
+    if divisor == 0:
+        raise SimError("integer divide by zero")
+    quotient = abs(dividend) // abs(divisor)
+    if (dividend < 0) != (divisor < 0):
+        quotient = -quotient
+    return quotient
+
+
+@_op(*[f"{op}{s}{n}" for op in _ARITH for s in "bwl" for n in "23"])
+def _arith(vax: Vax, ins: Instruction) -> None:
+    mnemonic = ins.mnemonic
+    count = int(mnemonic[-1])
+    suffix = mnemonic[-2]
+    size = _SUFFIX_SIZE[suffix]
+    fn = _ARITH[mnemonic[:-2]]
+    src = vax.read_operand(ins.operands[0], size)
+    if count == 2:
+        other = vax.read_operand(ins.operands[1], size)
+        value = _wrap(fn(src, other), size, True)
+        vax.write_operand(ins.operands[1], size, value)
+    else:
+        other = vax.read_operand(ins.operands[1], size)
+        value = _wrap(fn(src, other), size, True)
+        vax.write_operand(ins.operands[2], size, value)
+    vax._set_nz(value)
+
+
+@_op("movzbw", "movzbl", "movzwl")
+def _movz(vax: Vax, ins: Instruction) -> None:
+    src_size = _SUFFIX_SIZE[ins.mnemonic[4]]
+    dst_size = _SUFFIX_SIZE[ins.mnemonic[5]]
+    value = vax.read_operand(ins.operands[0], src_size, signed=False)
+    vax.write_operand(ins.operands[1], dst_size, value)
+    vax._set_nz(value)
+
+
+@_op(*[f"cvt{a}{b}" for a in "bwlfd" for b in "bwlfd" if a != b])
+def _cvt(vax: Vax, ins: Instruction) -> None:
+    src_suffix, dst_suffix = ins.mnemonic[3], ins.mnemonic[4]
+    src_size = _SUFFIX_SIZE[src_suffix]
+    dst_size = _SUFFIX_SIZE[dst_suffix]
+    if _is_float_suffix(src_suffix):
+        value_f = vax.read_float(ins.operands[0], src_size)
+        if _is_float_suffix(dst_suffix):
+            vax.write_float(ins.operands[1], dst_size, value_f)
+            vax._set_nz(0 if value_f == 0 else (-1 if value_f < 0 else 1))
+            return
+        value = _wrap(int(value_f), dst_size, True)
+        vax.write_operand(ins.operands[1], dst_size, value)
+        vax._set_nz(value)
+        return
+    value = vax.read_operand(ins.operands[0], src_size)
+    if _is_float_suffix(dst_suffix):
+        vax.write_float(ins.operands[1], dst_size, float(value))
+        vax._set_nz(value)
+        return
+    value = _wrap(value, dst_size, True)
+    vax.write_operand(ins.operands[1], dst_size, value)
+    vax._set_nz(value)
+
+
+@_op(*[f"{op}{s}{n}" for op in ("add", "sub", "mul", "div")
+      for s in "fd" for n in "23"],
+     "movf", "movd", "clrf", "clrd", "tstf", "tstd", "cmpf", "cmpd",
+     "mnegf", "mnegd")
+def _float_ops(vax: Vax, ins: Instruction) -> None:
+    mnemonic = ins.mnemonic
+    if mnemonic[-1] in "23":
+        count = int(mnemonic[-1])
+        suffix = mnemonic[-2]
+        size = _SUFFIX_SIZE[suffix]
+        op = mnemonic[:-2]
+        fns = {"add": lambda a, b: a + b, "sub": lambda a, b: b - a,
+               "mul": lambda a, b: a * b, "div": lambda a, b: b / a}
+        src = vax.read_float(ins.operands[0], size)
+        other = vax.read_float(ins.operands[1], size)
+        value = fns[op](src, other)
+        target = ins.operands[1] if count == 2 else ins.operands[2]
+        vax.write_float(target, size, value)
+        vax._set_nz(0 if value == 0 else (-1 if value < 0 else 1))
+        return
+    suffix = mnemonic[-1]
+    size = _SUFFIX_SIZE[suffix]
+    base = mnemonic[:-1]
+    if base == "mov":
+        value = vax.read_float(ins.operands[0], size)
+        vax.write_float(ins.operands[1], size, value)
+        vax._set_nz(0 if value == 0 else (-1 if value < 0 else 1))
+    elif base == "clr":
+        vax.write_float(ins.operands[0], size, 0.0)
+        vax._set_nz(0)
+    elif base == "tst":
+        value = vax.read_float(ins.operands[0], size)
+        vax._set_nz(0 if value == 0 else (-1 if value < 0 else 1))
+    elif base == "cmp":
+        left = vax.read_float(ins.operands[0], size)
+        right = vax.read_float(ins.operands[1], size)
+        vax.cc.n = left < right
+        vax.cc.z = left == right
+        vax.cc.c = left < right
+    elif base == "mneg":
+        value = -vax.read_float(ins.operands[0], size)
+        vax.write_float(ins.operands[1], size, value)
+        vax._set_nz(0 if value == 0 else (-1 if value < 0 else 1))
+
+
+@_op("moval", "movab", "movaw", "movaq")
+def _moval(vax: Vax, ins: Instruction) -> None:
+    size = _SUFFIX_SIZE[ins.mnemonic[-1]]
+    address = vax._operand_address(ins.operands[0], size)
+    vax.write_operand(ins.operands[1], 4, address)
+    vax._set_nz(address)
+
+
+@_op("ashl")
+def _ashl(vax: Vax, ins: Instruction) -> None:
+    count = vax.read_operand(ins.operands[0], 4)
+    value = vax.read_operand(ins.operands[1], 4)
+    if count >= 0:
+        result = _wrap(value << min(count, 32), 4, True)
+    else:
+        result = value >> min(-count, 31)
+    vax.write_operand(ins.operands[2], 4, result)
+    vax._set_nz(result)
+
+
+@_op("ashq")
+def _ashq(vax: Vax, ins: Instruction) -> None:
+    count = vax.read_operand(ins.operands[0], 4)
+    value = vax.read_operand(ins.operands[1], 8)
+    if count >= 0:
+        result = _wrap(value << min(count, 64), 8, True)
+    else:
+        result = value >> min(-count, 63)
+    vax.write_operand(ins.operands[2], 8, result)
+    vax._set_nz(result)
+
+
+@_op("ediv")
+def _ediv(vax: Vax, ins: Instruction) -> None:
+    divisor = vax.read_operand(ins.operands[0], 4)
+    # quad dividend: the operand names the low register / memory longword
+    low_operand = ins.operands[1]
+    if low_operand.mode == "reg":
+        number = int(low_operand.register[1:])
+        low = vax.registers[low_operand.register] & 0xFFFFFFFF
+        high = vax.registers[f"r{number + 1}"] & 0xFFFFFFFF
+        dividend = _wrap(low | (high << 32), 8, True)
+    else:
+        dividend = vax.read_operand(low_operand, 8)
+    if divisor == 0:
+        raise SimError("ediv divide by zero")
+    quotient = _int_div(dividend, divisor)
+    remainder = dividend - quotient * divisor
+    vax.write_operand(ins.operands[2], 4, _wrap(quotient, 4, True))
+    vax.write_operand(ins.operands[3], 4, _wrap(remainder, 4, True))
+    vax._set_nz(_wrap(quotient, 4, True))
+
+
+@_op("emul")
+def _emul(vax: Vax, ins: Instruction) -> None:
+    left = vax.read_operand(ins.operands[0], 4)
+    right = vax.read_operand(ins.operands[1], 4)
+    addend = vax.read_operand(ins.operands[2], 4)
+    vax.write_operand(ins.operands[3], 8, left * right + addend)
+
+
+@_op("pushl")
+def _pushl(vax: Vax, ins: Instruction) -> None:
+    value = vax.read_operand(ins.operands[0], 4)
+    vax._push(value)
+
+
+@_op("calls")
+def _calls(vax: Vax, ins: Instruction) -> None:
+    argc = vax.read_operand(ins.operands[0], 4)
+    target = ins.operands[1]
+    name = str(target.value)
+    bare = name.lstrip("_")
+    if f"{name}" not in vax.program.labels and bare in vax.builtins:
+        # library builtin: consume args straight off the stack
+        saved_ap = vax.registers["ap"]
+        vax.registers["ap"] = vax.registers["sp"] - 4
+        vax.builtins[bare](vax)
+        vax.registers["ap"] = saved_ap
+        vax.registers["sp"] += 4 * argc
+        return
+    vax._do_calls(argc, name, vax.registers["pc"])
+
+
+@_op("ret")
+def _ret(vax: Vax, ins: Instruction) -> None:
+    vax.registers["pc"] = vax._do_ret()
+
+
+@_op("jbr", "brb", "brw")
+def _jbr(vax: Vax, ins: Instruction) -> None:
+    vax._branch(ins)
+
+
+@_op("jeql", "jneq", "jlss", "jleq", "jgtr", "jgeq",
+     "jlssu", "jlequ", "jgtru", "jgequ")
+def _jcond(vax: Vax, ins: Instruction) -> None:
+    cc = vax.cc
+    take = {
+        "jeql": cc.z,
+        "jneq": not cc.z,
+        "jlss": cc.n,
+        "jleq": cc.n or cc.z,
+        "jgtr": not (cc.n or cc.z),
+        "jgeq": not cc.n,
+        "jlssu": cc.c,
+        "jlequ": cc.c or cc.z,
+        "jgtru": not (cc.c or cc.z),
+        "jgequ": not cc.c,
+    }[ins.mnemonic]
+    if take:
+        vax._branch(ins)
+
+
+@_op("halt")
+def _halt(vax: Vax, ins: Instruction) -> None:
+    raise SimError("halt")
+
+
+# --------------------------------------------------------------- builtins
+
+def _builtin_args(vax: Vax, count: int) -> List[int]:
+    # args are at sp, sp+4, ... (pushed right to left; first arg on top)
+    return [
+        vax.read_memory(vax.registers["sp"] + 4 * index, 4)
+        for index in range(count)
+    ]
+
+
+def _builtin_udiv(vax: Vax) -> None:
+    left, right = _builtin_args(vax, 2)
+    unsigned_left = left & 0xFFFFFFFF
+    unsigned_right = right & 0xFFFFFFFF
+    if unsigned_right == 0:
+        raise SimError("udiv by zero")
+    vax.registers["r0"] = _wrap(unsigned_left // unsigned_right, 4, True)
+
+
+def _builtin_urem(vax: Vax) -> None:
+    left, right = _builtin_args(vax, 2)
+    unsigned_left = left & 0xFFFFFFFF
+    unsigned_right = right & 0xFFFFFFFF
+    if unsigned_right == 0:
+        raise SimError("urem by zero")
+    vax.registers["r0"] = _wrap(unsigned_left % unsigned_right, 4, True)
+
+
+def _builtin_abs(vax: Vax) -> None:
+    (value,) = _builtin_args(vax, 1)
+    vax.registers["r0"] = abs(_wrap(value, 4, True))

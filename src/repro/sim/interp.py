@@ -1,0 +1,403 @@
+"""Reference interpreter for IR forests.
+
+Differential validation needs ground truth: this interpreter executes the
+*front end's* forests directly (before any code-generation phase), using
+the same memory layout conventions as the simulated VAX, so that
+
+    interpret(forest)  ==  run(assemble(compile(forest)))
+
+over the observable state (globals, return values).  This is our stand-in
+for the paper's language validation suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ir.ops import Cond, Op
+from ..ir.tree import Forest, LabelDef, Node
+from ..ir.types import MachineType
+
+MEMORY_SIZE = 1 << 20
+FRAME_BASE = MEMORY_SIZE - (1 << 16)
+FRAME_SIZE = 1 << 12
+
+
+class InterpError(RuntimeError):
+    pass
+
+
+@dataclass
+class Machine:
+    """Shared memory/symbol state across one interpreted program."""
+
+    memory: bytearray = field(default_factory=lambda: bytearray(MEMORY_SIZE))
+    float_store: Dict[int, float] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    next_data: int = 0x1000
+    forests: Dict[str, Forest] = field(default_factory=dict)
+    builtins: Dict[str, Callable[..., int]] = field(default_factory=dict)
+    steps: int = 0
+    max_steps: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        self.builtins.setdefault(
+            "udiv", lambda a, b: (a & 0xFFFFFFFF) // (b & 0xFFFFFFFF)
+        )
+        self.builtins.setdefault(
+            "urem", lambda a, b: (a & 0xFFFFFFFF) % (b & 0xFFFFFFFF)
+        )
+        self.builtins.setdefault("abs", lambda a: abs(_sign32(a)))
+
+    # ------------------------------------------------------------ symbols
+    def address_of(self, symbol: str, size: int = 4) -> int:
+        if symbol not in self.symbols:
+            self.symbols[symbol] = self.next_data
+            self.next_data += max(4, size + (-size) % 4)
+        return self.symbols[symbol]
+
+    def read(self, address: int, ty: MachineType) -> Union[int, float]:
+        if ty.is_float:
+            return self.float_store.get(address, 0.0)
+        return int.from_bytes(
+            self.memory[address:address + ty.size], "little", signed=ty.signed
+        )
+
+    def write(self, address: int, ty: MachineType, value: Union[int, float]) -> None:
+        if ty.is_float:
+            self.float_store[address] = float(value)
+            return
+        mask = (1 << (8 * ty.size)) - 1
+        self.memory[address:address + ty.size] = (int(value) & mask).to_bytes(
+            ty.size, "little"
+        )
+
+    # ---------------------------------------------------- test conveniences
+    def set_global(self, name: str, value: Union[int, float],
+                   ty: MachineType = MachineType.LONG) -> None:
+        self.write(self.address_of(name), ty, value)
+
+    def get_global(self, name: str, ty: MachineType = MachineType.LONG):
+        return self.read(self.address_of(name), ty)
+
+
+def _sign32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class Frame:
+    """One activation: registers plus the frame/arg pointers."""
+
+    def __init__(self, machine: Machine, depth: int, args: Sequence[int]) -> None:
+        self.machine = machine
+        base = FRAME_BASE + depth * FRAME_SIZE
+        self.fp = base + FRAME_SIZE // 2
+        self.ap = self.fp + 64
+        self.registers: Dict[str, Union[int, float]] = {}
+        self.registers["fp"] = self.fp
+        self.registers["ap"] = self.ap
+        self.registers["sp"] = self.fp - 256
+        for index, value in enumerate(args):
+            machine.write(self.ap + 4 + 4 * index, MachineType.LONG, value)
+
+
+class Interpreter:
+    """Executes forests; call :meth:`run` with a function name."""
+
+    def __init__(self, machine: Optional[Machine] = None) -> None:
+        self.machine = machine or Machine()
+
+    def add_forest(self, forest: Forest) -> None:
+        self.machine.forests[forest.name] = forest
+
+    # ------------------------------------------------------------- driving
+    def run(self, function: str, args: Sequence[int] = (), depth: int = 0) -> int:
+        if depth > 12:
+            raise InterpError("call depth limit")
+        try:
+            forest = self.machine.forests[function]
+        except KeyError:
+            builtin = self.machine.builtins.get(function)
+            if builtin is None:
+                raise InterpError(f"no function {function!r}") from None
+            return int(builtin(*args))
+        frame = Frame(self.machine, depth, args)
+        labels: Dict[str, int] = {
+            item.name: index
+            for index, item in enumerate(forest.items)
+            if isinstance(item, LabelDef)
+        }
+        position = 0
+        while position < len(forest.items):
+            self.machine.steps += 1
+            if self.machine.steps > self.machine.max_steps:
+                raise InterpError("step limit exceeded")
+            item = forest.items[position]
+            position += 1
+            if isinstance(item, LabelDef):
+                continue
+            outcome = self._statement(item, frame, depth)
+            if outcome is None:
+                continue
+            kind, value = outcome
+            if kind == "goto":
+                try:
+                    position = labels[value]
+                except KeyError:
+                    raise InterpError(f"undefined label {value!r}") from None
+            elif kind == "return":
+                return value
+        return 0
+
+    def _statement(self, tree: Node, frame: Frame, depth: int):
+        op = tree.op
+        if op is Op.EXPR:
+            self._eval(tree.kids[0], frame, depth)
+            return None
+        if op in (Op.ASSIGN, Op.RASSIGN):
+            self._eval(tree, frame, depth)
+            return None
+        if op is Op.CBRANCH:
+            test, label = tree.kids
+            if self._truthy(test, frame, depth):
+                return ("goto", str(label.value))
+            return None
+        if op is Op.JUMP:
+            return ("goto", str(tree.kids[0].value))
+        if op is Op.RETURN:
+            return ("return", self._eval(tree.kids[0], frame, depth))
+        if op is Op.CALL:
+            self._eval(tree, frame, depth)
+            return None
+        if op in (Op.POSTINC, Op.POSTDEC, Op.PREINC, Op.PREDEC):
+            self._eval(tree, frame, depth)
+            return None
+        if op in (Op.REGHINT, Op.ARG):
+            # post-phase-1 artifacts; raw forests do not contain them
+            if op is Op.ARG:
+                raise InterpError("ARG outside the raw-forest contract")
+            return None
+        raise InterpError(f"unhandled statement {op.name}")
+
+    # ----------------------------------------------------------- evaluation
+    def _truthy(self, test: Node, frame: Frame, depth: int) -> bool:
+        return self._eval(test, frame, depth) != 0
+
+    def _lvalue_address(self, node: Node, frame: Frame, depth: int) -> Tuple[str, object]:
+        """Returns ("mem", address) or ("reg", name)."""
+        if node.op in (Op.DREG, Op.REG):
+            return ("reg", str(node.value))
+        if node.op is Op.NAME:
+            return ("mem", self.machine.address_of(str(node.value), node.ty.size))
+        if node.op is Op.TEMP:
+            # compiler temporaries are frame-local: key them by call depth
+            # so recursion does not clobber them
+            return ("mem", self.machine.address_of(
+                f"{node.value}@{frame.fp}", node.ty.size))
+        if node.op is Op.INDIR:
+            return ("mem", self._eval(node.kids[0], frame, depth))
+        raise InterpError(f"not an lvalue: {node.op.name}")
+
+    def _read_place(self, place: Tuple[str, object], ty: MachineType, frame: Frame):
+        kind, where = place
+        if kind == "reg":
+            value = frame.registers.get(str(where), 0)
+            if ty.is_float:
+                return float(value)
+            return _wrap_ty(int(value), ty)
+        return self.machine.read(int(where), ty)  # type: ignore[arg-type]
+
+    def _write_place(self, place: Tuple[str, object], ty: MachineType,
+                     value, frame: Frame) -> None:
+        kind, where = place
+        if kind == "reg":
+            frame.registers[str(where)] = value if ty.is_float else _wrap_ty(int(value), ty)
+            return
+        self.machine.write(int(where), ty, value)  # type: ignore[arg-type]
+
+    def _eval(self, node: Node, frame: Frame, depth: int):
+        op = node.op
+        ty = node.ty
+
+        if op is Op.CONST:
+            return node.value
+        if op in (Op.NAME, Op.TEMP, Op.DREG, Op.REG, Op.INDIR):
+            place = self._lvalue_address(node, frame, depth)
+            return self._read_place(place, ty, frame)
+        if op is Op.ADDROF:
+            inner = node.kids[0]
+            if inner.op is Op.NAME:
+                return self.machine.address_of(str(inner.value), inner.ty.size)
+            raise InterpError("Addrof of a non-name")
+        if op is Op.LABEL:
+            return node.value
+
+        if op in (Op.ASSIGN, Op.RASSIGN):
+            if op is Op.ASSIGN:
+                dest, src = node.kids
+            else:
+                src, dest = node.kids
+            value = self._eval(src, frame, depth)
+            place = self._lvalue_address(dest, frame, depth)
+            self._write_place(place, ty, value, frame)
+            return self._read_place(place, ty, frame)
+
+        if op in (Op.POSTINC, Op.POSTDEC, Op.PREINC, Op.PREDEC):
+            lvalue, amount_node = node.kids
+            amount = int(self._eval(amount_node, frame, depth))
+            if op in (Op.POSTDEC, Op.PREDEC):
+                amount = -amount
+            place = self._lvalue_address(lvalue, frame, depth)
+            old = self._read_place(place, ty, frame)
+            self._write_place(place, ty, int(old) + amount, frame)
+            if op in (Op.POSTINC, Op.POSTDEC):
+                return old
+            return self._read_place(place, ty, frame)
+
+        if op is Op.CMP or op is Op.RCMP:
+            left = self._eval(node.kids[0], frame, depth)
+            right = self._eval(node.kids[1], frame, depth)
+            if op is Op.RCMP:
+                left, right = right, left
+            return 1 if _compare(node.cond or Cond.NE, left, right, ty) else 0
+
+        if op is Op.ANDAND:
+            if not self._truthy(node.kids[0], frame, depth):
+                return 0
+            return 1 if self._truthy(node.kids[1], frame, depth) else 0
+        if op is Op.OROR:
+            if self._truthy(node.kids[0], frame, depth):
+                return 1
+            return 1 if self._truthy(node.kids[1], frame, depth) else 0
+        if op is Op.NOT:
+            return 0 if self._truthy(node.kids[0], frame, depth) else 1
+        if op is Op.SELECT:
+            if self._truthy(node.kids[0], frame, depth):
+                return self._eval(node.kids[1], frame, depth)
+            return self._eval(node.kids[2], frame, depth)
+
+        if op is Op.CALL:
+            args = [int(self._eval(a, frame, depth)) for a in node.kids]
+            return self.run(str(node.value), args, depth + 1)
+
+        if op is Op.CONV:
+            value = self._eval(node.kids[0], frame, depth)
+            if ty.is_float:
+                return float(value)
+            return _wrap_ty(int(value), ty)
+
+        if op in (Op.NEG, Op.COMPL):
+            value = self._eval(node.kids[0], frame, depth)
+            if op is Op.NEG:
+                result = -value
+            else:
+                result = ~int(value)
+            return result if ty.is_float else _wrap_ty(int(result), ty)
+
+        binary = _BINARY_EVAL.get(op)
+        if binary is not None:
+            left = self._eval(node.kids[0], frame, depth)
+            right = self._eval(node.kids[1], frame, depth)
+            if op.is_reversed:
+                left, right = right, left
+            result = binary(left, right, ty)
+            return result if ty.is_float else _wrap_ty(int(result), ty)
+
+        raise InterpError(f"unhandled expression {op.name}")
+
+
+def _wrap_ty(value: int, ty: MachineType) -> int:
+    if ty.is_float:
+        return value
+    return ty.wrap(value)
+
+
+def _compare(cond: Cond, left, right, ty: MachineType) -> bool:
+    if cond.is_unsigned and ty.is_integer:
+        mask = (1 << (8 * ty.size)) - 1
+        left, right = int(left) & mask, int(right) & mask
+        cond = {
+            Cond.LTU: Cond.LT, Cond.LEU: Cond.LE,
+            Cond.GTU: Cond.GT, Cond.GEU: Cond.GE,
+        }[cond]
+    return {
+        Cond.EQ: left == right, Cond.NE: left != right,
+        Cond.LT: left < right, Cond.LE: left <= right,
+        Cond.GT: left > right, Cond.GE: left >= right,
+    }[cond]
+
+
+def _c_div(left, right, ty: MachineType):
+    if ty.is_float:
+        return left / right
+    if right == 0:
+        raise InterpError("division by zero")
+    if ty.signed:
+        quotient = abs(left) // abs(right)
+        return -quotient if (left < 0) != (right < 0) else quotient
+    mask = (1 << (8 * ty.size)) - 1
+    return (left & mask) // (right & mask)
+
+
+def _c_mod(left, right, ty: MachineType):
+    quotient = _c_div(left, right, ty)
+    return left - quotient * right
+
+
+_BINARY_EVAL = {
+    Op.PLUS: lambda a, b, t: a + b,
+    Op.MINUS: lambda a, b, t: a - b,
+    Op.RMINUS: lambda a, b, t: a - b,
+    Op.MUL: lambda a, b, t: a * b,
+    Op.DIV: _c_div,
+    Op.RDIV: _c_div,
+    Op.MOD: _c_mod,
+    Op.RMOD: _c_mod,
+    Op.AND: lambda a, b, t: int(a) & int(b),
+    Op.OR: lambda a, b, t: int(a) | int(b),
+    Op.XOR: lambda a, b, t: int(a) ^ int(b),
+    Op.LSH: lambda a, b, t: int(a) << int(b),
+    Op.RLSH: lambda a, b, t: int(a) << int(b),
+    Op.RSH: lambda a, b, t: int(a) >> int(b),
+    Op.RRSH: lambda a, b, t: int(a) >> int(b),
+}
+
+
+def interpret_program(
+    forests: Dict[str, Forest],
+    entry: str,
+    args: Sequence[int] = (),
+    globals_init: Optional[Dict[str, int]] = None,
+    global_sizes: Optional[Dict[str, int]] = None,
+) -> Tuple[int, Machine]:
+    """Convenience: run *entry* over fresh state; returns (result, machine).
+
+    ``global_sizes`` preallocates globals at their true sizes (arrays!);
+    without it a first reference through ``Addrof`` would size an array at
+    one element and later symbols would overlap it.
+    """
+    interpreter = Interpreter()
+    for forest in forests.values():
+        interpreter.add_forest(forest)
+    if global_sizes:
+        for name, size in global_sizes.items():
+            interpreter.machine.address_of(name, size)
+    if globals_init:
+        for name, value in globals_init.items():
+            interpreter.machine.set_global(name, value)
+    result = interpreter.run(entry, args)
+    return result, interpreter.machine
+
+
+def interpret_c(
+    program,
+    entry: str,
+    args: Sequence[int] = (),
+    globals_init: Optional[Dict[str, int]] = None,
+) -> Tuple[int, Machine]:
+    """Interpret a front-end :class:`~repro.frontend.lower.CompiledProgram`
+    with its global layout preallocated."""
+    sizes = {name: ctype.size() for name, ctype in program.globals.items()}
+    return interpret_program(program.forests, entry, args, globals_init, sizes)

@@ -1,0 +1,79 @@
+"""Parse-table action representation and conflict records.
+
+The Graham-Glanville disambiguation (section 3.2): shift wins every
+shift/reduce conflict, the longest rule wins every reduce/reduce conflict,
+and if two or more longest rules tie, "the table generator cannot
+statically choose among them" — the tie is recorded in the table and the
+pattern matcher chooses dynamically using semantic attributes.  A
+:class:`Reduce` action therefore carries a *tuple* of production indices:
+almost always one, occasionally several.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True)
+class Shift:
+    state: int
+
+    def __repr__(self) -> str:
+        return f"s{self.state}"
+
+
+@dataclass(frozen=True)
+class Reduce:
+    productions: Tuple[int, ...]  # tied longest rules; matcher picks at runtime
+
+    def __post_init__(self) -> None:
+        if not self.productions:
+            raise ValueError("Reduce needs at least one production")
+
+    @property
+    def production(self) -> int:
+        """The statically preferred production (first of the tie set)."""
+        return self.productions[0]
+
+    @property
+    def is_ambiguous(self) -> bool:
+        return len(self.productions) > 1
+
+    def __repr__(self) -> str:
+        inner = "/".join(f"r{p}" for p in self.productions)
+        return inner
+
+
+@dataclass(frozen=True)
+class Accept:
+    def __repr__(self) -> str:
+        return "acc"
+
+
+Action = Union[Shift, Reduce, Accept]
+
+
+class ConflictKind(enum.Enum):
+    SHIFT_REDUCE = "shift/reduce"
+    REDUCE_REDUCE = "reduce/reduce"
+
+
+@dataclass(frozen=True)
+class ConflictRecord:
+    """One statically resolved (or tied) conflict, for diagnostics and the
+    E4 experiment's table-pressure measurements."""
+
+    kind: ConflictKind
+    state: int
+    symbol: str
+    chosen: Action
+    rejected: Tuple[int, ...]  # production indices not chosen
+
+    def __str__(self) -> str:
+        rejected = ", ".join(f"r{p}" for p in self.rejected)
+        return (
+            f"{self.kind.value} in state {self.state} on {self.symbol!r}: "
+            f"chose {self.chosen!r}, rejected [{rejected}]"
+        )

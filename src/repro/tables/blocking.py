@@ -1,0 +1,123 @@
+"""Syntactic-block detection (sections 3.2 and 6.2.2).
+
+A *syntactic block* is a parser configuration in which a legal input
+symbol has the error action: the matcher would die on a well-formed
+expression tree.  "The present table generator only notifies the user,
+and does not attempt corrective action" — the user then adds *bridge
+productions* sharing left context past the block.  We reproduce the
+notify-only behaviour.
+
+What counts as a "legal next symbol"?  The input language is the set of
+prefix linearizations of expression trees produced by front ends that
+"rarely generate the conversion operators" — so wherever the pattern
+grammar expects an *operand* (the dot precedes an operand non-terminal),
+the input may present **any** operand-starting terminal of any machine
+type, not just those in the non-terminal's FIRST set.  We therefore flag,
+for every state expecting an operand, each operand-starter terminal that
+has no action.  Structural positions (a ``Label`` after a branch, the
+second kid of an ``Assign``) only expect their FIRST sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from ..grammar.analyses import first_sets
+from ..grammar.symbols import END, START, is_nonterminal
+from .slr import ParseTables
+
+
+@dataclass(frozen=True)
+class BlockReport:
+    """One potential syntactic block: a state that should accept *symbol*
+    (because it is expecting an operand there) but has only the error
+    action."""
+
+    state: int
+    symbol: str
+    expecting: FrozenSet[str]  # the operand non-terminals whose slot this is
+
+    def __str__(self) -> str:
+        slots = ", ".join(sorted(self.expecting))
+        return (
+            f"state {self.state} blocks on {self.symbol!r} "
+            f"(expecting an operand for: {slots})"
+        )
+
+
+def operand_starter_terminals(tables: ParseTables) -> Set[str]:
+    """All terminals that can begin an operand subtree *somewhere* in the
+    grammar — the union of FIRST over the operand non-terminals.
+
+    This is the grammar-relative input alphabet: a state expecting an
+    operand must act on every terminal that any *other* operand context
+    accepts, otherwise the front end can produce a tree that parses
+    elsewhere but blocks here.
+    """
+    grammar = tables.grammar
+    first = first_sets(grammar)
+    starters: Set[str] = set()
+    for nt in grammar.nonterminals:
+        if nt == START or nt == grammar[0].rhs[0]:
+            continue  # skip the sentential symbol: statements are not operands
+        starters |= set(first.get(nt, frozenset()))
+    starters.discard(END)
+    return starters
+
+
+def find_blocks(
+    tables: ParseTables,
+    input_alphabet: Iterable[str] = (),
+) -> List[BlockReport]:
+    """Report every (state, terminal) pair that may syntactically block.
+
+    ``input_alphabet`` optionally widens the operand-starter set to the
+    full front-end alphabet (every operator x type the IR can produce);
+    by default the grammar-relative set is used.
+    """
+    grammar = tables.grammar
+    automaton = tables.automaton
+    first = first_sets(grammar)
+    starters = operand_starter_terminals(tables) | set(input_alphabet)
+    sentential = grammar[0].rhs[0]  # the real start symbol
+
+    reports: List[BlockReport] = []
+    for state in range(automaton.state_count):
+        expecting_operand: Dict[str, Set[str]] = {}
+        for prod_index, dot in automaton.closures[state]:
+            rhs = grammar[prod_index].rhs
+            if dot == 0 or dot >= len(rhs):
+                # dot==0 items are the closure's own expansion of some
+                # operand slot; the slot itself is recorded at the item
+                # that put the non-terminal after its dot.
+                continue
+            successor = rhs[dot]
+            if is_nonterminal(successor) and successor != sentential:
+                for terminal in starters:
+                    if terminal not in first.get(successor, frozenset()):
+                        expecting_operand.setdefault(terminal, set()).add(successor)
+
+        if not expecting_operand:
+            continue
+        row = tables.actions[state]
+        for terminal, slots in sorted(expecting_operand.items()):
+            if terminal not in row:
+                reports.append(
+                    BlockReport(state, terminal, frozenset(slots))
+                )
+    return reports
+
+
+def summarize_blocks(reports: List[BlockReport]) -> str:
+    """A compact, user-facing notification (the constructor only notifies)."""
+    if not reports:
+        return "no syntactic blocks detected"
+    by_symbol: Dict[str, int] = {}
+    for report in reports:
+        by_symbol[report.symbol] = by_symbol.get(report.symbol, 0) + 1
+    lines = [f"{len(reports)} potential syntactic blocks in "
+             f"{len({r.state for r in reports})} states:"]
+    for symbol, count in sorted(by_symbol.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {symbol}: {count} states")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""The deliberately slow table constructor — CGGWS vintage.
+
+Section 7: "it required over two memory-intensive hours of VAX 11/780 CPU
+time to construct a new set of tables from the enormous machine
+description grammar. ... Subsequently, we have developed new techniques
+which speed up the table constructor dramatically" (two hours down to ten
+minutes, section 9).  Experiment E5 reproduces that *shape* by pitting
+this constructor against :mod:`repro.tables.lr0`.
+
+This implementation is correct but does everything the slow way, as early
+LALR-era tools did:
+
+* closures are computed by a global fixpoint that rescans **every**
+  production of the grammar on every iteration (no LHS index);
+* item sets are kept as sorted tuples and states are deduplicated by
+  **linear search** with full set comparison (no hashing);
+* every state's closure is recomputed from its kernel each time the state
+  is re-encountered as a GOTO target.
+
+It must produce the identical automaton (same states, same transitions,
+modulo state numbering by discovery order, which we keep identical by
+using the same worklist order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import is_nonterminal
+from .lr0 import Automaton, Item, Kernel
+
+
+def build_automaton_naive(grammar: Grammar) -> Automaton:
+    """LR(0) canonical collection, the slow way.  Same result as
+    :func:`repro.tables.lr0.build_automaton` on the augmented grammar."""
+    kernels: List[Kernel] = []
+    closures: List[Tuple[Item, ...]] = []
+    transitions: List[Dict[str, int]] = []
+
+    def find_state(kernel: Kernel) -> int:
+        # Linear search over all existing states: O(states) per lookup.
+        for index in range(len(kernels)):
+            if _same_item_set(kernels[index], kernel):
+                return index
+        return -1
+
+    def add_state(kernel: Kernel) -> int:
+        kernels.append(kernel)
+        closures.append(tuple(sorted(_closure_naive(kernel, grammar))))
+        transitions.append({})
+        return len(kernels) - 1
+
+    add_state(frozenset({(0, 0)}))
+    frontier = [0]
+    while frontier:
+        state = frontier.pop()
+        # Recompute the closure from the kernel (ignoring the cache) to
+        # mimic the original's repeated work.
+        closure = _closure_naive(kernels[state], grammar)
+        successors: Dict[str, Set[Item]] = {}
+        for prod_index, dot in closure:
+            rhs = grammar[prod_index].rhs
+            if dot < len(rhs):
+                successors.setdefault(rhs[dot], set()).add((prod_index, dot + 1))
+        for symbol in sorted(successors):
+            kernel = frozenset(successors[symbol])
+            target = find_state(kernel)
+            if target < 0:
+                target = add_state(kernel)
+                frontier.append(target)
+            transitions[state][symbol] = target
+
+    return Automaton(grammar, kernels, closures, transitions)
+
+
+def _closure_naive(kernel: Kernel, grammar: Grammar) -> Set[Item]:
+    """Closure by global fixpoint: rescan the whole grammar until no item
+    can be added.  O(iterations x productions x items)."""
+    items: Set[Item] = set(kernel)
+    changed = True
+    while changed:
+        changed = False
+        wanted_nts = set()
+        for prod_index, dot in items:
+            rhs = grammar[prod_index].rhs
+            if dot < len(rhs) and is_nonterminal(rhs[dot]):
+                wanted_nts.add(rhs[dot])
+        for index, production in enumerate(grammar.productions):
+            if production.lhs in wanted_nts:
+                item = (index, 0)
+                if item not in items:
+                    items.add(item)
+                    changed = True
+    return items
+
+
+def _same_item_set(left: Kernel, right: Kernel) -> bool:
+    """Set equality via sorted-list comparison, as a struct-of-arrays
+    implementation without hashing would do it."""
+    return sorted(left) == sorted(right)

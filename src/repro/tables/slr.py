@@ -1,0 +1,192 @@
+"""SLR(1) parse-table construction with Graham-Glanville disambiguation.
+
+"The machine description grammar is processed by a table-generating
+program similar to an SLR(1) parser generator" (section 3.2).  Machine
+grammars are highly ambiguous; the constructor disambiguates by
+
+* favoring a **shift** over a reduce in a shift/reduce conflict, and
+* favoring the **longest rule** in a reduce/reduce conflict (maximal
+  munch); ties among equally long rules are kept in the table for the
+  matcher to resolve dynamically with semantic attributes.
+
+The constructor also refuses grammars whose chain rules can loop
+(section 3.2's anti-looping guarantee) and exposes the automaton for the
+syntactic-block analysis in :mod:`repro.tables.blocking`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..grammar.analyses import find_chain_cycles, follow_sets
+from ..grammar.grammar import Grammar
+from ..grammar.production import Production
+from ..grammar.symbols import END, is_nonterminal, is_terminal
+from .actions import (
+    Accept, Action, ConflictKind, ConflictRecord, Reduce, Shift,
+)
+from .lr0 import Automaton, build_automaton
+
+
+class TableConstructionError(ValueError):
+    """Raised when a machine description cannot yield usable tables."""
+
+
+@dataclass
+class TableStats:
+    """Size/shape numbers for one constructed table (sections 8, E1, E4)."""
+
+    states: int
+    action_entries: int
+    goto_entries: int
+    shift_reduce_resolved: int
+    reduce_reduce_resolved: int
+    ambiguous_reduces: int
+    build_seconds: float
+
+    @property
+    def total_entries(self) -> int:
+        """The "size of the tables" measure used by experiment E4."""
+        return self.action_entries + self.goto_entries
+
+
+@dataclass
+class ParseTables:
+    """Constructed parse tables driving the instruction pattern matcher.
+
+    ``actions[state][terminal]`` is a :class:`Shift`, :class:`Reduce` or
+    :class:`Accept`; a missing entry is the error action (a syntactic
+    block at matching time).  ``gotos[state][nonterminal]`` is the
+    successor state after a reduction.
+    """
+
+    grammar: Grammar            # the augmented grammar
+    automaton: Automaton
+    actions: List[Dict[str, Action]]
+    gotos: List[Dict[str, int]]
+    conflicts: List[ConflictRecord]
+    stats: TableStats
+    start_state: int = 0
+
+    def production(self, index: int) -> Production:
+        return self.grammar[index]
+
+    def action_for(self, state: int, terminal: str) -> Optional[Action]:
+        return self.actions[state].get(terminal)
+
+    def goto_for(self, state: int, nonterminal: str) -> Optional[int]:
+        return self.gotos[state].get(nonterminal)
+
+
+def construct_tables(
+    grammar: Grammar,
+    allow_chain_cycles: bool = False,
+) -> ParseTables:
+    """Build SLR(1) tables for a (non-augmented) machine grammar."""
+    started = time.perf_counter()
+
+    cycles = find_chain_cycles(grammar)
+    if cycles and not allow_chain_cycles:
+        rendered = "; ".join(" -> ".join(cycle) for cycle in cycles)
+        raise TableConstructionError(
+            f"chain productions can loop: {rendered} "
+            "(the pattern matcher would reduce forever)"
+        )
+
+    augmented, _ = grammar.augmented()
+    automaton = build_automaton(augmented)
+    follow = follow_sets(augmented)
+
+    actions: List[Dict[str, Action]] = []
+    gotos: List[Dict[str, int]] = []
+    conflicts: List[ConflictRecord] = []
+    ambiguous = 0
+
+    for state in range(automaton.state_count):
+        state_actions: Dict[str, Action] = {}
+        state_gotos: Dict[str, int] = {}
+
+        for symbol, target in automaton.transitions[state].items():
+            if is_nonterminal(symbol):
+                state_gotos[symbol] = target
+            elif symbol == END:
+                # Shifting $end in the $accept production means the whole
+                # expression parsed: that is the accept action.
+                state_actions[END] = Accept()
+            else:
+                state_actions[symbol] = Shift(target)
+
+        # Group completed items by lookahead terminal.
+        reduce_candidates: Dict[str, List[int]] = {}
+        for prod_index in automaton.final_items(state):
+            production = augmented[prod_index]
+            if prod_index == 0:
+                continue  # $accept item; accept handled via $end shift
+            for terminal in follow[production.lhs]:
+                reduce_candidates.setdefault(terminal, []).append(prod_index)
+
+        for terminal, candidates in reduce_candidates.items():
+            chosen, record = _resolve(
+                state, terminal, state_actions.get(terminal), candidates, augmented
+            )
+            if record is not None:
+                conflicts.append(record)
+            if chosen is not None:
+                if isinstance(chosen, Reduce) and chosen.is_ambiguous:
+                    ambiguous += 1
+                state_actions[terminal] = chosen
+
+        actions.append(state_actions)
+        gotos.append(state_gotos)
+
+    elapsed = time.perf_counter() - started
+    stats = TableStats(
+        states=automaton.state_count,
+        action_entries=sum(len(row) for row in actions),
+        goto_entries=sum(len(row) for row in gotos),
+        shift_reduce_resolved=sum(
+            1 for c in conflicts if c.kind is ConflictKind.SHIFT_REDUCE
+        ),
+        reduce_reduce_resolved=sum(
+            1 for c in conflicts if c.kind is ConflictKind.REDUCE_REDUCE
+        ),
+        ambiguous_reduces=ambiguous,
+        build_seconds=elapsed,
+    )
+    return ParseTables(augmented, automaton, actions, gotos, conflicts, stats)
+
+
+def _resolve(
+    state: int,
+    terminal: str,
+    existing: Optional[Action],
+    candidates: List[int],
+    grammar: Grammar,
+) -> Tuple[Optional[Action], Optional[ConflictRecord]]:
+    """Apply the Graham-Glanville disambiguation rules at one table cell."""
+    # Reduce/reduce: keep the longest rules; ties stay in the table.
+    if len(candidates) > 1:
+        longest = max(len(grammar[p].rhs) for p in candidates)
+        winners = tuple(
+            sorted(p for p in candidates if len(grammar[p].rhs) == longest)
+        )
+        losers = tuple(
+            sorted(p for p in candidates if len(grammar[p].rhs) != longest)
+        )
+        reduce_action = Reduce(winners)
+        record = ConflictRecord(
+            ConflictKind.REDUCE_REDUCE, state, terminal, reduce_action, losers
+        ) if losers or len(winners) > 1 else None
+    else:
+        reduce_action = Reduce((candidates[0],))
+        record = None
+
+    # Shift/reduce: the shift (or accept) always wins.
+    if isinstance(existing, (Shift, Accept)):
+        return None, ConflictRecord(
+            ConflictKind.SHIFT_REDUCE, state, terminal, existing,
+            reduce_action.productions,
+        )
+    return reduce_action, record

@@ -1,0 +1,9 @@
+"""Workstation tools: statistics, dumps, and the ggcc CLI."""
+
+from .ggdump import dump_blocking, dump_conflicts, dump_grammar, dump_states
+from .stats import StatisticsReport, gather_statistics
+
+__all__ = [
+    "gather_statistics", "StatisticsReport",
+    "dump_grammar", "dump_states", "dump_conflicts", "dump_blocking",
+]

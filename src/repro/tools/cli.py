@@ -1,0 +1,124 @@
+"""``ggcc`` — the command-line compiler driver.
+
+Compile C-subset source to VAX assembly with either back end, print the
+appendix-style matcher trace, dump grammar/table statistics, or execute
+the program on the simulated VAX::
+
+    ggcc file.c                      # GG backend, assembly to stdout
+    ggcc --backend pcc file.c
+    ggcc --trace file.c              # shift/reduce trace per statement
+    ggcc --stats                     # section-8 statistics
+    ggcc --run main --args 3,4 file.c
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..codegen.driver import GrahamGlanvilleCodeGenerator
+from ..compile import compile_program
+from ..matcher.trace import Tracer, format_trace
+from ..tables.slr import construct_tables
+from ..vax.grammar_gen import build_vax_grammar
+from .ggdump import dump_blocking, dump_conflicts, dump_grammar
+from .stats import gather_statistics
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ggcc",
+        description="Graham-Glanville table-driven code generator for a "
+                    "VAX subset (PLDI 1982 reproduction)",
+    )
+    parser.add_argument("source", nargs="?", help="C-subset source file "
+                        "('-' for stdin)")
+    parser.add_argument("--backend", choices=("gg", "pcc"), default="gg")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the pattern matcher's action trace")
+    parser.add_argument("--stats", action="store_true",
+                        help="print grammar/table statistics and exit")
+    parser.add_argument("--dump-grammar", action="store_true",
+                        help="print the replicated machine description")
+    parser.add_argument("--dump-conflicts", action="store_true")
+    parser.add_argument("--dump-blocking", action="store_true")
+    parser.add_argument("--no-reversed-ops", action="store_true",
+                        help="build the grammar without Rxxx operators")
+    parser.add_argument("--peephole", action="store_true",
+                        help="run the section-6.1 peephole optimizer over "
+                             "the generated assembly")
+    parser.add_argument("--run", metavar="FUNC",
+                        help="execute FUNC on the simulated VAX")
+    parser.add_argument("--args", default="",
+                        help="comma-separated integer arguments for --run")
+    parser.add_argument("-o", "--output", help="write assembly to a file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_arg_parser()
+    options = parser.parse_args(argv)
+
+    if options.stats or options.dump_grammar or options.dump_conflicts \
+            or options.dump_blocking:
+        bundle = build_vax_grammar(reversed_ops=not options.no_reversed_ops)
+        tables = construct_tables(bundle.grammar)
+        if options.stats:
+            print(gather_statistics(bundle, tables).format())
+        if options.dump_grammar:
+            print(dump_grammar(bundle.grammar))
+        if options.dump_conflicts:
+            print(dump_conflicts(tables))
+        if options.dump_blocking:
+            print(dump_blocking(tables))
+        if not options.source:
+            return 0
+
+    if not options.source:
+        parser.error("no source file given")
+
+    if options.source == "-":
+        source = sys.stdin.read()
+    else:
+        with open(options.source) as handle:
+            source = handle.read()
+
+    generator = None
+    if options.backend == "gg":
+        generator = GrahamGlanvilleCodeGenerator(
+            reversed_ops=not options.no_reversed_ops,
+            peephole=options.peephole,
+        )
+
+    if options.trace and options.backend == "gg":
+        from ..frontend import compile_c
+
+        program = compile_c(source)
+        for name in program.order:
+            tracer = Tracer()
+            generator.compile(program.forest(name), trace=tracer)
+            print(f"=== {name} ===")
+            print(format_trace(tracer))
+        return 0
+
+    assembly = compile_program(source, options.backend, generator)
+
+    if options.run:
+        vax = assembly.simulator()
+        args = [int(a) for a in options.args.split(",") if a.strip()]
+        result = vax.call(options.run, args)
+        print(f"{options.run}({', '.join(map(str, args))}) = {result}")
+        return 0
+
+    text = assembly.text
+    if options.output:
+        with open(options.output, "w") as handle:
+            handle.write(text)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

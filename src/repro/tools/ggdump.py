@@ -1,0 +1,49 @@
+"""Diagnostics dumps: grammar listings, automaton states, conflict logs.
+
+These are the descendant of the CGGWS's inspection facilities: the paper's
+authors iterated on their machine description by reading exactly this kind
+of output (and, at two hours a rebuild, sparingly — section 7)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..grammar.grammar import Grammar
+from ..tables.blocking import find_blocks, summarize_blocks
+from ..tables.slr import ParseTables
+
+
+def dump_grammar(grammar: Grammar, limit: Optional[int] = None) -> str:
+    lines = [f"%start {grammar.start}"]
+    productions = grammar.productions[:limit] if limit else grammar.productions
+    for production in productions:
+        lines.append(f"{production.index:4}  {production}")
+    if limit and len(grammar.productions) > limit:
+        lines.append(f"... {len(grammar.productions) - limit} more")
+    return "\n".join(lines)
+
+
+def dump_states(tables: ParseTables, states: Iterable[int]) -> str:
+    parts: List[str] = []
+    for state in states:
+        parts.append(tables.automaton.describe_state(state))
+        row = tables.actions[state]
+        for symbol in sorted(row):
+            parts.append(f"    on {symbol}: {row[symbol]!r}")
+    return "\n\n".join(parts)
+
+
+def dump_conflicts(tables: ParseTables, limit: int = 50) -> str:
+    lines = [
+        f"{len(tables.conflicts)} conflicts statically resolved "
+        "(shift-preferred / longest-rule):"
+    ]
+    for record in tables.conflicts[:limit]:
+        lines.append(f"  {record}")
+    if len(tables.conflicts) > limit:
+        lines.append(f"  ... {len(tables.conflicts) - limit} more")
+    return "\n".join(lines)
+
+
+def dump_blocking(tables: ParseTables) -> str:
+    return summarize_blocks(find_blocks(tables))

@@ -1,0 +1,105 @@
+"""Statistics gathering — the numbers section 8 reports.
+
+One call to :func:`gather_statistics` produces the full E1 row set:
+generic grammar size, replicated grammar size, parser state count, table
+entries, conflict counts, and chain-production figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..grammar.analyses import chain_depth
+from ..tables.encode import measure_tables
+from ..tables.slr import ParseTables, construct_tables
+from ..vax.grammar_gen import VaxGrammarBundle, build_vax_grammar
+
+
+@dataclass
+class StatisticsReport:
+    """Everything experiment E1 prints, with the paper's numbers beside."""
+
+    generic_productions: int
+    generic_terminals: int
+    generic_nonterminals: int
+    replicated_productions: int
+    replicated_terminals: int
+    replicated_nonterminals: int
+    states: int
+    table_entries: int
+    packed_entries: int
+    packed_bytes: int
+    chain_productions: int
+    max_chain_depth: int
+    shift_reduce_resolved: int
+    reduce_reduce_resolved: int
+    ambiguous_reduces: int
+    build_seconds: float
+
+    PAPER = {
+        "generic_productions": 458,
+        "generic_terminals": 115,
+        "generic_nonterminals": 96,
+        "replicated_productions": 1073,
+        "replicated_terminals": 219,
+        "replicated_nonterminals": 148,
+        "states": 2216,
+    }
+
+    def rows(self) -> Dict[str, Dict[str, Optional[int]]]:
+        """measured-vs-paper rows keyed by metric name."""
+        out: Dict[str, Dict[str, Optional[int]]] = {}
+        for key, paper_value in self.PAPER.items():
+            out[key] = {"ours": getattr(self, key), "paper": paper_value}
+        return out
+
+    def format(self) -> str:
+        lines = [
+            "grammar / table statistics (section 8)",
+            f"{'metric':34} {'ours':>8} {'paper':>8}",
+        ]
+        for key, row in self.rows().items():
+            lines.append(f"{key:34} {row['ours']:>8} {row['paper']:>8}")
+        lines.append(f"{'table entries (sparse)':34} {self.table_entries:>8}")
+        lines.append(f"{'table entries (packed)':34} {self.packed_entries:>8}")
+        lines.append(f"{'packed table bytes':34} {self.packed_bytes:>8}")
+        lines.append(f"{'chain productions':34} {self.chain_productions:>8}")
+        lines.append(f"{'max chain depth':34} {self.max_chain_depth:>8}")
+        lines.append(f"{'shift/reduce resolved':34} {self.shift_reduce_resolved:>8}")
+        lines.append(f"{'reduce/reduce resolved':34} {self.reduce_reduce_resolved:>8}")
+        lines.append(f"{'runtime-tied reduces':34} {self.ambiguous_reduces:>8}")
+        lines.append(f"table construction: {self.build_seconds:.3f}s")
+        return "\n".join(lines)
+
+
+def gather_statistics(
+    bundle: Optional[VaxGrammarBundle] = None,
+    tables: Optional[ParseTables] = None,
+    reversed_ops: bool = True,
+) -> StatisticsReport:
+    if bundle is None:
+        bundle = build_vax_grammar(reversed_ops=reversed_ops)
+    if tables is None:
+        tables = construct_tables(bundle.grammar)
+    grammar_stats = bundle.grammar.stats()
+    size = measure_tables(tables)
+    depths = chain_depth(bundle.grammar)
+    return StatisticsReport(
+        generic_productions=bundle.generic_count,
+        generic_terminals=bundle.generic_terminals,
+        generic_nonterminals=bundle.generic_nonterminals,
+        replicated_productions=grammar_stats.productions,
+        replicated_terminals=grammar_stats.terminals,
+        replicated_nonterminals=grammar_stats.nonterminals,
+        states=tables.stats.states,
+        table_entries=tables.stats.total_entries,
+        packed_entries=size.packed_entries,
+        packed_bytes=size.packed_bytes,
+        chain_productions=grammar_stats.chain_productions,
+        max_chain_depth=max(depths.values()) if depths else 0,
+        shift_reduce_resolved=tables.stats.shift_reduce_resolved,
+        reduce_reduce_resolved=tables.stats.reduce_reduce_resolved,
+        ambiguous_reduces=tables.stats.ambiguous_reduces,
+        build_seconds=tables.stats.build_seconds,
+    )

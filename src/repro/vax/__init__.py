@@ -1,0 +1,24 @@
+"""The VAX-11 target: machine model, description grammar, instruction
+table, register manager and semantic actions."""
+
+from .grammar_gen import (
+    VaxGrammarBundle, build_vax_grammar, conversion_productions,
+    vax_grammar_text,
+)
+from .insttable import (
+    Cluster, INSTRUCTION_TABLE, RANGE_IDIOMS, Selection, Variant,
+    build_instruction_table, figure3_entry, select_variant,
+)
+from .machine import VAX, VaxMachine
+from .registers import RegisterManager, RegisterPressureError
+from .semantics import CodeBuffer, VaxSemanticError, VaxSemantics
+
+__all__ = [
+    "VAX", "VaxMachine",
+    "RegisterManager", "RegisterPressureError",
+    "build_vax_grammar", "vax_grammar_text", "conversion_productions",
+    "VaxGrammarBundle",
+    "INSTRUCTION_TABLE", "build_instruction_table", "figure3_entry",
+    "Cluster", "Variant", "Selection", "select_variant", "RANGE_IDIOMS",
+    "VaxSemantics", "VaxSemanticError", "CodeBuffer",
+]

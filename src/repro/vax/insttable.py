@@ -1,0 +1,286 @@
+"""The hand-written instruction table (Figure 3) and idiom recognition.
+
+"Instruction selection is driven by the selected syntactic pattern, and by
+the information stored in a hand written instruction table.  Each entry in
+the instruction table distinguishes among different instructions having
+the same syntactic description" (section 5.3.1).
+
+A :class:`Cluster` is one table entry: an ordered list of
+:class:`Variant` rows, from the most general (three-operand) down to the
+cheapest (one-operand).  Walking the rows applies the two idiom classes of
+section 5.3.2 in the required order: **binding idioms first** (does a
+source match the destination? then drop to the two-operand form), **range
+idioms second** (is the remaining source a constant in the row's range?
+then drop to the one-operand form).
+
+Figure 3's long-addition entry reads, in this representation::
+
+    Cluster("add.l", [
+        Variant("addl3", 3, binding="ADD", commutes=True,  range_idiom=None),
+        Variant("addl2", 2, binding=None,  commutes=True,  range_idiom="one"),
+        Variant("incl",  1, binding=None,  commutes=False, range_idiom=None),
+    ])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..matcher.descriptors import Descriptor
+
+#: A range idiom: does *descriptor* (the remaining source) satisfy the
+#: constant range that admits the next, cheaper variant?
+RangeFn = Callable[[Descriptor], bool]
+
+RANGE_IDIOMS: Dict[str, RangeFn] = {}
+
+
+def range_idiom(name: str) -> Callable[[RangeFn], RangeFn]:
+    """Register a named range idiom, "implemented by functions written in
+    'C'; these functions follow a relatively straightforward coding
+    style" — ours follow an equally straightforward Python style."""
+
+    def register(fn: RangeFn) -> RangeFn:
+        RANGE_IDIOMS[name] = fn
+        return fn
+
+    return register
+
+
+@range_idiom("one")
+def _is_one(descriptor: Descriptor) -> bool:
+    return descriptor.is_constant and descriptor.value == 1
+
+
+@range_idiom("zero")
+def _is_zero(descriptor: Descriptor) -> bool:
+    return descriptor.is_constant and descriptor.value == 0
+
+
+@range_idiom("minus_one")
+def _is_minus_one(descriptor: Descriptor) -> bool:
+    return descriptor.is_constant and descriptor.value == -1
+
+
+@range_idiom("pow2")
+def _is_power_of_two(descriptor: Descriptor) -> bool:
+    value = descriptor.value
+    return (
+        descriptor.is_constant
+        and isinstance(value, int)
+        and value > 1
+        and value & (value - 1) == 0
+    )
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One row of a cluster: Figure 3's columns.
+
+    ``binding`` is the binding-idiom tag (the paper stores an operator
+    name like ``ADD``; any non-None value enables the dest/source match
+    check).  ``commutes`` is the figure's "can the source operands be
+    swapped" column; it governs *which* source may bind.  ``range_idiom``
+    names the check that admits the **next** row.
+    """
+
+    mnemonic: str
+    operands: int
+    binding: Optional[str] = None
+    commutes: bool = False
+    range_idiom: Optional[str] = None
+
+    def range_matches(self, descriptor: Descriptor) -> bool:
+        if self.range_idiom is None:
+            return False
+        return RANGE_IDIOMS[self.range_idiom](descriptor)
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One instruction-table entry: the variants for one generic operator
+    and operand type, ordered general-to-cheap."""
+
+    name: str
+    variants: Tuple[Variant, ...]
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError(f"cluster {self.name!r} has no variants")
+
+
+@dataclass(frozen=True)
+class Selection:
+    """The outcome of walking a cluster: the instruction to emit."""
+
+    mnemonic: str
+    operands: Tuple[Descriptor, ...]  # in assembler order (sources..., dest)
+    variant: Variant
+    idioms_applied: Tuple[str, ...]   # e.g. ("binding", "range:one")
+
+
+def select_variant(
+    cluster: Cluster,
+    dest: Descriptor,
+    sources: Sequence[Descriptor],
+) -> Selection:
+    """Figure 3's walk: binding idiom, then range idiom.
+
+    For the paper's ``a = 17 + b`` example the three-operand row binds
+    (the second source *b* matches the destination... when it does), the
+    two-operand row's range idiom then asks whether the other source is
+    the literal one, and ``addl2``/``incl`` falls out accordingly.
+    """
+    applied: List[str] = []
+    row_index = 0
+    operands = list(sources)
+
+    row = cluster.variants[row_index]
+    if row.binding is not None and row_index + 1 < len(cluster.variants):
+        bound = _bind(dest, operands, row.commutes)
+        if bound is not None:
+            operands = [bound]
+            row_index += 1
+            applied.append("binding")
+            row = cluster.variants[row_index]
+
+    if (
+        row.range_idiom is not None
+        and row_index + 1 < len(cluster.variants)
+        and len(operands) == 1
+        and row.range_matches(operands[0])
+    ):
+        applied.append(f"range:{row.range_idiom}")
+        operands = []
+        row_index += 1
+        row = cluster.variants[row_index]
+
+    return Selection(
+        mnemonic=row.mnemonic,
+        operands=tuple(operands) + (dest,),
+        variant=row,
+        idioms_applied=tuple(applied),
+    )
+
+
+def _bind(
+    dest: Descriptor, sources: List[Descriptor], commutes: bool
+) -> Optional[Descriptor]:
+    """Binding idiom: return the *other* source if one source matches the
+    destination; "either source will do" only when the row commutes."""
+    if len(sources) != 2:
+        return None
+    first, second = sources
+    if first.same_location(dest):
+        return second
+    if commutes and second.same_location(dest):
+        return first
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The VAX instruction table.
+# ---------------------------------------------------------------------------
+
+def _arith(name: str, mnemonic_base: str, suffix: str,
+           commutes: bool, inc: Optional[str], dec: Optional[str]) -> Cluster:
+    """Build the standard three-row arithmetic cluster."""
+    rows: List[Variant] = [
+        Variant(f"{mnemonic_base}{suffix}3", 3, binding=name.upper(),
+                commutes=commutes),
+    ]
+    one_op = inc or dec
+    rows.append(
+        Variant(f"{mnemonic_base}{suffix}2", 2, commutes=commutes,
+                range_idiom="one" if one_op else None)
+    )
+    if one_op:
+        rows.append(Variant(f"{one_op}{suffix}", 1))
+    return Cluster(f"{name}.{suffix}", tuple(rows))
+
+
+def build_instruction_table() -> Dict[str, Cluster]:
+    """All clusters, keyed by ``name.suffix`` (e.g. ``add.l``)."""
+    table: Dict[str, Cluster] = {}
+
+    def put(cluster: Cluster) -> None:
+        table[cluster.name] = cluster
+
+    for suffix in ("b", "w", "l"):
+        put(_arith("add", "add", suffix, commutes=True, inc="inc", dec=None))
+        put(_arith("sub", "sub", suffix, commutes=False, inc=None, dec="dec"))
+        put(Cluster(f"mul.{suffix}", (
+            Variant(f"mul{suffix}3", 3, binding="MUL", commutes=True),
+            Variant(f"mul{suffix}2", 2, commutes=True),
+        )))
+        put(Cluster(f"div.{suffix}", (
+            Variant(f"div{suffix}3", 3, binding="DIV", commutes=False),
+            Variant(f"div{suffix}2", 2),
+        )))
+        put(Cluster(f"bis.{suffix}", (
+            Variant(f"bis{suffix}3", 3, binding="OR", commutes=True),
+            Variant(f"bis{suffix}2", 2, commutes=True),
+        )))
+        put(Cluster(f"xor.{suffix}", (
+            Variant(f"xor{suffix}3", 3, binding="XOR", commutes=True),
+            Variant(f"xor{suffix}2", 2, commutes=True),
+        )))
+        # C's & is a pseudo-instruction on the VAX (bic of the complement);
+        # the idiom layer expands it.  See semantics._emit_and.
+        put(Cluster(f"and.{suffix}", (
+            Variant(f"and{suffix}3", 3, binding="AND", commutes=True),
+            Variant(f"and{suffix}2", 2, commutes=True),
+        )))
+        put(Cluster(f"mov.{suffix}", (
+            Variant(f"mov{suffix}", 2, range_idiom="zero"),
+            Variant(f"clr{suffix}", 1),
+        )))
+        put(Cluster(f"cmp.{suffix}", (
+            Variant(f"cmp{suffix}", 2, range_idiom="zero"),
+            Variant(f"tst{suffix}", 1),
+        )))
+        put(Cluster(f"mneg.{suffix}", (Variant(f"mneg{suffix}", 2),)))
+        put(Cluster(f"mcom.{suffix}", (Variant(f"mcom{suffix}", 2),)))
+
+    for suffix in ("f", "d"):
+        put(_arith("add", "add", suffix, commutes=True, inc=None, dec=None))
+        put(_arith("sub", "sub", suffix, commutes=False, inc=None, dec=None))
+        put(Cluster(f"mul.{suffix}", (
+            Variant(f"mul{suffix}3", 3, binding="MUL", commutes=True),
+            Variant(f"mul{suffix}2", 2, commutes=True),
+        )))
+        put(Cluster(f"div.{suffix}", (
+            Variant(f"div{suffix}3", 3, binding="DIV", commutes=False),
+            Variant(f"div{suffix}2", 2),
+        )))
+        put(Cluster(f"mov.{suffix}", (
+            Variant(f"mov{suffix}", 2, range_idiom="zero"),
+            Variant(f"clr{suffix}", 1),
+        )))
+        put(Cluster(f"cmp.{suffix}", (
+            Variant(f"cmp{suffix}", 2, range_idiom="zero"),
+            Variant(f"tst{suffix}", 1),
+        )))
+        put(Cluster(f"mneg.{suffix}", (Variant(f"mneg{suffix}", 2),)))
+
+    # Quad-word moves (no quad arithmetic in the 11/780's integer unit).
+    put(Cluster("mov.q", (
+        Variant("movq", 2, range_idiom="zero"),
+        Variant("clrq", 1),
+    )))
+
+    # Shifts: ashl count,src,dst (always long).
+    put(Cluster("ashl", (Variant("ashl", 3),)))
+    put(Cluster("ashq", (Variant("ashq", 3),)))
+
+    return table
+
+
+#: Module-level singleton table; clusters are immutable.
+INSTRUCTION_TABLE = build_instruction_table()
+
+
+def figure3_entry() -> Cluster:
+    """The exact Figure-3 cluster, for the F3 experiment."""
+    return INSTRUCTION_TABLE["add.l"]

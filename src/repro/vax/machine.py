@@ -1,0 +1,60 @@
+"""The VAX-11 machine model.
+
+Register conventions follow the Portable C Compiler's on the VAX
+(section 5.3.3): the sixteen general registers split into *allocatable*
+registers the code generator's own manager hands out, *dedicated*
+registers assigned by the first pass (register variables, and the
+ap/fp/sp/pc hardware linkage registers), with r0/r1 also serving as the
+function return registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..ir.types import MachineType
+
+
+@dataclass(frozen=True)
+class VaxMachine:
+    """Static description of the target used across the back end."""
+
+    name: str = "vax-11/780"
+
+    #: Registers the phase-3 register manager may allocate, in allocation
+    #: order.  PCC reserves r0-r5 for expression evaluation.
+    allocatable: Tuple[str, ...] = ("r0", "r1", "r2", "r3", "r4", "r5")
+
+    #: Registers the first pass dedicates: register variables r6-r11 and
+    #: the hardware linkage registers.
+    dedicated: Tuple[str, ...] = (
+        "r6", "r7", "r8", "r9", "r10", "r11", "ap", "fp", "sp", "pc",
+    )
+
+    frame_pointer: str = "fp"
+    arg_pointer: str = "ap"
+    stack_pointer: str = "sp"
+    return_register: str = "r0"
+
+    #: Immediate operands in [0, 63] assemble into the short-literal
+    #: addressing mode; anything else takes an immediate longword.
+    short_literal_max: int = 63
+
+    def is_register(self, text: str) -> bool:
+        return text in self.allocatable or text in self.dedicated
+
+    def register_pair(self, register: str) -> Tuple[str, str]:
+        """The (rN, rN+1) pair used for quad-word values."""
+        if not register.startswith("r"):
+            raise ValueError(f"{register!r} cannot start a register pair")
+        number = int(register[1:])
+        return register, f"r{number + 1}"
+
+    def needs_pair(self, ty: MachineType) -> bool:
+        """Quad-word integers occupy two consecutive registers."""
+        return ty.size == 8 and ty.is_integer
+
+
+#: The default machine instance used throughout the package.
+VAX = VaxMachine()

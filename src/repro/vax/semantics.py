@@ -1,0 +1,782 @@
+"""VAX semantic actions: descriptor condensation and instruction generation.
+
+This module is the analogue of the paper's "VAX-specific routines
+hand-coded in C" (section 2): every reduction the pattern matcher performs
+lands here, keyed by the production's semantic tag.  Encapsulating
+reductions condense addressing modes into descriptors (phase 2);
+emitting reductions run initial instruction selection off the instruction
+table (phase 3a), idiom recognition (3b), register management (3c) and
+assembly formatting (phase 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..grammar.production import ActionKind, Production
+from ..grammar.symbols import type_suffix
+from ..ir.linearize import Token
+from ..ir.ops import Cond, Op
+from ..ir.types import MachineType, type_for_suffix
+from ..matcher.descriptors import (
+    Descriptor, DKind, dregdesc, imm, labeldesc, mem, regdesc, void,
+)
+from ..matcher.engine import SemanticActions
+from .insttable import INSTRUCTION_TABLE, Selection, select_variant
+from .machine import VAX, VaxMachine
+from .registers import RegisterManager
+
+
+@dataclass
+class CodeBuffer:
+    """Accumulates emitted assembly and bookkeeping counters."""
+
+    lines: List[str] = field(default_factory=list)
+    instruction_count: int = 0
+
+    def emit(self, line: str) -> None:
+        self.lines.append(f"\t{line}")
+        self.instruction_count += 1
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def comment(self, text: str) -> None:
+        self.lines.append(f"# {text}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + ("\n" if self.lines else "")
+
+
+class VaxSemanticError(RuntimeError):
+    """An emitting reduction could not be realised."""
+
+
+#: Branch mnemonic per condition; VAX/Unix `as` spelling.
+_BRANCH = {cond: f"j{cond.value}" for cond in Cond}
+
+#: movz mnemonics for unsigned widenings.
+_MOVZ = {("b", "w"): "movzbw", ("b", "l"): "movzbl", ("w", "l"): "movzwl"}
+
+
+class VaxSemantics(SemanticActions):
+    """The full semantic-attribute evaluator for the VAX description."""
+
+    def __init__(
+        self,
+        machine: VaxMachine = VAX,
+        buffer: Optional[CodeBuffer] = None,
+        new_temp: Optional[Callable[[], str]] = None,
+    ) -> None:
+        self.machine = machine
+        self.buffer = buffer or CodeBuffer()
+        self._temp_counter = 0
+        self.new_temp = new_temp or self._default_temp
+        self.registers = RegisterManager(
+            machine, emit=self.buffer.emit, new_temp=self.new_temp
+        )
+        #: phase-1 register reservations still awaiting their uses
+        self._reg_uses: Dict[str, int] = {}
+        #: reservations whose uses are exhausted, released at the next
+        #: statement boundary (releasing mid-statement could hand the
+        #: register out before the instruction reading it is emitted)
+        self._pending_release: List[str] = []
+        #: virtual registers (spill/pseudo temporaries) we invented
+        self.virtual_registers: List[str] = []
+
+    def _default_temp(self) -> str:
+        self._temp_counter += 1
+        name = f"S{self._temp_counter}"
+        self.virtual_registers.append(name)
+        return name
+
+    # ------------------------------------------------------------- shifts
+    def on_shift(self, token: Token) -> Descriptor:
+        node = token.node
+        op = node.op
+        ty = node.ty
+        # Signedness is a semantic attribute: the grammar suffix cannot
+        # carry it (section 6.4), so every descriptor records the exact
+        # node type's signedness for the movz/udiv decisions downstream.
+        if op is Op.NAME:
+            return replace(mem(f"_{node.value}", ty), signed=ty.signed)
+        if op is Op.TEMP:
+            return replace(mem(str(node.value), ty), signed=ty.signed)
+        if op is Op.DREG:
+            return replace(dregdesc(str(node.value), ty), signed=ty.signed)
+        if op is Op.REG:
+            descriptor = replace(regdesc(str(node.value), ty), signed=ty.signed)
+            self._note_reg_use(str(node.value))
+            return descriptor
+        if op is Op.CONST:
+            return replace(imm(node.value, ty), signed=ty.signed)
+        if op is Op.LABEL:
+            return labeldesc(str(node.value))
+        # Operator terminals: carry the attributes the reduction will need
+        # (condition for Cmp, callee name for Call, signedness).
+        return Descriptor(
+            DKind.OPCLASS, ty, value=node.value, cond=node.cond,
+            signed=ty.signed,
+        )
+
+    # ------------------------------------------------------------ reduces
+    def on_reduce(
+        self, production: Production, kids: Sequence[Descriptor]
+    ) -> Tuple[Descriptor, str]:
+        tag = production.semantic
+        if tag is None:
+            # untagged glue: pass the single attribute through
+            return (kids[0] if kids else void()), ""
+        head, _, rest = tag.partition(".")
+        handler = getattr(self, f"_h_{head}", None)
+        if handler is None:
+            raise VaxSemanticError(f"no semantic handler for tag {tag!r}")
+        result = handler(production, list(kids), rest)
+        if isinstance(result, tuple):
+            return result
+        return result, ""
+
+    def choose(
+        self, productions: Sequence[Production], kids: Sequence[Descriptor]
+    ) -> Production:
+        """Resolve a runtime reduce/reduce tie: cheapest first, then the
+        grammar-order priority (constant widenings precede cvt loads)."""
+        return min(productions, key=lambda p: (p.cost, p.index))
+
+    # ----------------------------------------------------------- helpers
+    def _result_type(self, production: Production) -> MachineType:
+        suffix = type_suffix(production.lhs)
+        return type_for_suffix(suffix) if suffix else MachineType.LONG
+
+    def _use(self, descriptor: Descriptor) -> str:
+        """Operand text for one use, consuming a pending side effect."""
+        text = descriptor.text
+        if descriptor.after_text is not None and not descriptor.side_effected:
+            descriptor.side_effected = True
+            descriptor.text = descriptor.after_text
+        return text
+
+    def _free_all(self, kids: Sequence[Descriptor]) -> None:
+        self.registers.free_sources(tuple(kids))
+
+    def _alloc(
+        self,
+        ty: MachineType,
+        sources: Sequence[Descriptor] = (),
+        avoid: Tuple[str, ...] = (),
+    ) -> Descriptor:
+        descriptor = Descriptor(DKind.REG, ty)
+        register = self.registers.allocate(
+            ty, descriptor, reclaim_from=tuple(sources), avoid=avoid
+        )
+        descriptor.text = register
+        descriptor.register = register
+        return descriptor
+
+    def _emit_selection(self, selection: Selection) -> str:
+        operands = ",".join(self._use(d) for d in selection.operands)
+        line = f"{selection.mnemonic} {operands}"
+        self.buffer.emit(line)
+        if selection.idioms_applied:
+            return f"{line}  [{', '.join(selection.idioms_applied)}]"
+        return line
+
+    def _cluster(self, name: str):
+        try:
+            return INSTRUCTION_TABLE[name]
+        except KeyError:
+            raise VaxSemanticError(f"no instruction cluster {name!r}") from None
+
+    def _note_reg_use(self, register: str) -> None:
+        if register in self._reg_uses:
+            self._reg_uses[register] -= 1
+            if self._reg_uses[register] <= 0:
+                del self._reg_uses[register]
+                self._pending_release.append(register)
+
+    def statement_boundary(self) -> None:
+        """Called by the driver between statement trees: phase-1 registers
+        whose uses are exhausted become allocatable again."""
+        for register in self._pending_release:
+            self.registers.release_reservation(register)
+        self._pending_release.clear()
+
+    # ======================================================== encapsulation
+    def _h_con(self, production, kids, rest):
+        return kids[0]
+
+    def _h_conw(self, production, kids, rest):
+        # constant widening: free retype (a byte literal is a long literal)
+        return replace(kids[0], ty=self._result_type(production))
+
+    def _h_regleaf(self, production, kids, rest):
+        return kids[0]
+
+    def _h_lv(self, production, kids, rest):
+        # the operator token (kids[0], the Indir) carries the exact node
+        # type, including the signedness the grammar suffix cannot encode
+        ty = kids[0].ty if kids else self._result_type(production)
+        signed = ty.signed
+        if rest in ("name", "temp"):
+            return kids[0]
+        if rest == "regdef":
+            base = kids[1]
+            self.registers.hold(base.register)
+            return replace(
+                mem(f"({base.text})", ty, register=base.register),
+                signed=signed,
+            )
+        if rest == "disp":
+            phrase = kids[1]
+            return Descriptor(
+                DKind.MEM, ty, text=phrase.text,
+                register=phrase.register,
+                index_register=phrase.index_register,
+                signed=signed,
+            )
+        if rest == "abs":
+            return replace(mem(f"*${kids[1].value}", ty), signed=signed)
+        if rest == "defer":
+            inner = kids[1]
+            return Descriptor(
+                DKind.MEM, ty, text=f"*{inner.text}",
+                register=inner.register,
+                index_register=inner.index_register,
+                signed=signed,
+            )
+        if rest == "dx":
+            phrase = kids[1]
+            return Descriptor(
+                DKind.MEM, ty, text=phrase.text,
+                register=phrase.register,
+                index_register=phrase.index_register,
+                signed=signed,
+            )
+        if rest == "autoinc":
+            dreg = kids[2]
+            size = kids[3].value
+            descriptor = replace(mem(f"({dreg.text})+", ty), signed=signed)
+            descriptor.after_text = f"-{size}({dreg.text})"
+            return descriptor, f"autoincrement ({dreg.text})+"
+        if rest == "autodec":
+            dreg = kids[2]
+            descriptor = replace(mem(f"-({dreg.text})", ty), signed=signed)
+            descriptor.after_text = f"({dreg.text})"
+            return descriptor, f"autodecrement -({dreg.text})"
+        raise VaxSemanticError(f"unknown lval form {rest!r}")
+
+    def _h_aname(self, production, kids, rest):
+        """Address of a global: an immediate address constant ``$_x``.
+        The descriptor's value keeps the bare symbol for use as a
+        displacement/index base."""
+        symbol = f"_{kids[1].text.lstrip('_')}"
+        return Descriptor(
+            DKind.IMM, MachineType.LONG, text=f"${symbol}", value=symbol,
+        )
+
+    def _h_adisp(self, production, kids, rest):
+        base = kids[2]
+        offset = kids[1].value
+        self.registers.hold(base.register)
+        return (
+            Descriptor(
+                DKind.ADDR, MachineType.LONG,
+                text=f"{offset}({base.text})",
+                value=offset, register=base.register,
+            ),
+            f"displacement {offset}({base.text})",
+        )
+
+    def _h_adx(self, production, kids, rest):
+        base, index = kids[1], kids[4]
+        self.registers.hold(index.register)
+        if base.kind is DKind.ADDR:
+            base_text = base.text
+        elif base.is_register:
+            self.registers.hold(base.register)
+            base_text = f"({base.text})"
+        else:  # constant base: absolute-indexed
+            base_text = str(base.value)
+        return (
+            Descriptor(
+                DKind.ADDR, MachineType.LONG,
+                text=f"{base_text}[{index.text}]",
+                register=base.register,
+                index_register=index.register,
+            ),
+            f"indexed {base_text}[{index.text}]",
+        )
+
+    def _h_chain(self, production, kids, rest):
+        return kids[0]
+
+    def _h_drop(self, production, kids, rest):
+        self._free_all(kids)
+        return void(), "discard value"
+
+    def _h_reghint(self, production, kids, rest):
+        register = kids[1].register
+        uses = kids[1].value if isinstance(kids[1].value, int) else None
+        count = production.cost  # unused; uses ride the Reghint node value
+        hint = kids[0].value
+        uses = hint if isinstance(hint, int) and hint > 0 else 1
+        self.registers.reserve(register)
+        self._reg_uses[register] = uses
+        return void(), f"phase-1 register {register} ({uses} uses)"
+
+    # ============================================================= emission
+    def _h_lea(self, production, kids, rest):
+        phrase = kids[0]
+        dest = self._alloc(MachineType.LONG, kids)
+        suffix = rest or "l"
+        line = f"mova{suffix} {self._use(phrase)},{dest.text}"
+        self.buffer.emit(line)
+        return dest, line
+
+    def _h_load(self, production, kids, rest):
+        ty = self._result_type(production)
+        dest = self._alloc(ty, kids)
+        selection = select_variant(self._cluster(f"mov.{rest}"), dest, [kids[0]])
+        return dest, self._emit_selection(selection)
+
+    def _h_widen(self, production, kids, rest):
+        src_suffix, dst_suffix = rest.split(".")
+        source = kids[0]
+        ty = self._result_type(production)
+        dest = self._alloc(ty, kids)
+        if not source.signed and (src_suffix, dst_suffix) in _MOVZ:
+            line = f"{_MOVZ[(src_suffix, dst_suffix)]} {self._use(source)},{dest.text}"
+            self.buffer.emit(line)
+            return dest, f"{line}  [unsigned]"
+        if (src_suffix, dst_suffix) == ("l", "q"):
+            return dest, self._widen_quad(source, dest)
+        line = f"cvt{src_suffix}{dst_suffix} {self._use(source)},{dest.text}"
+        self.buffer.emit(line)
+        return dest, line
+
+    def _widen_quad(self, source: Descriptor, dest: Descriptor) -> str:
+        """Pseudo-instruction: sign- or zero-extend a long into a register
+        pair (the 11/780 has no cvtlq)."""
+        low, high = self.machine.register_pair(dest.register)
+        self.buffer.emit(f"movl {self._use(source)},{low}")
+        if source.signed:
+            self.buffer.emit(f"ashl $-31,{low},{high}")
+        else:
+            self.buffer.emit(f"clrl {high}")
+        return f"pseudo cvtlq -> {low}:{high}"
+
+    def _h_conv(self, production, kids, rest):
+        src_suffix, dst_suffix = rest.split(".")
+        source = kids[1]
+        ty = self._result_type(production)
+        dest = self._alloc(ty, kids)
+        if (src_suffix, dst_suffix) == ("l", "q"):
+            return dest, self._widen_quad(source, dest)
+        if (src_suffix, dst_suffix) == ("q", "l"):
+            line = f"movl {self._use(source)},{dest.text}"
+        elif not source.signed and (src_suffix, dst_suffix) in _MOVZ:
+            line = f"{_MOVZ[(src_suffix, dst_suffix)]} {self._use(source)},{dest.text}"
+        else:
+            line = f"cvt{src_suffix}{dst_suffix} {self._use(source)},{dest.text}"
+        self.buffer.emit(line)
+        return dest, line
+
+    def _h_asgconv(self, production, kids, rest):
+        src_suffix, dst_suffix = rest.split(".")
+        dest, source = kids[1], kids[3]
+        line = f"cvt{src_suffix}{dst_suffix} {self._use(source)},{self._use(dest)}"
+        self.buffer.emit(line)
+        self._free_all(kids)
+        return void(), line
+
+    # ------------------------------------------------- binary arithmetic
+    def _h_op(self, production, kids, rest):
+        opname, suffix = rest.rsplit(".", 1)
+        sources = [kids[1], kids[2]]
+        return self._binary_into_reg(production, kids, opname, suffix, sources)
+
+    def _h_rop(self, production, kids, rest):
+        opname, suffix = rest.rsplit(".", 1)
+        # reversed operator: the pattern's operands arrived swapped
+        sources = [kids[2], kids[1]]
+        return self._binary_into_reg(production, kids, opname, suffix, sources)
+
+    def _binary_into_reg(self, production, kids, opname, suffix, sources):
+        operator = kids[0]
+        ty = self._result_type(production)
+        if opname in ("div", "mod") and not operator.signed:
+            return self._unsigned_divmod(opname, sources, ty, kids)
+        if opname == "and":
+            dest = self._alloc(ty, kids)
+            return dest, self._emit_and(suffix, sources, dest)
+        dest = self._alloc(ty, kids)
+        return dest, self._emit_arith(opname, suffix, dest, sources)
+
+    def _h_asgop(self, production, kids, rest):
+        opname, suffix = rest.rsplit(".", 1)
+        dest, sources = kids[1], [kids[3], kids[4]]
+        return self._binary_into_mem(kids, opname, suffix, dest, sources)
+
+    def _h_rasgop(self, production, kids, rest):
+        opname, suffix = rest.rsplit(".", 1)
+        dest, sources = kids[1], [kids[4], kids[3]]
+        return self._binary_into_mem(kids, opname, suffix, dest, sources)
+
+    def _binary_into_mem(self, kids, opname, suffix, dest, sources):
+        operator = kids[2]
+        if opname in ("div", "mod") and not operator.signed:
+            value, note = self._unsigned_divmod(
+                opname, sources, dest.ty, kids, store_to=dest
+            )
+            return void(), note
+        if opname == "and":
+            note = self._emit_and(suffix, sources, dest)
+            self._free_all(kids)
+            return void(), note
+        note = self._emit_arith(opname, suffix, dest, sources)
+        self._free_all(kids)
+        return void(), note
+
+    def _emit_arith(self, opname, suffix, dest, sources) -> str:
+        """Select from the cluster with *pattern-order* sources (so the
+        binding idiom sees the minuend/dividend first), then emit in VAX
+        assembler order (``subl3 sub,min,dif`` subtracts its first
+        operand from its second)."""
+        selection = select_variant(
+            self._cluster(f"{opname}.{suffix}"), dest, sources
+        )
+        operands = list(selection.operands)
+        if len(operands) == 3 and opname in ("sub", "div"):
+            operands[0], operands[1] = operands[1], operands[0]
+        text = ",".join(self._use(d) for d in operands)
+        line = f"{selection.mnemonic} {text}"
+        self.buffer.emit(line)
+        if selection.idioms_applied:
+            return f"{line}  [{', '.join(selection.idioms_applied)}]"
+        return line
+
+    def _emit_and(self, suffix: str, sources: List[Descriptor], dest: Descriptor) -> str:
+        """C's ``&`` is a pseudo-instruction: ``bic`` of the complement."""
+        left, right = sources
+        if right.is_constant and not left.is_constant:
+            left, right = right, left
+        if left.is_constant and isinstance(left.value, int):
+            mask = f"${~left.value}"
+            line = f"bic{suffix}3 {mask},{self._use(right)},{self._use(dest)}"
+            self.buffer.emit(line)
+            return f"{line}  [pseudo and: constant complement]"
+        scratch = self._alloc(MachineType.LONG, ())
+        self.buffer.emit(f"mcom{suffix} {self._use(right)},{scratch.text}")
+        line = f"bic{suffix}3 {scratch.text},{self._use(left)},{self._use(dest)}"
+        self.buffer.emit(line)
+        self.registers.free(scratch.register)
+        return f"{line}  [pseudo and: mcom+bic]"
+
+    def _unsigned_divmod(
+        self,
+        opname: str,
+        sources: List[Descriptor],
+        ty: MachineType,
+        kids: Sequence[Descriptor],
+        store_to: Optional[Descriptor] = None,
+    ):
+        """Unsigned division "requires a call to a library function that
+        is known not to modify any registers" (section 5.3.2)."""
+        callee = "_udiv" if opname == "div" else "_urem"
+        self.buffer.emit(f"pushl {self._use(sources[1])}")
+        self.buffer.emit(f"pushl {self._use(sources[0])}")
+        self.buffer.emit(f"calls $2,{callee}")
+        note = f"pseudo unsigned {opname}: calls {callee}"
+        if store_to is not None:
+            self.buffer.emit(f"movl r0,{self._use(store_to)}")
+            self._free_all(kids)
+            return void(), note
+        # the result must leave r0: another library call would clobber it
+        dest = self._alloc(ty, kids, avoid=("r0",))
+        self.buffer.emit(f"movl r0,{dest.text}")
+        return dest, note
+
+    # -------------------------------------------------------------- unary
+    def _h_un(self, production, kids, rest):
+        opname, suffix = rest.rsplit(".", 1)
+        ty = self._result_type(production)
+        dest = self._alloc(ty, kids)
+        line = f"{opname}{suffix} {self._use(kids[1])},{dest.text}"
+        self.buffer.emit(line)
+        return dest, line
+
+    def _h_asgun(self, production, kids, rest):
+        opname, suffix = rest.rsplit(".", 1)
+        line = f"{opname}{suffix} {self._use(kids[3])},{self._use(kids[1])}"
+        self.buffer.emit(line)
+        self._free_all(kids)
+        return void(), line
+
+    # -------------------------------------------------------------- shifts
+    def _h_shift(self, production, kids, rest):
+        if rest in ("lsh", "rsh"):
+            src, count = kids[1], kids[2]
+        else:  # rlsh / rrsh: operands arrived swapped
+            src, count = kids[2], kids[1]
+        right = rest.endswith("rsh")
+        dest = self._alloc(MachineType.LONG, kids)
+        count_text = self._shift_count(count, negate=right)
+        line = f"ashl {count_text},{self._use(src)},{dest.text}"
+        self.buffer.emit(line)
+        return dest, line + ("  [pseudo right shift]" if right else "")
+
+    def _shift_count(self, count: Descriptor, negate: bool) -> str:
+        if count.is_constant and isinstance(count.value, int):
+            value = -count.value if negate else count.value
+            return f"${value}"
+        if not negate:
+            return self._use(count)
+        scratch = self._alloc(MachineType.LONG, (count,))
+        self.buffer.emit(f"mnegl {self._use(count)},{scratch.text}")
+        return scratch.text
+
+    def _h_asgshift(self, production, kids, rest):
+        """Shift straight into a memory destination: ashl count,src,lval."""
+        dest = kids[1]
+        if rest in ("lsh", "rsh"):
+            src, count = kids[3], kids[4]
+        else:  # rlsh / rrsh
+            src, count = kids[4], kids[3]
+        right = rest.endswith("rsh")
+        count_text = self._shift_count(count, negate=right)
+        line = f"ashl {count_text},{self._use(src)},{self._use(dest)}"
+        self.buffer.emit(line)
+        self._free_all(kids)
+        return void(), line
+
+    def _h_asgpseudo(self, production, kids, rest):
+        """Modulus straight into a memory destination (ediv's remainder
+        operand can be any writable location)."""
+        dest = kids[1]
+        if rest == "mod":
+            dividend, divisor = kids[3], kids[4]
+        else:
+            dividend, divisor = kids[4], kids[3]
+        operator = kids[2]
+        if not operator.signed:
+            _, note = self._unsigned_divmod("mod", [dividend, divisor],
+                                            dest.ty, kids, store_to=dest)
+            return void(), note
+        pair = self._alloc(MachineType.QUAD, ())
+        low, high = self.machine.register_pair(pair.register)
+        self.buffer.emit(f"movl {self._use(dividend)},{low}")
+        self.buffer.emit(f"ashl $-31,{low},{high}")
+        self.buffer.emit(
+            f"ediv {self._use(divisor)},{low},{low},{self._use(dest)}"
+        )
+        self.registers.free(pair.register)
+        self._free_all(kids)
+        return void(), "pseudo modulus via ediv into memory"
+
+    # ------------------------------------------------------------- pseudo
+    def _h_pseudo(self, production, kids, rest):
+        """Signed modulus through ediv (quad dividend register pair)."""
+        if rest == "mod":
+            dividend, divisor = kids[1], kids[2]
+        else:  # rmod
+            dividend, divisor = kids[2], kids[1]
+        operator = kids[0]
+        if not operator.signed:
+            return self._unsigned_divmod("mod", [dividend, divisor],
+                                         MachineType.LONG, kids)
+        pair = self._alloc(MachineType.QUAD, ())
+        low, high = self.machine.register_pair(pair.register)
+        self.buffer.emit(f"movl {self._use(dividend)},{low}")
+        self.buffer.emit(f"ashl $-31,{low},{high}")
+        dest = self._alloc(MachineType.LONG, kids)
+        self.buffer.emit(f"ediv {self._use(divisor)},{low},{low},{dest.text}")
+        self.registers.free(pair.register)
+        dest.cc_valid = False  # ediv's codes reflect the quotient
+        return dest, "pseudo modulus via ediv"
+
+    # --------------------------------------------------------- assignment
+    def _h_asg(self, production, kids, rest):
+        return self._assign(kids, dest=kids[1], source=kids[2],
+                            suffix=rest, as_value=False)
+
+    def _h_asgv(self, production, kids, rest):
+        return self._assign(kids, dest=kids[1], source=kids[2],
+                            suffix=rest, as_value=True)
+
+    def _h_rasg(self, production, kids, rest):
+        return self._assign(kids, dest=kids[2], source=kids[1],
+                            suffix=rest, as_value=False)
+
+    def _h_rasgv(self, production, kids, rest):
+        return self._assign(kids, dest=kids[2], source=kids[1],
+                            suffix=rest, as_value=True)
+
+    def _assign(self, kids, dest, source, suffix, as_value):
+        if source.same_location(dest):
+            note = "store elided (source is destination)"
+        else:
+            selection = select_variant(
+                self._cluster(f"mov.{suffix}"), dest, [source]
+            )
+            note = self._emit_selection(selection)
+        if as_value:
+            # free only the source's registers; the destination descriptor
+            # survives as the expression's value
+            self.registers.free_sources((source,))
+            return dest, note
+        self._free_all(kids)
+        return void(), note
+
+    def _h_bridge(self, production, kids, rest):
+        """Bridge continuation: ``base + x*y`` where the parse already
+        committed past ``Plus base Mul``.  Multiply, then fold the base in
+        with displacement/indexed address arithmetic where possible."""
+        base, left, right = kids[1], kids[3], kids[4]
+        product = self._alloc(MachineType.LONG, (left, right))
+        selection = select_variant(self._cluster("mul.l"), product, [left, right])
+        note = self._emit_selection(selection)
+        if rest == "disp":
+            # materialize the displacement phrase first, then add the
+            # product; dest must not alias the still-live product
+            dest = self._alloc(MachineType.LONG, (base,),
+                               avoid=(product.register or "",))
+            self.buffer.emit(f"moval {self._use(base)},{dest.text}")
+            self.buffer.emit(f"addl2 {product.text},{dest.text}")
+        else:
+            dest = self._alloc(MachineType.LONG, (base, product))
+            if rest in ("con", "acon"):
+                self.buffer.emit(f"moval {base.value}({product.text}),{dest.text}")
+            else:  # rleaf
+                self.buffer.emit(
+                    f"addl3 {base.text},{product.text},{dest.text}"
+                )
+        if product.register and product.register != dest.register:
+            self.registers.free(product.register)
+        self._free_all([base])
+        return dest, f"bridge production; {note}"
+
+    def _h_asgdisp(self, production, kids, rest):
+        """Assigning a displacement phrase: ``x = c + rN``.  When the
+        destination *is* the base register this is an increment in
+        disguise — recognize inc/dec/add2; otherwise moval."""
+        dest, phrase = kids[1], kids[2]
+        offset = phrase.value
+        if (
+            isinstance(offset, int)
+            and dest.is_register
+            and phrase.register == dest.register
+        ):
+            if offset == 1:
+                self.buffer.emit(f"incl {self._use(dest)}")
+                return void(), "incl  [binding+range idiom on address add]"
+            if offset == -1:
+                self.buffer.emit(f"decl {self._use(dest)}")
+                return void(), "decl  [binding+range idiom on address add]"
+            self.buffer.emit(f"addl2 ${offset},{self._use(dest)}")
+            self._free_all(kids)
+            return void(), "addl2  [binding idiom on address add]"
+        self.buffer.emit(f"moval {self._use(phrase)},{self._use(dest)}")
+        self._free_all(kids)
+        return void(), "moval address phrase"
+
+    def _h_asgdx(self, production, kids, rest):
+        dest, phrase = kids[1], kids[2]
+        self.buffer.emit(f"moval {self._use(phrase)},{self._use(dest)}")
+        self._free_all(kids)
+        return void(), "moval indexed phrase"
+
+    # ------------------------------------------------------------ branches
+    def _h_cmpbr(self, production, kids, rest):
+        return self._compare_branch(kids, left=kids[2], right=kids[3],
+                                    cmp_op=kids[1], label=kids[4], suffix=rest)
+
+    def _h_rcmpbr(self, production, kids, rest):
+        # Rcmp: the original comparison was Cmp(right, left)
+        return self._compare_branch(kids, left=kids[3], right=kids[2],
+                                    cmp_op=kids[1], label=kids[4], suffix=rest)
+
+    def _compare_branch(self, kids, left, right, cmp_op, label, suffix):
+        cond = cmp_op.cond or Cond.NE
+        if right.is_constant and right.value == 0:
+            self.buffer.emit(f"tst{suffix} {self._use(left)}")
+            note = f"tst{suffix} [range:zero]"
+        elif left.is_constant and left.value == 0:
+            self.buffer.emit(f"tst{suffix} {self._use(right)}")
+            cond = cond.swapped
+            note = f"tst{suffix} [range:zero, swapped]"
+        else:
+            self.buffer.emit(
+                f"cmp{suffix} {self._use(left)},{self._use(right)}"
+            )
+            note = f"cmp{suffix}"
+        self.buffer.emit(f"{_BRANCH[cond]} {label.text}")
+        self._free_all(kids)
+        return void(), f"{note}; {_BRANCH[cond]} {label.text}"
+
+    def _h_ccbr(self, production, kids, rest):
+        """Condition codes already set by the instruction that computed
+        the register (section 6.1): emit only the branch.  A value whose
+        producing instruction did not set its codes (cc_valid False) gets
+        an explicit tst."""
+        cond = kids[1].cond or Cond.NE
+        label = kids[4]
+        if not kids[2].cc_valid:
+            self.buffer.emit(f"tst{rest} {self._use(kids[2])}")
+        self.buffer.emit(f"{_BRANCH[cond]} {label.text}")
+        self._free_all(kids)
+        return void(), f"{_BRANCH[cond]} [condition codes implicit]"
+
+    def _h_tstbr(self, production, kids, rest):
+        """Dedicated/phase-1 registers arrive through code-less chains, so
+        their condition codes are NOT set: force a tst (section 6.2.1)."""
+        cond = kids[1].cond or Cond.NE
+        label = kids[4]
+        self.buffer.emit(f"tst{rest} {self._use(kids[2])}")
+        self.buffer.emit(f"{_BRANCH[cond]} {label.text}")
+        self._free_all(kids)
+        return void(), f"tst{rest} [overfactoring repair]"
+
+    def _h_jump(self, production, kids, rest):
+        label = kids[1]
+        self.buffer.emit(f"jbr {label.text}")
+        return void(), f"jbr {label.text}"
+
+    # --------------------------------------------------------------- calls
+    def _h_arg(self, production, kids, rest):
+        source = kids[1]
+        if rest == "l":
+            line = f"pushl {self._use(source)}"
+        else:
+            line = f"mov{rest} {self._use(source)},-(sp)"
+        self.buffer.emit(line)
+        self._free_all(kids)
+        return void(), line
+
+    def _h_call(self, production, kids, rest):
+        callee = kids[0].value
+        argc = kids[1].value
+        line = f"calls ${argc},_{callee}"
+        self.buffer.emit(line)
+        self._free_all(kids)
+        return void(), line
+
+    def _h_callasg(self, production, kids, rest):
+        dest = kids[1]
+        callee = kids[2].value
+        argc = kids[3].value
+        self.buffer.emit(f"calls ${argc},_{callee}")
+        note = f"calls ${argc},_{callee}"
+        if not (dest.is_register and dest.register == "r0"):
+            self.buffer.emit(f"mov{rest} r0,{self._use(dest)}")
+            note += f"; mov{rest} r0"
+        self._free_all(kids)
+        return void(), note
+
+    def _h_ret(self, production, kids, rest):
+        source = kids[1]
+        if not (source.is_register and source.register == "r0"):
+            self.buffer.emit(f"mov{rest} {self._use(source)},r0")
+        self.buffer.emit("ret")
+        self._free_all(kids)
+        return void(), "return value in r0"

@@ -1,0 +1,11 @@
+"""Workloads: fixed benchmark kernels and the synthetic generator."""
+
+from .generator import WorkloadGenerator, WorkloadSpec, generate_workload
+from .programs import (
+    ALL_PROGRAMS, BenchProgram, PROGRAMS_BY_NAME, reference_arrays,
+)
+
+__all__ = [
+    "WorkloadSpec", "WorkloadGenerator", "generate_workload",
+    "BenchProgram", "ALL_PROGRAMS", "PROGRAMS_BY_NAME", "reference_arrays",
+]

@@ -1,0 +1,194 @@
+"""Deterministic synthetic C-subset workload generator.
+
+Stands in for "a particular large C program" of section 8: the timing and
+code-size experiments (E2/E3) need a body of realistic compiler input of
+controllable size.  Generation is seeded and fully deterministic, with an
+expression-shape distribution biased the way compiler input actually is
+(mostly small statements, left-leaning, lots of memory operands — the
+"prevailing left recursive bias" of section 5.1.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class WorkloadSpec:
+    """Knobs for one generated translation unit."""
+
+    functions: int = 10
+    statements_per_function: int = 20
+    max_expression_depth: int = 4
+    arrays: int = 3
+    array_length: int = 64
+    globals_count: int = 6
+    loops: bool = True
+    calls: bool = True
+    floats: bool = False
+    unsigned: bool = True
+    chars: bool = True
+    safe_arithmetic: bool = True  # non-zero constant divisors only
+    seed: int = 1982
+
+
+_INT_BINOPS = ["+", "+", "+", "-", "*", "&", "|", "^"]
+_CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+class WorkloadGenerator:
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.global_ints: List[str] = []
+        self.global_arrays: List[str] = []
+
+    # -------------------------------------------------------------- source
+    def generate(self) -> str:
+        spec = self.spec
+        lines: List[str] = []
+        self.global_ints = [f"g{i}" for i in range(spec.globals_count)]
+        self.global_arrays = [f"arr{i}" for i in range(spec.arrays)]
+        for name in self.global_ints:
+            lines.append(f"int {name};")
+        for name in self.global_arrays:
+            lines.append(f"int {name}[{spec.array_length}];")
+        lines.append("")
+        for index in range(spec.functions):
+            lines.extend(self._function(index))
+            lines.append("")
+        return "\n".join(lines)
+
+    def _function(self, index: int) -> List[str]:
+        spec = self.spec
+        name = f"f{index}"
+        params = ["int p0", "int p1"]
+        lines = [f"int {name}({', '.join(params)}) {{"]
+        locals_ = ["x", "y", "z"]
+        lines.append("    register int i;")
+        lines.append("    int j;")  # inner-loop counter: nesting must not share i
+        lines.append("    int x, y, z;")
+        if spec.chars:
+            lines.append("    char c;")
+        scope = ["p0", "p1"] + locals_ + self.global_ints
+        lines.append("    x = p0; y = p1; z = 0; i = 0;")
+        if spec.chars:
+            lines.append("    c = 'a';")
+
+        body_budget = spec.statements_per_function
+        while body_budget > 0:
+            produced = self._statement(lines, scope, index, depth=1)
+            body_budget -= produced
+        lines.append(f"    return x + y + z;")
+        lines.append("}")
+        return lines
+
+    # ---------------------------------------------------------- statements
+    def _statement(self, lines: List[str], scope: List[str],
+                   func_index: int, depth: int) -> int:
+        roll = self.rng.random()
+        indent = "    " * depth
+        if self.spec.loops and roll < 0.15 and depth < 3:
+            counter = "i" if depth == 1 else "j"
+            limit = self.rng.randint(2, 12)
+            lines.append(
+                f"{indent}for ({counter} = 0; {counter} < {limit}; "
+                f"{counter}++) {{"
+            )
+            inner = self.rng.randint(1, 3)
+            count = 0
+            for _ in range(inner):
+                count += self._statement(lines, scope + [counter],
+                                         func_index, depth + 1)
+            lines.append(f"{indent}}}")
+            return count + 1
+        if roll < 0.25 and depth < 3:
+            cond = self._comparison(scope)
+            lines.append(f"{indent}if ({cond}) {{")
+            count = self._statement(lines, scope, func_index, depth + 1)
+            if self.rng.random() < 0.4:
+                lines.append(f"{indent}}} else {{")
+                count += self._statement(lines, scope, func_index, depth + 1)
+            lines.append(f"{indent}}}")
+            return count + 1
+        if self.spec.calls and roll < 0.32 and func_index > 0:
+            callee = f"f{self.rng.randrange(func_index)}"
+            left = self._expression(scope, 1)
+            target = self.rng.choice(["x", "y", "z"])
+            lines.append(f"{indent}{target} = {callee}({left}, "
+                         f"{self._leaf(scope)});")
+            return 1
+        if roll < 0.42 and self.global_arrays:
+            array = self.rng.choice(self.global_arrays)
+            index_expr = self._index(scope)
+            value = self._expression(scope, self.spec.max_expression_depth - 1)
+            lines.append(f"{indent}{array}[{index_expr}] = {value};")
+            return 1
+        if roll < 0.50:
+            target = self.rng.choice(["x", "y", "z"])
+            op = self.rng.choice(["+=", "-=", "*=", "|=", "^=", "&="])
+            lines.append(f"{indent}{target} {op} {self._expression(scope, 2)};")
+            return 1
+        if roll < 0.56:
+            target = self.rng.choice(["x", "y", "z"])
+            lines.append(f"{indent}{target}++;")
+            return 1
+        target = self.rng.choice(["x", "y", "z"] + self.global_ints)
+        value = self._expression(scope, self.spec.max_expression_depth)
+        lines.append(f"{indent}{target} = {value};")
+        return 1
+
+    # --------------------------------------------------------- expressions
+    def _expression(self, scope: List[str], depth: int) -> str:
+        if depth <= 0 or self.rng.random() < 0.35:
+            return self._leaf(scope)
+        roll = self.rng.random()
+        if roll < 0.70:
+            op = self.rng.choice(_INT_BINOPS)
+            return (f"({self._expression(scope, depth - 1)} {op} "
+                    f"{self._expression(scope, depth - 1)})")
+        if roll < 0.78:
+            divisor = self.rng.choice([2, 3, 4, 5, 8, 10])
+            op = self.rng.choice(["/", "%"])
+            return f"({self._expression(scope, depth - 1)} {op} {divisor})"
+        if roll < 0.84:
+            shift = self.rng.randint(1, 4)
+            op = self.rng.choice(["<<", ">>"])
+            return f"({self._expression(scope, depth - 1)} {op} {shift})"
+        if roll < 0.90 and self.global_arrays:
+            array = self.rng.choice(self.global_arrays)
+            return f"{array}[{self._index(scope)}]"
+        if roll < 0.95:
+            return f"(-{self._expression(scope, depth - 1)})"
+        return (f"({self._comparison(scope)} ? "
+                f"{self._leaf(scope)} : {self._leaf(scope)})")
+
+    def _comparison(self, scope: List[str]) -> str:
+        op = self.rng.choice(_CMP_OPS)
+        left = self._expression(scope, 1)
+        right = self._leaf(scope)
+        text = f"{left} {op} {right}"
+        if self.rng.random() < 0.2:
+            text = f"{text} && {self._leaf(scope)} != 0"
+        elif self.rng.random() < 0.1:
+            text = f"{text} || {self._leaf(scope)} > 3"
+        return text
+
+    def _index(self, scope: List[str]) -> str:
+        if self.rng.random() < 0.5 and "i" in scope:
+            return "i"
+        return f"{self.rng.randrange(self.spec.array_length)}"
+
+    def _leaf(self, scope: List[str]) -> str:
+        if self.rng.random() < 0.4:
+            return str(self.rng.randint(0, 100))
+        return self.rng.choice(scope)
+
+
+def generate_workload(spec: Optional[WorkloadSpec] = None, **overrides) -> str:
+    """Generate one deterministic C-subset translation unit."""
+    if spec is None:
+        spec = WorkloadSpec(**overrides)
+    return WorkloadGenerator(spec).generate()

@@ -1,0 +1,234 @@
+"""Fixed, realistic benchmark programs in the C subset.
+
+These are the hand-written counterparts to the synthetic generator: small
+kernels exercising the code-generation features the paper discusses —
+array indexing (displacement-indexed addressing), register-variable
+pointer walks (autoincrement), idiom-rich scalar code (inc/dec/clr/tst),
+mixed-width arithmetic (the type-conversion subgrammar), and recursion.
+Each entry carries a callable specification for differential testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BenchProgram:
+    name: str
+    source: str
+    entry: str
+    args: Tuple[int, ...]
+    expected: Optional[int] = None       # None: compare backends only
+    setup_globals: Tuple[Tuple[str, int], ...] = ()
+    setup_array: Optional[Tuple[str, Tuple[int, ...]]] = None
+
+
+DOT_PRODUCT = BenchProgram(
+    name="dot_product",
+    source="""
+int va[64]; int vb[64];
+int dot(int n) {
+    register int i;
+    int s;
+    s = 0;
+    for (i = 0; i < n; i++)
+        s += va[i] * vb[i];
+    return s;
+}
+""",
+    entry="dot",
+    args=(16,),
+    setup_array=None,
+)
+
+MATMUL = BenchProgram(
+    name="matmul",
+    source="""
+int ma[64]; int mb[64]; int mc[64];
+int matmul(int n) {
+    int i, j, k, s;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            s = 0;
+            for (k = 0; k < n; k++)
+                s += ma[i * n + k] * mb[k * n + j];
+            mc[i * n + j] = s;
+        }
+    }
+    return mc[0];
+}
+""",
+    entry="matmul",
+    args=(4,),
+)
+
+POLY_EVAL = BenchProgram(
+    name="poly_eval",
+    source="""
+int coeffs[16];
+int poly(int x, int n) {
+    register int i;
+    int acc;
+    acc = 0;
+    for (i = n - 1; i >= 0; i--)
+        acc = acc * x + coeffs[i];
+    return acc;
+}
+""",
+    entry="poly",
+    args=(3, 5),
+)
+
+SIEVE = BenchProgram(
+    name="sieve",
+    source="""
+char flags[256];
+int sieve(int limit) {
+    int i, j, count;
+    count = 0;
+    for (i = 0; i < limit; i++)
+        flags[i] = 1;
+    for (i = 2; i < limit; i++) {
+        if (flags[i] != 0) {
+            count++;
+            for (j = i + i; j < limit; j += i)
+                flags[j] = 0;
+        }
+    }
+    return count;
+}
+""",
+    entry="sieve",
+    args=(100,),
+    expected=25,
+)
+
+GCD = BenchProgram(
+    name="gcd",
+    source="""
+int gcd(int a, int b) {
+    int t;
+    while (b != 0) {
+        t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+""",
+    entry="gcd",
+    args=(1071, 462),
+    expected=21,
+)
+
+FIB = BenchProgram(
+    name="fib",
+    source="""
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+""",
+    entry="fib",
+    args=(12,),
+    expected=144,
+)
+
+BYTE_SUM = BenchProgram(
+    name="byte_sum",
+    source="""
+char buf[128];
+int bytesum(int n) {
+    int s;
+    register int i;
+    s = 0;
+    for (i = 0; i < n; i++)
+        s += buf[i];
+    return s;
+}
+""",
+    entry="bytesum",
+    args=(64,),
+)
+
+MIXED_WIDTH = BenchProgram(
+    name="mixed_width",
+    source="""
+char cs; short ss; int ls;
+int widths(int x) {
+    cs = (char) x;
+    ss = (short) (x * 3);
+    ls = cs + ss;
+    return ls + cs * ss;
+}
+""",
+    entry="widths",
+    args=(11,),
+    expected=(11 + 33) + 11 * 33,
+)
+
+BITS = BenchProgram(
+    name="bits",
+    source="""
+int popcount(unsigned int x) {
+    int count;
+    count = 0;
+    while (x != 0) {
+        count += x & 1;
+        x = x >> 1;
+    }
+    return count;
+}
+""",
+    entry="popcount",
+    args=(0x5A5A,),
+    expected=8,
+)
+
+BSEARCH = BenchProgram(
+    name="bsearch",
+    source="""
+int keys[32];
+int bsearch(int key, int n) {
+    int lo, hi, mid;
+    lo = 0;
+    hi = n - 1;
+    while (lo <= hi) {
+        mid = (lo + hi) / 2;
+        if (keys[mid] == key) return mid;
+        if (keys[mid] < key) lo = mid + 1;
+        else hi = mid - 1;
+    }
+    return -1;
+}
+""",
+    entry="bsearch",
+    args=(14, 16),
+)
+
+ALL_PROGRAMS: List[BenchProgram] = [
+    DOT_PRODUCT, MATMUL, POLY_EVAL, SIEVE, GCD, FIB,
+    BYTE_SUM, MIXED_WIDTH, BITS, BSEARCH,
+]
+
+PROGRAMS_BY_NAME: Dict[str, BenchProgram] = {p.name: p for p in ALL_PROGRAMS}
+
+
+def reference_arrays(program: BenchProgram) -> Dict[str, List[int]]:
+    """Deterministic initial array contents for runnable programs."""
+    init: Dict[str, List[int]] = {}
+    if program.name == "dot_product":
+        init["va"] = [i + 1 for i in range(64)]
+        init["vb"] = [2 * i + 1 for i in range(64)]
+    elif program.name == "matmul":
+        init["ma"] = [(i % 7) + 1 for i in range(64)]
+        init["mb"] = [(i % 5) + 2 for i in range(64)]
+    elif program.name == "poly_eval":
+        init["coeffs"] = [3, 1, 4, 1, 5] + [0] * 11
+    elif program.name == "byte_sum":
+        init["buf"] = [(i % 60) + 1 for i in range(128)]
+    elif program.name == "bsearch":
+        init["keys"] = [2 * i for i in range(32)]
+    return init

@@ -1,0 +1,171 @@
+"""Unit tests for phase 1a: explicit control flow."""
+
+import pytest
+
+from repro.codegen import make_control_flow_explicit
+from repro.ir import (
+    Cond, Forest, LabelDef, MachineType, Node, Op, andand, assign, call,
+    cbranch, cmp, const, dreg, expr_stmt, indir, name, oror, postinc,
+    select, validate,
+)
+
+L = MachineType.LONG
+
+
+def run_1a(*items):
+    return make_control_flow_explicit(Forest(list(items), name="t"))
+
+
+def statements(forest):
+    return [item for item in forest if isinstance(item, Node)]
+
+
+def ops_of(forest):
+    return [item.op if isinstance(item, Node) else "label" for item in forest]
+
+
+class TestShortCircuit:
+    def test_andand_in_branch(self):
+        out = run_1a(cbranch(
+            andand(cmp(Cond.LT, name("a", L), const(1, L)),
+                   cmp(Cond.GT, name("b", L), const(2, L))), "T"))
+        kinds = ops_of(out)
+        # two conditional branches, one fall-through label
+        assert kinds.count(Op.CBRANCH) == 2
+        assert "label" in kinds
+        # no boolean connectives survive
+        for tree in statements(out):
+            assert all(n.op not in (Op.ANDAND, Op.OROR, Op.NOT)
+                       for n in tree.preorder())
+
+    def test_oror_in_branch(self):
+        out = run_1a(cbranch(
+            oror(cmp(Cond.EQ, name("a", L), const(0, L)),
+                 cmp(Cond.EQ, name("b", L), const(0, L))), "T"))
+        assert ops_of(out).count(Op.CBRANCH) == 2
+
+    def test_andand_false_branch_needs_no_label(self):
+        # branching FALSE over && is branch-false twice, no label
+        out = run_1a(cbranch(
+            Node(Op.NOT, L, [andand(
+                cmp(Cond.LT, name("a", L), const(1, L)),
+                cmp(Cond.GT, name("b", L), const(2, L)))]), "ELSE"))
+        assert "label" not in ops_of(out)
+
+    def test_conditions_negated_correctly(self):
+        out = run_1a(cbranch(
+            Node(Op.NOT, L, [cmp(Cond.LT, name("a", L), const(1, L))]), "E"))
+        (branch,) = statements(out)
+        assert branch.kids[0].cond is Cond.GE
+
+    def test_plain_value_test_becomes_cmp_ne_zero(self):
+        out = run_1a(cbranch(
+            Node(Op.NOT, L, [Node(Op.NOT, L, [name("x", L)])]), "T"))
+        (branch,) = statements(out)
+        assert branch.kids[0].op is Op.CMP
+        assert branch.kids[0].cond is Cond.NE
+
+
+class TestTruthValuesAndSelect:
+    def test_comparison_as_value(self):
+        out = run_1a(assign(name("x", L),
+                            cmp(Cond.LT, name("a", L), name("b", L))))
+        kinds = ops_of(out)
+        assert Op.REGHINT in kinds       # phase-1 register announced
+        assert kinds.count(Op.CBRANCH) == 1
+        assert kinds.count(Op.JUMP) == 1
+        # final statement stores the phase-1 register into x
+        last = statements(out)[-1]
+        assert last.op is Op.ASSIGN
+        assert last.kids[1].op is Op.REG
+
+    def test_select_becomes_branches(self):
+        out = run_1a(expr_stmt(assign(name("x", L), select(
+            cmp(Cond.LT, name("a", L), const(0, L)),
+            const(1, L), const(2, L)))))
+        kinds = ops_of(out)
+        assert Op.REGHINT in kinds
+        assert kinds.count(Op.CBRANCH) == 1
+        assert kinds.count(Op.JUMP) == 1
+        assert kinds.count("label") == 2
+
+    def test_nested_boolean_under_select_is_one_network(self):
+        out = run_1a(expr_stmt(assign(name("x", L), select(
+            andand(cmp(Cond.NE, name("a", L), const(0, L)),
+                   cmp(Cond.LT, name("b", L), const(3, L))),
+            name("y", L), name("z", L)))))
+        # one truth-value register, not three
+        assert ops_of(out).count(Op.REGHINT) == 1
+
+
+class TestCalls:
+    def test_nested_call_factored_to_temp(self):
+        out = run_1a(assign(name("x", L),
+                            Node(Op.PLUS, L, [call("f", [const(1, L)], L),
+                                              const(2, L)])))
+        kinds = ops_of(out)
+        assert Op.ARG in kinds
+        trees = statements(out)
+        # call result goes through a temp: Assign(Temp, Call)
+        call_assign = next(t for t in trees
+                           if t.op is Op.ASSIGN and t.kids[1].op is Op.CALL)
+        assert call_assign.kids[0].op is Op.TEMP
+
+    def test_call_args_pushed_right_to_left(self):
+        out = run_1a(expr_stmt(call("f", [name("a", L), name("b", L)], L)))
+        args = [t for t in statements(out) if t.op is Op.ARG]
+        assert [a.kids[0].value for a in args] == ["b", "a"]
+
+    def test_direct_assign_from_call_keeps_callasg_shape(self):
+        out = run_1a(assign(name("x", L), call("f", [], L)))
+        trees = statements(out)
+        assert trees[-1].op is Op.ASSIGN
+        assert trees[-1].kids[1].op is Op.CALL
+        # argument count rides as a Const kid
+        assert trees[-1].kids[1].kids[0].value == 0
+
+    def test_byte_args_widened(self):
+        out = run_1a(expr_stmt(call("f", [const(1, MachineType.BYTE)], L)))
+        (arg,) = [t for t in statements(out) if t.op is Op.ARG]
+        assert arg.ty is L
+
+
+class TestIncrements:
+    def test_statement_level_becomes_assign(self):
+        out = run_1a(expr_stmt(postinc(name("i", L))))
+        (tree,) = statements(out)
+        assert tree.op is Op.ASSIGN
+        assert tree.kids[1].op is Op.PLUS
+
+    def test_autoinc_context_preserved(self):
+        tree = assign(indir(MachineType.BYTE, postinc(dreg("r11", L), 1)),
+                      const(0, MachineType.BYTE))
+        out = run_1a(tree)
+        (kept,) = statements(out)
+        assert kept.kids[0].kids[0].op is Op.POSTINC
+
+    def test_wrong_scale_is_rewritten(self):
+        # *p++ with a mismatched step cannot use the autoinc mode
+        tree = assign(indir(L, postinc(dreg("r11", L), 1)), const(0, L))
+        out = run_1a(tree)
+        assert len(statements(out)) > 1
+
+    def test_value_use_of_postinc_creates_temp(self):
+        out = run_1a(assign(name("x", L), postinc(name("i", L))))
+        trees = statements(out)
+        assert len(trees) == 3  # temp=i; i=i+1; x=temp
+        assert trees[0].kids[0].op is Op.TEMP
+
+    def test_value_use_of_preinc_uses_updated_value(self):
+        out = run_1a(assign(name("x", L),
+                            Node(Op.PREINC, L, [name("i", L), const(1, L)])))
+        trees = statements(out)
+        assert len(trees) == 2  # i=i+1; x=i
+
+    def test_result_forest_validates(self):
+        out = run_1a(
+            cbranch(andand(cmp(Cond.LT, name("a", L), const(1, L)),
+                           cmp(Cond.GT, name("b", L), const(2, L))), "T"),
+            LabelDef("T"),
+        )
+        validate(out)

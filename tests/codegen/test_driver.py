@@ -1,0 +1,113 @@
+"""Unit tests for the code-generator driver (Figure 2 pipeline)."""
+
+import pytest
+
+from repro.codegen import GrahamGlanvilleCodeGenerator, count_assembly_lines
+from repro.codegen.driver import assign_temp_slots
+from repro.ir import (
+    Cond, Forest, LabelDef, MachineType, Node, Op, assign, cbranch, cmp,
+    const, jump, name, plus, temp,
+)
+from repro.matcher import Tracer
+
+L = MachineType.LONG
+
+
+def loop_forest():
+    forest = Forest(name="loop")
+    forest.add(assign(name("i", L), const(0, L)))
+    forest.add(LabelDef("TOP"))
+    forest.add(cbranch(cmp(Cond.GE, name("i", L), const(10, L)), "END"))
+    forest.add(assign(name("s", L), plus(name("s", L), name("i", L), L)))
+    forest.add(assign(name("i", L), plus(name("i", L), const(1, L), L)))
+    forest.add(jump("TOP"))
+    forest.add(LabelDef("END"))
+    return forest
+
+
+class TestCompile:
+    def test_compiles_loop(self, gg):
+        result = gg.compile(loop_forest())
+        listing = result.unit.listing()
+        assert "TOP:" in listing
+        assert "incl _i" in listing
+        assert "addl2 _i,_s" in listing
+        assert result.statements == 5
+
+    def test_assembly_has_scaffolding(self, gg):
+        text = gg.compile(loop_forest()).assembly
+        assert "\t.globl _loop" in text
+        assert "_loop:" in text
+        assert text.splitlines()[0] == "\t.text"
+
+    def test_instruction_count_excludes_labels(self, gg):
+        result = gg.compile(loop_forest())
+        assert result.instruction_count == 6
+
+    def test_source_forest_not_mutated(self, gg):
+        forest = loop_forest()
+        before = repr(forest)
+        gg.compile(forest)
+        assert repr(forest) == before
+
+    def test_trace_collection(self, gg):
+        tracer = Tracer()
+        gg.compile(loop_forest(), trace=tracer)
+        assert tracer.shifts() > 0
+        assert tracer.reduces() > tracer.shifts() / 4
+
+    def test_counters(self, gg):
+        result = gg.compile(loop_forest())
+        assert result.shifts == sum(t.size() for t in loop_forest().trees())
+        assert result.reductions > result.shifts
+        assert 0 < result.chain_reductions < result.reductions
+
+
+class TestPhaseTimes:
+    def test_times_populated(self, gg):
+        result = gg.compile(loop_forest())
+        times = result.times
+        assert times.total > 0
+        assert times.matching >= 0
+        assert times.semantics > 0
+        assert 0 <= times.matching_fraction <= 1
+
+    def test_tables_shared_across_compiles(self, gg):
+        first = gg.compile(loop_forest())
+        second = gg.compile(loop_forest())
+        assert first.unit.listing() == second.unit.listing()
+
+
+class TestTempSlots:
+    def test_assignment(self):
+        forest = Forest([
+            assign(temp("T1", L), const(1, L)),
+            assign(temp("T2", L), temp("T1", L)),
+        ], name="t")
+        slots = assign_temp_slots(forest)
+        assert set(slots) == {"T1", "T2"}
+        assert slots["T1"].endswith("(fp)")
+        assert slots["T1"] != slots["T2"]
+        # nodes were rewritten in place
+        values = {n.value for t in forest.trees() for n in t.preorder()
+                  if n.op is Op.TEMP}
+        assert values == set(slots.values())
+
+    def test_idempotent(self):
+        forest = Forest([assign(temp("T1", L), const(1, L))], name="t")
+        assign_temp_slots(forest)
+        first = next(iter(forest.trees())).kids[0].value
+        assign_temp_slots(forest)
+        assert next(iter(forest.trees())).kids[0].value == first
+
+
+class TestHelpers:
+    def test_count_assembly_lines(self):
+        text = "\t.text\n\n\tmovl _a,_b\nL1:\n"
+        assert count_assembly_lines(text) == 3
+
+    def test_compile_forest_convenience(self):
+        from repro.codegen import compile_forest
+
+        result = compile_forest(loop_forest())
+        assert result.instruction_count > 0

@@ -1,0 +1,130 @@
+"""Unit tests for phase 1b: operator expansion and canonicalization."""
+
+from repro.codegen import expand_operators, has_side_effects
+from repro.ir import (
+    Forest, MachineType, Node, Op, assign, bitand, call, const, conv,
+    expr_stmt, lshift, minus, mul, name, plus, rshift,
+)
+
+L = MachineType.LONG
+B = MachineType.BYTE
+
+
+def run_1b(*items):
+    return expand_operators(Forest(list(items), name="t"))
+
+
+def first_tree(forest):
+    return next(iter(forest.trees()))
+
+
+class TestConstantFolding:
+    def test_plus(self):
+        out = run_1b(assign(name("a", L), plus(const(2, L), const(3, L), L)))
+        assert first_tree(out).kids[1].value == 5
+
+    def test_wrapping(self):
+        big = const(2**31 - 1, L)
+        out = run_1b(assign(name("a", L), plus(big, const(1, L), L)))
+        assert first_tree(out).kids[1].value == -(2**31)
+
+    def test_nested_folding(self):
+        tree = assign(name("a", L),
+                      mul(plus(const(2, L), const(3, L), L), const(4, L), L))
+        out = run_1b(tree)
+        assert first_tree(out).kids[1].value == 20
+
+    def test_non_consts_untouched(self):
+        tree = assign(name("a", L), plus(name("b", L), const(3, L), L))
+        out = run_1b(tree)
+        assert first_tree(out).kids[1].op is Op.PLUS
+
+
+class TestShiftExpansion:
+    def test_left_shift_by_const_becomes_mul(self):
+        # section 5.1.2: "left shift by a constant is replaced by
+        # multiplication by the appropriate power of 2"
+        out = run_1b(assign(name("a", L), lshift(name("b", L), const(2, L))))
+        src = first_tree(out).kids[1]
+        assert src.op is Op.MUL
+        assert src.kids[0].value == 4
+
+    def test_variable_shift_stays(self):
+        out = run_1b(assign(name("a", L), lshift(name("b", L), name("n", L))))
+        assert first_tree(out).kids[1].op is Op.LSH
+
+    def test_right_shift_untouched(self):
+        out = run_1b(assign(name("a", L), rshift(name("b", L), const(2, L))))
+        assert first_tree(out).kids[1].op is Op.RSH
+
+    def test_oversized_shift_not_rewritten(self):
+        out = run_1b(assign(name("a", L), lshift(name("b", L), const(40, L))))
+        assert first_tree(out).kids[1].op is Op.LSH
+
+
+class TestSubToAdd:
+    def test_minus_const_becomes_plus_negated(self):
+        out = run_1b(assign(name("a", L), minus(name("b", L), const(5, L), L)))
+        src = first_tree(out).kids[1]
+        assert src.op is Op.PLUS
+        assert src.kids[0].value == -5
+
+    def test_minus_variable_stays(self):
+        out = run_1b(assign(name("a", L), minus(name("b", L), name("c", L), L)))
+        assert first_tree(out).kids[1].op is Op.MINUS
+
+
+class TestConstantLeft:
+    def test_commutative_const_forced_left(self):
+        out = run_1b(assign(name("a", L), plus(name("b", L), const(7, L), L)))
+        src = first_tree(out).kids[1]
+        assert src.kids[0].op is Op.CONST
+
+    def test_non_commutative_not_swapped(self):
+        from repro.ir import div
+
+        out = run_1b(assign(name("a", L), div(name("b", L), const(7, L), L)))
+        src = first_tree(out).kids[1]
+        assert src.kids[1].op is Op.CONST
+
+
+class TestConversions:
+    def test_narrowing_assignment_gets_conv(self):
+        out = run_1b(assign(name("c", B), name("x", L)))
+        src = first_tree(out).kids[1]
+        assert src.op is Op.CONV
+        assert src.ty is B
+
+    def test_widening_assignment_left_implicit(self):
+        out = run_1b(assign(name("x", L), name("c", B)))
+        assert first_tree(out).kids[1].op is Op.NAME
+
+    def test_int_float_mix_gets_conv(self):
+        D = MachineType.DOUBLE
+        out = run_1b(assign(name("d", D),
+                            Node(Op.PLUS, D, [name("d2", D), name("i", L)])))
+        src = first_tree(out).kids[1]
+        assert src.kids[1].op is Op.CONV
+
+    def test_conv_of_const_folds(self):
+        out = run_1b(assign(name("c", B), const(300, L)))
+        src = first_tree(out).kids[1]
+        assert src.op is Op.CONST
+        assert src.value == B.wrap(300)
+        assert src.ty is B
+
+
+class TestDeadExprElimination:
+    def test_pure_expr_dropped(self):
+        out = run_1b(expr_stmt(plus(name("a", L), name("b", L), L)))
+        assert len(list(out.trees())) == 0
+
+    def test_side_effecting_expr_kept(self):
+        out = run_1b(expr_stmt(call("f", [], L)))
+        assert len(list(out.trees())) == 1
+
+    def test_has_side_effects(self):
+        assert has_side_effects(call("f", [], L))
+        assert has_side_effects(assign(name("a", L), const(1, L)))
+        assert not has_side_effects(plus(name("a", L), const(1, L), L))
+        assert not has_side_effects(bitand(name("a", L), const(1, L), L))

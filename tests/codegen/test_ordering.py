@@ -1,0 +1,152 @@
+"""Unit tests for phase 1c: evaluation ordering and spill avoidance."""
+
+from repro.codegen import order_for_evaluation, su_number
+from repro.codegen.ordering import is_addressable_shape
+from repro.ir import (
+    Forest, MachineType, Node, Op, assign, const, dreg, indir, minus, mul,
+    name, plus,
+)
+
+L = MachineType.LONG
+
+
+def deep_right(depth):
+    """mul chains nested in the right operand: the pathological case."""
+    tree = mul(name("x0", L), name("y0", L), L)
+    for index in range(1, depth):
+        tree = plus(mul(name(f"x{index}", L), name(f"y{index}", L), L), tree, L)
+    return tree
+
+
+class TestSuNumber:
+    def test_leaves_are_free(self):
+        assert su_number(name("a", L)) == 0
+        assert su_number(const(5, L)) == 0
+
+    def test_addressable_memory_is_free(self):
+        local = indir(L, plus(const(-4), dreg("fp"), L))
+        assert su_number(local) == 0
+
+    def test_single_op(self):
+        assert su_number(plus(name("a", L), name("b", L), L)) == 1
+
+    def test_tie_adds_one(self):
+        tree = plus(mul(name("a", L), name("b", L), L),
+                    mul(name("c", L), name("d", L), L), L)
+        assert su_number(tree) == 2
+
+    def test_unbalanced_takes_max(self):
+        tree = plus(name("a", L), mul(name("c", L), name("d", L), L), L)
+        assert su_number(tree) == 1
+
+    def test_deep_right_recursive_grows(self):
+        assert su_number(deep_right(6)) >= 3
+
+    def test_addressable_shapes(self):
+        assert is_addressable_shape(name("a", L))
+        assert is_addressable_shape(indir(L, dreg("r6", L)))
+        assert is_addressable_shape(
+            indir(L, plus(plus(const(-20), dreg("fp"), L),
+                          mul(const(4, L), dreg("r6", L), L), L)))
+        assert not is_addressable_shape(
+            indir(L, plus(name("p", L), const(4, L), L)))
+
+
+class TestReordering:
+    def run(self, tree, reversed_ops=True):
+        forest = Forest([tree], name="t")
+        stats = order_for_evaluation(forest, enable_reversed=reversed_ops)
+        return forest, stats
+
+    def test_left_biased_input_untouched(self):
+        tree = assign(name("a", L),
+                      plus(mul(name("b", L), name("c", L), L), name("d", L), L))
+        forest, stats = self.run(tree.clone())
+        assert stats.swaps == 0
+        assert next(iter(forest.trees())) == tree
+
+    def test_right_heavy_commutative_swapped(self):
+        inner = deep_right(4)
+        tree = assign(name("a", L), plus(mul(name("p", L), name("q", L), L),
+                                         inner, L))
+        forest, stats = self.run(tree)
+        assert stats.swaps >= 1
+        assert stats.reversed_ops == 0  # Plus is commutative: no Rplus
+
+    def test_right_heavy_noncommutative_gets_reversed_op(self):
+        inner = deep_right(4)
+        tree = assign(name("a", L), minus(mul(name("p", L), name("q", L), L),
+                                          inner, L))
+        forest, stats = self.run(tree)
+        assert stats.reversed_ops == 1
+        stored = next(iter(forest.trees())).kids[1]
+        assert stored.op is Op.RMINUS
+
+    def test_reversed_ops_disabled(self):
+        inner = deep_right(4)
+        tree = assign(name("a", L), minus(mul(name("p", L), name("q", L), L),
+                                          inner, L))
+        forest, stats = self.run(tree, reversed_ops=False)
+        assert stats.reversed_ops == 0
+        assert next(iter(forest.trees())).kids[1].op is Op.MINUS
+
+    def test_simple_assignments_not_reversed(self):
+        """Left-biased compiler output must stay essentially untouched —
+        the paper saw reversals in under 1% of expressions."""
+        trees = [
+            assign(name("a", L), plus(name("b", L), name("c", L), L)),
+            assign(name("a", L), mul(plus(name("b", L), name("c", L), L),
+                                     name("d", L), L)),
+            assign(name("a", L), minus(name("b", L), const(1, L), L)),
+        ]
+        forest = Forest([t for t in trees], name="t")
+        stats = order_for_evaluation(forest)
+        assert stats.swaps == 0
+
+
+def balanced(depth, prefix="v"):
+    """A full binary multiply tree: su grows with depth and no amount of
+    operand swapping reduces it — only hoisting helps."""
+    if depth == 0:
+        return name(f"{prefix}x", L)
+    return mul(balanced(depth - 1, prefix + "l"),
+               balanced(depth - 1, prefix + "r"), L)
+
+
+class TestSpillAvoidance:
+    def test_reordering_alone_fixes_right_recursion(self):
+        """The paper's motivating case: a right-recursive chain is fixed
+        by swapping, no temporaries needed."""
+        tree = assign(name("a", L), deep_right(10))
+        forest = Forest([tree], name="t")
+        stats = order_for_evaluation(forest, register_limit=3)
+        assert stats.hoisted_temps == 0
+        assert stats.swaps >= 1
+        assert su_number(next(iter(forest.trees()))) <= 3
+
+    def test_balanced_tree_hoists_temps(self):
+        tree = assign(name("a", L), balanced(6))
+        forest = Forest([tree], name="t")
+        stats = order_for_evaluation(forest, register_limit=3)
+        assert stats.hoisted_temps >= 1
+        # prefix assignments into temps appear before the main statement
+        trees = list(forest.trees())
+        assert trees[0].kids[0].op is Op.TEMP
+        # and every statement now fits the register budget
+        for statement in trees:
+            assert su_number(statement) <= 3
+
+    def test_light_statement_not_hoisted(self):
+        tree = assign(name("a", L), plus(name("b", L), name("c", L), L))
+        forest = Forest([tree], name="t")
+        stats = order_for_evaluation(forest, register_limit=3)
+        assert stats.hoisted_temps == 0
+
+    def test_affected_fraction(self):
+        forest = Forest([
+            assign(name("a", L), plus(name("b", L), name("c", L), L)),
+            assign(name("d", L), minus(name("e", L), deep_right(5), L)),
+        ], name="t")
+        stats = order_for_evaluation(forest)
+        assert stats.statements == 2
+        assert 0 < stats.affected_fraction <= 0.5

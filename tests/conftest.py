@@ -1,0 +1,34 @@
+"""Shared fixtures.
+
+Building the full VAX grammar and its parse tables costs a few hundred
+milliseconds; tests share one session-scoped instance (the tables are
+immutable; code generators keep per-compilation state elsewhere).
+"""
+
+import pytest
+
+from repro.codegen.driver import GrahamGlanvilleCodeGenerator
+from repro.tables.slr import construct_tables
+from repro.vax.grammar_gen import build_vax_grammar
+
+
+@pytest.fixture(scope="session")
+def vax_bundle():
+    return build_vax_grammar()
+
+
+@pytest.fixture(scope="session")
+def vax_tables(vax_bundle):
+    return construct_tables(vax_bundle.grammar)
+
+
+@pytest.fixture(scope="session")
+def gg(vax_bundle, vax_tables):
+    """A shared Graham-Glanville code generator over the full VAX tables."""
+    return GrahamGlanvilleCodeGenerator(bundle=vax_bundle, tables=vax_tables)
+
+
+@pytest.fixture(scope="session")
+def gg_norev():
+    """Generator without reversed operators (the E4 ablation grammar)."""
+    return GrahamGlanvilleCodeGenerator(reversed_ops=False)

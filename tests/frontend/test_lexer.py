@@ -1,0 +1,87 @@
+"""Unit tests for the C-subset lexer."""
+
+import pytest
+
+from repro.frontend import LexError, TokKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestTokens:
+    def test_keywords_vs_idents(self):
+        tokens = tokenize("int x while whilex")
+        assert tokens[0].kind is TokKind.KEYWORD
+        assert tokens[1].kind is TokKind.IDENT
+        assert tokens[2].kind is TokKind.KEYWORD
+        assert tokens[3].kind is TokKind.IDENT
+
+    def test_integers(self):
+        tokens = tokenize("0 42 0x1F")
+        assert [t.value for t in tokens[:-1]] == [0, 42, 31]
+
+    def test_floats(self):
+        tokens = tokenize("1.5 2e3 1.25e-1")
+        assert tokens[0].kind is TokKind.FLOAT
+        assert tokens[0].value == 1.5
+        assert tokens[1].value == 2000.0
+        assert tokens[2].value == 0.125
+
+    def test_char_constants(self):
+        tokens = tokenize(r"'a' '\n' '\0'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 0]
+
+    def test_multichar_operators_longest_match(self):
+        assert texts("a <<= b >> c <= d") == ["a", "<<=", "b", ">>", "c", "<=", "d"]
+        assert texts("x++ + ++y") == ["x", "++", "+", "++", "y"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_eof_token(self):
+        assert tokenize("")[0].kind is TokKind.EOF
+
+
+class TestComments:
+    def test_block_comment(self):
+        assert texts("a /* hi\nthere */ b") == ["a", "b"]
+
+    def test_line_comment(self):
+        assert texts("a // rest\nb") == ["a", "b"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+
+class TestErrors:
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_bad_char_constant(self):
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")
+
+
+class TestPredicates:
+    def test_is_op(self):
+        token = tokenize("+")[0]
+        assert token.is_op("+")
+        assert token.is_op("+", "-")
+        assert not token.is_op("-")
+
+    def test_is_kw(self):
+        token = tokenize("while")[0]
+        assert token.is_kw("while")
+        assert not token.is_kw("for")

@@ -1,0 +1,205 @@
+"""Unit tests for AST -> IR lowering."""
+
+import pytest
+
+from repro.frontend import LowerError, compile_c
+from repro.ir import Cond, MachineType, Op
+
+L = MachineType.LONG
+
+
+def lower_fn(source, fn_name=None):
+    program = compile_c(source)
+    name = fn_name or program.order[0]
+    return program.forest(name)
+
+
+def first_tree(forest):
+    """First statement tree, unwrapping the Expr statement wrapper."""
+    tree = next(iter(forest.trees()))
+    if tree.op is Op.EXPR:
+        return tree.kids[0]
+    return tree
+
+
+class TestPlaces:
+    def test_global_scalar(self):
+        tree = first_tree(lower_fn("int g; int f() { g = 1; return 0; }"))
+        assert tree.kids[0].op is Op.NAME
+        assert tree.kids[0].value == "g"
+
+    def test_local_is_frame_relative(self):
+        tree = first_tree(lower_fn("int f() { int x; x = 1; return 0; }"))
+        dest = tree.kids[0]
+        assert dest.op is Op.INDIR
+        address = dest.kids[0]
+        assert address.op is Op.PLUS
+        assert address.kids[0].value == -4
+        assert address.kids[1].value == "fp"
+
+    def test_param_is_ap_relative(self):
+        tree = first_tree(lower_fn("int f(int a, int b) { b = 1; return 0; }"))
+        address = tree.kids[0].kids[0]
+        assert address.kids[0].value == 8  # second parameter
+        assert address.kids[1].value == "ap"
+
+    def test_register_variable(self):
+        tree = first_tree(lower_fn(
+            "int f() { register int i; i = 1; return 0; }"))
+        assert tree.kids[0].op is Op.DREG
+        assert tree.kids[0].value == "r11"
+
+    def test_register_variables_exhaust_gracefully(self):
+        source = "int f() { register int a, b, c, d, e, g, h; h = 1; return 0; }"
+        tree = first_tree(lower_fn(source))
+        # only six register variables; the seventh lands in the frame
+        assert tree.kids[0].op is Op.INDIR
+
+    def test_address_of_register_variable_rejected(self):
+        with pytest.raises(LowerError):
+            lower_fn("int f() { register int i; return *(&i); }")
+
+
+class TestArraysAndPointers:
+    def test_global_array_index(self):
+        tree = first_tree(lower_fn(
+            "int v[10]; int f(int i) { v[i] = 1; return 0; }"))
+        dest = tree.kids[0]
+        assert dest.op is Op.INDIR
+        address = dest.kids[0]
+        assert address.op is Op.PLUS
+        assert address.kids[0].op is Op.ADDROF
+        scaled = address.kids[1]
+        assert scaled.op is Op.MUL
+        assert scaled.kids[0].value == 4
+
+    def test_char_array_not_scaled(self):
+        tree = first_tree(lower_fn(
+            "char v[10]; int f(int i) { v[i] = 1; return 0; }"))
+        address = tree.kids[0].kids[0]
+        assert address.kids[1].op is not Op.MUL
+
+    def test_constant_index_folded(self):
+        tree = first_tree(lower_fn(
+            "int v[10]; int f() { v[3] = 1; return 0; }"))
+        address = tree.kids[0].kids[0]
+        assert address.kids[1].value == 12
+
+    def test_pointer_deref(self):
+        tree = first_tree(lower_fn("int *p; int f() { *p = 1; return 0; }"))
+        dest = tree.kids[0]
+        assert dest.op is Op.INDIR
+        assert dest.kids[0].op is Op.NAME
+
+    def test_pointer_arithmetic_scales(self):
+        tree = first_tree(lower_fn(
+            "int *p; int f(int i) { *(p + i) = 1; return 0; }"))
+        address = tree.kids[0].kids[0]
+        assert address.op is Op.PLUS
+        assert address.kids[1].op is Op.MUL
+
+    def test_pointer_difference_divides(self):
+        forest = lower_fn("int *p; int *q; int f() { return p - q; }")
+        tree = first_tree(forest)
+        assert tree.kids[0].op is Op.DIV
+
+    def test_pointer_increment_steps_by_element(self):
+        forest = lower_fn("int *p; int f() { p++; return 0; }")
+        tree = first_tree(forest)
+        assert tree.op is Op.POSTINC
+        assert tree.kids[1].value == 4
+
+
+class TestOperators:
+    def test_comparison_conditions(self):
+        forest = lower_fn("int f(int a) { if (a <= 3) return 1; return 0; }")
+        branch = first_tree(forest)
+        assert branch.op is Op.CBRANCH
+        # the frontend emits the negated branch via Not; check inside
+        inner = branch.kids[0]
+        assert inner.op is Op.NOT
+        assert inner.kids[0].cond is Cond.LE
+
+    def test_unsigned_comparison(self):
+        forest = lower_fn(
+            "unsigned int u; int f() { if (u < 3) return 1; return 0; }")
+        branch = first_tree(forest)
+        assert branch.kids[0].kids[0].cond is Cond.LTU
+
+    def test_compound_assignment_duplicates_simple_lvalue(self):
+        forest = lower_fn("int g; int f() { g += 2; return 0; }")
+        tree = first_tree(forest)
+        assert tree.op is Op.ASSIGN
+        assert tree.kids[1].op is Op.PLUS
+        assert tree.kids[1].kids[0].op is Op.NAME
+
+    def test_compound_assignment_complex_lvalue_uses_temp(self):
+        forest = lower_fn(
+            "int v[10]; int f(int i) { v[i + 1] += 2; return 0; }")
+        trees = list(forest.trees())
+        # first statement captures the address in a temp
+        assert trees[0].kids[0].op is Op.TEMP
+        store = trees[1].kids[0]  # unwrap the Expr statement
+        assert store.kids[0].op is Op.INDIR
+        assert store.kids[0].kids[0].op is Op.TEMP
+
+    def test_call_lowering(self):
+        forest = lower_fn("int g(int x) { return x; } "
+                          "int f() { return g(3); }", "f")
+        tree = first_tree(forest)
+        assert tree.kids[0].op is Op.CALL
+        assert tree.kids[0].value == "g"
+
+    def test_cast_becomes_conv(self):
+        forest = lower_fn("int f(int x) { return (char) x; }")
+        tree = first_tree(forest)
+        assert tree.kids[0].op is Op.CONV
+        assert tree.kids[0].ty is MachineType.BYTE
+
+
+class TestControlFlow:
+    def test_while_shape(self):
+        forest = lower_fn("int f(int n) { while (n) n = n - 1; return n; }")
+        kinds = [item.op.name if hasattr(item, "op") else f"label:{item.name}"
+                 for item in forest]
+        assert kinds[0].startswith("label:")      # loop top
+        assert "CBRANCH" in kinds[1]
+        assert "JUMP" in kinds[-3]
+
+    def test_break_continue(self):
+        forest = lower_fn("""
+int f(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (i == 3) continue;
+        if (i == 5) break;
+    }
+    return i;
+}""")
+        jumps = [t for t in forest.trees() if t.op is Op.JUMP]
+        assert len(jumps) >= 3  # loop-back, continue, break
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(LowerError):
+            lower_fn("int f() { break; return 0; }")
+
+    def test_goto_labels_namespaced(self):
+        forest = lower_fn("int f() { goto x; x: return 0; }")
+        labels = [item.name for item in forest.items
+                  if item.__class__.__name__ == "LabelDef"]
+        assert labels == ["Uf_x"]
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(LowerError):
+            lower_fn("int f() { return zz; }")
+
+
+class TestProgramLevel:
+    def test_globals_collected(self):
+        program = compile_c("int a; char b[10]; int f() { return 0; }")
+        assert program.globals["a"].size() == 4
+        assert program.globals["b"].size() == 10
+
+    def test_function_order(self):
+        program = compile_c("int a() {return 0;} int b() {return 0;}")
+        assert program.order == ["a", "b"]

@@ -1,0 +1,169 @@
+"""Unit tests for the C-subset parser."""
+
+import pytest
+
+from repro.frontend import ParseError, cast, parse
+from repro.ir import MachineType
+
+
+def parse_expr(text):
+    program = parse(f"int f() {{ return {text}; }}")
+    (ret,) = program.functions[0].body.stmts
+    return ret.value
+
+
+class TestDeclarations:
+    def test_globals(self):
+        program = parse("int a; char b, *p; int v[10];")
+        names = [d.name for d in program.globals]
+        assert names == ["a", "b", "p", "v"]
+        assert program.globals[2].ty.pointer == 1
+        assert program.globals[3].ty.array == 10
+
+    def test_types(self):
+        program = parse("unsigned int u; short s; double d;")
+        assert program.globals[0].ty.base is MachineType.ULONG
+        assert program.globals[1].ty.base is MachineType.WORD
+        assert program.globals[2].ty.base is MachineType.DOUBLE
+
+    def test_function_with_params(self):
+        program = parse("int f(int a, char *p) { return 0; }")
+        func = program.functions[0]
+        assert func.name == "f"
+        assert [p.name for p in func.params] == ["a", "p"]
+        assert func.params[1].ty.pointer == 1
+
+    def test_void_function(self):
+        program = parse("void f(void) { ; }")
+        assert program.functions[0].return_type.is_void
+
+    def test_register_locals(self):
+        program = parse("int f() { register int i; int j; return 0; }")
+        decls = program.functions[0].body.decls
+        assert decls[0].register
+        assert not decls[1].register
+
+
+class TestStatements:
+    def source(self, body):
+        return parse(f"int f(int n) {{ int x; {body} return 0; }}")
+
+    def test_if_else(self):
+        program = self.source("if (n) x = 1; else x = 2;")
+        stmt = program.functions[0].body.stmts[0]
+        assert isinstance(stmt, cast.If)
+        assert stmt.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        program = self.source("if (n) if (x) x = 1; else x = 2;")
+        outer = program.functions[0].body.stmts[0]
+        assert outer.other is None
+        assert outer.then.other is not None
+
+    def test_while(self):
+        program = self.source("while (n > 0) n = n - 1;")
+        assert isinstance(program.functions[0].body.stmts[0], cast.While)
+
+    def test_for_with_empty_slots(self):
+        program = self.source("for (;;) break;")
+        stmt = program.functions[0].body.stmts[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_do_while(self):
+        program = self.source("do x = x + 1; while (x < 10);")
+        assert isinstance(program.functions[0].body.stmts[0], cast.DoWhile)
+
+    def test_goto_and_label(self):
+        program = self.source("goto out; out: x = 1;")
+        stmts = program.functions[0].body.stmts
+        assert isinstance(stmts[0], cast.Goto)
+        assert isinstance(stmts[1], cast.Labeled)
+
+    def test_nested_blocks(self):
+        program = self.source("{ int y; y = 1; x = y; }")
+        inner = program.functions[0].body.stmts[0]
+        assert isinstance(inner, cast.Block)
+        assert inner.decls[0].name == "y"
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_associativity(self):
+        expr = parse_expr("10 - 3 - 2")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_assignment_right_associative(self):
+        expr = parse_expr("a = b = 1")
+        assert isinstance(expr, cast.Assign)
+        assert isinstance(expr.value, cast.Assign)
+
+    def test_compound_assignment(self):
+        expr = parse_expr("a += 2")
+        assert expr.op == "+="
+
+    def test_ternary(self):
+        expr = parse_expr("a ? b : c")
+        assert isinstance(expr, cast.Ternary)
+
+    def test_logical_layers(self):
+        expr = parse_expr("a && b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_unary_chain(self):
+        expr = parse_expr("-~!x")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+        assert expr.operand.operand.op == "!"
+
+    def test_index_and_call(self):
+        expr = parse_expr("v[i] + g(1, 2)")
+        assert isinstance(expr.left, cast.Index)
+        assert isinstance(expr.right, cast.CallExpr)
+        assert len(expr.right.args) == 2
+
+    def test_postfix_increment(self):
+        expr = parse_expr("i++")
+        assert isinstance(expr, cast.Postfix)
+
+    def test_prefix_increment(self):
+        expr = parse_expr("++i")
+        assert isinstance(expr, cast.Unary)
+        assert expr.op == "++pre"
+
+    def test_cast(self):
+        expr = parse_expr("(char) x")
+        assert isinstance(expr, cast.Cast)
+        assert expr.ty.base is MachineType.BYTE
+
+    def test_parenthesized_expression_is_not_cast(self):
+        expr = parse_expr("(x) + 1")
+        assert expr.op == "+"
+
+    def test_deref_and_addrof(self):
+        expr = parse_expr("*p + &x")
+        assert expr.left.op == "*"
+        assert expr.right.op == "&"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int f() { return 0 }")
+
+    def test_bad_expression(self):
+        with pytest.raises(ParseError):
+            parse("int f() { return +; }")
+
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError):
+            parse("int f() { return 0;")
+
+    def test_array_size_must_be_constant(self):
+        with pytest.raises(ParseError):
+            parse("int f() { int v[n]; return 0; }")

@@ -1,0 +1,102 @@
+"""Unit tests for grammar analyses (FIRST/FOLLOW, chain structure)."""
+
+import pytest
+
+from repro.grammar import (
+    END, chain_depth, chain_graph, find_chain_cycles, first_sets,
+    follow_sets, read_grammar, unproductive_nonterminals,
+)
+
+TEXT = """
+%start stmt
+stmt <- Assign.l lval.l rval.l :: emit "movl %3,%2"
+lval.l <- Name.l :: encap
+rval.l <- lval.l
+rval.l <- reg.l
+reg.l <- Plus.l rval.l rval.l :: emit "addl3 %2,%3,%0"
+reg.l <- Dreg.l
+"""
+
+
+@pytest.fixture(scope="module")
+def grammar():
+    return read_grammar(TEXT)
+
+
+class TestFirst:
+    def test_terminal_maps_to_itself(self, grammar):
+        first = first_sets(grammar)
+        assert first["Name.l"] == {"Name.l"}
+
+    def test_start_first(self, grammar):
+        first = first_sets(grammar)
+        assert first["stmt"] == {"Assign.l"}
+
+    def test_chain_union(self, grammar):
+        first = first_sets(grammar)
+        assert first["rval.l"] == {"Name.l", "Plus.l", "Dreg.l"}
+
+
+class TestFollow:
+    def test_start_followed_by_end(self, grammar):
+        follow = follow_sets(grammar)
+        assert END in follow["stmt"]
+
+    def test_mid_pattern_follow(self, grammar):
+        follow = follow_sets(grammar)
+        # lval.l is followed by whatever starts rval.l
+        assert {"Name.l", "Plus.l", "Dreg.l"} <= follow["lval.l"]
+
+    def test_tail_inherits_lhs_follow(self, grammar):
+        follow = follow_sets(grammar)
+        # the final rval.l of the Assign pattern inherits FOLLOW(stmt)
+        assert END in follow["rval.l"]
+
+
+class TestChains:
+    def test_graph(self, grammar):
+        graph = chain_graph(grammar)
+        assert graph == {"rval.l": {"lval.l", "reg.l"}}
+
+    def test_no_cycles(self, grammar):
+        assert find_chain_cycles(grammar) == []
+
+    def test_cycle_detection(self):
+        g = read_grammar("""
+%start s
+s <- a.l
+a.l <- b.l
+b.l <- a.l
+b.l <- X.l
+""")
+        cycles = find_chain_cycles(g)
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"a.l", "b.l"}
+
+    def test_self_loop(self):
+        g = read_grammar("%start s\ns <- s\ns <- X.l\n", check=False)
+        assert find_chain_cycles(g)
+
+    def test_chain_depth(self, grammar):
+        depth = chain_depth(grammar)
+        assert depth["rval.l"] == 1
+        assert depth["lval.l"] == 0
+
+    def test_chain_depth_rejects_cycles(self):
+        g = read_grammar("%start s\ns <- a.l\na.l <- b.l\nb.l <- a.l\nb.l <- X.l\n")
+        with pytest.raises(ValueError, match="cycle"):
+            chain_depth(g)
+
+
+class TestProductivity:
+    def test_all_productive(self, grammar):
+        assert unproductive_nonterminals(grammar) == set()
+
+    def test_dead_nonterminal(self):
+        g = read_grammar("""
+%start s
+s <- X.l
+s <- dead.l
+dead.l <- dead.l Y.l
+""", check=False)
+        assert unproductive_nonterminals(g) == {"dead.l"}

@@ -1,0 +1,76 @@
+"""Unit tests for the factoring diagnostics (section 6.2.1)."""
+
+from repro.grammar import (
+    analyze_factoring, find_overfactoring, operator_classes, read_grammar,
+)
+
+# The paper's own overfactoring example: Plus grouped into binop while
+# also appearing inside the displacement pattern.
+PAPER_EXAMPLE = """
+%start stmt
+stmt <- Assign.l lval.l rval.l :: emit "movl %3,%2"
+reg.l <- binop.l rval.l rval.l :: emit "op3 %2,%3,%0"
+binop.l <- Plus.l
+binop.l <- Or.l
+displ.l <- Plus.l Const.l reg.l :: encap
+reg.l <- Dreg.l
+rval.l <- reg.l
+rval.l <- displ.l
+lval.l <- Name.l :: encap
+rval.l <- lval.l
+"""
+
+
+class TestOperatorClasses:
+    def test_classes_found(self):
+        g = read_grammar(PAPER_EXAMPLE)
+        classes = operator_classes(g)
+        assert classes["binop.l"] == {"Plus.l", "Or.l"}
+
+    def test_rleaf_style_chains_are_classes_too(self):
+        g = read_grammar("%start s\ns <- c.l\nc.l <- X.l\n")
+        assert "c.l" in operator_classes(g)
+
+
+class TestOverfactoring:
+    def test_paper_case_detected(self):
+        g = read_grammar(PAPER_EXAMPLE)
+        warnings = find_overfactoring(g)
+        assert len(warnings) == 1
+        w = warnings[0]
+        assert w.terminal == "Plus.l"
+        assert w.class_nonterminal == "binop.l"
+        assert "displ.l" in str(w.conflicting_production)
+
+    def test_or_is_safe(self):
+        # Or.l only occurs as the class member: no warning for it
+        g = read_grammar(PAPER_EXAMPLE)
+        assert all(w.terminal != "Or.l" for w in find_overfactoring(g))
+
+    def test_clean_grammar_has_no_warnings(self):
+        g = read_grammar("""
+%start s
+s <- Assign.l lv.l rv.l :: emit "movl %3,%2"
+lv.l <- Name.l :: encap
+rv.l <- lv.l
+""")
+        assert find_overfactoring(g) == []
+
+
+class TestReport:
+    def test_report_structure(self):
+        g = read_grammar(PAPER_EXAMPLE)
+        report = analyze_factoring(g)
+        assert "binop.l" in report.operator_classes
+        assert "displ.l" in report.phrase_nonterminals
+        assert len(report.overfactoring) == 1
+        assert "overfactoring warnings: 1" in str(report)
+
+    def test_vax_grammar_reports_dreg_hazard(self, vax_bundle):
+        """The real VAX description keeps reg<-Dreg chains AND uses Dreg
+        inside the branch repair patterns; the detector must notice that
+        co-occurrence (which the tstbr productions exist to fix)."""
+        report = analyze_factoring(vax_bundle.grammar)
+        assert any(
+            w.terminal.startswith("Dreg") for w in report.overfactoring
+        )

@@ -1,0 +1,104 @@
+"""Unit tests for the Grammar container."""
+
+import pytest
+
+from repro.grammar import ActionKind, Grammar, GrammarError, Production, START
+
+
+def tiny():
+    g = Grammar("stmt")
+    g.add(Production("stmt", ("Assign.l", "lval.l", "rval.l"),
+                     ActionKind.EMIT, "movl %3,%2"))
+    g.add(Production("lval.l", ("Name.l",), ActionKind.ENCAPSULATE))
+    g.add(Production("rval.l", ("lval.l",)))
+    g.add(Production("rval.l", ("Const.l",), ActionKind.ENCAPSULATE))
+    return g
+
+
+class TestBuilding:
+    def test_indices_are_dense(self):
+        g = tiny()
+        assert [p.index for p in g] == [0, 1, 2, 3]
+
+    def test_duplicate_rejected(self):
+        g = tiny()
+        with pytest.raises(GrammarError):
+            g.add(Production("rval.l", ("lval.l",)))
+
+    def test_same_rhs_different_lhs_allowed(self):
+        g = tiny()
+        g.add(Production("other.l", ("lval.l",)))
+
+    def test_start_must_be_nonterminal(self):
+        with pytest.raises(GrammarError):
+            Grammar("Stmt")
+
+    def test_by_lhs(self):
+        g = tiny()
+        assert len(g.by_lhs("rval.l")) == 2
+
+
+class TestViews:
+    def test_terminals(self):
+        g = tiny()
+        assert g.terminals == {"Assign.l", "Name.l", "Const.l"}
+
+    def test_nonterminals(self):
+        g = tiny()
+        assert g.nonterminals == {"stmt", "lval.l", "rval.l"}
+
+    def test_chain_productions(self):
+        g = tiny()
+        chains = g.chain_productions()
+        assert len(chains) == 1
+        assert chains[0].rhs == ("lval.l",)
+
+    def test_stats(self):
+        stats = tiny().stats()
+        assert stats.productions == 4
+        assert stats.terminals == 3
+        assert stats.nonterminals == 3
+        assert stats.chain_productions == 1
+        assert stats.emitting == 1
+        assert stats.encapsulating == 2
+        assert stats.glue == 1
+
+
+class TestValidation:
+    def test_valid(self):
+        tiny().check()
+
+    def test_undefined_nonterminal(self):
+        g = tiny()
+        g.add(Production("stmt", ("Jump.l", "missing.l"), origin="test"))
+        with pytest.raises(GrammarError, match="undefined"):
+            g.check()
+
+    def test_unreachable(self):
+        g = tiny()
+        g.add(Production("island.l", ("Const.l",)))
+        with pytest.raises(GrammarError, match="unreachable"):
+            g.check()
+        g.check(allow_unreachable=True)
+
+    def test_missing_start_productions(self):
+        g = Grammar("stmt")
+        g.add(Production("rval.l", ("Const.l",)))
+        with pytest.raises(GrammarError, match="start symbol"):
+            g.check()
+
+
+class TestAugmentation:
+    def test_augmented_prepends_accept(self):
+        g = tiny()
+        aug, accept = g.augmented()
+        assert aug[0].lhs == START
+        assert aug[0].rhs == ("stmt", "$end")
+        assert len(aug) == len(g) + 1
+
+    def test_dump_reparses(self):
+        from repro.grammar import read_grammar
+
+        g = tiny()
+        again = read_grammar(g.dump())
+        assert [str(p) for p in again] == [str(p) for p in g]

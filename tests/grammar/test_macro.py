@@ -1,0 +1,93 @@
+"""Unit tests for the type-replication macro preprocessor (section 6.4)."""
+
+import pytest
+
+from repro.grammar import (
+    ActionKind, GenericProduction, MacroError, SCALE_TOKEN, replicate_all,
+    substitute,
+)
+
+
+class TestSubstitute:
+    def test_plain_variable(self):
+        assert substitute("reg.$t", {"t": "l"}) == "reg.l"
+
+    def test_variable_in_mnemonic_with_trailing_digit(self):
+        assert substitute("add$t3 %1,%2,%0", {"t": "w"}) == "addw3 %1,%2,%0"
+
+    def test_scale(self):
+        assert substitute("$scale(t)", {"t": "b"}) == "One"
+        assert substitute("$scale(t)", {"t": "l"}) == "Four"
+        assert substitute("$scale(t).l", {"t": "q"}) == "Eight.l"
+
+    def test_size(self):
+        assert substitute("$size(t)", {"t": "w"}) == "2"
+
+    def test_unbound_variable(self):
+        with pytest.raises(MacroError):
+            substitute("reg.$t", {})
+
+    def test_scale_table_is_complete(self):
+        assert set(SCALE_TOKEN) == {"b", "w", "l", "q", "f", "d"}
+
+
+class TestGenericProduction:
+    def test_single_variable_replication(self):
+        generic = GenericProduction(
+            "reg.$t", ("Plus.$t", "rval.$t", "rval.$t"),
+            ActionKind.EMIT, "add$t3 %2,%3,%0",
+            classes={"t": ("b", "w", "l")},
+        )
+        productions = generic.replicate()
+        assert len(productions) == 3
+        assert productions[0].lhs == "reg.b"
+        assert productions[2].template == "addl3 %2,%3,%0"
+
+    def test_no_variables_passes_through(self):
+        generic = GenericProduction("stmt", ("Jump.l", "Label"))
+        assert len(generic.replicate()) == 1
+
+    def test_cross_product(self):
+        generic = GenericProduction(
+            "reg.$a", ("Conv.$a", "rval.$b"),
+            ActionKind.EMIT, "cvt$b$a %2,%0",
+            classes={"a": ("b", "l"), "b": ("b", "l")},
+        )
+        productions = generic.replicate()
+        assert len(productions) == 4  # includes the identity pairs
+        templates = {p.template for p in productions}
+        assert "cvtbl %2,%0" in templates
+
+    def test_missing_class(self):
+        generic = GenericProduction("reg.$t", ("Dreg.$t",))
+        with pytest.raises(MacroError):
+            generic.replicate()
+
+    def test_variables_found_in_all_fields(self):
+        generic = GenericProduction(
+            "reg.$a", ("Conv.$a", "rval.$b"), ActionKind.EMIT,
+            template="cvt$b$a", semantic="conv.$b.$a",
+            classes={"a": ("l",), "b": ("w",)},
+        )
+        assert set(generic.variables()) == {"a", "b"}
+        (p,) = generic.replicate()
+        assert p.semantic == "conv.w.l"
+
+
+class TestReplicateAll:
+    def test_counts_and_dedup(self):
+        generics = [
+            GenericProduction("rval.$t", ("reg.$t",), classes={"t": ("b", "w")}),
+            GenericProduction("rval.b", ("reg.b",)),  # duplicate of first
+        ]
+        productions, counts = replicate_all(generics)
+        assert len(productions) == 2  # duplicate coalesced
+        assert counts["rval.$t <- reg.$t"] == 2
+
+    def test_growth_matches_class_sizes(self):
+        generics = [
+            GenericProduction("a.$t", ("X.$t",), classes={"t": ("b", "w", "l", "q")}),
+            GenericProduction("b.$t", ("Y.$t",), classes={"t": ("f", "d")}),
+        ]
+        productions, _ = replicate_all(generics)
+        assert len(productions) == 6

@@ -1,0 +1,55 @@
+"""Unit tests for repro.grammar.production."""
+
+import pytest
+
+from repro.grammar import ActionKind, Production
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Production("reg.l", ("Plus.l", "rval.l", "rval.l"),
+                       ActionKind.EMIT, "addl3 %1,%2,%0")
+        assert p.length == 3
+        assert not p.is_chain
+
+    def test_lhs_must_be_nonterminal(self):
+        with pytest.raises(ValueError):
+            Production("Reg.l", ("Plus.l",))
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            Production("reg.l", ())
+
+    def test_emit_needs_template(self):
+        with pytest.raises(ValueError):
+            Production("reg.l", ("Plus.l",), ActionKind.EMIT)
+
+    def test_glue_needs_no_template(self):
+        Production("rval.l", ("reg.l",), ActionKind.GLUE)
+
+
+class TestClassification:
+    def test_chain(self):
+        assert Production("rval.l", ("reg.l",)).is_chain
+        assert not Production("rval.l", ("Const.l",)).is_chain
+
+    def test_operator_class(self):
+        assert Production("binop", ("Plus.l",)).is_operator_class
+        assert not Production("binop", ("reg.l",)).is_operator_class
+
+    def test_terminal_nonterminal_split(self):
+        p = Production("reg.l", ("Plus.l", "rval.l", "rval.l"),
+                       ActionKind.EMIT, "x")
+        assert p.terminals() == ("Plus.l",)
+        assert p.nonterminals() == ("rval.l", "rval.l")
+
+    def test_with_index(self):
+        p = Production("rval.l", ("reg.l",))
+        q = p.with_index(7)
+        assert q.index == 7
+        assert q == p  # index excluded from comparison
+
+    def test_str(self):
+        p = Production("reg.l", ("Plus.l", "rval.l", "rval.l"),
+                       ActionKind.EMIT, "addl3 %1,%2,%0")
+        assert str(p) == 'reg.l <- Plus.l rval.l rval.l  :: emit "addl3 %1,%2,%0"'

@@ -1,0 +1,113 @@
+"""Unit tests for the grammar text reader."""
+
+import pytest
+
+from repro.grammar import (
+    ActionKind, GrammarError, GrammarSyntaxError, read_generic, read_grammar,
+    try_parse,
+)
+
+BASIC = """
+%start stmt
+stmt <- Assign.l lval.l rval.l :: emit "movl %3,%2" @1 !asg
+lval.l <- Name.l :: encap !lv
+rval.l <- lval.l
+rval.l <- Const.l :: encap
+"""
+
+
+class TestBasicParsing:
+    def test_reads_productions(self):
+        g = read_grammar(BASIC)
+        assert len(g) == 4
+        assert g.start == "stmt"
+
+    def test_attributes(self):
+        g = read_grammar(BASIC)
+        p = g[0]
+        assert p.action is ActionKind.EMIT
+        assert p.template == "movl %3,%2"
+        assert p.cost == 1
+        assert p.semantic == "asg"
+
+    def test_default_action_is_glue(self):
+        g = read_grammar(BASIC)
+        assert g[2].action is ActionKind.GLUE
+
+    def test_emit_gets_default_cost_one(self):
+        g = read_grammar('%start s\ns <- Jump.l Label :: emit "jbr %2"')
+        assert g[0].cost == 1
+
+    def test_comments_ignored(self):
+        g = read_grammar("%start s  # comment\ns <- X.l  # more\n")
+        assert len(g) == 1
+
+
+class TestGenerics:
+    def test_class_replication(self):
+        text = """
+%start stmt
+%class Y b w l
+stmt <- Assign.$Y lval.$Y rval.$Y :: emit "mov$Y %3,%2"
+lval.$Y <- Name.$Y :: encap
+rval.$Y <- lval.$Y
+"""
+        g = read_grammar(text)
+        assert len(g) == 9
+        assert "Assign.b" in g.terminals
+
+    def test_read_generic_preserves_generics(self):
+        text = "%start s\n%class Y b w\ns <- X.$Y\n"
+        start, generics = read_generic(text)
+        assert start == "s"
+        assert len(generics) == 1
+        assert generics[0].classes == {"Y": ("b", "w")}
+
+    def test_scale_in_pattern(self):
+        text = """
+%start s
+%class Y b l
+s <- Mul.l $scale(Y).l reg.l
+reg.l <- Dreg.l
+"""
+        g = read_grammar(text, check=False)
+        assert "One.l" in g.terminals
+        assert "Four.l" in g.terminals
+
+
+class TestErrors:
+    def test_missing_start(self):
+        with pytest.raises(GrammarError, match="%start"):
+            read_grammar("s <- X.l\n")
+
+    def test_missing_arrow(self):
+        with pytest.raises(GrammarSyntaxError, match="<-"):
+            read_grammar("%start s\ns X.l\n")
+
+    def test_empty_rhs(self):
+        with pytest.raises(GrammarSyntaxError, match="empty RHS"):
+            read_grammar("%start s\ns <- \n")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(GrammarSyntaxError, match="unknown attribute"):
+            read_grammar("%start s\ns <- X.l :: bogus\n")
+
+    def test_undeclared_class(self):
+        with pytest.raises(GrammarSyntaxError, match="no %class"):
+            read_grammar("%start s\ns <- X.$Z\n")
+
+    def test_bad_cost(self):
+        with pytest.raises(GrammarSyntaxError, match="bad cost"):
+            read_grammar("%start s\ns <- X.l :: emit \"x\" @abc\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(GrammarSyntaxError, match="unknown directive"):
+            read_grammar("%bogus\n%start s\ns <- X.l\n")
+
+    def test_try_parse_collects_errors(self):
+        grammar, errors = try_parse("s <- X.l\n")
+        assert grammar is None
+        assert errors
+        grammar, errors = try_parse(BASIC)
+        assert grammar is not None
+        assert errors == []

@@ -1,0 +1,54 @@
+"""Tests for the whole-program porcelain (repro.compile)."""
+
+import pytest
+
+from repro.compile import ProgramAssembly, compile_program, run_program
+
+SOURCE = """
+int counter;
+int bump(int by) { counter += by; return counter; }
+int twice(int x) { return bump(x) + bump(x); }
+"""
+
+
+class TestCompileProgram:
+    def test_gg_backend(self, gg):
+        assembly = compile_program(SOURCE, "gg", generator=gg)
+        assert assembly.backend == "gg"
+        assert "_bump:" in assembly.text
+        assert "_twice:" in assembly.text
+        assert assembly.text.startswith("\t.data")
+        assert "\t.comm _counter,4" in assembly.text
+
+    def test_pcc_backend(self):
+        assembly = compile_program(SOURCE, "pcc")
+        assert assembly.instruction_count > 0
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            compile_program(SOURCE, "gcc")
+
+    def test_seconds_recorded(self, gg):
+        assembly = compile_program(SOURCE, "gg", generator=gg)
+        assert assembly.seconds > 0
+
+    def test_assembled_program(self, gg):
+        program = compile_program(SOURCE, "gg", generator=gg).assembled()
+        assert "_twice" in program.labels
+        assert program.symbols.get("counter") == 4
+
+
+class TestRunProgram:
+    def test_run(self, gg):
+        result = run_program(SOURCE, "twice", [5], generator=gg)
+        assert result == 5 + 10  # counter accumulates across the calls
+
+    def test_globals_init(self, gg):
+        result = run_program(SOURCE, "bump", [1],
+                             globals_init={"counter": 41}, generator=gg)
+        assert result == 42
+
+    def test_both_backends_agree(self, gg):
+        gg_value = run_program(SOURCE, "twice", [7], "gg", generator=gg)
+        pcc_value = run_program(SOURCE, "twice", [7], "pcc")
+        assert gg_value == pcc_value

@@ -1,0 +1,92 @@
+"""Floating-point paths end to end: f/d arithmetic, conversions, the
+float instruction clusters, and execution on the simulator."""
+
+import pytest
+
+from repro.compile import compile_program
+
+
+class TestFloatCodegen:
+    def test_double_arithmetic_instructions(self, gg):
+        source = "double acc; double f(double x, double y) " \
+                 "{ acc = x * y + 2.5; return acc; }"
+        assembly = compile_program(source, "gg", generator=gg)
+        listing = assembly.function_results["f"].unit.listing()
+        assert "muld3" in listing
+        assert "addd" in listing
+
+    def test_float_vs_double_suffixes(self, gg):
+        source = "float a; double b; int f() { a = 1.5; b = 2.5; return 0; }"
+        listing = compile_program(source, "gg", generator=gg).text
+        assert "movf" in listing or "cvtdf" in listing
+        assert "movd" in listing or "$2.5" in listing
+
+    def test_int_to_double_conversion(self, gg):
+        source = "double f(int n) { return (double) n; }"
+        listing = compile_program(source, "gg", generator=gg).text
+        assert "cvtld" in listing
+
+    def test_double_to_int_conversion(self, gg):
+        source = "int f(double d) { return (int) d; }"
+        listing = compile_program(source, "gg", generator=gg).text
+        assert "cvtdl" in listing
+
+    def test_mixed_arithmetic_converts(self, gg):
+        source = "double f(double d, int n) { return d + n; }"
+        listing = compile_program(source, "gg", generator=gg).text
+        assert "cvtld" in listing
+        assert "addd" in listing
+
+
+class TestFloatExecution:
+    def run_double(self, source, entry, *float_args, gg=None, backend="gg"):
+        assembly = compile_program(source, backend, generator=gg)
+        vax = assembly.simulator()
+        # pass doubles through globals (the simulator's call() pushes ints)
+        for index, value in enumerate(float_args):
+            vax.set_float_global(f"in{index}", value)
+        vax.call(entry, [])
+        return vax.get_float_global("out")
+
+    SOURCE = """
+double in0; double in1; double out;
+int f() { out = in0 * in1 + in0 / in1; return 0; }
+"""
+
+    @pytest.mark.parametrize("backend", ["gg", "pcc"])
+    def test_double_expression(self, backend, gg):
+        result = self.run_double(
+            self.SOURCE, "f", 6.0, 1.5,
+            gg=gg if backend == "gg" else None, backend=backend,
+        )
+        assert result == pytest.approx(6.0 * 1.5 + 6.0 / 1.5)
+
+    def test_float_comparison_branches(self, gg):
+        source = """
+double in0; double in1; int out_i;
+int f() { if (in0 < in1) out_i = 1; else out_i = 2; return 0; }
+"""
+        assembly = compile_program(source, "gg", generator=gg)
+        vax = assembly.simulator()
+        vax.set_float_global("in0", 1.25)
+        vax.set_float_global("in1", 2.0)
+        vax.call("f", [])
+        assert vax.get_global("out_i") == 1
+
+    def test_int_double_round_trip(self, gg):
+        source = """
+double out;
+int f(int n) { out = (double) n / 4.0; return (int) out; }
+"""
+        assembly = compile_program(source, "gg", generator=gg)
+        vax = assembly.simulator()
+        result = vax.call("f", [10])
+        assert result == 2  # trunc(2.5)
+        assert vax.get_float_global("out") == pytest.approx(2.5)
+
+    def test_double_param_offsets(self, gg):
+        """A double parameter occupies two longwords: the *next* integer
+        parameter must be fetched past it."""
+        source = "int f(double d, int n) { return n; }"
+        listing = compile_program(source, "gg", generator=gg).text
+        assert "12(ap)" in listing

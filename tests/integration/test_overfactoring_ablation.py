@@ -1,0 +1,70 @@
+"""The section-6.2.1 overfactoring bug, reproduced and repaired.
+
+The paper: ``reg <- Dreg`` lets dedicated registers stand anywhere a
+register can, but it emits no code — so the general branch pattern's
+assumption that "the last instruction computed the tested register's
+condition codes" is silently false for register variables.  The authors
+fixed it by adding the explicit ``Branch Cmp Dreg Zero Label`` pattern,
+which the shift-preference then selects.
+
+These tests build the generator both ways and show (a) the emitted code
+differs exactly as the paper describes, and (b) the unrepaired grammar
+*actually miscompiles* on the simulated VAX.
+"""
+
+import pytest
+
+from repro.codegen import GrahamGlanvilleCodeGenerator
+from repro.ir import (
+    Cond, Forest, LabelDef, MachineType, assign, cbranch, cmp, const,
+    dreg, name,
+)
+from repro.sim import Vax, assemble
+
+L = MachineType.LONG
+
+
+def branch_forest():
+    """x = 5 (sets Z=0); then: if (rvar == 0) flag = 1; — with rvar a
+    register variable whose value IS zero."""
+    forest = Forest(name="t")
+    forest.add(assign(name("x", L), const(5, L)))
+    forest.add(cbranch(cmp(Cond.EQ, dreg("r9", L), const(0, L)), "TAKE"))
+    forest.add(assign(name("flag", L), const(2, L)))  # wrong path marker
+    forest.add(LabelDef("TAKE"))
+    return forest
+
+
+def compile_and_run(fix: bool) -> int:
+    generator = GrahamGlanvilleCodeGenerator(overfactoring_fix=fix)
+    result = generator.compile(branch_forest())
+    text = ("\t.data\n\t.comm _x,4\n\t.comm _flag,4\n"
+            "\t.text\n_t:\n\t.word 0\n" + result.unit.listing() + "\tret\n")
+    vax = Vax(assemble(text))
+    vax.registers["r9"] = 0  # dedicated register variable holds zero
+    vax.call("t")
+    return vax.get_global("flag")
+
+
+class TestOverfactoringRepair:
+    def test_repaired_grammar_emits_tst(self):
+        generator = GrahamGlanvilleCodeGenerator(overfactoring_fix=True)
+        result = generator.compile(branch_forest())
+        listing = result.unit.listing()
+        assert "tstl r9" in listing
+
+    def test_unrepaired_grammar_omits_tst(self):
+        generator = GrahamGlanvilleCodeGenerator(overfactoring_fix=False)
+        result = generator.compile(branch_forest())
+        listing = result.unit.listing()
+        assert "tstl r9" not in listing
+        assert "jeql" in listing  # branch on stale condition codes
+
+    def test_repaired_grammar_computes_correctly(self):
+        # r9 == 0, so the branch must be taken and flag stays 0
+        assert compile_and_run(fix=True) == 0
+
+    def test_unrepaired_grammar_miscompiles(self):
+        """The bug is *observable*: `movl $5,_x` left Z clear, the
+        unrepaired jeql falls through, and the wrong path runs."""
+        assert compile_and_run(fix=False) == 2

@@ -1,0 +1,243 @@
+"""The validation suite: C programs compiled by BOTH code generators,
+executed on the simulated VAX, and checked against the IR reference
+interpreter and a Python oracle.
+
+This is our version of the paper's "code generator produces code that
+passes validation suites" claim (section 8).
+"""
+
+import pytest
+
+from repro.compile import compile_program
+from repro.frontend import compile_c
+from repro.sim import interpret_c
+
+#: (name, source, entry, args, python_oracle)
+CASES = [
+    ("arith_mix",
+     "int f(int a, int b) { return a * 3 + b / 2 - (a % 5) + (b & 12); }",
+     "f", (17, 9),
+     lambda a, b: a * 3 + b // 2 - (a % 5) + (b & 12)),
+
+    ("negation",
+     "int f(int a) { return -a + ~a + !a; }",
+     "f", (7,), lambda a: -a + ~a + (0 if a else 1)),
+
+    ("shifts",
+     "int f(int a) { return (a << 3) + (a >> 1); }",
+     "f", (11,), lambda a: (a << 3) + (a >> 1)),
+
+    ("comparisons",
+     """int f(int a, int b) {
+         return (a < b) + (a <= b) * 2 + (a == b) * 4
+              + (a != b) * 8 + (a > b) * 16 + (a >= b) * 32;
+     }""",
+     "f", (3, 5), lambda a, b: ((a < b) + (a <= b) * 2 + (a == b) * 4
+                                + (a != b) * 8 + (a > b) * 16 + (a >= b) * 32)),
+
+    ("short_circuit",
+     """int g;
+     int side() { g = g + 1; return 1; }
+     int f(int a) { if (a > 0 && side()) return g; return g; }""",
+     "f", (0,), lambda a: 0),
+
+    ("ternary_chain",
+     "int f(int a) { return a < 0 ? -1 : a == 0 ? 0 : 1; }",
+     "f", (-5,), lambda a: -1),
+
+    ("while_sum",
+     """int f(int n) {
+         int s; s = 0;
+         while (n > 0) { s += n; n--; }
+         return s;
+     }""",
+     "f", (10,), lambda n: sum(range(1, n + 1))),
+
+    ("do_while",
+     """int f(int n) {
+         int c; c = 0;
+         do { c++; n = n / 2; } while (n > 0);
+         return c;
+     }""",
+     "f", (100,), lambda n: 7),
+
+    ("nested_loops",
+     """int f(int n) {
+         int i, j, s; s = 0;
+         for (i = 0; i < n; i++)
+             for (j = 0; j < i; j++)
+                 s += i * j;
+         return s;
+     }""",
+     "f", (6,),
+     lambda n: sum(i * j for i in range(n) for j in range(i))),
+
+    ("goto_loop",
+     """int f(int n) {
+         int s; s = 0;
+     top:
+         if (n <= 0) goto done;
+         s += n; n--;
+         goto top;
+     done:
+         return s;
+     }""",
+     "f", (5,), lambda n: 15),
+
+    ("break_continue",
+     """int f(int n) {
+         int i, s; s = 0;
+         for (i = 0; i < n; i++) {
+             if (i == 2) continue;
+             if (i == 7) break;
+             s += i;
+         }
+         return s;
+     }""",
+     "f", (100,), lambda n: sum(i for i in range(7) if i != 2)),
+
+    ("array_reverse",
+     """int v[16];
+     int f(int n) {
+         int i, t;
+         for (i = 0; i < n; i++) v[i] = i + 1;
+         i = 0;
+         while (i < n - 1 - i) {
+             t = v[i]; v[i] = v[n - 1 - i]; v[n - 1 - i] = t;
+             i++;
+         }
+         return v[0] * 100 + v[n - 1];
+     }""",
+     "f", (8,), lambda n: 801),
+
+    ("pointer_walk",
+     """int v[8]; int f(int n) {
+         int *p; int s; int i;
+         for (i = 0; i < n; i++) v[i] = i * 2;
+         p = &v[0];
+         s = 0;
+         for (i = 0; i < n; i++) { s += *p; p = p + 1; }
+         return s;
+     }""",
+     "f", (8,), lambda n: sum(i * 2 for i in range(8))),
+
+    ("register_char_pointer",
+     """char buf[8];
+     int f(int n) {
+         register char *p;
+         int i;
+         p = &buf[0];
+         for (i = 0; i < n; i++) { *p++ = (char)(i + 1); }
+         return buf[0] + buf[n - 1];
+     }""",
+     "f", (5,), lambda n: 1 + 5),
+
+    ("chars_and_shorts",
+     """char c; short s;
+     int f(int x) {
+         c = (char) x;
+         s = (short) (x * x);
+         return c + s;
+     }""",
+     "f", (12,), lambda x: x + x * x),
+
+    ("unsigned_wrap",
+     """unsigned int f(unsigned int a, unsigned int b) {
+         return (a + b) / 2;
+     }""",
+     "f", (10, 4), lambda a, b: 7),
+
+    ("mod_signs",
+     "int f(int a, int b) { return a % b; }",
+     "f", (-17, 5), lambda a, b: -(17 % 5)),
+
+    ("compound_ops",
+     """int f(int a) {
+         int x; x = a;
+         x += 3; x -= 1; x *= 2; x /= 3; x |= 8; x ^= 5; x &= 30;
+         return x;
+     }""",
+     "f", (10,),
+     lambda a: ((((a + 3 - 1) * 2) // 3 | 8) ^ 5) & 30),
+
+    ("increments",
+     """int f(int a) {
+         int x, s; x = a; s = 0;
+         s += x++;
+         s += ++x;
+         s += x--;
+         s += --x;
+         return s * 10 + x;
+     }""",
+     "f", (5,), lambda a: (5 + 7 + 7 + 5) * 10 + 5),
+
+    ("chained_assign",
+     """int a; int b;
+     int f(int x) { a = b = x + 1; return a * 100 + b; }""",
+     "f", (6,), lambda x: 707),
+
+    ("calls_deep",
+     """int add(int a, int b) { return a + b; }
+     int twice(int x) { return add(x, x); }
+     int f(int x) { return twice(add(x, 1)) + twice(x); }""",
+     "f", (5,), lambda x: (x + 1) * 2 + x * 2),
+
+    ("mutual_recursion",
+     """int is_odd(int n);
+     int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+     int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+     int f(int n) { return is_even(n) * 10 + is_odd(n); }""",
+     "f", (9,), lambda n: 1),
+
+    ("ackermann_small",
+     """int ack(int m, int n) {
+         if (m == 0) return n + 1;
+         if (n == 0) return ack(m - 1, 1);
+         return ack(m - 1, ack(m, n - 1));
+     }
+     int f() { return ack(2, 3); }""",
+     "f", (), lambda: 9),
+
+    ("collatz",
+     """int f(int n) {
+         int steps; steps = 0;
+         while (n != 1) {
+             if (n % 2 == 0) n = n / 2;
+             else n = 3 * n + 1;
+             steps++;
+         }
+         return steps;
+     }""",
+     "f", (27,), lambda n: 111),
+]
+
+# mutual recursion needs a declaration-free subset: drop the prototype line
+CASES = [
+    (name,
+     source.replace("int is_odd(int n);\n", "") if name == "mutual_recursion" else source,
+     entry, args, oracle)
+    for (name, source, entry, args, oracle) in CASES
+]
+
+
+@pytest.mark.parametrize("backend", ["gg", "pcc"])
+@pytest.mark.parametrize(
+    "name,source,entry,args,oracle", CASES, ids=[c[0] for c in CASES]
+)
+def test_validation(backend, name, source, entry, args, oracle, gg):
+    expected = oracle(*args)
+    assembly = compile_program(
+        source, backend, generator=gg if backend == "gg" else None
+    )
+    vax = assembly.simulator()
+    got = vax.call(entry, list(args))
+    assert got == expected, f"{backend}:{name}: {got} != {expected}"
+
+
+@pytest.mark.parametrize(
+    "name,source,entry,args,oracle", CASES, ids=[c[0] for c in CASES]
+)
+def test_reference_interpreter_agrees(name, source, entry, args, oracle):
+    program = compile_c(source)
+    result, _ = interpret_c(program, entry, list(args))
+    assert result == oracle(*args), name

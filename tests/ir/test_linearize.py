@@ -1,0 +1,133 @@
+"""Unit tests for prefix linearization and s-expression parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    Cond, MachineType, Node, Op, assign, cbranch, cmp, const, dreg, indir,
+    linearize, local, name, parse_sexpr, plus, prefix_string, split_symbol,
+    terminal_symbol,
+)
+from repro.ir.linearize import SexprError
+
+L = MachineType.LONG
+B = MachineType.BYTE
+
+
+class TestTerminalSymbols:
+    def test_typed_operator(self):
+        assert terminal_symbol(plus(name("a", L), name("b", L), L)) == "Plus.l"
+
+    def test_typed_leaf(self):
+        assert terminal_symbol(name("a", B)) == "Name.b"
+
+    def test_unsigned_shares_suffix(self):
+        assert terminal_symbol(name("a", MachineType.ULONG)) == "Name.l"
+
+    def test_special_constants_become_tokens(self):
+        # section 6.3: 0,1,2,4,8 get their own terminal symbols
+        for value, symbol in [(0, "Zero"), (1, "One"), (2, "Two"),
+                              (4, "Four"), (8, "Eight")]:
+            assert terminal_symbol(const(value, L)) == f"{symbol}.l"
+
+    def test_other_constants_stay_const(self):
+        assert terminal_symbol(const(3, L)) == "Const.l"
+        assert terminal_symbol(const(27, B)) == "Const.b"
+
+    def test_label_is_untyped(self):
+        assert terminal_symbol(Node(Op.LABEL, L, value="L5")) == "Label"
+
+    def test_split_symbol_round_trip(self):
+        op, ty = split_symbol("Plus.l")
+        assert op is Op.PLUS and ty is L
+        op, ty = split_symbol("Label")
+        assert op is Op.LABEL and ty is None
+
+
+class TestLinearize:
+    def test_appendix_tree(self):
+        # a := 27 + b, exactly the appendix's token sequence
+        tree = assign(name("a", L), plus(const(27), local(-4, B), L))
+        symbols = [token.symbol for token in linearize(tree)]
+        assert symbols == [
+            "Assign.l", "Name.l", "Plus.l", "Const.b", "Indir.b",
+            "Plus.l", "Const.b", "Dreg.l",
+        ]
+
+    def test_tokens_carry_nodes(self):
+        tree = plus(const(5, L), name("x", L), L)
+        tokens = linearize(tree)
+        assert tokens[1].node.value == 5
+        assert tokens[2].node.value == "x"
+
+    def test_token_count_equals_tree_size(self):
+        tree = assign(name("a", L), plus(const(27), local(-4, B), L))
+        assert len(linearize(tree)) == tree.size()
+
+    def test_prefix_string(self):
+        text = prefix_string(assign(name("a", L), const(3, L)))
+        assert text == "Assign.l Name.l:a Const.l:3"
+
+    def test_cbranch_tokens(self):
+        tree = cbranch(cmp(Cond.LT, name("x", L), const(3, L)), "L1")
+        symbols = [t.symbol for t in linearize(tree)]
+        assert symbols == ["Cbranch.l", "Cmp.l", "Name.l", "Const.l", "Label"]
+
+
+class TestSexpr:
+    def test_round_trip_simple(self):
+        tree = assign(name("a", L), plus(const(27), local(-4, B), L))
+        assert parse_sexpr(tree.sexpr()) == tree
+
+    def test_round_trip_cond(self):
+        tree = cmp(Cond.LEU, name("x", MachineType.ULONG), const(3, L))
+        parsed = parse_sexpr(tree.sexpr())
+        assert parsed.cond is Cond.LEU
+
+    def test_special_constant_parses_to_const(self):
+        tree = parse_sexpr("(Plus.l (Four.l) (Dreg.l r6))")
+        assert tree.kids[0].op is Op.CONST
+        assert tree.kids[0].value == 4
+
+    def test_negative_and_float_atoms(self):
+        assert parse_sexpr("(Const.l -42)").value == -42
+        assert parse_sexpr("(Const.d 2.5)").value == 2.5
+
+    def test_errors(self):
+        with pytest.raises(SexprError):
+            parse_sexpr("(Plus.l (Const.l 1)")  # missing paren
+        with pytest.raises(SexprError):
+            parse_sexpr("(Const.l 1) extra")
+        with pytest.raises(SexprError):
+            parse_sexpr("(Cmp.l:bogus (Const.l 1) (Const.l 2))")
+
+
+# ---------------------------------------------------------------------------
+# Property: sexpr round-trips over randomly generated trees.
+# ---------------------------------------------------------------------------
+
+_leaf = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(lambda v: const(v, L)),
+    st.sampled_from(["a", "b", "c"]).map(lambda s: name(s, L)),
+    st.sampled_from(["r6", "fp"]).map(lambda r: dreg(r, L)),
+)
+
+
+def _binary(children):
+    return st.builds(lambda l, r: plus(l, r, L), children, children)
+
+
+_tree = st.recursive(_leaf, lambda kids: st.one_of(
+    _binary(kids),
+    kids.map(lambda k: indir(L, k)),
+), max_leaves=12)
+
+
+@given(_tree)
+def test_sexpr_round_trip_property(tree):
+    assert parse_sexpr(tree.sexpr()) == tree
+
+
+@given(_tree)
+def test_linearize_length_property(tree):
+    assert len(linearize(tree)) == tree.size()

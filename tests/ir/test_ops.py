@@ -1,0 +1,126 @@
+"""Unit tests for repro.ir.ops."""
+
+import pytest
+
+from repro.ir.ops import Cond, Op, OpClass, SPECIAL_CONSTS, op_for_symbol
+
+
+class TestArity:
+    def test_leaves(self):
+        for op in (Op.NAME, Op.CONST, Op.DREG, Op.REG, Op.TEMP, Op.LABEL):
+            assert op.arity == 0
+            assert op.is_leaf
+
+    def test_unary(self):
+        for op in (Op.INDIR, Op.NEG, Op.COMPL, Op.CONV, Op.ADDROF):
+            assert op.arity == 1
+
+    def test_binary(self):
+        for op in (Op.ASSIGN, Op.PLUS, Op.MINUS, Op.MUL, Op.DIV, Op.CMP):
+            assert op.arity == 2
+
+    def test_call_is_variadic(self):
+        assert Op.CALL.arity == -1
+
+    def test_select_is_ternary(self):
+        assert Op.SELECT.arity == 3
+
+
+class TestCommutativity:
+    def test_commutative_set(self):
+        assert Op.PLUS.commutative
+        assert Op.MUL.commutative
+        assert Op.AND.commutative
+        assert Op.OR.commutative
+        assert Op.XOR.commutative
+
+    def test_non_commutative(self):
+        for op in (Op.MINUS, Op.DIV, Op.MOD, Op.LSH, Op.RSH, Op.ASSIGN):
+            assert not op.commutative
+
+
+class TestReversedOperators:
+    def test_reversed_forms_exist(self):
+        assert Op.MINUS.reversed_form is Op.RMINUS
+        assert Op.DIV.reversed_form is Op.RDIV
+        assert Op.ASSIGN.reversed_form is Op.RASSIGN
+        assert Op.CMP.reversed_form is Op.RCMP
+
+    def test_commutative_ops_have_no_reversed_form(self):
+        assert Op.PLUS.reversed_form is None
+        assert Op.MUL.reversed_form is None
+
+    def test_unreversed(self):
+        assert Op.RMINUS.unreversed is Op.MINUS
+        assert Op.RDIV.unreversed is Op.DIV
+        assert Op.RASSIGN.unreversed is Op.ASSIGN
+        assert Op.PLUS.unreversed is Op.PLUS
+
+    def test_is_reversed(self):
+        assert Op.RMINUS.is_reversed
+        assert not Op.MINUS.is_reversed
+
+    def test_every_reversed_op_round_trips(self):
+        for op in Op:
+            if op.is_reversed:
+                assert op.unreversed.reversed_form is op
+
+
+class TestSymbols:
+    def test_symbols_start_uppercase(self):
+        for op in Op:
+            assert op.symbol[0].isupper()
+
+    def test_lookup_round_trip(self):
+        for op in Op:
+            assert op_for_symbol(op.symbol) is op
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            op_for_symbol("Bogus")
+
+
+class TestSpecialConstants:
+    def test_values(self):
+        assert set(SPECIAL_CONSTS) == {0, 1, 2, 4, 8}
+        assert SPECIAL_CONSTS[4] is Op.FOUR
+
+    def test_special_ops_are_leaves(self):
+        for op in SPECIAL_CONSTS.values():
+            assert op.is_leaf
+
+
+class TestConds:
+    def test_negation_is_involutive(self):
+        for cond in Cond:
+            assert cond.negated.negated is cond
+
+    def test_swap_is_involutive(self):
+        for cond in Cond:
+            assert cond.swapped.swapped is cond
+
+    def test_eq_swaps_to_itself(self):
+        assert Cond.EQ.swapped is Cond.EQ
+        assert Cond.NE.swapped is Cond.NE
+
+    def test_lt_swaps_to_gt(self):
+        assert Cond.LT.swapped is Cond.GT
+        assert Cond.LEU.swapped is Cond.GEU
+
+    def test_negate_preserves_signedness(self):
+        for cond in Cond:
+            assert cond.negated.is_unsigned == cond.is_unsigned or cond in (Cond.EQ, Cond.NE)
+
+    def test_mnemonics(self):
+        assert Cond.EQ.mnemonic_suffix == "eql"
+        assert Cond.LTU.mnemonic_suffix == "lssu"
+
+
+class TestOpClasses:
+    def test_statement_ops(self):
+        for op in (Op.CBRANCH, Op.JUMP, Op.RETURN, Op.EXPR, Op.ARG):
+            assert op.klass is OpClass.STMT
+
+    def test_control_ops(self):
+        for op in (Op.ANDAND, Op.OROR, Op.SELECT, Op.CALL):
+            assert op.klass is OpClass.CONTROL

@@ -1,0 +1,120 @@
+"""Unit tests for repro.ir.tree."""
+
+import pytest
+
+from repro.ir import (
+    Forest, LabelDef, MachineType, Node, Op, assign, const, name, plus,
+    walk_postorder,
+)
+
+L = MachineType.LONG
+
+
+def small_tree():
+    return assign(name("a", L), plus(const(1, L), name("b", L), L))
+
+
+class TestNodeBasics:
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Node(Op.PLUS, L, [const(1)])
+
+    def test_variadic_call_skips_arity(self):
+        node = Node(Op.CALL, L, [const(1), const(2), const(3)], value="f")
+        assert len(node.kids) == 3
+
+    def test_left_right(self):
+        tree = plus(const(1, L), const(2, L), L)
+        assert tree.left.value == 1
+        assert tree.right.value == 2
+
+    def test_size(self):
+        assert small_tree().size() == 5
+        assert const(5).size() == 1
+
+    def test_depth(self):
+        assert const(5).depth() == 1
+        assert small_tree().depth() == 3
+
+    def test_count(self):
+        tree = small_tree()
+        assert tree.count(lambda n: n.op is Op.NAME) == 2
+
+    def test_preorder_is_prefix_order(self):
+        tree = small_tree()
+        ops = [n.op for n in tree.preorder()]
+        assert ops == [Op.ASSIGN, Op.NAME, Op.PLUS, Op.CONST, Op.NAME]
+
+    def test_postorder_visits_children_first(self):
+        tree = small_tree()
+        ops = [n.op for n in walk_postorder(tree)]
+        assert ops[-1] is Op.ASSIGN
+        assert ops[0] is Op.NAME
+
+
+class TestCloneAndEquality:
+    def test_clone_is_equal_but_distinct(self):
+        tree = small_tree()
+        copy = tree.clone()
+        assert copy == tree
+        assert copy is not tree
+        assert copy.kids[0] is not tree.kids[0]
+
+    def test_mutating_clone_leaves_original(self):
+        tree = small_tree()
+        copy = tree.clone()
+        copy.kids[0].value = "z"
+        assert tree.kids[0].value == "a"
+
+    def test_inequality_on_value(self):
+        assert const(1, L) != const(2, L)
+
+    def test_inequality_on_type(self):
+        assert const(1, MachineType.BYTE) != const(1, L)
+
+    def test_replace_with(self):
+        tree = small_tree()
+        tree.kids[1].replace_with(const(9, L))
+        assert tree.kids[1].op is Op.CONST
+        assert tree.kids[1].value == 9
+
+
+class TestForest:
+    def test_iteration_and_trees(self):
+        forest = Forest([small_tree(), LabelDef("L1"), small_tree()])
+        assert len(forest) == 3
+        assert len(list(forest.trees())) == 2
+
+    def test_node_count(self):
+        forest = Forest([small_tree(), small_tree()])
+        assert forest.node_count() == 10
+
+    def test_new_temp_monotonic(self):
+        forest = Forest(name="f")
+        assert forest.new_temp() == "T1"
+        assert forest.new_temp() == "T2"
+
+    def test_new_label_embeds_routine_name(self):
+        forest = Forest(name="f")
+        assert forest.new_label() == "Lf_1"
+        assert forest.new_label() == "Lf_2"
+
+    def test_new_label_main_is_bare(self):
+        forest = Forest(name="main")
+        assert forest.new_label() == "L1"
+
+    def test_clone_preserves_counters(self):
+        forest = Forest(name="f")
+        forest.new_temp()
+        forest.new_label()
+        forest.add(small_tree())
+        copy = forest.clone()
+        assert copy.new_temp() == "T2"
+        assert copy.new_label() == "Lf_2"
+        assert copy.items[0] == forest.items[0]
+        assert copy.items[0] is not forest.items[0]
+
+    def test_sexpr_repr(self):
+        text = repr(Forest([small_tree(), LabelDef("X")]))
+        assert "(Assign.l" in text
+        assert "X:" in text

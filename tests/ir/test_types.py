@@ -1,0 +1,140 @@
+"""Unit tests for repro.ir.types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import (
+    FLOAT_TYPES, GRAMMAR_TYPES, INTEGER_TYPES, MachineType, TypeKind,
+    integer_promote, smallest_literal_type, type_for_suffix,
+)
+
+
+class TestBasicProperties:
+    def test_integer_sizes(self):
+        assert MachineType.BYTE.size == 1
+        assert MachineType.WORD.size == 2
+        assert MachineType.LONG.size == 4
+        assert MachineType.QUAD.size == 8
+
+    def test_float_sizes(self):
+        assert MachineType.FLOAT.size == 4
+        assert MachineType.DOUBLE.size == 8
+
+    def test_suffixes(self):
+        assert [t.suffix for t in INTEGER_TYPES] == ["b", "w", "l", "q"]
+        assert [t.suffix for t in FLOAT_TYPES] == ["f", "d"]
+
+    def test_unsigned_share_suffix(self):
+        assert MachineType.ULONG.suffix == MachineType.LONG.suffix
+        assert not MachineType.ULONG.signed
+        assert MachineType.LONG.signed
+
+    def test_kinds(self):
+        assert MachineType.LONG.kind is TypeKind.INT
+        assert MachineType.DOUBLE.kind is TypeKind.FLOAT
+        assert MachineType.LONG.is_integer
+        assert MachineType.FLOAT.is_float
+        assert not MachineType.FLOAT.is_integer
+
+    def test_grammar_types_are_suffix_distinct(self):
+        suffixes = [t.suffix for t in GRAMMAR_TYPES]
+        assert len(suffixes) == len(set(suffixes))
+
+
+class TestSignedness:
+    def test_with_signedness(self):
+        assert MachineType.LONG.with_signedness(False) is MachineType.ULONG
+        assert MachineType.ULONG.with_signedness(True) is MachineType.LONG
+        assert MachineType.BYTE.with_signedness(False) is MachineType.UBYTE
+
+    def test_float_with_signedness_is_identity(self):
+        assert MachineType.DOUBLE.with_signedness(False) is MachineType.DOUBLE
+
+    def test_min_max_signed(self):
+        assert MachineType.BYTE.min_value() == -128
+        assert MachineType.BYTE.max_value() == 127
+        assert MachineType.LONG.max_value() == 2**31 - 1
+
+    def test_min_max_unsigned(self):
+        assert MachineType.UBYTE.min_value() == 0
+        assert MachineType.UBYTE.max_value() == 255
+        assert MachineType.ULONG.max_value() == 2**32 - 1
+
+    def test_min_max_float_raises(self):
+        with pytest.raises(TypeError):
+            MachineType.FLOAT.min_value()
+
+
+class TestWrap:
+    def test_wrap_identity_in_range(self):
+        assert MachineType.LONG.wrap(12345) == 12345
+        assert MachineType.BYTE.wrap(-5) == -5
+
+    def test_wrap_overflow_signed(self):
+        assert MachineType.BYTE.wrap(128) == -128
+        assert MachineType.BYTE.wrap(255) == -1
+        assert MachineType.LONG.wrap(2**31) == -(2**31)
+
+    def test_wrap_unsigned(self):
+        assert MachineType.UBYTE.wrap(-1) == 255
+        assert MachineType.ULONG.wrap(-1) == 2**32 - 1
+
+    def test_wrap_float_raises(self):
+        with pytest.raises(TypeError):
+            MachineType.DOUBLE.wrap(1)
+
+    @given(st.integers(min_value=-2**40, max_value=2**40))
+    def test_wrap_is_idempotent(self, value):
+        for ty in INTEGER_TYPES:
+            once = ty.wrap(value)
+            assert ty.wrap(once) == once
+            assert ty.min_value() <= once <= ty.max_value()
+
+
+class TestSuffixLookup:
+    @pytest.mark.parametrize("suffix,expected", [
+        ("b", MachineType.BYTE), ("w", MachineType.WORD),
+        ("l", MachineType.LONG), ("q", MachineType.QUAD),
+        ("f", MachineType.FLOAT), ("d", MachineType.DOUBLE),
+    ])
+    def test_round_trip(self, suffix, expected):
+        assert type_for_suffix(suffix) is expected
+
+    def test_unknown_suffix(self):
+        with pytest.raises(ValueError):
+            type_for_suffix("x")
+
+
+class TestPromotion:
+    def test_wider_wins(self):
+        assert integer_promote(MachineType.BYTE, MachineType.LONG) is MachineType.LONG
+        assert integer_promote(MachineType.LONG, MachineType.WORD) is MachineType.LONG
+
+    def test_unsigned_wins_at_equal_size(self):
+        assert integer_promote(MachineType.LONG, MachineType.ULONG) is MachineType.ULONG
+
+    def test_float_dominates(self):
+        assert integer_promote(MachineType.LONG, MachineType.FLOAT) is MachineType.FLOAT
+        assert integer_promote(MachineType.DOUBLE, MachineType.FLOAT) is MachineType.DOUBLE
+
+    @given(st.sampled_from(INTEGER_TYPES), st.sampled_from(INTEGER_TYPES))
+    def test_promotion_is_commutative_on_size(self, a, b):
+        assert integer_promote(a, b).size == integer_promote(b, a).size
+
+
+class TestLiteralTyping:
+    def test_byte_literals(self):
+        # the appendix types 27 as a byte constant
+        assert smallest_literal_type(27) is MachineType.BYTE
+        assert smallest_literal_type(-128) is MachineType.BYTE
+
+    def test_word_and_long(self):
+        assert smallest_literal_type(1000) is MachineType.WORD
+        assert smallest_literal_type(100000) is MachineType.LONG
+
+    def test_quad(self):
+        assert smallest_literal_type(2**40) is MachineType.QUAD
+
+    def test_overflow(self):
+        with pytest.raises(OverflowError):
+            smallest_literal_type(2**80)

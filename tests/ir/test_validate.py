@@ -1,0 +1,79 @@
+"""Unit tests for IR well-formedness checking."""
+
+import pytest
+
+from repro.ir import (
+    Cond, Forest, IRValidationError, LabelDef, MachineType, Node, Op,
+    assign, cbranch, cmp, check_forest, check_tree, const, jump, name,
+    plus, validate,
+)
+
+L = MachineType.LONG
+
+
+class TestTreeChecks:
+    def test_valid_tree_passes(self):
+        tree = assign(name("a", L), plus(const(1, L), name("b", L), L))
+        assert check_tree(tree) == []
+        validate(tree)  # should not raise
+
+    def test_arity_mutation_detected(self):
+        tree = plus(const(1, L), const(2, L), L)
+        tree.kids.pop()
+        assert any("expects 2 kids" in e for e in check_tree(tree))
+
+    def test_name_needs_string(self):
+        node = Node(Op.NAME, L, value=42)
+        assert any("needs a string" in e for e in check_tree(node))
+
+    def test_const_needs_number(self):
+        node = Node(Op.CONST, L, value="oops")
+        assert any("numeric" in e for e in check_tree(node))
+
+    def test_cmp_needs_cond(self):
+        node = Node(Op.CMP, L, [const(1, L), const(2, L)])
+        assert any("lacks a condition" in e for e in check_tree(node))
+
+    def test_assign_destination_must_be_lvalue(self):
+        tree = Node(Op.ASSIGN, L, [const(1, L), const(2, L)])
+        assert any("not an lvalue" in e for e in check_tree(tree))
+
+    def test_cbranch_shape(self):
+        bad = Node(Op.CBRANCH, L, [const(1, L), Node(Op.LABEL, L, value="L1")])
+        assert any("expected Cmp" in e for e in check_tree(bad))
+
+    def test_jump_target(self):
+        bad = Node(Op.JUMP, L, [const(1, L)])
+        assert any("not a Label" in e for e in check_tree(bad))
+
+    def test_nested_statement_rejected(self):
+        tree = plus(Node(Op.JUMP, L, [Node(Op.LABEL, L, value="X")]),
+                    const(1, L), L)
+        assert any("nested in expression" in e for e in check_tree(tree))
+
+    def test_postinc_amount_must_be_const(self):
+        bad = Node(Op.POSTINC, L, [name("x", L), name("y", L)])
+        assert any("amount must be a Const" in e for e in check_tree(bad))
+
+
+class TestForestChecks:
+    def test_undefined_label(self):
+        forest = Forest([jump("NOPE")])
+        assert any("never defined" in e for e in check_forest(forest))
+
+    def test_duplicate_label(self):
+        forest = Forest([LabelDef("A"), LabelDef("A")])
+        assert any("defined twice" in e for e in check_forest(forest))
+
+    def test_valid_forest(self):
+        forest = Forest([
+            LabelDef("TOP"),
+            cbranch(cmp(Cond.LT, name("i", L), const(3, L)), "TOP"),
+        ])
+        assert check_forest(forest) == []
+
+    def test_validate_raises_with_all_errors(self):
+        forest = Forest([jump("NOPE"), jump("ALSO")])
+        with pytest.raises(IRValidationError) as info:
+            validate(forest)
+        assert len(info.value.errors) == 2

@@ -1,0 +1,76 @@
+"""Unit tests for semantic descriptors."""
+
+from repro.ir import MachineType
+from repro.matcher import DKind, Descriptor, dregdesc, imm, labeldesc, mem, regdesc, void
+
+L = MachineType.LONG
+
+
+class TestConstructors:
+    def test_imm(self):
+        d = imm(27, MachineType.BYTE)
+        assert d.kind is DKind.IMM
+        assert d.text == "$27"
+        assert d.value == 27
+        assert d.is_constant
+
+    def test_mem(self):
+        d = mem("_a", L)
+        assert d.is_memory
+        assert not d.is_register
+
+    def test_reg(self):
+        d = regdesc("r3", L)
+        assert d.is_register
+        assert d.register == "r3"
+
+    def test_dreg(self):
+        d = dregdesc("fp", L)
+        assert d.kind is DKind.DREG
+        assert d.is_register
+
+    def test_label(self):
+        assert labeldesc("L1").text == "L1"
+
+    def test_void(self):
+        assert void().kind is DKind.VOID
+
+
+class TestSameLocation:
+    def test_binding_idiom_match(self):
+        assert mem("_a", L).same_location(mem("_a", L))
+
+    def test_different_text(self):
+        assert not mem("_a", L).same_location(mem("_b", L))
+
+    def test_different_kind(self):
+        assert not mem("r0", L).same_location(regdesc("r0", L))
+
+    def test_empty_text_never_matches(self):
+        assert not void().same_location(void())
+
+
+class TestMutation:
+    def test_with_text_copies(self):
+        original = mem("_a", L)
+        renamed = original.with_text("_b")
+        assert original.text == "_a"
+        assert renamed.text == "_b"
+
+    def test_spill_patch_in_place(self):
+        """The register manager patches spilled descriptors in place so
+        every stack slot referencing the cell sees the new location."""
+        d = regdesc("r2", L)
+        alias = d
+        d.kind = DKind.MEM
+        d.text = "-3588(fp)"
+        d.spilled = True
+        assert alias.text == "-3588(fp)"
+        assert alias.spilled
+
+    def test_side_effect_once(self):
+        d = mem("(r7)+", MachineType.BYTE)
+        d.after_text = "-1(r7)"
+        assert not d.side_effected
+        marked = d.consumed_side_effect()
+        assert marked.side_effected

@@ -1,0 +1,51 @@
+"""Unit tests for the appendix-style tracer."""
+
+from repro.matcher import NullTracer, Tracer, format_trace
+
+
+class TestTracer:
+    def test_records(self):
+        tracer = Tracer()
+        tracer.record("shift", "Name.l:a")
+        tracer.record("reduce", "lval.l <- Name.l", semantic="encap")
+        assert len(tracer) == 2
+        assert tracer.shifts() == 1
+        assert tracer.reduces() == 1
+
+    def test_null_tracer_is_free(self):
+        tracer = NullTracer()
+        tracer.record("shift", "x")
+        assert len(tracer) == 0
+
+    def test_stack_capture_opt_in(self):
+        plain = Tracer()
+        plain.record("shift", "x", stack="A B")
+        assert plain.entries[0].stack == ""
+        keeping = Tracer(keep_stacks=True)
+        keeping.record("shift", "x", stack="A B")
+        assert keeping.entries[0].stack == "A B"
+
+
+class TestFormatting:
+    def test_three_columns(self):
+        tracer = Tracer()
+        tracer.record("shift", "Assign.l")
+        tracer.record("accept", "stmt")
+        text = format_trace(tracer)
+        lines = text.splitlines()
+        assert lines[0].split() == ["Action", "On", "What", "Semantic", "Action"]
+        assert "shift" in lines[2]
+
+    def test_column_alignment(self):
+        tracer = Tracer()
+        tracer.record("reduce", "very long production text here", "note")
+        tracer.record("shift", "x")
+        text = format_trace(tracer)
+        first, second = text.splitlines()[2:4]
+        assert first.index("note") > len("reduce  ")
+
+    def test_stack_column(self):
+        tracer = Tracer(keep_stacks=True)
+        tracer.record("shift", "X", stack="X")
+        text = format_trace(tracer, include_stacks=True)
+        assert "Stack" in text.splitlines()[0]

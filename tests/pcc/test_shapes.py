@@ -1,0 +1,47 @@
+"""Unit tests for PCC operand shapes."""
+
+from repro.ir import MachineType, Node, Op, addrof, const, dreg, indir, name, plus, reg
+from repro.pcc import SEVAL, Shape, is_addressable, node_shape
+
+L = MachineType.LONG
+
+
+class TestNodeShape:
+    def test_registers(self):
+        assert Shape.SAREG in node_shape(reg("r0", L))
+        assert Shape.SAREG in node_shape(dreg("fp", L))
+
+    def test_names(self):
+        assert Shape.SNAME in node_shape(name("a", L))
+
+    def test_constants(self):
+        shape = node_shape(const(0, L))
+        assert Shape.SCON in shape
+        assert Shape.SZERO in shape
+        assert Shape.SONE in node_shape(const(1, L))
+        assert Shape.SONE not in node_shape(const(2, L))
+
+    def test_oreg_register_deferred(self):
+        assert Shape.SOREG in node_shape(indir(L, reg("r1", L)))
+
+    def test_oreg_displacement(self):
+        assert Shape.SOREG in node_shape(
+            indir(L, plus(const(-4), dreg("fp"), L)))
+        assert Shape.SOREG in node_shape(
+            indir(L, plus(dreg("fp", L), const(-4), L)))
+
+    def test_complex_indir_is_not_oreg(self):
+        shape = node_shape(indir(L, plus(name("p", L), name("q", L), L)))
+        assert Shape.SOREG not in shape
+
+    def test_addrof_name_is_constant(self):
+        assert Shape.SCON in node_shape(addrof(name("a", L)))
+
+    def test_is_addressable(self):
+        assert is_addressable(name("a", L))
+        assert is_addressable(const(3, L))
+        assert not is_addressable(plus(name("a", L), name("b", L), L))
+
+    def test_seval_mask(self):
+        assert Shape.SAREG in SEVAL
+        assert Shape.SNAME in SEVAL

@@ -1,0 +1,119 @@
+"""Unit tests for the VAX-subset assembler."""
+
+import pytest
+
+from repro.sim import AsmError, assemble, parse_operand
+
+
+class TestOperands:
+    def test_immediate(self):
+        op = parse_operand("$42")
+        assert op.mode == "imm" and op.value == 42
+
+    def test_negative_immediate(self):
+        assert parse_operand("$-7").value == -7
+
+    def test_symbol_immediate(self):
+        op = parse_operand("$_buf")
+        assert op.mode == "imm" and op.value == "_buf"
+
+    def test_register(self):
+        op = parse_operand("r5")
+        assert op.mode == "reg" and op.register == "r5"
+
+    def test_memory_symbol(self):
+        op = parse_operand("_total")
+        assert op.mode == "mem" and op.value == "_total"
+
+    def test_displacement(self):
+        op = parse_operand("-4(fp)")
+        assert op.mode == "disp" and op.offset == -4 and op.register == "fp"
+
+    def test_symbolic_displacement(self):
+        op = parse_operand("_a(r0)")
+        assert op.mode == "disp" and op.offset == "_a"
+
+    def test_register_deferred(self):
+        op = parse_operand("(r1)")
+        assert op.mode == "deferred_reg" and op.register == "r1"
+
+    def test_autoincrement(self):
+        op = parse_operand("(r7)+")
+        assert op.mode == "autoinc" and op.register == "r7"
+
+    def test_autodecrement(self):
+        op = parse_operand("-(r7)")
+        assert op.mode == "autodec" and op.register == "r7"
+
+    def test_indexed(self):
+        op = parse_operand("-20(fp)[r6]")
+        assert op.mode == "index"
+        assert op.register == "r6"
+        assert op.base.mode == "disp"
+        assert op.base.offset == -20
+
+    def test_symbol_indexed(self):
+        op = parse_operand("_a[r1]")
+        assert op.mode == "index" and op.base.value == "_a"
+
+    def test_deferred(self):
+        op = parse_operand("*_p")
+        assert op.deferred and op.mode == "mem"
+
+    def test_deferred_displacement(self):
+        op = parse_operand("*-4(fp)")
+        assert op.deferred and op.mode == "disp"
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            parse_operand("(r99)+")
+
+
+class TestProgram:
+    SOURCE = """
+\t.data
+\t.comm _a,40
+\t.text
+\t.globl _f
+_f:
+\t.word 0
+\tmovl $1,r0
+L1:
+\taddl2 $2,r0   # comment
+\tjbr L1
+\t.lcomm T1,4
+"""
+
+    def test_instructions(self):
+        program = assemble(self.SOURCE)
+        mnemonics = [i.mnemonic for i in program.instructions]
+        assert mnemonics == ["movl", "addl2", "jbr"]
+
+    def test_labels_point_at_instruction_indexes(self):
+        program = assemble(self.SOURCE)
+        assert program.labels["_f"] == 0
+        assert program.labels["L1"] == 1
+
+    def test_entry_points(self):
+        program = assemble(self.SOURCE)
+        assert program.entry_points["f"] == 0
+
+    def test_symbols(self):
+        program = assemble(self.SOURCE)
+        assert program.symbols["a"] == 40
+        assert program.symbols["T1"] == 4
+
+    def test_operand_split_respects_brackets(self):
+        program = assemble("\tmovl -20(fp)[r6],_x\n")
+        ins = program.instructions[0]
+        assert len(ins.operands) == 2
+        assert ins.operands[0].mode == "index"
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmError):
+            assemble("\t.bogus 1\n")
+
+    def test_source_and_line_retained(self):
+        program = assemble("\tmovl $1,r0\n")
+        assert program.instructions[0].line_number == 1
+        assert "movl" in program.instructions[0].source

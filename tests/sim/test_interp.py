@@ -1,0 +1,153 @@
+"""Unit tests for the IR reference interpreter."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.ir import MachineType
+from repro.sim import Interpreter, InterpError, interpret_c
+
+L = MachineType.LONG
+
+
+def run(source, entry, args=(), globals_init=None):
+    program = compile_c(source)
+    return interpret_c(program, entry, args, globals_init)
+
+
+class TestExpressions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2 * 3", 7),
+        ("10 - 3 - 2", 5),
+        ("13 / 3", 4),
+        ("-13 / 3", -4),           # C truncation
+        ("13 % 3", 1),
+        ("-13 % 3", -1),           # sign follows dividend
+        ("1 << 4", 16),
+        ("256 >> 3", 32),
+        ("(5 & 3) + (5 | 3) + (5 ^ 3)", 1 + 7 + 6),
+        ("~0", -1),
+        ("-(3)", -3),
+        ("1 < 2", 1),
+        ("2 <= 1", 0),
+        ("3 == 3", 1),
+        ("1 && 0", 0),
+        ("1 || 0", 1),
+        ("!5", 0),
+        ("!0", 1),
+        ("1 ? 10 : 20", 10),
+        ("0 ? 10 : 20", 20),
+    ])
+    def test_constant_expressions(self, expr, expected):
+        result, _ = run(f"int f() {{ return {expr}; }}", "f")
+        assert result == expected
+
+    def test_arguments(self):
+        result, _ = run("int f(int a, int b) { return a * 10 + b; }",
+                        "f", [4, 2])
+        assert result == 42
+
+    def test_globals(self):
+        result, machine = run(
+            "int g; int f() { g = 17; return g + 1; }", "f")
+        assert result == 18
+        assert machine.get_global("g") == 17
+
+    def test_global_init(self):
+        result, _ = run("int g; int f() { return g; }", "f",
+                        globals_init={"g": 99})
+        assert result == 99
+
+    def test_short_circuit_does_not_evaluate_rhs(self):
+        source = """
+int hits;
+int bump() { hits = hits + 1; return 1; }
+int f() { return 0 && bump(); }
+"""
+        result, machine = run(source, "f")
+        assert result == 0
+        assert machine.get_global("hits") == 0
+
+
+class TestTypes:
+    def test_byte_truncation(self):
+        result, _ = run("char c; int f() { c = (char) 300; return c; }", "f")
+        assert result == 300 - 256
+
+    def test_unsigned_division(self):
+        result, _ = run(
+            "unsigned int f(unsigned int a) { return a / 2; }",
+            "f", [-2])  # 0xFFFFFFFE / 2 = 0x7FFFFFFF
+        assert result & 0xFFFFFFFF == (2**32 - 2) // 2
+
+    def test_unsigned_comparison(self):
+        result, _ = run(
+            "int f(unsigned int a) { return a > 5; }", "f", [-1])
+        assert result == 1  # huge unsigned
+
+
+class TestControlFlow:
+    def test_loops(self):
+        result, _ = run("""
+int f(int n) {
+    int s, i;
+    s = 0;
+    for (i = 1; i <= n; i++) s += i;
+    return s;
+}""", "f", [10])
+        assert result == 55
+
+    def test_recursion(self):
+        result, _ = run(
+            "int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); }",
+            "f", [10])
+        assert result == 55
+
+    def test_arrays(self):
+        result, _ = run("""
+int v[10];
+int f() {
+    int i, s;
+    for (i = 0; i < 10; i++) v[i] = i * i;
+    s = 0;
+    for (i = 0; i < 10; i++) s += v[i];
+    return s;
+}""", "f")
+        assert result == sum(i * i for i in range(10))
+
+    def test_pointers(self):
+        result, _ = run("""
+int x;
+int f() {
+    int *p;
+    p = &x;
+    *p = 7;
+    return x;
+}""", "f")
+        assert result == 7
+
+    def test_recursion_temps_are_frame_local(self):
+        # g(n) uses a compound assignment temp while recursing
+        result, _ = run("""
+int v[10];
+int g(int n) {
+    if (n == 0) return 0;
+    v[n] += g(n - 1) + 1;
+    return v[n];
+}
+int f() { return g(5); }
+""", "f")
+        assert result == 5
+
+    def test_step_limit(self):
+        program = compile_c("int f() { while (1) ; return 0; }")
+        interpreter = Interpreter()
+        interpreter.machine.max_steps = 5000
+        for forest in program.forests.values():
+            interpreter.add_forest(forest)
+        with pytest.raises(InterpError, match="step limit"):
+            interpreter.run("f")
+
+    def test_missing_function(self):
+        interpreter = Interpreter()
+        with pytest.raises(InterpError, match="no function"):
+            interpreter.run("ghost")

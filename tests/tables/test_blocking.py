@@ -1,0 +1,73 @@
+"""Unit tests for syntactic-block detection (section 6.2.2)."""
+
+from repro.grammar import read_grammar
+from repro.tables import (
+    construct_tables, find_blocks, operand_starter_terminals,
+    summarize_blocks,
+)
+
+# A grammar with a genuine hole: byte constants exist as operands of
+# byte assignments, but the long Plus cannot accept them (no widening).
+HOLEY = """
+%start stmt
+stmt <- Assign.l lval.l rval.l :: emit "movl %3,%2"
+stmt <- Assign.b lval.b rval.b :: emit "movb %3,%2"
+reg.l <- Plus.l rval.l rval.l :: emit "addl3 %2,%3,%0"
+lval.l <- Name.l :: encap
+lval.b <- Name.b :: encap
+rval.l <- lval.l
+rval.l <- reg.l
+rval.l <- Const.l :: encap
+rval.b <- lval.b
+rval.b <- Const.b :: encap
+"""
+
+BRIDGED = HOLEY + """
+reg.l <- rval.b :: emit "cvtbl %1,%0"
+"""
+
+
+class TestOperandStarters:
+    def test_starters_cover_both_types(self):
+        tables = construct_tables(read_grammar(HOLEY))
+        starters = operand_starter_terminals(tables)
+        assert "Const.b" in starters
+        assert "Name.l" in starters
+        assert "Plus.l" in starters
+
+    def test_statement_starters_excluded(self):
+        tables = construct_tables(read_grammar(HOLEY))
+        starters = operand_starter_terminals(tables)
+        assert "Assign.l" not in starters
+
+
+class TestBlockDetection:
+    def test_holey_grammar_blocks_on_byte_operands(self):
+        tables = construct_tables(read_grammar(HOLEY))
+        blocks = find_blocks(tables)
+        blocked_symbols = {b.symbol for b in blocks}
+        # a byte operand under the long Plus has nowhere to go
+        assert "Const.b" in blocked_symbols or "Name.b" in blocked_symbols
+
+    def test_widening_removes_byte_blocks(self):
+        holey = find_blocks(construct_tables(read_grammar(HOLEY)))
+        bridged = find_blocks(construct_tables(read_grammar(BRIDGED)))
+        assert len(bridged) < len(holey)
+
+    def test_summarize(self):
+        tables = construct_tables(read_grammar(HOLEY))
+        text = summarize_blocks(find_blocks(tables))
+        assert "syntactic blocks" in text
+
+    def test_summarize_empty(self):
+        assert "no syntactic blocks" in summarize_blocks([])
+
+    def test_vax_grammar_has_no_scale_token_blocks(self, vax_tables):
+        """The bridge productions must remove the Plus-con-Mul blocks the
+        scaled-index patterns would otherwise cause: no state may block on
+        an operand after shifting Mul in a dx context."""
+        blocks = find_blocks(vax_tables)
+        for block in blocks:
+            description = vax_tables.automaton.describe_state(block.state)
+            if "Mul.l ." in description and "$scale" in description:
+                raise AssertionError(f"scale-token block remains: {block}")

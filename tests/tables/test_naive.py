@@ -1,0 +1,73 @@
+"""The slow (historical) constructor must agree with the fast one."""
+
+import pytest
+
+from repro.grammar import read_grammar
+from repro.tables import build_automaton, build_automaton_naive
+
+GRAMMARS = {
+    "simple": """
+%start stmt
+stmt <- Assign.l lval.l rval.l :: emit "movl %3,%2"
+lval.l <- Name.l :: encap
+rval.l <- lval.l
+rval.l <- Const.l :: encap
+""",
+    "arith": """
+%start stmt
+stmt <- Assign.l lval.l rval.l :: emit "movl %3,%2"
+stmt <- Assign.l lval.l Plus.l rval.l rval.l :: emit "addl3 %4,%5,%2"
+reg.l <- Plus.l rval.l rval.l :: emit "addl3 %2,%3,%0"
+reg.l <- Mul.l rval.l rval.l :: emit "mull3 %2,%3,%0"
+reg.l <- Dreg.l
+lval.l <- Name.l :: encap
+lval.l <- Indir.l reg.l :: encap
+rval.l <- reg.l
+rval.l <- lval.l
+rval.l <- Const.l :: encap
+""",
+    "typed": """
+%start stmt
+%class Y b w l
+stmt <- Assign.$Y lval.$Y rval.$Y :: emit "mov$Y %3,%2"
+lval.$Y <- Name.$Y :: encap
+rval.$Y <- lval.$Y
+rval.$Y <- Const.$Y :: encap
+reg.l <- rval.b :: emit "cvtbl %1,%0"
+reg.l <- rval.w :: emit "cvtwl %1,%0"
+rval.l <- reg.l
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(GRAMMARS))
+def test_naive_equals_fast(name):
+    grammar = read_grammar(GRAMMARS[name], check=False)
+    augmented, _ = grammar.augmented()
+    fast = build_automaton(augmented)
+    slow = build_automaton_naive(augmented)
+    assert fast.state_count == slow.state_count
+    assert fast.transitions == slow.transitions
+    for state in range(fast.state_count):
+        assert sorted(fast.closures[state]) == sorted(slow.closures[state])
+
+
+def test_naive_agrees_on_vax_subset(vax_bundle):
+    """Run the naive constructor on a prefix of the real VAX grammar
+    (the whole thing is the E5 benchmark's job, not a unit test's)."""
+    from repro.grammar import Grammar
+
+    subset = Grammar(vax_bundle.grammar.start)
+    wanted = {"stmt", "lval.l", "rval.l", "reg.l", "rleaf.l", "con.l",
+              "lval.b", "rval.b", "reg.b", "rleaf.b", "con.b",
+              "disp.l", "acon.l"}
+    for production in vax_bundle.grammar:
+        if production.lhs in wanted and all(
+            s[0].isupper() or s in wanted for s in production.rhs
+        ):
+            subset.add(production)
+    augmented, _ = subset.augmented()
+    fast = build_automaton(augmented)
+    slow = build_automaton_naive(augmented)
+    assert fast.state_count == slow.state_count
+    assert fast.transitions == slow.transitions

@@ -1,0 +1,165 @@
+"""Unit tests for SLR construction with Graham-Glanville disambiguation."""
+
+import pytest
+
+from repro.grammar import END, read_grammar
+from repro.tables import (
+    Accept, Reduce, Shift, TableConstructionError, construct_tables,
+)
+
+SIMPLE = """
+%start stmt
+stmt <- Assign.l lval.l rval.l :: emit "movl %3,%2"
+lval.l <- Name.l :: encap
+rval.l <- lval.l
+rval.l <- Const.l :: encap
+"""
+
+
+class TestBasicTables:
+    def test_construct(self):
+        tables = construct_tables(read_grammar(SIMPLE))
+        assert tables.stats.states > 0
+        assert tables.action_for(0, "Assign.l") is not None
+
+    def test_accept_on_end(self):
+        tables = construct_tables(read_grammar(SIMPLE))
+        # drive: Assign.l Name.l -> lval.l ...; find the state where stmt
+        # has been reduced: goto from 0 on stmt
+        state = tables.goto_for(0, "stmt")
+        assert isinstance(tables.action_for(state, END), Accept)
+
+    def test_parse_by_hand(self):
+        """Simulate the matcher loop on the tables directly."""
+        tables = construct_tables(read_grammar(SIMPLE))
+        stack = [0]
+        tokens = ["Assign.l", "Name.l", "Const.l", END]
+        position = 0
+        reductions = []
+        while True:
+            action = tables.action_for(stack[-1], tokens[position])
+            assert action is not None, f"error at {tokens[position]}"
+            if isinstance(action, Shift):
+                stack.append(action.state)
+                position += 1
+            elif isinstance(action, Reduce):
+                production = tables.production(action.production)
+                reductions.append(str(production))
+                del stack[len(stack) - len(production.rhs):]
+                stack.append(tables.goto_for(stack[-1], production.lhs))
+            else:
+                break
+        assert any("lval.l <- Name.l" in r for r in reductions)
+        assert any("stmt <-" in r for r in reductions)
+
+
+class TestShiftPreference:
+    GRAMMAR = """
+%start stmt
+stmt <- Cbranch.l Cmp.l reg.l Zero.l Label :: emit "jcc %5"
+stmt <- Cbranch.l Cmp.l rval.l rval.l Label :: emit "cmpl %3,%4"
+reg.l <- Dreg.l
+rval.l <- reg.l
+rval.l <- Zero.l :: encap
+rval.l <- Const.l :: encap
+"""
+
+    def test_shift_wins_over_reduce(self):
+        """After Cmp reg, on Zero.l the parser must shift (committing to
+        the condition-code pattern) rather than reduce reg to rval."""
+        tables = construct_tables(read_grammar(self.GRAMMAR, check=False))
+        state = 0
+        for symbol in ("Cbranch.l", "Cmp.l", "Dreg.l"):
+            action = tables.action_for(state, symbol)
+            assert isinstance(action, Shift)
+            state = action.state
+        # now reg.l <- Dreg.l reduces; follow the goto
+        action = tables.action_for(state, "Zero.l")
+        assert isinstance(action, Reduce)  # Dreg -> reg first
+        state_after_reduce = tables.goto_for(0, "dummy") if False else None
+        # the conflict is recorded at the state holding reg.l
+        assert tables.stats.shift_reduce_resolved >= 1
+        recorded = [c for c in tables.conflicts
+                    if c.kind.value == "shift/reduce"]
+        assert recorded
+
+
+class TestMaximalMunch:
+    GRAMMAR = """
+%start stmt
+stmt <- Assign.l lval.l Plus.l rval.l rval.l :: emit "addl3 %4,%5,%2"
+reg.l <- Plus.l rval.l rval.l :: emit "addl3 %2,%3,%0"
+stmt <- Assign.l lval.l rval.l :: emit "movl %3,%2"
+lval.l <- Name.l :: encap
+rval.l <- reg.l
+rval.l <- Const.l :: encap
+rval.l <- lval.l
+"""
+
+    def test_longest_rule_wins(self):
+        """At the end of Assign lval Plus rval rval, both the 5-symbol
+        store pattern and the 3-symbol register add are complete; the
+        longest must win (maximal munch)."""
+        tables = construct_tables(read_grammar(self.GRAMMAR))
+        rr = [c for c in tables.conflicts if c.kind.value == "reduce/reduce"]
+        assert rr, "expected a recorded reduce/reduce resolution"
+        for record in rr:
+            if isinstance(record.chosen, Reduce):
+                chosen_len = len(tables.production(record.chosen.production).rhs)
+                for loser in record.rejected:
+                    assert len(tables.production(loser).rhs) <= chosen_len
+
+
+class TestTies:
+    GRAMMAR = """
+%start stmt
+stmt <- Expr.l rval.l
+stmt <- Expr.l other.l
+rval.l <- Const.l :: encap
+other.l <- Const.l :: encap
+"""
+
+    def test_equal_length_tie_kept_in_table(self):
+        tables = construct_tables(read_grammar(self.GRAMMAR))
+        ambiguous = [
+            action
+            for row in tables.actions
+            for action in row.values()
+            if isinstance(action, Reduce) and action.is_ambiguous
+        ]
+        assert ambiguous
+        assert tables.stats.ambiguous_reduces > 0
+
+
+class TestChainLoopRejection:
+    def test_cycle_rejected(self):
+        grammar = read_grammar("""
+%start s
+s <- a.l
+a.l <- b.l
+b.l <- a.l
+b.l <- X.l
+""")
+        with pytest.raises(TableConstructionError, match="loop"):
+            construct_tables(grammar)
+
+    def test_cycle_override(self):
+        grammar = read_grammar("""
+%start s
+s <- a.l
+a.l <- b.l
+b.l <- a.l
+b.l <- X.l
+""")
+        tables = construct_tables(grammar, allow_chain_cycles=True)
+        assert tables.stats.states > 0
+
+
+class TestStats:
+    def test_stats_populated(self):
+        tables = construct_tables(read_grammar(SIMPLE))
+        stats = tables.stats
+        assert stats.action_entries > 0
+        assert stats.goto_entries > 0
+        assert stats.total_entries == stats.action_entries + stats.goto_entries
+        assert stats.build_seconds >= 0

@@ -1,0 +1,90 @@
+"""Unit tests for statistics gathering, dumps and the CLI."""
+
+import pytest
+
+from repro.tools import (
+    StatisticsReport, dump_blocking, dump_conflicts, dump_grammar,
+    dump_states, gather_statistics,
+)
+from repro.tools.cli import main
+
+
+class TestStatistics:
+    def test_report_fields(self, vax_bundle, vax_tables):
+        report = gather_statistics(vax_bundle, vax_tables)
+        assert report.generic_productions > 100
+        assert report.replicated_productions > report.generic_productions
+        assert report.states > 0
+        assert report.packed_entries <= report.table_entries
+        assert report.max_chain_depth >= 1
+
+    def test_rows_include_paper_numbers(self, vax_bundle, vax_tables):
+        report = gather_statistics(vax_bundle, vax_tables)
+        rows = report.rows()
+        assert rows["generic_productions"]["paper"] == 458
+        assert rows["states"]["paper"] == 2216
+
+    def test_format_is_printable(self, vax_bundle, vax_tables):
+        text = gather_statistics(vax_bundle, vax_tables).format()
+        assert "ours" in text and "paper" in text
+        assert "2216" in text
+
+
+class TestDumps:
+    def test_dump_grammar(self, vax_bundle):
+        text = dump_grammar(vax_bundle.grammar, limit=10)
+        assert "%start stmt" in text
+        assert "more" in text
+
+    def test_dump_states(self, vax_tables):
+        text = dump_states(vax_tables, [0, 1])
+        assert "state 0:" in text
+        assert "$accept" in text
+
+    def test_dump_conflicts(self, vax_tables):
+        text = dump_conflicts(vax_tables, limit=5)
+        assert "conflicts statically resolved" in text
+
+    def test_dump_blocking(self, vax_tables):
+        text = dump_blocking(vax_tables)
+        assert "block" in text
+
+
+class TestCli:
+    def test_stats(self, capsys):
+        assert main(["--stats"]) == 0
+        assert "paper" in capsys.readouterr().out
+
+    def test_compile_stdin(self, tmp_path, capsys):
+        source = tmp_path / "t.c"
+        source.write_text("int f(int x) { return x + 1; }\n")
+        assert main([str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "_f:" in out
+        assert "ret" in out
+
+    def test_pcc_backend(self, tmp_path, capsys):
+        source = tmp_path / "t.c"
+        source.write_text("int f(int x) { return x + 1; }\n")
+        assert main(["--backend", "pcc", str(source)]) == 0
+        assert "_f:" in capsys.readouterr().out
+
+    def test_trace(self, tmp_path, capsys):
+        source = tmp_path / "t.c"
+        source.write_text("int g; int f() { g = 1; return 0; }\n")
+        assert main(["--trace", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "shift" in out and "reduce" in out
+
+    def test_run(self, tmp_path, capsys):
+        source = tmp_path / "t.c"
+        source.write_text("int f(int a, int b) { return a * b; }\n")
+        assert main(["--run", "f", "--args", "6,7", str(source)]) == 0
+        assert "= 42" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path):
+        source = tmp_path / "t.c"
+        source.write_text("int f() { return 1; }\n")
+        out_file = tmp_path / "t.s"
+        assert main([str(source), "-o", str(out_file)]) == 0
+        assert "_f:" in out_file.read_text()

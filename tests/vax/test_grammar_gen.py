@@ -1,0 +1,90 @@
+"""Unit tests for the VAX machine description (grammar_gen)."""
+
+import pytest
+
+from repro.grammar import find_chain_cycles
+from repro.tables import construct_tables
+from repro.vax import build_vax_grammar, vax_grammar_text
+
+
+class TestStructure:
+    def test_builds_and_checks(self, vax_bundle):
+        stats = vax_bundle.grammar.stats()
+        assert stats.productions > 300
+        assert stats.terminals > 100
+
+    def test_no_chain_cycles(self, vax_bundle):
+        assert find_chain_cycles(vax_bundle.grammar) == []
+
+    def test_replication_ratio_matches_paper_shape(self, vax_bundle):
+        """The paper: 458 generic -> 1073 replicated (~2.3x).  Ours must
+        land in the same band."""
+        ratio = vax_bundle.grammar.stats().productions / vax_bundle.generic_count
+        assert 1.8 <= ratio <= 3.5
+
+    def test_states_exceed_productions(self, vax_bundle, vax_tables):
+        """Paper shape: 2216 states from 1073 productions (~2x)."""
+        ratio = vax_tables.stats.states / vax_bundle.grammar.stats().productions
+        assert 1.2 <= ratio <= 4.0
+
+    def test_key_patterns_present(self, vax_bundle):
+        rendered = {f"{p.lhs} <- {' '.join(p.rhs)}" for p in vax_bundle.grammar}
+        # the paper's displacement-indexed mode (section 6.3)
+        assert "dx.l <- Plus.l disp.l Mul.l Four.l reg.l" in rendered
+        # the appendix's displacement mode
+        assert "disp.l <- Plus.l con.l rleaf.l" in rendered
+        # the overfactoring repair (section 6.2.1)
+        assert ("stmt <- Cbranch.l Cmp.l Dreg.l Zero.l Label" in rendered)
+        # the autoincrement mode (section 6.1)
+        assert "lval.b <- Indir.b Postinc.l Dreg.l One.l" in rendered
+
+    def test_conversion_cross_product_complete(self, vax_bundle):
+        semantic_tags = {p.semantic for p in vax_bundle.grammar if p.semantic}
+        for src in ("b", "w", "l", "f", "d"):
+            for dst in ("b", "w", "l", "f", "d"):
+                if src != dst:
+                    assert f"conv.{src}.{dst}" in semantic_tags
+
+
+class TestToggles:
+    def test_reversed_ops_growth(self, vax_bundle):
+        """section 5.1.3: reversed operators grew the grammar by ~25%."""
+        without = build_vax_grammar(reversed_ops=False)
+        with_rev = vax_bundle
+        growth = (with_rev.grammar.stats().productions
+                  / without.grammar.stats().productions) - 1.0
+        assert 0.05 <= growth <= 0.5
+
+    def test_reversed_ops_table_growth_exceeds_grammar_growth(self, vax_tables):
+        """section 5.1.3: +25% grammar but +60% tables — table growth must
+        outpace grammar growth."""
+        without = build_vax_grammar(reversed_ops=False)
+        tables_without = construct_tables(without.grammar)
+        grammar_growth = (
+            build_vax_grammar().grammar.stats().productions
+            / without.grammar.stats().productions
+        )
+        table_growth = vax_tables.stats.states / tables_without.stats.states
+        assert table_growth > grammar_growth
+
+    def test_overfactoring_fix_toggle(self):
+        fixed = build_vax_grammar(overfactoring_fix=True)
+        broken = build_vax_grammar(overfactoring_fix=False)
+        fixed_rules = {f"{p.lhs} <- {' '.join(p.rhs)}" for p in fixed.grammar}
+        broken_rules = {f"{p.lhs} <- {' '.join(p.rhs)}" for p in broken.grammar}
+        dreg_branch = "stmt <- Cbranch.l Cmp.l Dreg.l Zero.l Label"
+        assert dreg_branch in fixed_rules
+        assert dreg_branch not in broken_rules
+
+
+class TestText:
+    def test_text_mentions_paper_sections(self):
+        text = vax_grammar_text()
+        assert "%start stmt" in text
+        assert "$scale(Y)" in text
+        assert "bridge" in text
+
+    def test_generic_counts(self, vax_bundle):
+        row = vax_bundle.generic_stats_row()
+        assert row["productions"] == vax_bundle.generic_count
+        assert row["productions"] < vax_bundle.grammar.stats().productions

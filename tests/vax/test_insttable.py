@@ -1,0 +1,142 @@
+"""Unit tests for the instruction table and idiom recognition
+(Figure 3 and section 5.3.2)."""
+
+import pytest
+
+from repro.ir import MachineType
+from repro.matcher import imm, mem, regdesc
+from repro.vax import INSTRUCTION_TABLE, figure3_entry, select_variant
+from repro.vax.insttable import RANGE_IDIOMS
+
+L = MachineType.LONG
+
+
+class TestFigure3:
+    def test_cluster_shape(self):
+        cluster = figure3_entry()
+        assert [v.mnemonic for v in cluster.variants] == ["addl3", "addl2", "incl"]
+        assert [v.operands for v in cluster.variants] == [3, 2, 1]
+        assert cluster.variants[0].binding == "ADD"
+        assert cluster.variants[0].commutes          # the -o-o "yes" column
+        assert cluster.variants[1].range_idiom == "one"
+
+    def test_three_address_default(self):
+        # a = 17 + b with a != b: no idiom applies -> addl3
+        selection = select_variant(
+            figure3_entry(), mem("_a", L), [imm(17, L), mem("_b", L)]
+        )
+        assert selection.mnemonic == "addl3"
+        assert selection.idioms_applied == ()
+        assert [d.text for d in selection.operands] == ["$17", "_b", "_a"]
+
+    def test_binding_idiom_second_source(self):
+        # a = 17 + a: the second source matches the destination -> addl2
+        selection = select_variant(
+            figure3_entry(), mem("_a", L), [imm(17, L), mem("_a", L)]
+        )
+        assert selection.mnemonic == "addl2"
+        assert "binding" in selection.idioms_applied
+        assert [d.text for d in selection.operands] == ["$17", "_a"]
+
+    def test_binding_idiom_first_source(self):
+        selection = select_variant(
+            figure3_entry(), mem("_a", L), [mem("_a", L), mem("_b", L)]
+        )
+        assert selection.mnemonic == "addl2"
+
+    def test_binding_then_range_gives_inc(self):
+        # a = a + 1: binding finds a, range finds the literal one -> incl
+        selection = select_variant(
+            figure3_entry(), mem("_a", L), [imm(1, L), mem("_a", L)]
+        )
+        assert selection.mnemonic == "incl"
+        assert selection.idioms_applied == ("binding", "range:one")
+        assert [d.text for d in selection.operands] == ["_a"]
+
+    def test_range_without_binding_stays_three_address(self):
+        # a = b + 1: the one is there but nothing binds -> addl3
+        selection = select_variant(
+            figure3_entry(), mem("_a", L), [imm(1, L), mem("_b", L)]
+        )
+        assert selection.mnemonic == "addl3"
+
+
+class TestNonCommutingClusters:
+    def test_sub_binds_only_first_source(self):
+        cluster = INSTRUCTION_TABLE["sub.l"]
+        # dest == minuend (first source): subl2 applies
+        selection = select_variant(
+            cluster, mem("_a", L), [mem("_a", L), mem("_b", L)]
+        )
+        assert selection.mnemonic == "subl2"
+        # dest == subtrahend (second source): must NOT bind
+        selection = select_variant(
+            cluster, mem("_a", L), [mem("_b", L), mem("_a", L)]
+        )
+        assert selection.mnemonic == "subl3"
+
+    def test_sub_one_is_dec(self):
+        cluster = INSTRUCTION_TABLE["sub.l"]
+        selection = select_variant(
+            cluster, mem("_a", L), [mem("_a", L), imm(1, L)]
+        )
+        assert selection.mnemonic == "decl"
+
+
+class TestMovAndCmp:
+    def test_mov_zero_is_clr(self):
+        selection = select_variant(
+            INSTRUCTION_TABLE["mov.l"], mem("_a", L), [imm(0, L)]
+        )
+        assert selection.mnemonic == "clrl"
+        assert [d.text for d in selection.operands] == ["_a"]
+
+    def test_mov_nonzero(self):
+        selection = select_variant(
+            INSTRUCTION_TABLE["mov.b"], mem("_c", MachineType.BYTE),
+            [imm(7, MachineType.BYTE)],
+        )
+        assert selection.mnemonic == "movb"
+
+    def test_cmp_zero_is_tst(self):
+        selection = select_variant(
+            INSTRUCTION_TABLE["cmp.l"], imm(0, L), [regdesc("r0", L)]
+        )
+        # note: cmp clusters are walked with the second operand as "dest"
+        assert selection.mnemonic in ("cmpl", "tstl")
+
+
+class TestRangeIdioms:
+    def test_registry(self):
+        assert set(RANGE_IDIOMS) >= {"one", "zero", "minus_one", "pow2"}
+
+    def test_pow2(self):
+        assert RANGE_IDIOMS["pow2"](imm(8, L))
+        assert not RANGE_IDIOMS["pow2"](imm(6, L))
+        assert not RANGE_IDIOMS["pow2"](imm(1, L))
+        assert not RANGE_IDIOMS["pow2"](mem("_a", L))
+
+    def test_minus_one(self):
+        assert RANGE_IDIOMS["minus_one"](imm(-1, L))
+        assert not RANGE_IDIOMS["minus_one"](imm(1, L))
+
+
+class TestTableCompleteness:
+    def test_integer_arith_clusters_exist(self):
+        for op in ("add", "sub", "mul", "div", "bis", "xor", "and"):
+            for suffix in ("b", "w", "l"):
+                assert f"{op}.{suffix}" in INSTRUCTION_TABLE
+
+    def test_float_clusters_exist(self):
+        for op in ("add", "sub", "mul", "div", "mov", "cmp"):
+            for suffix in ("f", "d"):
+                assert f"{op}.{suffix}" in INSTRUCTION_TABLE
+
+    def test_quad_moves_only(self):
+        assert "mov.q" in INSTRUCTION_TABLE
+        assert "add.q" not in INSTRUCTION_TABLE  # no quad ALU on the 780
+
+    def test_variant_rows_are_ordered_general_to_cheap(self):
+        for cluster in INSTRUCTION_TABLE.values():
+            counts = [v.operands for v in cluster.variants]
+            assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,34 @@
+"""Unit tests for the VAX machine model."""
+
+import pytest
+
+from repro.ir import MachineType
+from repro.vax import VAX, VaxMachine
+
+
+class TestModel:
+    def test_register_banks_disjoint(self):
+        assert not set(VAX.allocatable) & set(VAX.dedicated)
+
+    def test_pcc_conventions(self):
+        assert VAX.allocatable == ("r0", "r1", "r2", "r3", "r4", "r5")
+        assert "fp" in VAX.dedicated
+        assert VAX.return_register == "r0"
+
+    def test_is_register(self):
+        assert VAX.is_register("r3")
+        assert VAX.is_register("ap")
+        assert not VAX.is_register("_a")
+
+    def test_register_pair(self):
+        assert VAX.register_pair("r2") == ("r2", "r3")
+        with pytest.raises(ValueError):
+            VAX.register_pair("fp")
+
+    def test_needs_pair(self):
+        assert VAX.needs_pair(MachineType.QUAD)
+        assert not VAX.needs_pair(MachineType.LONG)
+        assert not VAX.needs_pair(MachineType.DOUBLE)  # float regs modelled flat
+
+    def test_short_literal_bound(self):
+        assert VAX.short_literal_max == 63

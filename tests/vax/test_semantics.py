@@ -1,0 +1,235 @@
+"""Assembly-level tests for the VAX semantic actions.
+
+Each test compiles one hand-built IR tree through the shared tables and
+asserts the exact instructions, covering the paper's worked examples and
+the idiom/addressing behaviours sections 5 and 6 describe.
+"""
+
+import pytest
+
+from repro.ir import (
+    Cond, MachineType, Node, Op, assign, cbranch, cmp, compl, const, conv,
+    dreg, div, expr_stmt, indir, local, minus, mod, mul, name, neg, plus,
+    postinc, reg as regleaf, temp,
+)
+from repro.matcher import Matcher
+from repro.vax import VaxSemantics
+
+L = MachineType.LONG
+B = MachineType.BYTE
+W = MachineType.WORD
+UL = MachineType.ULONG
+
+
+@pytest.fixture()
+def compile_tree(vax_tables):
+    def run(tree):
+        semantics = VaxSemantics()
+        Matcher(vax_tables, semantics).match_tree(tree)
+        return [line.strip() for line in semantics.buffer.lines
+                if not line.endswith(":")]
+    return run
+
+
+class TestPaperExamples:
+    def test_appendix_statement(self, compile_tree):
+        """a := 27 + b — byte local widened, constant folded into addl3."""
+        tree = assign(name("a", L), plus(const(27), local(-4, B), L))
+        assert compile_tree(tree) == [
+            "cvtbl -4(fp),r0",
+            "addl3 $27,r0,_a",
+        ]
+
+    def test_figure3_walkthrough_three_address(self, compile_tree):
+        """a = 17 + b straight into memory (section 5.3.1)."""
+        tree = assign(name("a", L), plus(const(17, L), name("b", L), L))
+        assert compile_tree(tree) == ["addl3 $17,_b,_a"]
+
+    def test_figure3_binding_idiom(self, compile_tree):
+        """a = 17 + a -> addl2 (binding idiom, section 5.3.2)."""
+        tree = assign(name("a", L), plus(const(17, L), name("a", L), L))
+        assert compile_tree(tree) == ["addl2 $17,_a"]
+
+    def test_figure3_range_idiom(self, compile_tree):
+        """a = a + 1 -> incl."""
+        tree = assign(name("a", L), plus(const(1, L), name("a", L), L))
+        assert compile_tree(tree) == ["incl _a"]
+
+
+class TestMovIdioms:
+    def test_clr(self, compile_tree):
+        assert compile_tree(assign(name("a", L), const(0, L))) == ["clrl _a"]
+
+    def test_clrb(self, compile_tree):
+        assert compile_tree(assign(name("c", B), const(0, B))) == ["clrb _c"]
+
+    def test_store_elision(self, compile_tree):
+        assert compile_tree(assign(name("a", L), name("a", L))) == []
+
+    def test_plain_move(self, compile_tree):
+        assert compile_tree(assign(name("a", L), name("b", L))) == ["movl _b,_a"]
+
+    def test_immediate_move(self, compile_tree):
+        assert compile_tree(assign(name("a", L), const(42, L))) == ["movl $42,_a"]
+
+
+class TestArithmetic:
+    def test_sub_operand_order(self, compile_tree):
+        # a = b - c: subl3 subtrahend,minuend,dest
+        tree = assign(name("a", L), minus(name("b", L), name("c", L), L))
+        assert compile_tree(tree) == ["subl3 _c,_b,_a"]
+
+    def test_sub_binding(self, compile_tree):
+        tree = assign(name("a", L), minus(name("a", L), name("b", L), L))
+        assert compile_tree(tree) == ["subl2 _b,_a"]
+
+    def test_dec(self, compile_tree):
+        tree = assign(name("a", L), minus(name("a", L), const(1, L), L))
+        assert compile_tree(tree) == ["decl _a"]
+
+    def test_div_order(self, compile_tree):
+        tree = assign(name("a", L), div(name("b", L), const(2, L), L))
+        assert compile_tree(tree) == ["divl3 $2,_b,_a"]
+
+    def test_neg_into_memory(self, compile_tree):
+        tree = assign(name("a", L), neg(name("b", L)))
+        assert compile_tree(tree) == ["mnegl _b,_a"]
+
+    def test_compl_into_memory(self, compile_tree):
+        tree = assign(name("a", L), compl(name("b", L)))
+        assert compile_tree(tree) == ["mcoml _b,_a"]
+
+    def test_and_pseudo_constant(self, compile_tree):
+        from repro.ir import bitand
+
+        tree = assign(name("a", L), bitand(const(12, L), name("b", L), L))
+        lines = compile_tree(tree)
+        assert lines == [f"bicl3 ${~12},_b,_a"]
+
+    def test_and_pseudo_general(self, compile_tree):
+        from repro.ir import bitand
+
+        tree = assign(name("a", L), bitand(name("b", L), name("c", L), L))
+        lines = compile_tree(tree)
+        assert lines[0].startswith("mcoml")
+        assert lines[1].startswith("bicl3")
+
+    def test_signed_mod_via_ediv(self, compile_tree):
+        tree = assign(name("a", L), mod(name("b", L), name("c", L), L))
+        lines = compile_tree(tree)
+        assert any(line.startswith("ediv") for line in lines)
+        assert any(line.startswith("ashl $-31") for line in lines)
+
+    def test_unsigned_div_library_call(self, compile_tree):
+        tree = assign(name("a", UL), div(name("b", UL), name("c", UL), UL))
+        lines = compile_tree(tree)
+        assert "calls $2,_udiv" in lines
+
+
+class TestAddressing:
+    def test_displacement(self, compile_tree):
+        tree = assign(local(-8, L), const(5, L))
+        assert compile_tree(tree) == ["movl $5,-8(fp)"]
+
+    def test_register_deferred(self, compile_tree):
+        tree = assign(indir(L, regleaf("r6", L)), const(3, L))
+        assert compile_tree(tree) == ["movl $3,(r6)"]
+
+    def test_displacement_indexed(self, compile_tree):
+        address = plus(plus(const(-20), dreg("fp"), L),
+                       mul(const(4, L), dreg("r6", L), L), L)
+        tree = assign(indir(L, address), name("x", L))
+        assert compile_tree(tree) == ["movl _x,-20(fp)[r6]"]
+
+    def test_autoincrement_store(self, compile_tree):
+        tree = assign(indir(B, postinc(dreg("r11", L), 1)), const(0, B))
+        assert compile_tree(tree) == ["clrb (r11)+"]
+
+    def test_autoincrement_long_scale(self, compile_tree):
+        tree = assign(indir(L, postinc(dreg("r10", L), 4)), const(7, L))
+        assert compile_tree(tree) == ["movl $7,(r10)+"]
+
+    def test_deferred(self, compile_tree):
+        # **p: Indir over an lval
+        tree = assign(indir(L, name("p", L)), const(1, L))
+        assert compile_tree(tree) == ["movl $1,*_p"]
+
+    def test_moval_bridge(self, compile_tree):
+        # x = c + rvar: the displacement phrase used as a value
+        tree = assign(name("x", L), plus(const(100, L), dreg("r7", L), L))
+        assert compile_tree(tree) == ["moval 100(r7),_x"]
+
+    def test_register_increment_idiom(self, compile_tree):
+        # r6 = r6 + 1 through the address-phrase bridge -> incl
+        tree = assign(regleaf("r6", L), plus(const(1, L), regleaf("r6", L), L))
+        assert compile_tree(tree) == ["incl r6"]
+
+
+class TestConversions:
+    def test_implicit_widening_byte_to_long(self, compile_tree):
+        tree = assign(name("a", L), plus(name("x", L), local(-4, B), L))
+        lines = compile_tree(tree)
+        assert lines[0] == "cvtbl -4(fp),r0"
+
+    def test_unsigned_widening_uses_movz(self, compile_tree):
+        ub_local = indir(MachineType.UBYTE,
+                         plus(const(-4), dreg("fp"), L))
+        tree = assign(name("a", L), plus(name("x", L), ub_local, L))
+        lines = compile_tree(tree)
+        assert lines[0] == "movzbl -4(fp),r0"
+
+    def test_explicit_narrowing(self, compile_tree):
+        tree = assign(name("c", B), conv(B, name("x", L)))
+        assert compile_tree(tree) == ["cvtlb _x,_c"]
+
+    def test_int_to_float(self, compile_tree):
+        tree = assign(name("f", MachineType.FLOAT),
+                      conv(MachineType.FLOAT, name("x", L)))
+        assert compile_tree(tree) == ["cvtlf _x,_f"]
+
+
+class TestBranches:
+    def test_compare_and_branch(self, compile_tree):
+        tree = cbranch(cmp(Cond.LT, name("x", L), name("y", L)), "L1")
+        assert compile_tree(tree) == ["cmpl _x,_y", "jlss L1"]
+
+    def test_test_against_zero(self, compile_tree):
+        tree = cbranch(cmp(Cond.NE, name("x", L), const(0, L)), "L2")
+        assert compile_tree(tree) == ["tstl _x", "jneq L2"]
+
+    def test_unsigned_branch(self, compile_tree):
+        tree = cbranch(cmp(Cond.LTU, name("x", UL), name("y", UL)), "L3")
+        assert compile_tree(tree) == ["cmpl _x,_y", "jlssu L3"]
+
+    def test_condition_codes_implicit_after_computation(self, compile_tree):
+        # if (x + y != 0): the addl3 sets the codes; only the jump follows
+        tree = cbranch(
+            cmp(Cond.NE, plus(name("x", L), name("y", L), L), const(0, L)),
+            "L4",
+        )
+        lines = compile_tree(tree)
+        assert lines == ["addl3 _x,_y,r0", "jneq L4"]
+
+    def test_dreg_gets_tst_repair(self, compile_tree):
+        """section 6.2.1: a dedicated register reaches reg through a
+        code-less chain, so the repair pattern must emit tst."""
+        tree = cbranch(cmp(Cond.EQ, dreg("r9", L), const(0, L)), "L5")
+        assert compile_tree(tree) == ["tstl r9", "jeql L5"]
+
+    def test_phase1_register_gets_tst_repair(self, compile_tree):
+        tree = cbranch(cmp(Cond.NE, regleaf("r5", L), const(0, L)), "L6")
+        assert compile_tree(tree) == ["tstl r5", "jneq L6"]
+
+
+class TestSideEffectOnce:
+    def test_autoinc_side_effect_happens_once(self, compile_tree):
+        """b = *p++ used as both destination-read and source would repeat
+        the increment if descriptors were not patched (section 6.1); a
+        chained store reuses the first location."""
+        auto = indir(B, postinc(dreg("r11", L), 1))
+        # c = (*p++ = 0): inner store uses (r11)+, outer re-reads the SAME cell
+        inner = Node(Op.ASSIGN, B, [auto, const(0, B)])
+        tree = assign(name("c", B), inner)
+        lines = compile_tree(tree)
+        assert lines[0] == "clrb (r11)+"
+        assert lines[1] == "movb -1(r11),_c"

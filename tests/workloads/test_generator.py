@@ -1,0 +1,60 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.frontend import parse
+from repro.workloads import WorkloadSpec, generate_workload
+
+
+class TestDeterminism:
+    def test_same_seed_same_source(self):
+        assert generate_workload(seed=5) == generate_workload(seed=5)
+
+    def test_different_seeds_differ(self):
+        assert generate_workload(seed=5) != generate_workload(seed=6)
+
+
+class TestStructure:
+    def test_parses(self):
+        program = parse(generate_workload(functions=4, seed=1))
+        assert len(program.functions) == 4
+
+    def test_globals_and_arrays_declared(self):
+        spec = WorkloadSpec(globals_count=3, arrays=2, seed=1)
+        program = parse(generate_workload(spec))
+        names = {d.name for d in program.globals}
+        assert {"g0", "g1", "g2", "arr0", "arr1"} <= names
+
+    def test_statement_budget_scales_size(self):
+        small = generate_workload(functions=2, statements_per_function=5, seed=2)
+        large = generate_workload(functions=2, statements_per_function=40, seed=2)
+        assert len(large) > len(small)
+
+    def test_loops_toggle(self):
+        without = generate_workload(functions=3, loops=False, seed=3)
+        assert "for (" not in without
+
+    def test_calls_toggle(self):
+        without = generate_workload(functions=5, calls=False, seed=3)
+        # only declarations may mention f<N>( — no call sites
+        for line in without.splitlines():
+            if "= f" in line:
+                raise AssertionError(f"unexpected call: {line}")
+
+    def test_division_uses_nonzero_constants(self):
+        source = generate_workload(functions=6, statements_per_function=30,
+                                   seed=4)
+        for line in source.splitlines():
+            if "/" in line and "/ 0" in line.replace("/ 0x", ""):
+                raise AssertionError(f"zero divisor: {line}")
+
+
+class TestCompilability:
+    @pytest.mark.parametrize("seed", [11, 22, 33])
+    def test_compiles_with_gg(self, seed, gg):
+        from repro.compile import compile_program
+
+        source = generate_workload(functions=3, statements_per_function=8,
+                                   seed=seed)
+        assembly = compile_program(source, "gg", generator=gg)
+        assert assembly.instruction_count > 10
