@@ -7,7 +7,9 @@ Measures the reduction mix (chain share), reductions per emitted
 instruction, and benchmarks the parse actions alone.
 """
 
-from conftest import write_report
+import time
+
+from conftest import update_bench_json, write_report
 
 from repro.grammar import chain_depth
 from repro.matcher import Matcher
@@ -61,3 +63,49 @@ def test_match_only_speed(benchmark, gg, corpus_program):
 
     results = benchmark(parse_all)
     assert all(r.reductions for r in results)
+
+
+def _tokens_per_second(matcher, streams, total_tokens, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for stream in streams:
+            matcher.match_tokens(stream)
+        best = min(best, time.perf_counter() - started)
+    return total_tokens / best
+
+
+def test_packed_vs_dict_throughput(gg, corpus_program):
+    """The tentpole claim: the packed integer loop sustains at least 2x
+    the dict loop's tokens/sec on pre-linearized corpus streams."""
+    from repro.ir.linearize import linearize
+    from repro.matcher.engine import SemanticActions
+
+    streams = []
+    for fname in corpus_program.order:
+        forest, _ = gg.transform(corpus_program.forest(fname))
+        streams.extend(linearize(tree) for tree in forest.trees())
+    total_tokens = sum(len(s) for s in streams)
+
+    packed = Matcher(gg.tables, SemanticActions(), use_packed=True)
+    plain = Matcher(gg.tables, SemanticActions(), use_packed=False)
+
+    packed_tps = _tokens_per_second(packed, streams, total_tokens)
+    dict_tps = _tokens_per_second(plain, streams, total_tokens)
+    speedup = packed_tps / dict_tps
+
+    update_bench_json("match_tokens", {
+        "tokens": total_tokens,
+        "streams": len(streams),
+        "packed_tokens_per_sec": round(packed_tps),
+        "dict_tokens_per_sec": round(dict_tps),
+        "speedup": round(speedup, 2),
+    })
+    write_report("E8_packed", "\n".join([
+        "packed vs dict matcher throughput (pre-linearized streams):",
+        f"  tokens in corpus:   {total_tokens}",
+        f"  dict loop:          {dict_tps:12,.0f} tokens/s",
+        f"  packed loop:        {packed_tps:12,.0f} tokens/s",
+        f"  speedup:            {speedup:12.2f}x   (target: >= 2x)",
+    ]))
+    assert speedup >= 2.0

@@ -29,8 +29,11 @@ from ..ir.tree import Forest, LabelDef, Node
 from ..matcher.descriptors import Descriptor
 from ..matcher.engine import Matcher, MatchResult, SemanticActions
 from ..matcher.trace import Tracer
+from ..tables.cache import CacheOutcome, cached_build, table_cache_key
 from ..tables.slr import ParseTables, construct_tables
-from ..vax.grammar_gen import VaxGrammarBundle, build_vax_grammar
+from ..vax.grammar_gen import (
+    VaxGrammarBundle, build_vax_grammar, vax_grammar_text,
+)
 from ..vax.machine import VAX, VaxMachine
 from ..vax.semantics import CodeBuffer, VaxSemantics
 from .controlflow import make_control_flow_explicit
@@ -110,7 +113,18 @@ class _TimedSemantics(SemanticActions):
 
 
 class GrahamGlanvilleCodeGenerator:
-    """The replacement second pass: table-driven instruction selection."""
+    """The replacement second pass: table-driven instruction selection.
+
+    The static phase (grammar build + SLR construction) is paid once per
+    *description*, not once per process: unless a ``bundle``/``tables``
+    pair is handed in, the constructor consults the persistent table
+    cache (:mod:`repro.tables.cache`) keyed on the exact grammar text and
+    options, warm-starting in milliseconds when the description is
+    unchanged.  ``cache=False`` forces a fresh build; ``cache_dir``
+    redirects the store (tests use a tmp dir).  ``use_packed`` selects
+    the matcher's packed integer fast path (the default) or the original
+    dict-table loop for differential runs.
+    """
 
     def __init__(
         self,
@@ -120,14 +134,51 @@ class GrahamGlanvilleCodeGenerator:
         peephole: bool = False,
         bundle: Optional[VaxGrammarBundle] = None,
         tables: Optional[ParseTables] = None,
+        use_packed: bool = True,
+        cache: Optional[bool] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.machine = machine
         self.reversed_ops = reversed_ops
         self.peephole = peephole
-        self.bundle = bundle or build_vax_grammar(
-            reversed_ops=reversed_ops, overfactoring_fix=overfactoring_fix
-        )
-        self.tables = tables or construct_tables(self.bundle.grammar)
+        self.use_packed = use_packed
+        self.cache_outcome: Optional[CacheOutcome] = None
+
+        static_started = time.perf_counter()
+        if bundle is not None or tables is not None:
+            self.bundle = bundle or build_vax_grammar(
+                reversed_ops=reversed_ops,
+                overfactoring_fix=overfactoring_fix,
+            )
+            self.tables = tables or construct_tables(self.bundle.grammar)
+            self.table_source = "provided" if tables is not None else "built"
+        else:
+            text = vax_grammar_text(reversed_ops, overfactoring_fix)
+            key = table_cache_key(
+                text,
+                reversed_ops=reversed_ops,
+                overfactoring_fix=overfactoring_fix,
+            )
+
+            def build():
+                built = build_vax_grammar(
+                    reversed_ops=reversed_ops,
+                    overfactoring_fix=overfactoring_fix,
+                )
+                constructed = construct_tables(built.grammar)
+                constructed.packed()  # cache the packed form alongside
+                return built, constructed
+
+            (self.bundle, self.tables), outcome = cached_build(
+                key, build, directory=cache_dir, enabled=cache
+            )
+            self.cache_outcome = outcome
+            self.table_source = "cache" if outcome.hit else "built"
+        if use_packed:
+            # Expand the dense runtime rows now so the first compile's
+            # matching time measures matching, not table expansion.
+            self.tables.packed().runtime()
+        self.static_seconds = time.perf_counter() - static_started
 
     # ------------------------------------------------------------ pipeline
     def transform(self, forest: Forest) -> Tuple[Forest, OrderingStats]:
@@ -163,7 +214,7 @@ class GrahamGlanvilleCodeGenerator:
         semantics = VaxSemantics(self.machine, buffer=buffer,
                                  new_temp=spills.take)
         timed = _TimedSemantics(semantics, times)
-        matcher = Matcher(self.tables, timed)
+        matcher = Matcher(self.tables, timed, use_packed=self.use_packed)
 
         shifts = reductions = chains = statements = 0
         for item in work.items:

@@ -6,6 +6,15 @@ target-independent: everything semantic — descriptor condensation,
 instruction emission, choosing among tied reductions — is delegated to a
 :class:`SemanticActions` object, mirroring the paper's decision to code
 semantics as hand-written target-specific routines keyed by production.
+
+Two drive loops share the same semantics contract.  The *packed* loop —
+the default — interns the token stream once and then runs shift/reduce
+entirely on the integer arrays of :class:`repro.tables.encode.PackedTables`
+(binary-searched rows, flat reduce pool, per-production length/LHS-id
+tables), answering the paper's complaint that the matcher "spent too much
+time ... unpacking the description tables".  The *dict* loop is the
+original string-keyed reference implementation, kept behind
+``use_packed=False`` for differential testing and for full traces.
 """
 
 from __future__ import annotations
@@ -18,9 +27,21 @@ from ..grammar.symbols import END
 from ..ir.linearize import Token, linearize
 from ..ir.tree import Node
 from ..tables.actions import Accept, Reduce, Shift
+from ..tables.encode import TAG_ACCEPT, TAG_REDUCE, TAG_SHIFT
 from ..tables.slr import ParseTables
 from .descriptors import Descriptor, void
 from .trace import NullTracer, Tracer
+
+
+def _end_token() -> Token:
+    """A shared $end sentinel; its node payload is never inspected."""
+    node = Node.__new__(Node)
+    node.op, node.ty, node.kids = None, None, []  # type: ignore
+    node.value, node.cond = None, None
+    return Token(END, node)
+
+
+_END_TOKEN = _end_token()
 
 
 class MatchError(Exception):
@@ -44,6 +65,12 @@ class ReductionLoop(MatchError):
     constructor's loop check ran, kept as a dynamic backstop."""
 
 
+#: Shared result of the do-nothing hooks.  The default semantics never
+#: mutate a descriptor, so one void serves every step; overriding hooks
+#: that attach state must build their own (they all do).
+_SHARED_VOID = void()
+
+
 class SemanticActions:
     """Default do-nothing semantics: descriptors are opaque voids.
 
@@ -53,12 +80,12 @@ class SemanticActions:
     """
 
     def on_shift(self, token: Token) -> Descriptor:
-        return void()
+        return _SHARED_VOID
 
     def on_reduce(
         self, production: Production, kids: Sequence[Descriptor]
     ) -> Union[Descriptor, Tuple[Descriptor, str]]:
-        return void()
+        return _SHARED_VOID
 
     def choose(
         self, productions: Sequence[Production], kids: Sequence[Descriptor]
@@ -86,11 +113,23 @@ class MatchResult:
 
 
 class Matcher:
-    """A reusable pattern matcher bound to one set of parse tables."""
+    """A reusable pattern matcher bound to one set of parse tables.
 
-    def __init__(self, tables: ParseTables, semantics: Optional[SemanticActions] = None) -> None:
+    ``use_packed`` selects the integer fast path (the default); pass
+    ``False`` to drive the original dict tables instead.  A real (non-null)
+    tracer always uses the dict path, which records the full symbol-stack
+    renderings the appendix-style traces need.
+    """
+
+    def __init__(
+        self,
+        tables: ParseTables,
+        semantics: Optional[SemanticActions] = None,
+        use_packed: bool = True,
+    ) -> None:
         self.tables = tables
         self.semantics = semantics or SemanticActions()
+        self.use_packed = use_packed
 
     # ----------------------------------------------------------- driving
     def match_tree(self, tree: Node, tracer: Optional[Tracer] = None) -> MatchResult:
@@ -102,6 +141,175 @@ class Matcher:
     ) -> MatchResult:
         if tracer is None:
             tracer = NullTracer()
+        if self.use_packed and isinstance(tracer, NullTracer):
+            return self._match_packed(tokens, tracer)
+        return self._match_dict(tokens, tracer)
+
+    # ------------------------------------------------- packed (fast) loop
+    def _match_packed(self, tokens: Sequence[Token], tracer: Tracer) -> MatchResult:
+        """Shift/reduce on the packed integer tables.
+
+        The stream is interned once up front; every subsequent lookup is a
+        binary search over small sorted int rows (or the row's default
+        reduce), so the hot loop does no string hashing and builds no
+        trace strings.  Behaviour matches the dict loop action-for-action
+        on acceptable input; on erroneous input a compressed row's default
+        reduce may fire a few extra (harmless) reductions before the block
+        is discovered — the standard LR row-compression trade.
+        """
+        tables = self.tables
+        packed = tables.packed()
+        runtime = packed.runtime()
+        semantics = self.semantics
+        productions = tables.grammar.productions
+
+        nsymbols = runtime.nsymbols
+        action_words = runtime.action_words
+        default_words = runtime.default_words
+        goto_words = runtime.goto_words
+        pool_single = runtime.pool_single
+        reduce_pool = packed.reduce_pool
+        prod_lhs_id = packed.prod_lhs_id
+        prod_rhs_len = packed.prod_rhs_len
+        on_shift = semantics.on_shift
+        on_reduce = semantics.on_reduce
+
+        # Pre-intern the linearized stream once per tree: the loop below
+        # never hashes a symbol string again.
+        get = packed.symbol_ids.get
+        stream = [token for token in tokens]
+        ids = [get(token.symbol, -1) for token in stream]
+        stream.append(_END_TOKEN)
+        ids.append(get(END, -1))
+
+        state = tables.start_state
+        states: List[int] = [state]
+        descriptors: List[Descriptor] = [void()]
+        reductions: List[Production] = []
+
+        position = 0
+        reduces_since_shift = 0
+        loop_limit = max(64, 4 * len(productions))
+
+        while True:
+            symbol_id = ids[position]
+            if symbol_id >= 0:
+                word = action_words[state * nsymbols + symbol_id]
+            else:
+                word = default_words[state]
+            if word < 0:
+                raise SyntacticBlock(
+                    state, stream[position],
+                    tables.automaton.describe_state(state),
+                )
+
+            tag = word & 3
+            if tag == 0:  # TAG_SHIFT
+                descriptors.append(on_shift(stream[position]))
+                state = word >> 2
+                states.append(state)
+                position += 1
+                reduces_since_shift = 0
+                continue
+
+            if tag == 2:  # TAG_ACCEPT
+                return MatchResult(descriptors[-1], reductions, tracer)
+
+            # TAG_REDUCE
+            reduces_since_shift += 1
+            if reduces_since_shift > loop_limit:
+                raise ReductionLoop(
+                    f"{reduces_since_shift} consecutive reductions in state {state}"
+                )
+
+            index = pool_single[word >> 2]
+            if index >= 0:
+                production = productions[index]
+                count = prod_rhs_len[index]
+            else:
+                production = self._select_packed(
+                    reduce_pool[word >> 2], states, descriptors, packed
+                )
+                index = production.index
+                count = prod_rhs_len[index]
+
+            if count == 1:
+                # Chain/unit reductions dominate the profile (E8): replace
+                # the stack top in place instead of slicing and deleting.
+                kids = descriptors[-1:]
+                exposed = states[-2]
+                state = goto_words[exposed * nsymbols + prod_lhs_id[index]]
+                if state < 0:
+                    raise SyntacticBlock(
+                        exposed, stream[position],
+                        tables.automaton.describe_state(exposed),
+                    )
+                outcome = on_reduce(production, kids)
+                descriptors[-1] = (
+                    outcome[0] if isinstance(outcome, tuple) else outcome
+                )
+                states[-1] = state
+                reductions.append(production)
+                continue
+
+            kids = descriptors[-count:]
+            del states[-count:], descriptors[-count:]
+
+            state = goto_words[states[-1] * nsymbols + prod_lhs_id[index]]
+            if state < 0:
+                # Only reachable when a default reduce fired on an input
+                # the tables cannot cover: report it as the block it is.
+                raise SyntacticBlock(
+                    states[-1], stream[position],
+                    tables.automaton.describe_state(states[-1]),
+                )
+
+            outcome = on_reduce(production, kids)
+            if isinstance(outcome, tuple):
+                descriptor = outcome[0]
+            else:
+                descriptor = outcome
+
+            states.append(state)
+            descriptors.append(descriptor)
+            reductions.append(production)
+
+    def _select_packed(
+        self,
+        tied: Tuple[int, ...],
+        states: List[int],
+        descriptors: List[Descriptor],
+        packed,
+    ) -> Production:
+        """The packed twin of :meth:`_select`: same viability filter and
+        semantic tie-break, driven by dense goto lookups.  Tied rules have
+        equal length (they are the surviving longest-rule winners), so the
+        exposed state is the same for every candidate."""
+        grammar = self.tables.grammar
+        runtime = packed.runtime()
+        prod_lhs_id = packed.prod_lhs_id
+        count = packed.prod_rhs_len[tied[0]]
+        exposed = states[-count - 1]
+        base = exposed * runtime.nsymbols
+        goto_words = runtime.goto_words
+        viable = [
+            grammar[index] for index in tied
+            if goto_words[base + prod_lhs_id[index]] >= 0
+        ]
+        if not viable:
+            raise MatchError(
+                f"reduce/reduce tie {tied} has no viable goto "
+                f"from state {exposed}"
+            )
+        if len(viable) == 1:
+            return viable[0]
+        kids = descriptors[-count:]
+        return self.semantics.choose(viable, kids)
+
+    # -------------------------------------------- dict (reference) loop
+    def _match_dict(
+        self, tokens: Sequence[Token], tracer: Tracer
+    ) -> MatchResult:
         tables = self.tables
         semantics = self.semantics
 

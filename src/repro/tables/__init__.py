@@ -12,7 +12,13 @@ from .actions import (
 from .blocking import (
     BlockReport, find_blocks, operand_starter_terminals, summarize_blocks,
 )
-from .encode import PackedTables, SizeReport, measure_tables, pack_tables
+from .cache import (
+    CACHE_VERSION, CacheOutcome, TableCache, cache_enabled, cached_build,
+    default_cache_dir, table_cache_key,
+)
+from .encode import (
+    PackedRuntime, PackedTables, SizeReport, measure_tables, pack_tables,
+)
 from .lr0 import Automaton, Item, Kernel, build_automaton
 from .naive import build_automaton_naive
 from .slr import (
@@ -25,5 +31,8 @@ __all__ = [
     "ParseTables", "TableStats", "TableConstructionError", "construct_tables",
     "find_blocks", "BlockReport", "summarize_blocks",
     "operand_starter_terminals",
-    "PackedTables", "SizeReport", "pack_tables", "measure_tables",
+    "PackedRuntime", "PackedTables", "SizeReport", "pack_tables",
+    "measure_tables",
+    "CACHE_VERSION", "CacheOutcome", "TableCache", "cache_enabled",
+    "cached_build", "default_cache_dir", "table_cache_key",
 ]

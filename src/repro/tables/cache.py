@@ -1,0 +1,195 @@
+"""Persistent, content-addressed cache for constructed parse tables.
+
+The paper's static phase is expensive by design — "it required over two
+memory-intensive hours of VAX 11/780 CPU time to construct a new set of
+tables" (section 7) — and our reproduction still pays LR(0) construction
+over the full replicated VAX description in *every process*.  This module
+removes that per-process cost: a cache key is the SHA-256 of the exact
+machine-description text plus the construction options, so any change to
+the productions or to the disambiguation toggles (``reversed_ops``,
+``overfactoring_fix``) misses the cache and triggers a fresh build, while
+an unchanged description warm-starts from a pickle in milliseconds.
+
+Robustness rules:
+
+* Entries are versioned (:data:`CACHE_VERSION`); a version or key
+  mismatch is a miss, never an error.
+* A corrupt or truncated entry (unpicklable, wrong envelope) is deleted
+  and rebuilt — the cache can always be thrown away.
+* Writes are atomic (temp file + ``os.replace``), so a crashed process
+  never leaves a half-written entry for the next one to trip over.
+
+The cache directory defaults to ``$REPRO_TABLE_CACHE_DIR``, then
+``$XDG_CACHE_HOME/repro-gg/tables``, then ``~/.cache/repro-gg/tables``;
+``REPRO_TABLE_CACHE=0`` disables the whole mechanism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+#: Bump when the pickled payload layout (or anything it closes over)
+#: changes shape incompatibly; old entries become plain misses.
+CACHE_VERSION = 1
+
+ENV_DISABLE = "REPRO_TABLE_CACHE"
+ENV_DIR = "REPRO_TABLE_CACHE_DIR"
+
+_FALSEY = {"0", "off", "false", "no"}
+
+
+def cache_enabled(default: bool = True) -> bool:
+    """Whether the env permits caching (``REPRO_TABLE_CACHE=0`` wins)."""
+    value = os.environ.get(ENV_DISABLE)
+    if value is None:
+        return default
+    return value.strip().lower() not in _FALSEY
+
+
+def default_cache_dir() -> str:
+    override = os.environ.get(ENV_DIR)
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-gg", "tables")
+
+
+def table_cache_key(grammar_text: str, **options: Any) -> str:
+    """Content hash of a machine description plus construction options.
+
+    The text itself carries most of the identity (toggles change the
+    productions), but the options are hashed explicitly too so that any
+    future option affecting construction *without* changing the text
+    still splits the key space.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"v{CACHE_VERSION}".encode())
+    hasher.update(grammar_text.encode())
+    for name in sorted(options):
+        hasher.update(f"|{name}={options[name]!r}".encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheOutcome:
+    """What one cache consultation did, for benchmarks and diagnostics."""
+
+    key: str
+    hit: bool = False
+    path: str = ""
+    load_seconds: float = 0.0
+    build_seconds: float = 0.0
+    store_seconds: float = 0.0
+    error: str = ""
+
+
+class TableCache:
+    """A directory of pickled ``(version, key, payload)`` envelopes."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = str(directory) if directory else default_cache_dir()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.tables.pickle")
+
+    # ------------------------------------------------------------- load
+    def load(self, key: str) -> Optional[Any]:
+        """The cached payload, or None on miss/corruption (corrupt
+        entries are removed so they cannot keep failing)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._discard(path)
+            return None
+        if (
+            not isinstance(envelope, tuple)
+            or len(envelope) != 3
+            or envelope[0] != CACHE_VERSION
+            or envelope[1] != key
+        ):
+            self._discard(path)
+            return None
+        return envelope[2]
+
+    # ------------------------------------------------------------ store
+    def store(self, key: str, payload: Any) -> Optional[str]:
+        """Atomically write *payload*; returns the path, or None when the
+        filesystem refuses (a read-only cache is not an error)."""
+        path = self.path_for(key)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                dir=self.directory, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(
+                        (CACHE_VERSION, key, payload), handle,
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                os.replace(temp_path, path)
+            except BaseException:
+                self._discard(temp_path)
+                raise
+        except OSError:
+            return None
+        return path
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+def cached_build(
+    key: str,
+    builder: Callable[[], Any],
+    directory: Optional[str] = None,
+    enabled: Optional[bool] = None,
+) -> Tuple[Any, CacheOutcome]:
+    """Load the payload for *key*, or build and store it.
+
+    ``builder`` runs on a miss (or with caching disabled); its result is
+    what gets stored.  The returned :class:`CacheOutcome` records which
+    happened and how long each step took, so benchmarks can report
+    cold-vs-warm static-phase cost.
+    """
+    if enabled is None:
+        enabled = cache_enabled()
+    outcome = CacheOutcome(key=key)
+    cache = TableCache(directory)
+    if enabled:
+        started = time.perf_counter()
+        payload = cache.load(key)
+        outcome.load_seconds = time.perf_counter() - started
+        if payload is not None:
+            outcome.hit = True
+            outcome.path = cache.path_for(key)
+            return payload, outcome
+
+    started = time.perf_counter()
+    payload = builder()
+    outcome.build_seconds = time.perf_counter() - started
+
+    if enabled:
+        started = time.perf_counter()
+        stored = cache.store(key, payload)
+        outcome.store_seconds = time.perf_counter() - started
+        if stored:
+            outcome.path = stored
+        else:
+            outcome.error = "store failed (cache directory not writable)"
+    return payload, outcome

@@ -8,12 +8,18 @@ sizes mean something: symbols are interned to dense integers, each state's
 action row becomes a sorted array of (symbol, action) pairs with an
 optional *default reduce* squeezed out, and the whole thing reports its
 size in entries and in bytes.
+
+The packed form is also the matcher's *live* representation: alongside the
+rows it carries the per-production metadata (interned LHS ids, RHS
+lengths) the shift/reduce loop needs, so one token stream can be interned
+once and then parsed entirely on integer comparisons — no per-step string
+hashing against the dict tables.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .actions import Accept, Action, Reduce, Shift
 from .slr import ParseTables
@@ -34,6 +40,12 @@ class PackedTables:
     common reduce from each row.  ``goto_rows[s]`` is the same for
     non-terminals, shifts only.  ``reduce_pool`` holds the (possibly
     ambiguous) reduce sets.
+
+    ``prod_lhs_id[p]`` / ``prod_rhs_len[p]`` mirror the (augmented)
+    grammar's productions so a reduce step never touches a Production
+    object just to pop the stack and take the goto.  They are grammar-side
+    metadata, not table entries, and do not count toward
+    :attr:`entry_count` / :attr:`byte_size` (the E4 size metrics).
     """
 
     symbol_ids: Dict[str, int]
@@ -41,6 +53,11 @@ class PackedTables:
     default_reduce: List[int]
     goto_rows: List[List[Tuple[int, int]]]
     reduce_pool: List[Tuple[int, ...]]
+    prod_lhs_id: List[int] = field(default_factory=list)
+    prod_rhs_len: List[int] = field(default_factory=list)
+    _runtime: Optional["PackedRuntime"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def entry_count(self) -> int:
@@ -78,6 +95,108 @@ class PackedTables:
             return row[lo][1], row[lo][2]
         default = self.default_reduce[state]
         return (TAG_REDUCE, default) if default >= 0 else None
+
+    # -------------------------------------------------- integer fast path
+    def intern_stream(self, symbols: Sequence[str]) -> List[int]:
+        """Intern a token-symbol stream once; unknown symbols become -1
+        (they can only hit a row's default reduce or the error action)."""
+        get = self.symbol_ids.get
+        return [get(symbol, -1) for symbol in symbols]
+
+    def lookup_action_id(self, state: int, symbol_id: int) -> Tuple[int, int]:
+        """Like :meth:`lookup_action` but takes an interned id and returns
+        ``(-1, -1)`` for the error action instead of None."""
+        if symbol_id >= 0:
+            row = self.action_rows[state]
+            lo, hi = 0, len(row)
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if row[mid][0] < symbol_id:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < len(row) and row[lo][0] == symbol_id:
+                entry = row[lo]
+                return entry[1], entry[2]
+        default = self.default_reduce[state]
+        return (TAG_REDUCE, default) if default >= 0 else (-1, -1)
+
+    def lookup_goto_id(self, state: int, symbol_id: int) -> int:
+        """Binary-search the packed goto row; -1 when there is no goto."""
+        row = self.goto_rows[state]
+        lo, hi = 0, len(row)
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if row[mid][0] < symbol_id:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(row) and row[lo][0] == symbol_id:
+            return row[lo][1]
+        return -1
+
+    def runtime(self) -> "PackedRuntime":
+        """The dense-row expansion driving the matcher, built once and
+        memoized.  This is the one deliberate unpack-per-process: the
+        paper's complaint is about unpacking *per lookup*, so we expand
+        the compressed rows into flat ``state x symbol`` int arrays a
+        single time and index them ever after."""
+        if self._runtime is None:
+            self._runtime = PackedRuntime.from_packed(self)
+        return self._runtime
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_runtime"] = None  # dense expansion is rebuilt, not stored
+        return state
+
+
+@dataclass
+class PackedRuntime:
+    """Flat integer matrices derived from :class:`PackedTables`.
+
+    ``action_words[state * nsymbols + symbol_id]`` is ``-1`` for the error
+    action or ``(argument << 2) | tag`` with each row's default reduce
+    already folded into every unmentioned symbol.  ``default_words[state]``
+    answers for symbols outside the grammar (interned to -1).
+    ``goto_words`` is the same matrix for gotos (targets, -1 when absent);
+    ``pool_single[i]`` is the lone production of reduce-pool entry *i* or
+    -1 when the entry is an ambiguous tie.  Runtime-only: never pickled
+    into the table cache, never counted by the E4 size metrics.
+    """
+
+    nsymbols: int
+    action_words: List[int]
+    default_words: List[int]
+    goto_words: List[int]
+    pool_single: List[int]
+
+    @classmethod
+    def from_packed(cls, packed: "PackedTables") -> "PackedRuntime":
+        nsymbols = len(packed.symbol_ids)
+        states = len(packed.action_rows)
+        action_words = [-1] * (states * nsymbols)
+        goto_words = [-1] * (states * nsymbols)
+        default_words = [-1] * states
+
+        for state in range(states):
+            base = state * nsymbols
+            default = packed.default_reduce[state]
+            if default >= 0:
+                word = (default << 2) | TAG_REDUCE
+                default_words[state] = word
+                for offset in range(nsymbols):
+                    action_words[base + offset] = word
+            for symbol_id, tag, argument in packed.action_rows[state]:
+                action_words[base + symbol_id] = (argument << 2) | tag
+            for symbol_id, target in packed.goto_rows[state]:
+                goto_words[base + symbol_id] = target
+
+        pool_single = [
+            productions[0] if len(productions) == 1 else -1
+            for productions in packed.reduce_pool
+        ]
+        return cls(nsymbols, action_words, default_words, goto_words, pool_single)
 
 
 def pack_tables(tables: ParseTables, compress_rows: bool = True) -> PackedTables:
@@ -137,7 +256,13 @@ def pack_tables(tables: ParseTables, compress_rows: bool = True) -> PackedTables
         )
         goto_rows.append(gotos)
 
-    return PackedTables(symbol_ids, action_rows, default_reduce, goto_rows, reduce_pool)
+    prod_lhs_id = [intern(p.lhs) for p in tables.grammar.productions]
+    prod_rhs_len = [len(p.rhs) for p in tables.grammar.productions]
+
+    return PackedTables(
+        symbol_ids, action_rows, default_reduce, goto_rows, reduce_pool,
+        prod_lhs_id, prod_rhs_len,
+    )
 
 
 def _encode(action: Action, intern_reduce) -> Tuple[int, int]:

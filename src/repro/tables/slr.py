@@ -69,6 +69,7 @@ class ParseTables:
     conflicts: List[ConflictRecord]
     stats: TableStats
     start_state: int = 0
+    _packed: Optional[object] = field(default=None, repr=False, compare=False)
 
     def production(self, index: int) -> Production:
         return self.grammar[index]
@@ -78,6 +79,103 @@ class ParseTables:
 
     def goto_for(self, state: int, nonterminal: str) -> Optional[int]:
         return self.gotos[state].get(nonterminal)
+
+    def packed(self):
+        """The packed (array) rendering of these tables, built once and
+        memoized — the matcher's live representation.  Cached pickles of
+        :class:`ParseTables` carry the packed form along, so a warm start
+        skips packing as well as construction."""
+        if self._packed is None:
+            from .encode import pack_tables
+
+            self._packed = pack_tables(self)
+        return self._packed
+
+    # -------------------------------------------------- fast (un)pickling
+    # A naive pickle of the action rows materializes tens of thousands of
+    # tiny frozen dataclasses and costs ~10x the rest of the tables to
+    # load, defeating the warm-start cache.  On the way out, flatten
+    # actions/conflicts to primitive tuples and tuck them into a nested
+    # pickle blob (loaded as one opaque bytes object); on the way in,
+    # leave the blob sealed and materialize the dict rows only when
+    # something actually asks for them — the packed matcher never does.
+    def __getstate__(self):
+        import pickle
+
+        state = self.__dict__.copy()
+        if "actions" not in state:  # still sealed: pass the blob through
+            state["actions"] = state.pop("_sealed_rows")
+        else:
+            flat_actions = [
+                [(symbol, *_flatten_action(action))
+                 for symbol, action in row.items()]
+                for row in state.pop("actions")
+            ]
+            flat_conflicts = [
+                (c.kind.value, c.state, c.symbol, _flatten_action(c.chosen),
+                 c.rejected)
+                for c in state.pop("conflicts")
+            ]
+            state["actions"] = pickle.dumps(
+                (flat_actions, flat_conflicts),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        state.pop("conflicts", None)
+        return state
+
+    def __setstate__(self, state):
+        state["_sealed_rows"] = state.pop("actions")
+        self.__dict__.update(state)
+
+    def __getattr__(self, name):
+        if name in ("actions", "conflicts") and "_sealed_rows" in self.__dict__:
+            self._unseal()
+            return getattr(self, name)
+        raise AttributeError(name)
+
+    def _unseal(self) -> None:
+        """Decode the pickled action rows, interning the (heavily
+        repeated) Shift/Reduce objects through small pools."""
+        import pickle
+
+        flat_actions, flat_conflicts = pickle.loads(
+            self.__dict__.pop("_sealed_rows")
+        )
+        shifts: Dict[int, Shift] = {}
+        reduces: Dict[Tuple[int, ...], Reduce] = {}
+        accept = Accept()
+
+        def revive(tag, argument) -> Action:
+            if tag == "s":
+                action = shifts.get(argument)
+                if action is None:
+                    action = shifts[argument] = Shift(argument)
+                return action
+            if tag == "r":
+                action = reduces.get(argument)
+                if action is None:
+                    action = reduces[argument] = Reduce(argument)
+                return action
+            return accept
+
+        self.actions = [
+            {symbol: revive(tag, argument) for symbol, tag, argument in row}
+            for row in flat_actions
+        ]
+        self.conflicts = [
+            ConflictRecord(ConflictKind(kind), state, symbol,
+                           revive(*chosen), rejected)
+            for kind, state, symbol, chosen, rejected in flat_conflicts
+        ]
+
+
+def _flatten_action(action: Action) -> Tuple[str, object]:
+    """Primitive (tag, argument) pair for fast pickling."""
+    if isinstance(action, Shift):
+        return "s", action.state
+    if isinstance(action, Reduce):
+        return "r", action.productions
+    return "a", None
 
 
 def construct_tables(

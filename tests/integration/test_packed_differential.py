@@ -1,0 +1,51 @@
+"""Differential testing: packed fast path vs. the original dict tables.
+
+The packed integer matcher is the live representation; the dict loop is
+kept precisely so this suite can assert they are interchangeable.  Over
+the whole workload suite the two must produce byte-identical assembly
+and identical match statistics — any divergence is a packing or lookup
+bug, never an acceptable approximation.
+"""
+
+import pytest
+
+from repro.codegen.driver import GrahamGlanvilleCodeGenerator
+from repro.compile import compile_program
+from repro.workloads.programs import ALL_PROGRAMS
+
+
+@pytest.fixture(scope="module")
+def packed_gen(vax_bundle, vax_tables):
+    return GrahamGlanvilleCodeGenerator(
+        bundle=vax_bundle, tables=vax_tables, use_packed=True
+    )
+
+
+@pytest.fixture(scope="module")
+def dict_gen(vax_bundle, vax_tables):
+    return GrahamGlanvilleCodeGenerator(
+        bundle=vax_bundle, tables=vax_tables, use_packed=False
+    )
+
+
+@pytest.mark.parametrize(
+    "program", ALL_PROGRAMS, ids=[p.name for p in ALL_PROGRAMS]
+)
+def test_packed_matches_dict_everywhere(program, packed_gen, dict_gen):
+    packed = compile_program(program.source, generator=packed_gen)
+    plain = compile_program(program.source, generator=dict_gen)
+
+    assert packed.text == plain.text
+
+    for name in packed.source_program.order:
+        fast = packed.function_results[name]
+        slow = plain.function_results[name]
+        assert fast.shifts == slow.shifts
+        assert fast.reductions == slow.reductions
+        assert fast.chain_reductions == slow.chain_reductions
+        assert fast.statements == slow.statements
+
+
+def test_packed_is_the_default(vax_bundle, vax_tables):
+    gen = GrahamGlanvilleCodeGenerator(bundle=vax_bundle, tables=vax_tables)
+    assert gen.use_packed is True

@@ -97,6 +97,77 @@ class TestSemanticsHooks:
         assert "Assign.l" in result.descriptor.text
 
 
+class TestPackedPath:
+    """The packed integer fast path must mirror the dict loop exactly."""
+
+    def test_same_reductions_as_dict(self):
+        tables = construct_tables(read_grammar(TEXT))
+        fast = Matcher(tables, use_packed=True).match_tree(simple_tree())
+        slow = Matcher(tables, use_packed=False).match_tree(simple_tree())
+        assert [p.index for p in fast.reductions] == [
+            p.index for p in slow.reductions
+        ]
+        assert fast.chain_reductions == slow.chain_reductions
+
+    def test_packed_syntactic_block(self):
+        from repro.ir import dreg
+
+        matcher = Matcher(construct_tables(read_grammar(TEXT)),
+                          use_packed=True)
+        bad = assign(name("a", L), dreg("r6", L))
+        with pytest.raises(SyntacticBlock) as info:
+            matcher.match_tree(bad)
+        assert "state" in str(info.value)
+
+    def test_tracer_falls_back_to_dict_loop(self):
+        """Tracing needs the per-entry hooks of the dict loop; a traced
+        match must still record every shift."""
+        matcher = Matcher(construct_tables(read_grammar(TEXT)),
+                          use_packed=True)
+        tracer = Tracer()
+        matcher.match_tree(simple_tree(), tracer)
+        assert tracer.shifts() == simple_tree().size()
+
+    def test_packed_descriptor_flow(self):
+        class Tagging(SemanticActions):
+            def on_shift(self, token):
+                d = void()
+                d.text = token.symbol
+                return d
+
+            def on_reduce(self, production, kids):
+                d = void()
+                d.text = "+".join(k.text for k in kids)
+                return d
+
+        matcher = Matcher(construct_tables(read_grammar(TEXT)), Tagging(),
+                          use_packed=True)
+        result = matcher.match_tree(simple_tree())
+        assert "Assign.l" in result.descriptor.text
+
+    def test_packed_tie_resolution_calls_choose(self):
+        calls = []
+
+        class Choosy(SemanticActions):
+            def choose(self, productions, kids):
+                calls.append(tuple(p.index for p in productions))
+                return productions[0]
+
+        grammar = read_grammar("""
+%start stmt
+stmt <- Expr.l rval.l
+stmt <- Expr.l other.l
+rval.l <- Const.l :: encap
+other.l <- Const.l :: encap
+""")
+        from repro.ir import Node, Op
+
+        matcher = Matcher(construct_tables(grammar), Choosy(),
+                          use_packed=True)
+        matcher.match_tree(Node(Op.EXPR, L, [const(3, L)]))
+        assert calls, "expected a runtime tie"
+
+
 class TestTieResolution:
     TIE = """
 %start stmt

@@ -1,0 +1,160 @@
+"""The persistent table cache: hits, misses, corruption, key hygiene."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.codegen.driver import GrahamGlanvilleCodeGenerator
+from repro.tables.cache import (
+    CACHE_VERSION, TableCache, cache_enabled, cached_build, table_cache_key,
+)
+from repro.vax.grammar_gen import vax_grammar_text
+
+
+class TestCacheKey:
+    def test_stable_for_same_inputs(self):
+        a = table_cache_key("g", reversed_ops=True)
+        b = table_cache_key("g", reversed_ops=True)
+        assert a == b
+
+    def test_changes_with_text(self):
+        assert table_cache_key("g1") != table_cache_key("g2")
+
+    def test_changes_with_options(self):
+        base = table_cache_key("g", reversed_ops=True, overfactoring_fix=True)
+        assert base != table_cache_key(
+            "g", reversed_ops=False, overfactoring_fix=True
+        )
+        assert base != table_cache_key(
+            "g", reversed_ops=True, overfactoring_fix=False
+        )
+
+    def test_grammar_toggles_change_the_real_key(self):
+        """The VAX description text itself differs per toggle, so the key
+        space splits even before the explicit option hashing."""
+        keys = {
+            table_cache_key(
+                vax_grammar_text(rev, fix),
+                reversed_ops=rev, overfactoring_fix=fix,
+            )
+            for rev in (True, False)
+            for fix in (True, False)
+        }
+        assert len(keys) == 4
+
+
+class TestTableCache:
+    def test_roundtrip(self, tmp_path):
+        cache = TableCache(tmp_path)
+        key = table_cache_key("roundtrip")
+        payload = {"rows": [1, 2, 3], "name": "tables"}
+        path = cache.store(key, payload)
+        assert path and os.path.exists(path)
+        assert cache.load(key) == payload
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert TableCache(tmp_path).load(table_cache_key("absent")) is None
+
+    def test_corrupt_entry_discarded(self, tmp_path):
+        cache = TableCache(tmp_path)
+        key = table_cache_key("corrupt")
+        cache.store(key, ["fine"])
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(b"not a pickle at all")
+        assert cache.load(key) is None
+        assert not os.path.exists(cache.path_for(key))
+
+    def test_version_mismatch_is_miss(self, tmp_path):
+        cache = TableCache(tmp_path)
+        key = table_cache_key("versioned")
+        with open(cache.path_for(key), "wb") as handle:
+            os.makedirs(tmp_path, exist_ok=True)
+            pickle.dump((CACHE_VERSION + 1, key, ["stale"]), handle)
+        assert cache.load(key) is None
+
+    def test_key_mismatch_is_miss(self, tmp_path):
+        cache = TableCache(tmp_path)
+        key = table_cache_key("mine")
+        with open(cache.path_for(key), "wb") as handle:
+            pickle.dump((CACHE_VERSION, "someone-elses-key", ["x"]), handle)
+        assert cache.load(key) is None
+
+
+class TestCachedBuild:
+    def test_miss_builds_then_hit_loads(self, tmp_path):
+        key = table_cache_key("build-me")
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return {"payload": 42}
+
+        first, out1 = cached_build(key, builder, directory=tmp_path,
+                                   enabled=True)
+        second, out2 = cached_build(key, builder, directory=tmp_path,
+                                    enabled=True)
+        assert first == second == {"payload": 42}
+        assert len(builds) == 1
+        assert not out1.hit and out1.build_seconds > 0
+        assert out2.hit and out2.build_seconds == 0
+
+    def test_disabled_always_builds(self, tmp_path):
+        key = table_cache_key("no-cache")
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return "fresh"
+
+        cached_build(key, builder, directory=tmp_path, enabled=False)
+        cached_build(key, builder, directory=tmp_path, enabled=False)
+        assert len(builds) == 2
+        assert not os.listdir(tmp_path)
+
+    def test_env_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TABLE_CACHE", "0")
+        assert cache_enabled() is False
+        monkeypatch.setenv("REPRO_TABLE_CACHE", "1")
+        assert cache_enabled() is True
+        monkeypatch.delenv("REPRO_TABLE_CACHE")
+        assert cache_enabled() is True
+
+
+class TestGeneratorWarmStart:
+    def test_cold_then_warm_equal_tables(self, tmp_path):
+        cold = GrahamGlanvilleCodeGenerator(cache_dir=str(tmp_path))
+        warm = GrahamGlanvilleCodeGenerator(cache_dir=str(tmp_path))
+        assert cold.table_source == "built"
+        assert warm.table_source == "cache"
+        assert warm.cache_outcome.hit
+        # Identical table content: dict rows and the packed rendering.
+        assert cold.tables.actions == warm.tables.actions
+        assert cold.tables.gotos == warm.tables.gotos
+        assert (
+            cold.tables.packed().action_rows
+            == warm.tables.packed().action_rows
+        )
+
+    def test_corrupt_entry_falls_back_to_build(self, tmp_path):
+        cold = GrahamGlanvilleCodeGenerator(cache_dir=str(tmp_path))
+        path = cold.cache_outcome.path
+        assert path
+        with open(path, "wb") as handle:
+            handle.write(b"\x80garbage")
+        again = GrahamGlanvilleCodeGenerator(cache_dir=str(tmp_path))
+        assert again.table_source == "built"
+        assert cold.tables.actions == again.tables.actions
+
+    def test_same_assembly_cold_and_warm(self, tmp_path):
+        from repro.compile import compile_program
+        from repro.workloads.programs import ALL_PROGRAMS
+
+        source = ALL_PROGRAMS[0].source
+        cold = GrahamGlanvilleCodeGenerator(cache_dir=str(tmp_path))
+        warm = GrahamGlanvilleCodeGenerator(cache_dir=str(tmp_path))
+        assert warm.cache_outcome.hit
+        assert (
+            compile_program(source, generator=cold).text
+            == compile_program(source, generator=warm).text
+        )
