@@ -1,47 +1,22 @@
 #!/usr/bin/env python3
 """Differential validation — our version of the paper's validation suites.
 
-For every benchmark kernel, the program is (1) interpreted at the IR
-level (the ground truth), (2) compiled with the table-driven generator
-and run on the simulated VAX, and (3) compiled with the PCC baseline and
-run again.  All three must agree.
+Every benchmark kernel goes through the three-way oracle from the fuzz
+subsystem (:mod:`repro.fuzz.oracle`): (1) interpreted at the IR level
+(the ground truth), (2) compiled with the table-driven generator and run
+on the simulated VAX, (3) compiled with the PCC baseline and run again.
+All three must agree on the return value *and* on every final global.
 
     python examples/differential_testing.py
+
+This is the fixed-corpus cousin of the randomized campaign; for the
+seeded generative version with minimization and a persistent corpus see
+
+    python -m repro.tools.cli fuzz --seed 0 --budget 30
 """
 
-from repro.compile import compile_program
-from repro.frontend import compile_c
-from repro.ir import MachineType
-from repro.sim import Interpreter
+from repro.fuzz.oracle import run_oracle
 from repro.workloads import ALL_PROGRAMS, reference_arrays
-
-
-def interpreter_result(program):
-    source_program = compile_c(program.source)
-    interpreter = Interpreter()
-    for forest in source_program.forests.values():
-        interpreter.add_forest(forest)
-    for name, ctype in source_program.globals.items():
-        interpreter.machine.address_of(name, ctype.size())
-    for name, values in reference_arrays(program).items():
-        base = interpreter.machine.address_of(name)
-        element = (MachineType.BYTE if name in ("flags", "buf")
-                   else MachineType.LONG)
-        for index, value in enumerate(values):
-            interpreter.machine.write(base + element.size * index,
-                                      element, value)
-    return interpreter.run(program.entry, list(program.args))
-
-
-def simulator_result(program, backend):
-    assembly = compile_program(program.source, backend)
-    vax = assembly.simulator()
-    for name, values in reference_arrays(program).items():
-        base = vax.address_of(name)
-        element = 1 if name in ("flags", "buf") else 4
-        for index, value in enumerate(values):
-            vax.write_memory(base + element * index, element, value)
-    return vax.call(program.entry, list(program.args)), assembly
 
 
 def main() -> None:
@@ -49,18 +24,24 @@ def main() -> None:
           f"{'GG#':>5} {'PCC#':>5}")
     failures = 0
     for program in ALL_PROGRAMS:
-        reference = interpreter_result(program)
-        gg_value, gg_assembly = simulator_result(program, "gg")
-        pcc_value, pcc_assembly = simulator_result(program, "pcc")
-        ok = reference == gg_value == pcc_value
+        report = run_oracle(
+            program.source,
+            calls=[(program.entry, tuple(program.args))],
+            init_globals=reference_arrays(program),
+        )
+        key = f"0:{program.entry}"
+        values = {name: obs.returns.get(key)
+                  for name, obs in report.observations.items()}
+        ok = report.ok
         if program.expected is not None:
-            ok = ok and reference == program.expected
-        marker = "" if ok else "   <-- MISMATCH"
+            ok = ok and values["interp"] == program.expected
+        marker = "" if ok else f"   <-- MISMATCH ({report.divergence})"
         if not ok:
             failures += 1
-        print(f"{program.name:16} {reference:>10} {gg_value:>10} "
-              f"{pcc_value:>10} {gg_assembly.instruction_count:>5} "
-              f"{pcc_assembly.instruction_count:>5}{marker}")
+        print(f"{program.name:16} {values['interp']:>10} "
+              f"{values['gg']:>10} {values['pcc']:>10} "
+              f"{report.observations['gg'].instructions:>5} "
+              f"{report.observations['pcc'].instructions:>5}{marker}")
     print()
     if failures:
         raise SystemExit(f"{failures} kernels disagree")

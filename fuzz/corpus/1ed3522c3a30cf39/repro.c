@@ -1,0 +1,43 @@
+int f0(int p0, int p1)
+{
+    register int i;
+    int j;
+    int x;
+    int y;
+    int z;
+    char c;
+    unsigned int u;
+    x = p0;
+    y = p1;
+    u = p0;
+    u = (u >> 2);
+    {
+        {
+            if ((u <= p0))
+            {
+                (y++);
+            }
+        }
+        x *= p0;
+    }
+    return (x + y);
+}
+
+int f2(int p0, int p1)
+{
+    register int i;
+    int j;
+    int x;
+    int y;
+    int z;
+    char c;
+    unsigned int u;
+    y = p1;
+    {
+        for (j = 0; (j < 7); (j++))
+        {
+            y = f0(y, 67);
+        }
+    }
+    return y;
+}

@@ -1,0 +1,7 @@
+int f0(int p0, int p1)
+{
+    int y;
+    int z;
+    z = (((0 ? 6 : p1) * ((-22) & y)) + ((y | (0 ? z : 4)) ^ ((0 ? 9 : z) + 35)));
+    return 0;
+}

@@ -61,6 +61,7 @@ def _rewrite_tree(tree: Node) -> None:
     for node in list(walk_postorder(tree)):
         _fold_constants(node)
         _expand_shift(node)
+        _expand_unsigned_rsh(node)
         _sub_const_to_add(node)
         _constant_left(node)
         _insert_conversions(node)
@@ -109,6 +110,31 @@ def _expand_shift(node: Node) -> None:
         return
     power = Node(Op.CONST, node.ty, value=1 << count)
     node.replace_with(Node(Op.MUL, node.ty, [power, node.kids[0]]))
+
+
+def _expand_unsigned_rsh(node: Node) -> None:
+    """C's ``>>`` on an unsigned operand is a *logical* shift, but the
+    VAX's only shifter (``ashl``) is arithmetic.  For a constant count,
+    shift and then mask off the ``count`` replicated sign bits:
+    ``x >> c  ==>  ((1 << (bits - c)) - 1) & (x >> c)``.  The inner
+    shift may replicate the sign bit freely — the mask clears exactly
+    those positions.  (Sub-int unsigned operands don't get here: the
+    integer promotions make them signed int first, and their
+    zero-extended values shift arithmetically without error.)"""
+    if node.op not in (Op.RSH, Op.RRSH) or not node.ty.is_integer \
+            or node.ty.signed:
+        return
+    value, count_kid = (node.kids if node.op is Op.RSH
+                        else reversed(node.kids))
+    count = _const_value(count_kid)
+    bits = 8 * node.ty.size
+    if count is None or not (0 < count < bits):
+        if count == 0:
+            node.replace_with(value)
+        return
+    shifted = Node(node.op, node.ty, list(node.kids))
+    mask = Node(Op.CONST, node.ty, value=(1 << (bits - count)) - 1)
+    node.replace_with(Node(Op.AND, node.ty, [mask, shifted]))
 
 
 def _sub_const_to_add(node: Node) -> None:

@@ -65,6 +65,18 @@ class ProgramAssembly:
     def simulator(self, max_steps: int = 2_000_000) -> Vax:
         return Vax(self.assembled(), max_steps=max_steps)
 
+    def run_calls(self, calls, max_steps: int = 2_000_000):
+        """Run ``(entry, args)`` pairs on one fresh simulator in order.
+
+        Globals persist between calls, matching how the differential
+        oracle (and the IR interpreter) sequence a whole program's
+        functions.  Returns ``(vax, results)`` so callers can inspect
+        final global state on the same machine.
+        """
+        vax = self.simulator(max_steps=max_steps)
+        results = [vax.call(entry, list(args)) for entry, args in calls]
+        return vax, results
+
 
 def compile_program(
     source: str,

@@ -1,0 +1,158 @@
+"""AST-to-source printer for the C subset.
+
+The differential fuzzer's minimizer (:mod:`repro.fuzz.minimize`) edits
+programs as :mod:`repro.frontend.cast` trees — dropping statements,
+replacing expressions with their operands — and every candidate must go
+back through the *real* front end, because the bug being chased may live
+in parsing or lowering.  This module closes that loop: ``unparse(parse(s))``
+is a semantic identity (token-for-token identity is not a goal; every
+subexpression is parenthesized so operator precedence never bites).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.types import MachineType
+from . import cast
+
+_TYPE_NAMES = {
+    MachineType.BYTE: "char",
+    MachineType.WORD: "short",
+    MachineType.LONG: "int",
+    MachineType.QUAD: "long",
+    MachineType.FLOAT: "float",
+    MachineType.DOUBLE: "double",
+    MachineType.UBYTE: "unsigned char",
+    MachineType.UWORD: "unsigned short",
+    MachineType.ULONG: "unsigned int",
+    MachineType.UQUAD: "unsigned long",
+}
+
+
+def type_text(ty: cast.CType) -> str:
+    """The declaration-position spelling of *ty* (without the name)."""
+    if ty.is_void:
+        return "void"
+    return _TYPE_NAMES[ty.base] + "*" * ty.pointer
+
+
+def declarator(name: str, ty: cast.CType) -> str:
+    base = "void" if ty.is_void else _TYPE_NAMES[ty.base]
+    text = base + " " + "*" * ty.pointer + name
+    if ty.array is not None:
+        text += f"[{ty.array}]"
+    return text
+
+
+# --------------------------------------------------------------- expressions
+def expr_text(node: cast.Expr) -> str:
+    if isinstance(node, cast.IntLit):
+        if (node.ty is MachineType.BYTE and 32 <= node.value < 127
+                and chr(node.value) not in "'\\"):
+            return f"'{chr(node.value)}'"
+        return str(node.value)
+    if isinstance(node, cast.FloatLit):
+        return repr(node.value)
+    if isinstance(node, cast.Ident):
+        return node.name
+    if isinstance(node, cast.Unary):
+        op = node.op
+        if op.endswith("pre"):          # ++pre / --pre
+            return f"({op[:-3]}{expr_text(node.operand)})"
+        return f"({op}{expr_text(node.operand)})"
+    if isinstance(node, cast.Postfix):
+        return f"({expr_text(node.operand)}{node.op})"
+    if isinstance(node, cast.Binary):
+        return f"({expr_text(node.left)} {node.op} {expr_text(node.right)})"
+    if isinstance(node, cast.Assign):
+        return f"{expr_text(node.target)} {node.op} {expr_text(node.value)}"
+    if isinstance(node, cast.Ternary):
+        return (f"({expr_text(node.cond)} ? {expr_text(node.then)} : "
+                f"{expr_text(node.other)})")
+    if isinstance(node, cast.Index):
+        return f"{expr_text(node.base)}[{expr_text(node.index)}]"
+    if isinstance(node, cast.CallExpr):
+        args = ", ".join(expr_text(a) for a in node.args)
+        return f"{node.callee}({args})"
+    if isinstance(node, cast.Cast):
+        return f"(({type_text(node.ty)}) {expr_text(node.operand)})"
+    raise TypeError(f"cannot unparse expression {type(node).__name__}")
+
+
+# ---------------------------------------------------------------- statements
+def _stmt_lines(node: cast.Stmt, indent: int) -> List[str]:
+    pad = "    " * indent
+    if isinstance(node, cast.Block):
+        lines = [pad + "{"]
+        for decl in node.decls:
+            prefix = "register " if decl.register else ""
+            lines.append(f"{pad}    {prefix}{declarator(decl.name, decl.ty)};")
+        for stmt in node.stmts:
+            lines.extend(_stmt_lines(stmt, indent + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(node, cast.ExprStmt):
+        if node.expr is None:
+            return [pad + ";"]
+        return [f"{pad}{expr_text(node.expr)};"]
+    if isinstance(node, cast.If):
+        lines = [f"{pad}if ({expr_text(node.cond)})"]
+        lines.extend(_braced(node.then, indent))
+        if node.other is not None:
+            lines.append(pad + "else")
+            lines.extend(_braced(node.other, indent))
+        return lines
+    if isinstance(node, cast.While):
+        return ([f"{pad}while ({expr_text(node.cond)})"]
+                + _braced(node.body, indent))
+    if isinstance(node, cast.DoWhile):
+        return ([pad + "do"] + _braced(node.body, indent)
+                + [f"{pad}while ({expr_text(node.cond)});"])
+    if isinstance(node, cast.For):
+        init = expr_text(node.init) if node.init is not None else ""
+        cond = expr_text(node.cond) if node.cond is not None else ""
+        step = expr_text(node.step) if node.step is not None else ""
+        return ([f"{pad}for ({init}; {cond}; {step})"]
+                + _braced(node.body, indent))
+    if isinstance(node, cast.Return):
+        if node.value is None:
+            return [pad + "return;"]
+        return [f"{pad}return {expr_text(node.value)};"]
+    if isinstance(node, cast.Goto):
+        return [f"{pad}goto {node.label};"]
+    if isinstance(node, cast.Labeled):
+        return [f"{pad}{node.label}:"] + _stmt_lines(node.stmt, indent)
+    if isinstance(node, cast.Break):
+        return [pad + "break;"]
+    if isinstance(node, cast.Continue):
+        return [pad + "continue;"]
+    raise TypeError(f"cannot unparse statement {type(node).__name__}")
+
+
+def _braced(node: cast.Stmt, indent: int) -> List[str]:
+    """A statement in a control-flow body, always wrapped in a block so
+    the minimizer can splice without dangling-else surprises."""
+    if isinstance(node, cast.Block):
+        return _stmt_lines(node, indent)
+    block = cast.Block(stmts=[node])
+    return _stmt_lines(block, indent)
+
+
+# ------------------------------------------------------------------ program
+def unparse(program: cast.Program) -> str:
+    """Render a :class:`~repro.frontend.cast.Program` back to C source."""
+    lines: List[str] = []
+    for decl in program.globals:
+        lines.append(f"{declarator(decl.name, decl.ty)};")
+    if program.globals:
+        lines.append("")
+    for func in program.functions:
+        params = ", ".join(
+            declarator(p.name, p.ty) for p in func.params
+        ) or "void"
+        ret = type_text(func.return_type)
+        lines.append(f"{ret} {func.name}({params})")
+        lines.extend(_stmt_lines(func.body, 0))
+        lines.append("")
+    return "\n".join(lines)

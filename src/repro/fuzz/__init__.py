@@ -1,0 +1,32 @@
+"""Differential fuzzing: mechanical evidence for the paper's §8 claim.
+
+The paper argues the table-driven generator's output is "as good or
+better in almost all cases" than PCC's hand-written second pass; this
+subsystem supplies the *correctness* half of that comparison on
+arbitrary input rather than a fixed corpus.  A seeded driver draws
+random :class:`~repro.workloads.generator.WorkloadSpec` programs, runs
+each through three pipelines —
+
+* the IR reference interpreter (ground truth),
+* the Graham-Glanville generator + simulated VAX,
+* the PCC baseline + simulated VAX,
+
+— and compares every observable (per-call return values, final global
+state).  A mismatch or crash is delta-debugged down to a minimal
+reproducer, persisted under ``fuzz/corpus/<fingerprint>/`` and replayed
+forever by the regression suite.
+"""
+
+from .corpus import Corpus, default_corpus_dir, fingerprint
+from .driver import CampaignStats, FuzzConfig, run_campaign, spec_for_case
+from .inject import BUGS, injected_bug
+from .minimize import count_statements, minimize_program
+from .oracle import OracleReport, default_calls, run_oracle
+
+__all__ = [
+    "OracleReport", "run_oracle", "default_calls",
+    "FuzzConfig", "CampaignStats", "run_campaign", "spec_for_case",
+    "minimize_program", "count_statements",
+    "Corpus", "default_corpus_dir", "fingerprint",
+    "BUGS", "injected_bug",
+]

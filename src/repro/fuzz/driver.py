@@ -1,0 +1,264 @@
+"""The fuzz campaign driver.
+
+A campaign is a seeded, budgeted loop: draw a widened
+:class:`~repro.workloads.generator.WorkloadSpec`, generate a program,
+hand it to the three-way oracle, and — on divergence — minimize and
+hand the reproducer back to the caller (the CLI records it in the
+corpus).  Everything downstream of the master seed is deterministic:
+``spec_for_case(seed, n)`` always produces the same program, so any
+finding can be regenerated from its ``(seed, case)`` pair alone even
+before minimization.
+
+Parallelism mirrors :mod:`repro.compile`'s process-pool pattern: each
+worker memoizes one :class:`GrahamGlanvilleCodeGenerator` (warm-started
+from the persistent table cache) and evaluates whole cases, including
+minimization, so the parent only aggregates picklable summaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..workloads.generator import WorkloadSpec, generate_workload
+from .minimize import count_source_statements, minimize_program
+from .oracle import run_oracle, same_divergence
+
+
+@dataclass
+class FuzzConfig:
+    seed: int = 0
+    budget: float = 30.0          # wall-clock seconds
+    jobs: int = 1
+    max_programs: Optional[int] = None
+    minimize: bool = True
+    max_findings: int = 10        # stop early once this many distinct cases
+    #: Per-pipeline simulated-step cap.  Far below the library default:
+    #: a pure-Python simulator runs ~100k steps/s, and one fuzz case pays
+    #: the cap up to three times, so this bounds the worst case to a few
+    #: seconds.  Programs that exceed it are skipped (class "timeout"),
+    #: not reported.
+    max_steps: int = 300_000
+
+
+@dataclass
+class Finding:
+    case: int
+    seed: int
+    divergence: str
+    detail: str
+    source: str                   # the program as generated
+    minimized: str                # after delta debugging (== source if off)
+    statements: int               # statement count of the minimized repro
+
+
+@dataclass
+class CampaignStats:
+    seed: int = 0
+    programs: int = 0
+    timeouts: int = 0             # skipped: exceeded the fuzz step cap
+    gg_instructions: int = 0
+    pcc_instructions: int = 0
+    seconds: float = 0.0
+    divergence_classes: Dict[str, int] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary_lines(self) -> List[str]:
+        rate = self.programs / self.seconds if self.seconds else 0.0
+        lines = [
+            f"fuzz: seed={self.seed} programs={self.programs} "
+            f"({rate:.1f}/s over {self.seconds:.1f}s, "
+            f"{self.timeouts} skipped on step cap)",
+            f"fuzz: instructions gg={self.gg_instructions} "
+            f"pcc={self.pcc_instructions}",
+        ]
+        if self.divergence_classes:
+            classes = ", ".join(
+                f"{name}={count}" for name, count
+                in sorted(self.divergence_classes.items())
+            )
+            lines.append(f"fuzz: divergences {classes}")
+        for finding in self.findings:
+            lines.append(
+                f"fuzz: case {finding.case}: {finding.divergence} "
+                f"({finding.detail}) minimized to "
+                f"{finding.statements} statement(s)"
+            )
+        if not self.findings:
+            lines.append("fuzz: all programs agree across "
+                         "interp/gg/pcc")
+        return lines
+
+
+def spec_for_case(seed: int, case: int) -> WorkloadSpec:
+    """The deterministic widened spec for one campaign case.
+
+    Programs are deliberately small — a fuzzer wants many diverse shapes
+    per second, not few big ones — and every widening knob is sampled
+    independently so each feature also appears in isolation.
+    """
+    # an explicit integer seed: Random(tuple) would fall back to hash(),
+    # which PYTHONHASHSEED randomizes per process
+    rng = random.Random(int.from_bytes(
+        hashlib.sha256(f"fuzz-spec:{seed}:{case}".encode()).digest()[:8],
+        "big",
+    ))
+    return WorkloadSpec(
+        functions=rng.randint(2, 4),
+        statements_per_function=rng.randint(4, 10),
+        max_expression_depth=rng.randint(3, 5),
+        arrays=rng.randint(1, 2),
+        array_length=rng.choice([8, 16]),
+        globals_count=rng.randint(2, 4),
+        loops=True,
+        calls=True,
+        floats=rng.random() < 0.5,
+        float_globals=rng.randint(1, 2),
+        nested_calls=rng.random() < 0.6,
+        unsigned_compares=rng.random() < 0.5,
+        wide_shifts=rng.random() < 0.5,
+        seed=rng.randrange(1 << 30),
+    )
+
+
+# ---------------------------------------------------------------- one case
+#
+# Module-level so a process pool can pickle it; the generator memo gives
+# each worker exactly one cache-warmed static phase.
+
+_WORKER_GENERATOR = None
+
+
+def _worker_generator():
+    global _WORKER_GENERATOR
+    if _WORKER_GENERATOR is None:
+        from ..codegen.driver import GrahamGlanvilleCodeGenerator
+        _WORKER_GENERATOR = GrahamGlanvilleCodeGenerator()
+    return _WORKER_GENERATOR
+
+
+def run_case(task) -> dict:
+    """Evaluate one campaign task; returns a picklable summary."""
+    seed, case, minimize, max_steps = task
+    source = generate_workload(spec_for_case(seed, case))
+    generator = _worker_generator()
+    report = run_oracle(source, gg_generator=generator, max_steps=max_steps)
+    out = {
+        "case": case,
+        "divergence": report.divergence,
+        "detail": report.detail,
+        "gg_instructions": report.observations.get(
+            "gg", _NOTHING).instructions if report.observations else 0,
+        "pcc_instructions": report.observations.get(
+            "pcc", _NOTHING).instructions if report.observations else 0,
+    }
+    if report.divergence is None or report.divergence == "timeout":
+        return out
+    out["source"] = source
+    out["minimized"] = source
+    out["statements"] = count_source_statements(source)
+    if minimize:
+        target = report.divergence
+
+        def still_fails(candidate: str) -> bool:
+            return same_divergence(
+                run_oracle(candidate, gg_generator=generator,
+                           max_steps=max_steps).divergence,
+                target,
+            )
+
+        result = minimize_program(source, still_fails)
+        out["minimized"] = result.source
+        out["statements"] = result.statements
+    return out
+
+
+class _Nothing:
+    instructions = 0
+
+
+_NOTHING = _Nothing()
+
+
+# ----------------------------------------------------------------- campaign
+def run_campaign(
+    config: FuzzConfig,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignStats:
+    """Run one budgeted campaign; returns aggregate stats plus findings."""
+    stats = CampaignStats(seed=config.seed)
+    started = time.perf_counter()
+    say = progress or (lambda _line: None)
+
+    def record(summary: dict) -> None:
+        stats.programs += 1
+        stats.gg_instructions += summary["gg_instructions"]
+        stats.pcc_instructions += summary["pcc_instructions"]
+        divergence = summary["divergence"]
+        if divergence is None:
+            return
+        if divergence == "timeout":
+            stats.timeouts += 1
+            return
+        stats.divergence_classes[divergence] = (
+            stats.divergence_classes.get(divergence, 0) + 1
+        )
+        finding = Finding(
+            case=summary["case"],
+            seed=config.seed,
+            divergence=divergence,
+            detail=summary["detail"],
+            source=summary["source"],
+            minimized=summary["minimized"],
+            statements=summary["statements"],
+        )
+        stats.findings.append(finding)
+        say(f"fuzz: case {finding.case} diverged ({divergence}); "
+            f"minimized to {finding.statements} statement(s)")
+
+    def done() -> bool:
+        if time.perf_counter() - started >= config.budget:
+            return True
+        if (config.max_programs is not None
+                and stats.programs >= config.max_programs):
+            return True
+        return len(stats.findings) >= config.max_findings
+
+    if config.jobs <= 1:
+        case = 0
+        while not done():
+            record(run_case(
+                (config.seed, case, config.minimize, config.max_steps)))
+            case += 1
+    else:
+        with ProcessPoolExecutor(max_workers=config.jobs) as pool:
+            case = 0
+            pending = set()
+            # keep the pool saturated without racing past the budget:
+            # top up to 2x jobs outstanding, harvest as they finish
+            while True:
+                while (len(pending) < 2 * config.jobs and not done()
+                       and (config.max_programs is None
+                            or case < config.max_programs)):
+                    pending.add(pool.submit(
+                        run_case,
+                        (config.seed, case, config.minimize,
+                         config.max_steps)))
+                    case += 1
+                if not pending:
+                    break
+                finished, pending = wait(
+                    pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    record(future.result())
+
+    stats.seconds = time.perf_counter() - started
+    return stats

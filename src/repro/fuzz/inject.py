@@ -1,0 +1,79 @@
+"""Deliberate bug injection for validating the fuzzer end to end.
+
+A differential fuzzer that has never caught anything proves nothing.
+This module plants a known miscompilation in the Graham-Glanville
+pipeline — and *only* there — by rewriting mnemonics inside the VAX
+instruction table (:data:`repro.vax.insttable.INSTRUCTION_TABLE`).  The
+table is the semantic layer's single source of emit templates, so e.g.
+remapping the ``sub.l`` cluster onto ``add`` mnemonics silently turns
+every long subtraction into an addition.  PCC is untouched: its second
+pass spells mnemonics directly in format strings, which is exactly the
+asymmetry the three-way oracle exists to catch.
+
+Everything is restore-on-exit: the context manager swaps clusters in
+place (the semantics module holds a reference to the *dict*, not to a
+snapshot) and reinstates the originals in a ``finally``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Dict, Iterator
+
+from ..vax.insttable import INSTRUCTION_TABLE, Cluster
+
+#: name -> {cluster key -> {old mnemonic -> wrong mnemonic}}.  Each bug
+#: rewrites one cluster so a single generic operator miscompiles.
+BUGS: Dict[str, Dict[str, Dict[str, str]]] = {
+    # every long subtract becomes an add (the classic sign flip)
+    "subl-as-addl": {
+        "sub.l": {"subl3": "addl3", "subl2": "addl2", "decl": "incl"},
+    },
+    # every long multiply becomes an add — only bites past operand 1
+    "mull-as-addl": {
+        "mul.l": {"mull3": "addl3", "mull2": "addl2"},
+    },
+    # xor emitted as inclusive or — agrees whenever operands share no bits
+    "xorl-as-bisl": {
+        "xor.l": {"xorl3": "bisl3", "xorl2": "bisl2"},
+    },
+    # double subtract becomes double add — only float workloads notice
+    "subd-as-addd": {
+        "sub.d": {"subd3": "addd3", "subd2": "addd2"},
+    },
+}
+
+
+def _rewritten(cluster: Cluster, mapping: Dict[str, str]) -> Cluster:
+    variants = tuple(
+        replace(v, mnemonic=mapping.get(v.mnemonic, v.mnemonic))
+        for v in cluster.variants
+    )
+    return Cluster(cluster.name, variants)
+
+
+@contextmanager
+def injected_bug(name: str) -> Iterator[Dict[str, str]]:
+    """Plant bug *name* in the live instruction table for the duration.
+
+    Yields the flat ``{old mnemonic: wrong mnemonic}`` map for use in
+    assertions.  Generators constructed *inside* the context emit the
+    bug; the table cache is unaffected (it stores parse tables, not
+    instruction clusters), so cached warm starts still miscompile —
+    precisely the property that makes the planted bug realistic.
+    """
+    try:
+        spec = BUGS[name]
+    except KeyError:
+        raise KeyError(f"unknown injected bug {name!r}; "
+                       f"have {sorted(BUGS)}") from None
+    saved = {key: INSTRUCTION_TABLE[key] for key in spec}
+    flat: Dict[str, str] = {}
+    for key, mapping in spec.items():
+        INSTRUCTION_TABLE[key] = _rewritten(INSTRUCTION_TABLE[key], mapping)
+        flat.update(mapping)
+    try:
+        yield flat
+    finally:
+        INSTRUCTION_TABLE.update(saved)

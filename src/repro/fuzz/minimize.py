@@ -1,0 +1,559 @@
+"""Failure minimization: delta debugging over the front end's AST.
+
+A raw finding from the fuzzer is a whole translation unit — several
+functions, dozens of statements.  This module shrinks it while a
+caller-supplied predicate ("does this candidate still show the *same*
+divergence class?") keeps returning True, working at three granularities
+in order:
+
+1. **functions** — drop every routine the failure does not need;
+2. **statements** — ddmin over each block's statement list, plus
+   structural collapses (an ``if`` becomes its taken arm, a loop its
+   body, a compound target its simple form);
+3. **expressions** — replace any operator node by one of its operands
+   or by a literal, repeatedly, to a fixpoint.
+
+Every candidate is rendered back to C by :mod:`repro.frontend.unparse`
+and re-enters the oracle through the *real* front end, so a shrink can
+never mask a parsing or lowering bug.  The predicate sees source text
+only; this module never interprets anything itself.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..frontend import cast
+from ..frontend.parser import parse
+from ..frontend.unparse import unparse
+
+Predicate = Callable[[str], bool]
+
+
+@dataclass
+class MinimizeResult:
+    source: str
+    statements: int
+    rounds: int
+    tests: int          # predicate invocations spent
+
+
+# ---------------------------------------------------------------- counting
+def count_statements(node) -> int:
+    """Leaf statements plus one per control-flow construct — the measure
+    quoted in reports ("minimized to N statements")."""
+    if isinstance(node, cast.Program):
+        return sum(count_statements(f.body) for f in node.functions)
+    if isinstance(node, cast.Block):
+        return sum(count_statements(s) for s in node.stmts)
+    if isinstance(node, cast.ExprStmt):
+        return 0 if node.expr is None else 1
+    if isinstance(node, cast.If):
+        inner = count_statements(node.then)
+        if node.other is not None:
+            inner += count_statements(node.other)
+        return 1 + inner
+    if isinstance(node, (cast.While, cast.DoWhile, cast.For)):
+        return 1 + count_statements(node.body)
+    if isinstance(node, cast.Labeled):
+        return count_statements(node.stmt)
+    return 1  # Return, Goto, Break, Continue
+
+
+def count_source_statements(source: str) -> int:
+    return count_statements(parse(source))
+
+
+def _well_formed(program: cast.Program) -> bool:
+    """Generated programs always end every function with ``return expr;``.
+    A candidate that drops it would make the pipelines compare garbage
+    r0 values (undefined behavior, a legitimate divergence), letting the
+    minimizer wander off the injected bug — so such candidates are
+    rejected before they ever reach the oracle."""
+    for func in program.functions:
+        stmts = func.body.stmts
+        if not stmts:
+            return False
+        last = stmts[-1]
+        if not isinstance(last, cast.Return) or last.value is None:
+            return False
+        if not _no_uninitialized_reads(func):
+            return False
+    return True
+
+
+def _no_uninitialized_reads(func: cast.FuncDef) -> bool:
+    """Conservative definite-assignment check over one function.
+
+    Reading an uninitialized local is the other UB trap: the interpreter
+    zero-fills frames while the simulated VAX reuses stale stack bytes,
+    so a candidate that drops ``y = p1;`` diverges for reasons that have
+    nothing to do with the bug being minimized.  The analysis is a single
+    forward walk: only *top-level* ``name = expr`` statements (and for-loop
+    init clauses) definitely assign; anything read before that — at any
+    nesting depth — rejects the candidate.  Conservative rejections just
+    cost the minimizer one shrink opportunity.
+    """
+    locals_ = {d.name for d in func.body.decls}
+    assigned = set()
+
+    def expr_ok(node, *, as_target=False) -> bool:
+        if node is None:
+            return True
+        if isinstance(node, cast.Ident):
+            return as_target or node.name not in locals_ \
+                or node.name in assigned
+        if isinstance(node, cast.Assign):
+            # compound ops (+=) and array stores read their target first
+            target_ok = (
+                expr_ok(node.target, as_target=(node.op == "="
+                                                and isinstance(node.target,
+                                                               cast.Ident)))
+            )
+            if isinstance(node.target, cast.Index):
+                target_ok = expr_ok(node.target.index) and expr_ok(
+                    node.target.base, as_target=True)
+            return target_ok and expr_ok(node.value)
+        if isinstance(node, (cast.Unary, cast.Postfix)):
+            # ++/-- read their operand
+            return expr_ok(node.operand)
+        if isinstance(node, cast.Cast):
+            return expr_ok(node.operand)
+        if isinstance(node, cast.Binary):
+            return expr_ok(node.left) and expr_ok(node.right)
+        if isinstance(node, cast.Ternary):
+            return (expr_ok(node.cond) and expr_ok(node.then)
+                    and expr_ok(node.other))
+        if isinstance(node, cast.Index):
+            return expr_ok(node.base, as_target=True) and expr_ok(node.index)
+        if isinstance(node, cast.CallExpr):
+            return all(expr_ok(a) for a in node.args)
+        return True  # literals
+
+    def definite_target(expr) -> bool:
+        return (isinstance(expr, cast.Assign) and expr.op == "="
+                and isinstance(expr.target, cast.Ident))
+
+    def stmt_ok(stmt, top_level: bool) -> bool:
+        if isinstance(stmt, cast.Block):
+            return all(stmt_ok(s, top_level) for s in stmt.stmts)
+        if isinstance(stmt, cast.ExprStmt):
+            if not expr_ok(stmt.expr):
+                return False
+            if top_level and definite_target(stmt.expr):
+                assigned.add(stmt.expr.target.name)
+            return True
+        if isinstance(stmt, cast.If):
+            if not expr_ok(stmt.cond):
+                return False
+            if not stmt_ok(stmt.then, False):
+                return False
+            return stmt.other is None or stmt_ok(stmt.other, False)
+        if isinstance(stmt, (cast.While, cast.DoWhile)):
+            return expr_ok(stmt.cond) and stmt_ok(stmt.body, False)
+        if isinstance(stmt, cast.For):
+            if not expr_ok(stmt.init):
+                return False
+            if definite_target(stmt.init):
+                assigned.add(stmt.init.target.name)
+            return (expr_ok(stmt.cond) and stmt_ok(stmt.body, False)
+                    and expr_ok(stmt.step))
+        if isinstance(stmt, cast.Return):
+            return expr_ok(stmt.value)
+        if isinstance(stmt, cast.Labeled):
+            return stmt_ok(stmt.stmt, top_level)
+        return True
+
+    params = {p.name for p in func.params}
+    assigned |= params
+    locals_ -= params
+    return stmt_ok(func.body, True)
+
+
+# ------------------------------------------------------------ the shrinker
+class _Shrinker:
+    def __init__(self, predicate: Predicate, budget: int,
+                 deadline: Optional[float] = None) -> None:
+        self.predicate = predicate
+        self.budget = budget
+        self.deadline = deadline
+        self.tests = 0
+
+    def out_of_budget(self) -> bool:
+        if self.tests >= self.budget:
+            return True
+        return (self.deadline is not None
+                and time.monotonic() >= self.deadline)
+
+    def check(self, program: cast.Program) -> bool:
+        if not _well_formed(program):
+            return False
+        if self.out_of_budget():
+            return False
+        self.tests += 1
+        try:
+            text = unparse(program)
+        except TypeError:
+            return False
+        try:
+            return bool(self.predicate(text))
+        except Exception:  # noqa: BLE001 - a crashing candidate is a no
+            return False
+
+    # ------------------------------------------------------- function level
+    def prune_functions(self, program: cast.Program) -> cast.Program:
+        changed = True
+        while changed and len(program.functions) > 1:
+            changed = False
+            for index in range(len(program.functions) - 1, -1, -1):
+                candidate = copy.deepcopy(program)
+                del candidate.functions[index]
+                if self.check(candidate):
+                    program = candidate
+                    changed = True
+                    break
+        return program
+
+    # ------------------------------------------------------ statement level
+    def _blocks(self, program: cast.Program) -> List[cast.Block]:
+        found: List[cast.Block] = []
+
+        def walk(stmt: cast.Stmt) -> None:
+            if isinstance(stmt, cast.Block):
+                found.append(stmt)
+                for inner in stmt.stmts:
+                    walk(inner)
+            elif isinstance(stmt, cast.If):
+                walk(stmt.then)
+                if stmt.other is not None:
+                    walk(stmt.other)
+            elif isinstance(stmt, (cast.While, cast.DoWhile, cast.For)):
+                walk(stmt.body)
+            elif isinstance(stmt, cast.Labeled):
+                walk(stmt.stmt)
+
+        for func in program.functions:
+            walk(func.body)
+        return found
+
+    def reduce_statements(self, program: cast.Program) -> Tuple[cast.Program, bool]:
+        """One pass of ddmin-style chunk removal over every block."""
+        shrunk = False
+        block_index = 0
+        while True:
+            blocks = self._blocks(program)
+            if block_index >= len(blocks):
+                break
+            length = len(blocks[block_index].stmts)
+            chunk = max(1, length // 2)
+            removed_any = False
+            while chunk >= 1:
+                start = 0
+                while start < len(self._blocks(program)[block_index].stmts):
+                    candidate = copy.deepcopy(program)
+                    stmts = self._blocks(candidate)[block_index].stmts
+                    del stmts[start:start + chunk]
+                    if self.check(candidate):
+                        program = candidate
+                        shrunk = removed_any = True
+                    else:
+                        start += chunk
+                chunk //= 2
+            if not removed_any:
+                block_index += 1
+        return program, shrunk
+
+    def collapse_control(self, program: cast.Program) -> Tuple[cast.Program, bool]:
+        """Replace control-flow statements by their components."""
+        shrunk = False
+        progress = True
+        while progress:
+            progress = False
+            slots = _statement_slots(program)
+            for getter, setter in slots:
+                node = getter(program)
+                for variant in _control_variants(node):
+                    candidate = copy.deepcopy(program)
+                    _apply(candidate, getter, setter, variant)
+                    if self.check(candidate):
+                        program = candidate
+                        shrunk = progress = True
+                        break
+                if progress:
+                    break
+        return program, shrunk
+
+    # ----------------------------------------------------- expression level
+    def simplify_expressions(self, program: cast.Program) -> Tuple[cast.Program, bool]:
+        shrunk = False
+        progress = True
+        while progress:
+            progress = False
+            for getter, setter in _expression_slots(program):
+                node = getter(program)
+                for variant in _expression_variants(node):
+                    candidate = copy.deepcopy(program)
+                    _apply(candidate, getter, setter, variant)
+                    if self.check(candidate):
+                        program = candidate
+                        shrunk = progress = True
+                        break
+                if progress:
+                    break
+        return program, shrunk
+
+    # ---------------------------------------------------------- decl level
+    def drop_unused_decls(self, program: cast.Program) -> cast.Program:
+        """Remove globals and locals the program no longer mentions."""
+        text = unparse(program)
+        changed = True
+        while changed:
+            changed = False
+            candidate = copy.deepcopy(program)
+            for decl_list in self._decl_lists(candidate):
+                for index in range(len(decl_list) - 1, -1, -1):
+                    name = decl_list[index].name
+                    uses = sum(
+                        1 for token in text.replace("[", " [ ").split()
+                        if token.strip("();,+-*/%&|^<>=!~?:[]") == name
+                    )
+                    if uses <= 1:  # the declaration itself
+                        del decl_list[index]
+            if candidate != program and self.check(candidate):
+                program = candidate
+                text = unparse(program)
+                changed = True
+        return program
+
+    @staticmethod
+    def _decl_lists(program: cast.Program):
+        yield program.globals
+        for func in program.functions:
+            yield func.body.decls
+
+
+# ------------------------------------------------------------ slot walking
+#
+# A *slot* is an (getter, setter) pair addressing one mutable child
+# position by path, so the same edit can be replayed onto a deep copy.
+
+def _statement_slots(program: cast.Program):
+    slots = []
+
+    def walk(path_get, path_set, stmt):
+        slots.append((path_get, path_set))
+        if isinstance(stmt, cast.Block):
+            for i, inner in enumerate(stmt.stmts):
+                walk(_item_get(path_get, "stmts", i),
+                     _item_set(path_get, "stmts", i), inner)
+        elif isinstance(stmt, cast.If):
+            walk(_attr_get(path_get, "then"), _attr_set(path_get, "then"),
+                 stmt.then)
+            if stmt.other is not None:
+                walk(_attr_get(path_get, "other"),
+                     _attr_set(path_get, "other"), stmt.other)
+        elif isinstance(stmt, (cast.While, cast.DoWhile, cast.For)):
+            walk(_attr_get(path_get, "body"), _attr_set(path_get, "body"),
+                 stmt.body)
+        elif isinstance(stmt, cast.Labeled):
+            walk(_attr_get(path_get, "stmt"), _attr_set(path_get, "stmt"),
+                 stmt.stmt)
+
+    for index, func in enumerate(program.functions):
+        base_get = _func_body_get(index)
+        base_set = _func_body_set(index)
+        walk(base_get, base_set, func.body)
+    return slots
+
+
+def _expression_slots(program: cast.Program):
+    """Every mutable expression position, outermost first."""
+    slots = []
+
+    def walk_expr(path_get, path_set, node, is_lvalue=False):
+        if node is None:
+            return
+        if not is_lvalue:
+            slots.append((path_get, path_set))
+        for attr in ("left", "right", "cond", "then", "other", "value",
+                     "operand", "index"):
+            child = getattr(node, attr, None)
+            if isinstance(child, cast.Expr):
+                walk_expr(_attr_get(path_get, attr), _attr_set(path_get, attr),
+                          child)
+        target = getattr(node, "target", None)
+        if isinstance(target, cast.Expr):
+            # assignment targets stay lvalues; recurse only into the
+            # index expression of an array store
+            if isinstance(target, cast.Index):
+                walk_expr(_attr_get(_attr_get(path_get, "target"), "index"),
+                          _attr_set(_attr_get(path_get, "target"), "index"),
+                          target.index)
+        base = getattr(node, "base", None)
+        if isinstance(base, cast.Expr) and not isinstance(node, cast.Index):
+            walk_expr(_attr_get(path_get, "base"), _attr_set(path_get, "base"),
+                      base)
+        if isinstance(node, cast.CallExpr):
+            for i, arg in enumerate(node.args):
+                walk_expr(_item_get(path_get, "args", i),
+                          _item_set(path_get, "args", i), arg)
+
+    def walk_stmt(path_get, stmt):
+        if isinstance(stmt, cast.Block):
+            for i, inner in enumerate(stmt.stmts):
+                walk_stmt(_item_get(path_get, "stmts", i), inner)
+        elif isinstance(stmt, cast.ExprStmt):
+            walk_expr(_attr_get(path_get, "expr"), _attr_set(path_get, "expr"),
+                      stmt.expr)
+        elif isinstance(stmt, cast.If):
+            walk_expr(_attr_get(path_get, "cond"), _attr_set(path_get, "cond"),
+                      stmt.cond)
+            walk_stmt(_attr_get(path_get, "then"), stmt.then)
+            if stmt.other is not None:
+                walk_stmt(_attr_get(path_get, "other"), stmt.other)
+        elif isinstance(stmt, (cast.While, cast.DoWhile)):
+            walk_expr(_attr_get(path_get, "cond"), _attr_set(path_get, "cond"),
+                      stmt.cond)
+            walk_stmt(_attr_get(path_get, "body"), stmt.body)
+        elif isinstance(stmt, cast.For):
+            for attr in ("init", "cond", "step"):
+                child = getattr(stmt, attr)
+                if child is not None:
+                    walk_expr(_attr_get(path_get, attr),
+                              _attr_set(path_get, attr), child)
+            walk_stmt(_attr_get(path_get, "body"), stmt.body)
+        elif isinstance(stmt, cast.Return):
+            if stmt.value is not None:
+                walk_expr(_attr_get(path_get, "value"),
+                          _attr_set(path_get, "value"), stmt.value)
+        elif isinstance(stmt, cast.Labeled):
+            walk_stmt(_attr_get(path_get, "stmt"), stmt.stmt)
+
+    for index in range(len(program.functions)):
+        walk_stmt(_func_body_get(index), program.functions[index].body)
+    return slots
+
+
+# Path combinators: each getter maps a *program* to a node; each setter
+# maps (program, replacement) to an in-place mutation.
+
+def _func_body_get(index):
+    return lambda prog: prog.functions[index].body
+
+
+def _func_body_set(index):
+    def set_(prog, value):
+        prog.functions[index].body = value
+    return set_
+
+
+def _attr_get(parent_get, attr):
+    return lambda prog: getattr(parent_get(prog), attr)
+
+
+def _attr_set(parent_get, attr):
+    def set_(prog, value):
+        setattr(parent_get(prog), attr, value)
+    return set_
+
+
+def _item_get(parent_get, attr, index):
+    return lambda prog: getattr(parent_get(prog), attr)[index]
+
+
+def _item_set(parent_get, attr, index):
+    def set_(prog, value):
+        getattr(parent_get(prog), attr)[index] = value
+    return set_
+
+
+def _apply(program, getter, setter, variant_fn):
+    """Replace the addressed node on *program* with variant_fn(node)."""
+    setter(program, variant_fn(getter(program)))
+
+
+# ------------------------------------------------------------- variant sets
+def _control_variants(node: cast.Stmt):
+    """Structural replacements for one statement (applied to a copy)."""
+    variants = []
+    if isinstance(node, cast.If):
+        variants.append(lambda n: n.then)
+        if node.other is not None:
+            variants.append(lambda n: n.other)
+            variants.append(lambda n: cast.If(cond=n.cond, then=n.then))
+    elif isinstance(node, (cast.While, cast.DoWhile)):
+        variants.append(lambda n: n.body)
+    elif isinstance(node, cast.For):
+        variants.append(lambda n: n.body)
+        if node.init is not None:
+            variants.append(
+                lambda n: cast.Block(stmts=[cast.ExprStmt(expr=n.init), n.body])
+            )
+    elif isinstance(node, cast.Labeled):
+        variants.append(lambda n: n.stmt)
+    return variants
+
+
+def _expression_variants(node: cast.Expr):
+    """Candidate replacements for one expression, simplest first."""
+    variants = []
+    if isinstance(node, (cast.IntLit, cast.Ident)):
+        return variants  # already minimal
+    variants.append(lambda n: cast.IntLit(value=0))
+    variants.append(lambda n: cast.IntLit(value=1))
+    if isinstance(node, cast.Binary):
+        variants.append(lambda n: n.left)
+        variants.append(lambda n: n.right)
+    elif isinstance(node, cast.Ternary):
+        variants.append(lambda n: n.then)
+        variants.append(lambda n: n.other)
+    elif isinstance(node, (cast.Unary, cast.Postfix, cast.Cast)):
+        variants.append(lambda n: n.operand)
+    elif isinstance(node, cast.Index):
+        variants.append(lambda n: n.base)  # array name decays: invalid, cheap no
+    elif isinstance(node, cast.CallExpr):
+        if node.args:
+            variants.append(lambda n: n.args[0])
+    elif isinstance(node, cast.Assign):
+        variants.append(lambda n: n.value)
+    return variants
+
+
+# ------------------------------------------------------------------- driver
+def minimize_program(
+    source: str,
+    predicate: Predicate,
+    max_rounds: int = 8,
+    test_budget: int = 2500,
+    max_seconds: Optional[float] = 120.0,
+) -> MinimizeResult:
+    """Shrink *source* while ``predicate(candidate_source)`` holds.
+
+    The predicate must be True for *source* itself; the result is the
+    smallest fixpoint found within the round/test/wall-clock budgets
+    (a budgeted run returns the best candidate so far, never nothing).
+    """
+    program = parse(source)
+    deadline = (time.monotonic() + max_seconds
+                if max_seconds is not None else None)
+    shrinker = _Shrinker(predicate, test_budget, deadline)
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        before = unparse(program)
+        program = shrinker.prune_functions(program)
+        program, _ = shrinker.reduce_statements(program)
+        program, _ = shrinker.collapse_control(program)
+        program, _ = shrinker.simplify_expressions(program)
+        program = shrinker.drop_unused_decls(program)
+        if unparse(program) == before or shrinker.out_of_budget():
+            break
+    final = unparse(program)
+    return MinimizeResult(
+        source=final,
+        statements=count_statements(program),
+        rounds=rounds,
+        tests=shrinker.tests,
+    )

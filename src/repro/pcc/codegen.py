@@ -133,6 +133,15 @@ class PccCodeGenerator:
             self._lru.remove(register)
             self._free.insert(0, register)
             self._free.sort(key=self.machine.allocatable.index)
+        elif register in self._pending_release:
+            # a phase-1 reservation whose promised uses are all spent:
+            # hand it back mid-statement.  Waiting for the statement
+            # boundary starves deep expressions — three live Reghints
+            # would leave only three scratch registers for the whole tree.
+            self._pending_release.remove(register)
+            self._reserved.pop(register, None)
+            self._free.append(register)
+            self._free.sort(key=self.machine.allocatable.index)
 
     def _is_scratch(self, operand: str) -> bool:
         return operand in self._lru

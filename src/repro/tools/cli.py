@@ -9,6 +9,10 @@ the program on the simulated VAX::
     ggcc --trace file.c              # shift/reduce trace per statement
     ggcc --stats                     # section-8 statistics
     ggcc --run main --args 3,4 file.c
+
+The differential fuzzer is a subcommand with its own options::
+
+    ggcc fuzz --seed 0 --budget 30 --jobs 4
 """
 
 from __future__ import annotations
@@ -56,7 +60,84 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ggcc fuzz",
+        description="differential fuzzing: random programs through "
+                    "interpreter, GG backend and PCC baseline; findings "
+                    "are minimized and recorded in fuzz/corpus/",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed; every case derives from it")
+    parser.add_argument("--budget", type=float, default=30.0,
+                        help="wall-clock seconds to spend (default 30)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1, in-process)")
+    parser.add_argument("--max-programs", type=int, default=None,
+                        help="stop after N programs even within budget")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="report raw findings without delta debugging")
+    parser.add_argument("--no-record", action="store_true",
+                        help="do not write findings to the corpus")
+    parser.add_argument("--corpus", default=None,
+                        help="corpus directory (default fuzz/corpus/)")
+    parser.add_argument("--inject", choices=(), default=None,
+                        help="plant a known bug first (self-test)")
+    return parser
+
+
+def fuzz_main(argv: List[str]) -> int:
+    from ..fuzz import (Corpus, FuzzConfig, injected_bug, run_campaign)
+    from ..fuzz.inject import BUGS
+
+    parser = build_fuzz_parser()
+    # choices for --inject come from the bug registry; patch them in so
+    # the registry stays the single source of truth
+    for action in parser._actions:
+        if action.dest == "inject":
+            action.choices = sorted(BUGS)
+    options = parser.parse_args(argv)
+
+    config = FuzzConfig(
+        seed=options.seed,
+        budget=options.budget,
+        jobs=options.jobs,
+        max_programs=options.max_programs,
+        minimize=not options.no_minimize,
+    )
+
+    def campaign():
+        return run_campaign(config, progress=print)
+
+    if options.inject:
+        with injected_bug(options.inject):
+            stats = campaign()
+    else:
+        stats = campaign()
+
+    for line in stats.summary_lines():
+        print(line)
+
+    if stats.findings and not options.no_record:
+        corpus = Corpus(options.corpus)
+        for finding in stats.findings:
+            name = corpus.record(
+                finding.minimized, finding.divergence,
+                detail=finding.detail, seed=finding.seed,
+                case=finding.case, statements=finding.statements,
+            )
+            print(f"fuzz: recorded {name} ({finding.divergence})")
+        path = corpus.write_regression_test()
+        print(f"fuzz: regenerated {path}")
+
+    return 1 if stats.findings else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(list(argv[1:]))
     parser = build_arg_parser()
     options = parser.parse_args(argv)
 

@@ -17,7 +17,16 @@ from typing import List, Optional
 
 @dataclass
 class WorkloadSpec:
-    """Knobs for one generated translation unit."""
+    """Knobs for one generated translation unit.
+
+    ``floats``/``unsigned``/``nested_calls``/``wide_shifts`` widen the
+    language surface for the differential fuzzer (:mod:`repro.fuzz`):
+    double-typed globals and arithmetic, unsigned locals driving the
+    LTU/GEU compare family, call expressions nested inside arithmetic,
+    and shift counts spanning the operand width instead of 1..4.  All
+    are off by default so the benchmark corpus keeps its historical
+    shape; the fuzzer's spec sampler turns them on per program.
+    """
 
     functions: int = 10
     statements_per_function: int = 20
@@ -31,11 +40,22 @@ class WorkloadSpec:
     unsigned: bool = True
     chars: bool = True
     safe_arithmetic: bool = True  # non-zero constant divisors only
+    nested_calls: bool = False    # call expressions inside expressions
+    unsigned_compares: bool = False  # unsigned locals + u-compares
+    wide_shifts: bool = False     # shift counts 0..12 instead of 1..4
+    float_globals: int = 2        # double globals when floats=True
     seed: int = 1982
 
 
 _INT_BINOPS = ["+", "+", "+", "-", "*", "&", "|", "^"]
 _CMP_OPS = ["<", "<=", ">", ">=", "==", "!="]
+
+#: Dyadic-rational constants: every product/sum/difference over them is
+#: exactly representable for the expression depths we generate, so the
+#: three pipelines cannot diverge on rounding while still exercising the
+#: full float instruction clusters.
+_FLOAT_CONSTS = ["0.5", "1.5", "2.0", "0.25", "3.0", "4.0", "0.75", "8.0"]
+_FLOAT_DIVISORS = ["2.0", "4.0", "8.0", "0.5"]
 
 
 class WorkloadGenerator:
@@ -44,6 +64,7 @@ class WorkloadGenerator:
         self.rng = random.Random(spec.seed)
         self.global_ints: List[str] = []
         self.global_arrays: List[str] = []
+        self.global_floats: List[str] = []
 
     # -------------------------------------------------------------- source
     def generate(self) -> str:
@@ -51,10 +72,15 @@ class WorkloadGenerator:
         lines: List[str] = []
         self.global_ints = [f"g{i}" for i in range(spec.globals_count)]
         self.global_arrays = [f"arr{i}" for i in range(spec.arrays)]
+        self.global_floats = (
+            [f"d{i}" for i in range(spec.float_globals)] if spec.floats else []
+        )
         for name in self.global_ints:
             lines.append(f"int {name};")
         for name in self.global_arrays:
             lines.append(f"int {name}[{spec.array_length}];")
+        for name in self.global_floats:
+            lines.append(f"double {name};")
         lines.append("")
         for index in range(spec.functions):
             lines.extend(self._function(index))
@@ -72,10 +98,14 @@ class WorkloadGenerator:
         lines.append("    int x, y, z;")
         if spec.chars:
             lines.append("    char c;")
+        if spec.unsigned_compares:
+            lines.append("    unsigned int u;")
         scope = ["p0", "p1"] + locals_ + self.global_ints
         lines.append("    x = p0; y = p1; z = 0; i = 0;")
         if spec.chars:
             lines.append("    c = 'a';")
+        if spec.unsigned_compares:
+            lines.append("    u = p0 + 11;")
 
         body_budget = spec.statements_per_function
         while body_budget > 0:
@@ -115,15 +145,37 @@ class WorkloadGenerator:
             return count + 1
         if self.spec.calls and roll < 0.32 and func_index > 0:
             callee = f"f{self.rng.randrange(func_index)}"
-            left = self._expression(scope, 1)
             target = self.rng.choice(["x", "y", "z"])
-            lines.append(f"{indent}{target} = {callee}({left}, "
-                         f"{self._leaf(scope)});")
+            # Calls appear only in *leftmost-evaluated* positions (whole
+            # RHS head, or the first argument), so the side-effect order
+            # is identical whether calls run inline (the interpreter) or
+            # hoisted to temporaries ahead of the statement (both code
+            # generators) — any divergence is a real bug, never C's
+            # unspecified evaluation order.
+            shape = self.rng.random() if self.spec.nested_calls else 1.0
+            if shape < 0.35:
+                inner = f"f{self.rng.randrange(func_index)}"
+                lines.append(
+                    f"{indent}{target} = {callee}({inner}({self._leaf(scope)}, "
+                    f"{self._leaf(scope)}), {self._leaf(scope)});"
+                )
+            elif shape < 0.70:
+                op = self.rng.choice(["+", "-", "^", "&", "|"])
+                rest = self._expression(scope, 2)
+                lines.append(
+                    f"{indent}{target} = {callee}({self._expression(scope, 1)}, "
+                    f"{self._leaf(scope)}) {op} ({rest});"
+                )
+            else:
+                left = self._expression(scope, 1)
+                lines.append(f"{indent}{target} = {callee}({left}, "
+                             f"{self._leaf(scope)});")
             return 1
         if roll < 0.42 and self.global_arrays:
             array = self.rng.choice(self.global_arrays)
             index_expr = self._index(scope)
-            value = self._expression(scope, self.spec.max_expression_depth - 1)
+            value = self._expression(scope,
+                                     self.spec.max_expression_depth - 1)
             lines.append(f"{indent}{array}[{index_expr}] = {value};")
             return 1
         if roll < 0.50:
@@ -134,6 +186,22 @@ class WorkloadGenerator:
         if roll < 0.56:
             target = self.rng.choice(["x", "y", "z"])
             lines.append(f"{indent}{target}++;")
+            return 1
+        if self.spec.floats and roll < 0.64:
+            target = self.rng.choice(self.global_floats)
+            lines.append(f"{indent}{target} = {self._float_expression(scope, 2)};")
+            return 1
+        if self.spec.unsigned_compares and roll < 0.72:
+            if self.rng.random() < 0.5:
+                op = self.rng.choice(["+", "-", "^", "&", "|", ">>", "<<"])
+                operand = (str(self.rng.randint(0, 8)) if op in ("<<", ">>")
+                           else self._leaf(scope))
+                lines.append(f"{indent}u = u {op} {operand};")
+            else:
+                # an unsigned operand makes the lowerer pick LTU/GEU &c.
+                cond = f"u {self.rng.choice(_CMP_OPS)} {self._leaf(scope)}"
+                target = self.rng.choice(["x", "y", "z"])
+                lines.append(f"{indent}if ({cond}) {{ {target}++; }}")
             return 1
         target = self.rng.choice(["x", "y", "z"] + self.global_ints)
         value = self._expression(scope, self.spec.max_expression_depth)
@@ -152,18 +220,40 @@ class WorkloadGenerator:
         if roll < 0.78:
             divisor = self.rng.choice([2, 3, 4, 5, 8, 10])
             op = self.rng.choice(["/", "%"])
-            return f"({self._expression(scope, depth - 1)} {op} {divisor})"
+            return (f"({self._expression(scope, depth - 1)} "
+                    f"{op} {divisor})")
         if roll < 0.84:
-            shift = self.rng.randint(1, 4)
+            shift = (self.rng.randint(0, 12) if self.spec.wide_shifts
+                     else self.rng.randint(1, 4))
             op = self.rng.choice(["<<", ">>"])
-            return f"({self._expression(scope, depth - 1)} {op} {shift})"
-        if roll < 0.90 and self.global_arrays:
+            return (f"({self._expression(scope, depth - 1)} "
+                    f"{op} {shift})")
+        if roll < 0.88 and self.global_arrays:
             array = self.rng.choice(self.global_arrays)
             return f"{array}[{self._index(scope)}]"
         if roll < 0.95:
             return f"(-{self._expression(scope, depth - 1)})"
         return (f"({self._comparison(scope)} ? "
                 f"{self._leaf(scope)} : {self._leaf(scope)})")
+
+    def _float_expression(self, scope: List[str], depth: int) -> str:
+        """A double-typed expression over dyadic constants, double
+        globals, and int-to-double conversions — exact in IEEE double at
+        any evaluation order the back ends may pick."""
+        if depth <= 0 or self.rng.random() < 0.4:
+            roll = self.rng.random()
+            if roll < 0.4:
+                return self.rng.choice(_FLOAT_CONSTS)
+            if roll < 0.8 and self.global_floats:
+                return self.rng.choice(self.global_floats)
+            return self.rng.choice(["p0", "p1", "x", "y"])  # int -> cvtld
+        roll = self.rng.random()
+        if roll < 0.75:
+            op = self.rng.choice(["+", "-", "*", "+", "-"])
+            return (f"({self._float_expression(scope, depth - 1)} {op} "
+                    f"{self._float_expression(scope, depth - 1)})")
+        return (f"({self._float_expression(scope, depth - 1)} / "
+                f"{self.rng.choice(_FLOAT_DIVISORS)})")
 
     def _comparison(self, scope: List[str]) -> str:
         op = self.rng.choice(_CMP_OPS)

@@ -12,6 +12,14 @@ from repro.tables.slr import construct_tables
 from repro.vax.grammar_gen import build_vax_grammar
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite the golden assembly expectations under "
+             "tests/goldens/ instead of asserting against them",
+    )
+
+
 @pytest.fixture(scope="session")
 def vax_bundle():
     return build_vax_grammar()

@@ -1,0 +1,84 @@
+"""The reproducer corpus: content addressing, idempotence, regeneration."""
+
+import json
+
+from repro.fuzz.corpus import Corpus, default_corpus_dir, fingerprint
+
+SOURCE = "int f(int a, int b) { return a - b; }\n"
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert fingerprint(SOURCE, "return-mismatch") == \
+            fingerprint(SOURCE, "return-mismatch")
+
+    def test_divergence_class_distinguishes(self):
+        assert fingerprint(SOURCE, "return-mismatch") != \
+            fingerprint(SOURCE, "crash:pcc")
+
+    def test_source_distinguishes(self):
+        assert fingerprint(SOURCE, "crash:pcc") != \
+            fingerprint(SOURCE + " ", "crash:pcc")
+
+
+class TestCorpus:
+    def test_record_and_read_back(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        name = corpus.record(SOURCE, "return-mismatch",
+                             detail="0:f: interp=4 gg=10",
+                             seed=0, case=7, statements=1)
+        assert corpus.fingerprints() == [name]
+        assert len(corpus) == 1
+        (entry,) = corpus.entries()
+        assert entry.source == SOURCE
+        assert entry.meta["divergence"] == "return-mismatch"
+        assert entry.meta["seed"] == 0
+        assert entry.meta["case"] == 7
+
+    def test_record_is_idempotent(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        name = corpus.record(SOURCE, "crash:pcc", detail="first")
+        meta_path = tmp_path / name / "meta.json"
+        meta_path.write_text(json.dumps({"divergence": "crash:pcc",
+                                         "note": "hand-added"}))
+        again = corpus.record(SOURCE, "crash:pcc", detail="second")
+        assert again == name
+        assert "hand-added" in meta_path.read_text()
+        assert len(corpus) == 1
+
+    def test_empty_corpus(self, tmp_path):
+        corpus = Corpus(tmp_path / "missing")
+        assert corpus.fingerprints() == []
+        assert list(corpus.entries()) == []
+
+    def test_regression_module_lists_entries(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        first = corpus.record(SOURCE, "crash:pcc")
+        second = corpus.record("int g(int a, int b) { return a; }\n",
+                               "global-mismatch")
+        out = corpus.write_regression_test(tmp_path / "test_generated.py")
+        text = out.read_text()
+        assert first in text
+        assert second in text
+        assert "GENERATED" in text
+        compile(text, str(out), "exec")  # must at least be valid python
+
+    def test_regression_module_for_empty_corpus_compiles(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        out = corpus.write_regression_test(tmp_path / "test_generated.py")
+        compile(out.read_text(), str(out), "exec")
+
+    def test_checked_in_corpus_matches_regression_module(self):
+        # the generated module in tests/regression must list exactly the
+        # fingerprints present on disk — a drifted checkout fails here
+        import importlib.util
+        import pathlib
+
+        corpus = Corpus(default_corpus_dir())
+        module_path = (pathlib.Path(__file__).resolve().parents[1]
+                       / "regression" / "test_fuzz_corpus.py")
+        spec = importlib.util.spec_from_file_location(
+            "generated_fuzz_corpus", module_path)
+        generated = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(generated)
+        assert sorted(generated.FINGERPRINTS) == corpus.fingerprints()

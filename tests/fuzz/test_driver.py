@@ -1,0 +1,114 @@
+"""Campaign driver: determinism, budgets, and the end-to-end catch.
+
+The last test here is the subsystem's acceptance proof: plant a known
+miscompilation in the emit tables, run a tiny fixed-seed campaign, and
+require the fuzzer to catch it *and* shrink the reproducer to three
+statements or fewer.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz.driver import (
+    CampaignStats, Finding, FuzzConfig, run_campaign, spec_for_case,
+)
+from repro.fuzz.inject import injected_bug
+from repro.workloads.generator import generate_workload
+
+
+class TestSpecForCase:
+    def test_deterministic(self):
+        assert spec_for_case(3, 17) == spec_for_case(3, 17)
+        assert generate_workload(spec_for_case(3, 17)) == \
+            generate_workload(spec_for_case(3, 17))
+
+    def test_distinct_cases_distinct_programs(self):
+        sources = {generate_workload(spec_for_case(0, case))
+                   for case in range(8)}
+        assert len(sources) == 8
+
+    def test_seed_changes_everything(self):
+        assert spec_for_case(0, 5) != spec_for_case(1, 5)
+
+    def test_widening_knobs_all_appear(self):
+        specs = [spec_for_case(0, case) for case in range(32)]
+        assert any(s.floats for s in specs)
+        assert any(s.nested_calls for s in specs)
+        assert any(s.unsigned_compares for s in specs)
+        assert any(s.wide_shifts for s in specs)
+
+
+class TestCampaignStats:
+    def _stats(self, **kw):
+        base = dict(seed=4, programs=10, seconds=2.0,
+                    gg_instructions=100, pcc_instructions=120)
+        base.update(kw)
+        return CampaignStats(**base)
+
+    def test_ok_iff_no_findings(self):
+        assert self._stats().ok
+        finding = Finding(case=3, seed=4, divergence="crash:pcc",
+                          detail="d", source="s", minimized="s",
+                          statements=2)
+        assert not self._stats(findings=[finding]).ok
+
+    def test_summary_mentions_findings(self):
+        finding = Finding(case=3, seed=4, divergence="return-mismatch",
+                          detail="0:f0: interp=1 gg=2", source="s",
+                          minimized="s", statements=2)
+        text = "\n".join(self._stats(
+            findings=[finding],
+            divergence_classes={"return-mismatch": 1}).summary_lines())
+        assert "case 3" in text
+        assert "return-mismatch" in text
+        assert "2 statement" in text
+
+    def test_summary_reports_agreement(self):
+        text = "\n".join(self._stats().summary_lines())
+        assert "agree" in text
+
+
+class TestRunCampaign:
+    def test_clean_bounded_campaign(self):
+        config = FuzzConfig(seed=0, budget=120.0, max_programs=3)
+        stats = run_campaign(config)
+        assert stats.ok
+        assert stats.programs == 3
+        assert stats.gg_instructions > 0
+        assert stats.pcc_instructions > 0
+
+    def test_budget_zero_runs_nothing(self):
+        stats = run_campaign(FuzzConfig(seed=0, budget=0.0))
+        assert stats.programs == 0
+        assert stats.ok
+
+    def test_progress_callback_sees_findings(self):
+        lines = []
+        with injected_bug("subl-as-addl"):
+            stats = run_campaign(
+                FuzzConfig(seed=0, budget=300.0, max_findings=1,
+                           minimize=False),
+                progress=lines.append)
+        assert not stats.ok
+        assert any("diverged" in line for line in lines)
+
+    def test_injected_bug_caught_and_minimized_small(self):
+        # the ISSUE acceptance bar: a planted emit-table bug must be
+        # found and delta-debugged down to <= 3 statements
+        with injected_bug("subl-as-addl"):
+            stats = run_campaign(
+                FuzzConfig(seed=0, budget=600.0, max_findings=1))
+        assert len(stats.findings) == 1
+        finding = stats.findings[0]
+        assert finding.divergence in ("return-mismatch", "global-mismatch")
+        assert finding.statements <= 3
+        assert " - " in finding.minimized or "- " in finding.minimized
+        assert finding.minimized != finding.source
+
+    def test_finding_is_picklable(self):
+        # process-pool transport relies on plain-data summaries
+        finding = Finding(case=0, seed=0, divergence="crash:pcc",
+                          detail="d", source="s", minimized="s",
+                          statements=1)
+        assert dataclasses.asdict(finding)["divergence"] == "crash:pcc"

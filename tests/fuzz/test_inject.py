@@ -1,0 +1,52 @@
+"""Bug injection: live-table rewrites with guaranteed restoration."""
+
+import pytest
+
+from repro.fuzz.inject import BUGS, injected_bug
+from repro.vax.insttable import INSTRUCTION_TABLE
+
+
+def _mnemonics(key):
+    return [v.mnemonic for v in INSTRUCTION_TABLE[key].variants]
+
+
+class TestInjectedBug:
+    def test_rewrites_and_restores_table(self):
+        before = _mnemonics("sub.l")
+        with injected_bug("subl-as-addl") as mapping:
+            assert mapping == {"subl3": "addl3", "subl2": "addl2",
+                               "decl": "incl"}
+            inside = _mnemonics("sub.l")
+            assert "addl3" in inside
+            assert "subl3" not in inside
+        assert _mnemonics("sub.l") == before
+
+    def test_restores_on_exception(self):
+        before = _mnemonics("mul.l")
+        with pytest.raises(RuntimeError):
+            with injected_bug("mull-as-addl"):
+                raise RuntimeError("boom")
+        assert _mnemonics("mul.l") == before
+
+    def test_unknown_bug_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="no-such-bug"):
+            with injected_bug("no-such-bug"):
+                pass
+
+    def test_every_catalogued_bug_targets_live_clusters(self):
+        for name, spec in BUGS.items():
+            for key, mapping in spec.items():
+                assert key in INSTRUCTION_TABLE, (name, key)
+                live = set(_mnemonics(key))
+                assert set(mapping) <= live, (name, key)
+
+    def test_bug_changes_gg_assembly_only(self):
+        from repro.compile import compile_program
+
+        source = "int f(int a, int b) { return a - b; }"
+        with injected_bug("subl-as-addl"):
+            gg = compile_program(source, "gg").text
+            pcc = compile_program(source, "pcc").text
+        assert "addl" in gg or "incl" in gg
+        assert "subl" not in gg
+        assert "subl" in pcc  # PCC spells mnemonics itself — untouched

@@ -1,0 +1,139 @@
+"""The delta debugger: shrinking, well-formedness guards, budgets."""
+
+from repro.frontend.parser import parse
+from repro.fuzz.minimize import (
+    count_source_statements, count_statements, minimize_program,
+)
+
+#: A finding-shaped program: three functions, only one line relevant.
+WIDE = """
+int g0;
+int g1;
+int helper(int a, int b) {
+    int t;
+    t = a + b;
+    g1 = t * 2;
+    return t;
+}
+int noise(int a, int b) {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 4; i++) {
+        acc = acc + i;
+    }
+    return acc;
+}
+int f(int a, int b) {
+    int x;
+    int y;
+    x = a * 55;
+    y = helper(a, b);
+    if (x > y) {
+        g0 = x - y;
+    } else {
+        g0 = y;
+    }
+    return x;
+}
+"""
+
+
+class TestCounting:
+    def test_leaf_statements(self):
+        assert count_source_statements(
+            "int f(int a, int b) { a = 1; return a; }") == 2
+
+    def test_control_flow_counts_itself_plus_body(self):
+        source = """
+        int f(int a, int b) {
+            if (a) { a = 1; } else { a = 2; }
+            while (a) { a = a - 1; }
+            return a;
+        }
+        """
+        # if(1) + two arms(2) + while(1) + body(1) + return(1)
+        assert count_source_statements(source) == 6
+
+    def test_empty_expr_statement_is_free(self):
+        program = parse("int f(int a, int b) { ; return a; }")
+        assert count_statements(program) == 1
+
+
+class TestMinimize:
+    def test_shrinks_to_the_relevant_line(self):
+        # the "bug" is any program still containing the multiply by 55
+        result = minimize_program(WIDE, lambda src: "55" in src)
+        assert "55" in result.source
+        assert result.statements <= 3
+        assert "noise" not in result.source
+        assert "helper" not in result.source
+        assert result.tests > 0
+
+    def test_candidates_always_keep_trailing_returns(self):
+        seen = []
+
+        def predicate(src: str) -> bool:
+            seen.append(src)
+            return "55" in src
+
+        minimize_program(WIDE, predicate)
+        for candidate in seen:
+            program = parse(candidate)
+            for func in program.functions:
+                assert func.body.stmts, candidate
+                last = func.body.stmts[-1]
+                assert type(last).__name__ == "Return", candidate
+
+    def test_candidates_never_read_uninitialized_locals(self):
+        # dropping "y = a;" would read stale stack in the VAX pipelines
+        source = """
+        int f(int a, int b) {
+            int y;
+            y = a;
+            if (y > b) { y = y - b; }
+            return y;
+        }
+        """
+        seen = []
+
+        def predicate(src: str) -> bool:
+            seen.append(src)
+            return "- b" in src or "-b" in src
+
+        result = minimize_program(source, predicate)
+        assert "y = a" in result.source.replace("(a)", "a")
+        for candidate in seen:
+            assert "int y" not in candidate or "y =" in candidate, candidate
+
+    def test_failing_predicate_returns_input(self):
+        # nothing shrinks, so the result is the (reprinted) input
+        result = minimize_program(WIDE, lambda src: False)
+        assert result.statements == count_source_statements(WIDE)
+        assert "noise" in result.source
+        assert "helper" in result.source
+
+    def test_budget_caps_predicate_calls(self):
+        calls = [0]
+
+        def predicate(src: str) -> bool:
+            calls[0] += 1
+            return "55" in src
+
+        minimize_program(WIDE, predicate, test_budget=10)
+        assert calls[0] <= 10
+
+    def test_deadline_returns_best_so_far(self):
+        result = minimize_program(WIDE, lambda src: "55" in src,
+                                  max_seconds=0.0)
+        assert "55" in result.source
+        assert result.tests == 0
+
+    def test_predicate_exception_treated_as_shrink_failure(self):
+        def fragile(src: str) -> bool:
+            if "noise" not in src:
+                raise RuntimeError("candidate crashed the oracle harness")
+            return True
+
+        result = minimize_program(WIDE, fragile)
+        assert "noise" in result.source

@@ -1,0 +1,151 @@
+"""The three-way oracle: observations, classification, agreement."""
+
+import pytest
+
+from repro.fuzz.driver import spec_for_case
+from repro.fuzz.oracle import (
+    DEFAULT_ARGS, Observation, _classify, run_oracle, same_divergence,
+)
+from repro.workloads.generator import generate_workload
+
+
+class TestRunOracle:
+    def test_agreement_on_trivial_program(self, gg):
+        report = run_oracle(
+            "int add(int a, int b) { return a + b; }", gg_generator=gg)
+        assert report.ok
+        assert report.divergence is None
+        key = "0:add"
+        expected = DEFAULT_ARGS[0] + DEFAULT_ARGS[1]
+        for name in ("interp", "gg", "pcc"):
+            assert report.observations[name].returns[key] == expected
+
+    def test_observes_global_state(self, gg):
+        source = """
+        int g;
+        int arr[4];
+        int f(int a, int b) { g = a - b; arr[1] = a * b; return 0; }
+        """
+        report = run_oracle(source, gg_generator=gg)
+        assert report.ok
+        for name in ("interp", "gg", "pcc"):
+            finals = report.observations[name].finals
+            assert finals["g"] == DEFAULT_ARGS[0] - DEFAULT_ARGS[1]
+            assert finals["arr"] == (0, DEFAULT_ARGS[0] * DEFAULT_ARGS[1],
+                                     0, 0)
+
+    def test_observes_double_global(self, gg):
+        source = """
+        double d;
+        int f(int a, int b) { d = a / 2.0; return 0; }
+        """
+        report = run_oracle(source, gg_generator=gg)
+        assert report.ok
+        assert report.observations["interp"].finals["d"] == \
+            DEFAULT_ARGS[0] / 2.0
+
+    def test_calls_run_in_source_order_with_persistent_globals(self, gg):
+        source = """
+        int g;
+        int first(int a, int b) { g = a; return g; }
+        int second(int a, int b) { g = g + b; return g; }
+        """
+        report = run_oracle(source, gg_generator=gg)
+        assert report.ok
+        obs = report.observations["interp"]
+        assert obs.returns["0:first"] == DEFAULT_ARGS[0]
+        assert obs.returns["1:second"] == DEFAULT_ARGS[0] + DEFAULT_ARGS[1]
+
+    def test_frontend_error_class(self):
+        report = run_oracle("int f( {")
+        assert report.divergence == "frontend-error"
+        assert not report.ok
+
+    def test_explicit_calls_override_defaults(self, gg):
+        source = "int f(int a, int b) { return a * 10 + b; }"
+        report = run_oracle(source, calls=[("f", (4, 2)), ("f", (1, 1))],
+                            gg_generator=gg)
+        assert report.ok
+        assert report.observations["gg"].returns == {"0:f": 42, "1:f": 11}
+
+    def test_negative_returns_compare_signed(self, gg):
+        report = run_oracle("int f(int a, int b) { return b - a; }",
+                            calls=[("f", (7, 3))], gg_generator=gg)
+        assert report.ok
+        assert report.observations["pcc"].returns["0:f"] == -4
+
+    def test_agreement_over_widened_generator(self, gg):
+        # a fast slice of the campaign: every widening knob exercised
+        for case in range(4):
+            source = generate_workload(spec_for_case(0, case))
+            report = run_oracle(source, gg_generator=gg, max_steps=300_000)
+            assert report.ok, (
+                f"case {case}: {report.divergence} ({report.detail})")
+
+    def test_instruction_counts_reported(self, gg):
+        report = run_oracle("int f(int a, int b) { return a + b; }",
+                            gg_generator=gg)
+        assert report.observations["gg"].instructions > 0
+        assert report.observations["pcc"].instructions > 0
+        assert report.observations["interp"].instructions == 0
+
+
+class TestClassify:
+    def _agreeing(self):
+        return {
+            name: Observation(returns={"0:f": 1}, finals={"g": 2})
+            for name in ("interp", "gg", "pcc")
+        }
+
+    def test_all_agree(self):
+        divergence, _ = _classify(self._agreeing())
+        assert divergence is None
+
+    def test_return_mismatch(self):
+        observations = self._agreeing()
+        observations["gg"] = Observation(returns={"0:f": 9}, finals={"g": 2})
+        divergence, detail = _classify(observations)
+        assert divergence == "return-mismatch"
+        assert "gg" in detail
+
+    def test_global_mismatch(self):
+        observations = self._agreeing()
+        observations["pcc"] = Observation(returns={"0:f": 1}, finals={"g": 7})
+        divergence, detail = _classify(observations)
+        assert divergence == "global-mismatch"
+        assert "pcc" in detail
+
+    def test_single_pipeline_crash_names_it(self):
+        observations = self._agreeing()
+        observations["pcc"] = Observation(error="SimError: boom")
+        divergence, detail = _classify(observations)
+        assert divergence == "crash:pcc"
+        assert "boom" in detail
+
+    def test_all_crash(self):
+        observations = {
+            name: Observation(error="bad") for name in ("interp", "gg", "pcc")
+        }
+        divergence, _ = _classify(observations)
+        assert divergence == "crash:all"
+
+    def test_step_limit_is_timeout_not_finding(self):
+        observations = self._agreeing()
+        observations["interp"] = Observation(
+            error="InterpError: step limit exceeded")
+        divergence, _ = _classify(observations)
+        assert divergence == "timeout"
+
+
+class TestSameDivergence:
+    def test_exact_match(self):
+        assert same_divergence("crash:pcc", "crash:pcc")
+        assert not same_divergence("crash:pcc", "crash:gg")
+
+    def test_mismatch_family_pools(self):
+        assert same_divergence("return-mismatch", "global-mismatch")
+        assert same_divergence("global-mismatch", "return-mismatch")
+
+    def test_family_excludes_crashes_and_none(self):
+        assert not same_divergence("crash:all", "return-mismatch")
+        assert not same_divergence(None, "global-mismatch")

@@ -1,0 +1,11 @@
+	.data
+	.comm _a,4
+	.comm _b,4
+
+	.text
+	.globl _f
+_f:
+	.word 0
+	addl3 $17,_b,_a
+	movl _a,r0
+	ret

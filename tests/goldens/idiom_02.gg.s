@@ -1,0 +1,10 @@
+	.data
+	.comm _a,4
+
+	.text
+	.globl _f
+_f:
+	.word 0
+	incl _a
+	movl _a,r0
+	ret

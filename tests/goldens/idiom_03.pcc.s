@@ -1,0 +1,10 @@
+	.data
+	.comm _a,4
+
+	.text
+	.globl _f
+_f:
+	.word 0
+	clrl _a
+	movl _a,r0
+	ret

@@ -1,0 +1,14 @@
+	.data
+	.comm _a,4
+
+	.text
+	.globl _f
+_f:
+	.word 0
+	tstl _a
+	jeql Lf_1
+	movl $1,r0
+	ret
+Lf_1:
+	movl $0,r0
+	ret

@@ -1,0 +1,15 @@
+	.data
+	.comm _a,4
+	.comm _b,4
+
+	.text
+	.globl _f
+_f:
+	.word 0
+	addl3 _a,_b,r0
+	jeql Lf_1
+	movl $1,r0
+	ret
+Lf_1:
+	movl $0,r0
+	ret

@@ -1,0 +1,11 @@
+	.data
+	.comm _v,256
+
+	.text
+	.globl _f
+_f:
+	.word 0
+	movl 4(ap),r0
+	movl 8(ap),_v[r0]
+	movl $0,r0
+	ret

@@ -1,0 +1,12 @@
+	.data
+	.comm _v,256
+
+	.text
+	.globl _f
+_f:
+	.word 0
+	mull3 $4,4(ap),r0
+	addl2 $_v,r0
+	movl 8(ap),(r0)
+	movl $0,r0
+	ret

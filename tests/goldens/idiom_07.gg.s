@@ -1,0 +1,20 @@
+	.data
+	.comm _buf,16
+
+	.text
+	.globl _f
+_f:
+	.word 0
+	addl3 $0,$_buf,r11
+	clrl -4(fp)
+Lf_1:
+	cmpl -4(fp),4(ap)
+	jgeq Lf_3
+	movb $120,(r11)+
+Lf_2:
+	incl -4(fp)
+	jbr Lf_1
+Lf_3:
+	addl3 $0,$_buf,r0
+	cvtbl (r0),r0
+	ret

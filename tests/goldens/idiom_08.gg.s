@@ -1,0 +1,11 @@
+	.data
+
+	.text
+	.globl _f
+_f:
+	.word 0
+	movl 4(ap),r0
+	ashl $-31,r0,r1
+	ediv 8(ap),r0,r0,r2
+	movl r2,r0
+	ret

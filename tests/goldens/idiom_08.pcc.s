@@ -1,0 +1,11 @@
+	.data
+
+	.text
+	.globl _f
+_f:
+	.word 0
+	divl3 8(ap),4(ap),r0
+	mull2 8(ap),r0
+	subl3 r0,4(ap),r1
+	movl r1,r0
+	ret

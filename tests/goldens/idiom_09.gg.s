@@ -1,0 +1,12 @@
+	.data
+
+	.text
+	.globl _f
+_f:
+	.word 0
+	pushl 8(ap)
+	pushl 4(ap)
+	calls $2,_udiv
+	movl r0,r1
+	movl r1,r0
+	ret

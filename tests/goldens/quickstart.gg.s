@@ -1,0 +1,21 @@
+	.data
+	.comm _total,4
+
+	.text
+	.globl _sum_of_squares
+_sum_of_squares:
+	.word 0
+	clrl -4(fp)
+	movl $1,r11
+Lsum_of_squares_1:
+	cmpl r11,4(ap)
+	jgtr Lsum_of_squares_3
+	mull3 r11,r11,r0
+	addl2 r0,-4(fp)
+Lsum_of_squares_2:
+	incl r11
+	jbr Lsum_of_squares_1
+Lsum_of_squares_3:
+	movl -4(fp),_total
+	movl -4(fp),r0
+	ret

@@ -11,6 +11,8 @@ import pytest
 
 from repro.codegen.driver import GrahamGlanvilleCodeGenerator
 from repro.compile import compile_program
+from repro.fuzz.driver import spec_for_case
+from repro.workloads.generator import generate_workload
 from repro.workloads.programs import ALL_PROGRAMS
 
 
@@ -44,6 +46,25 @@ def test_packed_matches_dict_everywhere(program, packed_gen, dict_gen):
         assert fast.reductions == slow.reductions
         assert fast.chain_reductions == slow.chain_reductions
         assert fast.statements == slow.statements
+
+
+@pytest.mark.parametrize("case", range(8))
+def test_packed_matches_dict_on_fuzz_programs(case, packed_gen, dict_gen):
+    """The fuzzer's widened spec space (floats, unsigned compares, wide
+    shifts, nested calls) reaches grammar corners the curated workload
+    suite does not; the packed matcher must not diverge there either."""
+    source = generate_workload(spec_for_case(1982, case))
+    packed = compile_program(source, generator=packed_gen)
+    plain = compile_program(source, generator=dict_gen)
+
+    assert packed.text == plain.text
+
+    for name in packed.source_program.order:
+        fast = packed.function_results[name]
+        slow = plain.function_results[name]
+        assert fast.shifts == slow.shifts
+        assert fast.reductions == slow.reductions
+        assert fast.chain_reductions == slow.chain_reductions
 
 
 def test_packed_is_the_default(vax_bundle, vax_tables):

@@ -1,0 +1,61 @@
+"""Golden-file assembly regressions for the example programs.
+
+Every program shipped under ``examples/`` (the quickstart source and each
+idioms-tour snippet) is compiled through both backends and compared
+byte-for-byte against a checked-in ``.s`` expectation in
+``tests/goldens/``.  Any codegen change that moves an instruction shows
+up here as a reviewable assembly diff rather than a silent drift.
+
+After an *intentional* change, regenerate with::
+
+    python -m pytest tests/regression/test_golden_assembly.py --update-goldens
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.compile import compile_program
+
+_REPO = pathlib.Path(__file__).resolve().parents[2]
+GOLDEN_DIR = _REPO / "tests" / "goldens"
+
+
+def _load_example(name):
+    path = _REPO / "examples" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+# pytest imports this module once; the examples are tiny constant tables
+_quickstart = _load_example("quickstart")
+_idioms = _load_example("idioms_tour")
+
+PROGRAMS = [("quickstart", _quickstart.SOURCE)] + [
+    (f"idiom_{index:02d}", source)
+    for index, (_title, source) in enumerate(_idioms.SNIPPETS)
+]
+
+
+@pytest.mark.parametrize("backend", ["gg", "pcc"])
+@pytest.mark.parametrize("name,source", PROGRAMS,
+                         ids=[name for name, _ in PROGRAMS])
+def test_example_assembly_matches_golden(name, source, backend, gg, request):
+    generator = gg if backend == "gg" else None
+    text = compile_program(source, backend, generator=generator).text
+    golden = GOLDEN_DIR / f"{name}.{backend}.s"
+
+    if request.config.getoption("--update-goldens"):
+        golden.parent.mkdir(parents=True, exist_ok=True)
+        golden.write_text(text)
+        return
+
+    assert golden.is_file(), (
+        f"missing golden {golden}; run with --update-goldens to create it"
+    )
+    assert text == golden.read_text(), (
+        f"assembly for {name} ({backend}) drifted from {golden}; "
+        f"if intentional, rerun with --update-goldens"
+    )

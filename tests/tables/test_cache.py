@@ -81,6 +81,133 @@ class TestTableCache:
         assert cache.load(key) is None
 
 
+class TestVersionBump:
+    def test_version_bump_invalidates_old_entries(self, tmp_path,
+                                                  monkeypatch):
+        """A CACHE_VERSION bump turns every existing entry into a miss
+        (and removes it), never an unpickling error."""
+        import repro.tables.cache as cache_module
+
+        cache = TableCache(tmp_path)
+        key = table_cache_key("soon-stale")
+        cache.store(key, {"era": "old"})
+        assert cache.load(key) == {"era": "old"}
+
+        monkeypatch.setattr(cache_module, "CACHE_VERSION",
+                            CACHE_VERSION + 1)
+        assert cache.load(key) is None
+        assert not os.path.exists(cache.path_for(key))
+
+        # and a store under the new version round-trips
+        cache.store(key, {"era": "new"})
+        assert cache.load(key) == {"era": "new"}
+
+    def test_bumped_key_differs(self, monkeypatch):
+        import repro.tables.cache as cache_module
+
+        old = table_cache_key("g")
+        monkeypatch.setattr(cache_module, "CACHE_VERSION",
+                            CACHE_VERSION + 1)
+        assert table_cache_key("g") != old
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_leave_one_valid_entry(self, tmp_path):
+        """Many processes may construct tables simultaneously on a cold
+        machine; atomic temp-file + replace must leave exactly one
+        complete entry and no droppings, whoever wins."""
+        import threading
+
+        cache = TableCache(tmp_path)
+        key = table_cache_key("contended")
+        payloads = [{"writer": i, "rows": list(range(50))}
+                    for i in range(8)]
+        barrier = threading.Barrier(len(payloads))
+        errors = []
+
+        def write(payload):
+            barrier.wait()
+            try:
+                for _ in range(25):
+                    assert cache.store(key, payload) is not None
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(p,))
+                   for p in payloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        loaded = cache.load(key)
+        assert loaded in payloads
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_reader_racing_writers_never_sees_partial(self, tmp_path):
+        import threading
+
+        cache = TableCache(tmp_path)
+        key = table_cache_key("read-while-written")
+        payload = {"rows": list(range(200))}
+        stop = threading.Event()
+        bad = []
+
+        def reader():
+            while not stop.is_set():
+                got = cache.load(key)
+                if got is not None and got != payload:
+                    bad.append(got)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for _ in range(50):
+            cache.store(key, payload)
+        stop.set()
+        thread.join()
+        assert bad == []
+
+
+class TestReadOnlyCacheDir:
+    def test_unwritable_directory_falls_back_to_cold_build(self, tmp_path):
+        # a *file* where the directory should be defeats even root, which
+        # ignores permission bits
+        blocked = tmp_path / "not-a-dir"
+        blocked.write_text("occupied")
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return {"built": True}
+
+        payload, outcome = cached_build(
+            table_cache_key("ro"), builder, directory=blocked, enabled=True)
+        assert payload == {"built": True}
+        assert builds == [1]
+        assert not outcome.hit
+        assert "not writable" in outcome.error
+
+    @pytest.mark.skipif(os.geteuid() == 0,
+                        reason="root ignores directory permission bits")
+    def test_chmod_readonly_directory_falls_back(self, tmp_path):
+        readonly = tmp_path / "ro-cache"
+        readonly.mkdir()
+        os.chmod(readonly, 0o500)
+        try:
+            payload, outcome = cached_build(
+                table_cache_key("chmod"), lambda: "fresh",
+                directory=readonly, enabled=True)
+            assert payload == "fresh"
+            assert outcome.error
+            assert cached_build(
+                table_cache_key("chmod"), lambda: "again",
+                directory=readonly, enabled=True)[0] == "again"
+        finally:
+            os.chmod(readonly, 0o700)
+
+
 class TestCachedBuild:
     def test_miss_builds_then_hit_loads(self, tmp_path):
         key = table_cache_key("build-me")
