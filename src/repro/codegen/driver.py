@@ -137,11 +137,13 @@ class GrahamGlanvilleCodeGenerator:
         use_packed: bool = True,
         cache: Optional[bool] = None,
         cache_dir: Optional[str] = None,
+        rescue_bridges: bool = True,
     ) -> None:
         self.machine = machine
         self.reversed_ops = reversed_ops
         self.peephole = peephole
         self.use_packed = use_packed
+        self.rescue_bridges = rescue_bridges
         self.cache_outcome: Optional[CacheOutcome] = None
 
         static_started = time.perf_counter()
@@ -149,21 +151,26 @@ class GrahamGlanvilleCodeGenerator:
             self.bundle = bundle or build_vax_grammar(
                 reversed_ops=reversed_ops,
                 overfactoring_fix=overfactoring_fix,
+                rescue_bridges=rescue_bridges,
             )
             self.tables = tables or construct_tables(self.bundle.grammar)
             self.table_source = "provided" if tables is not None else "built"
         else:
-            text = vax_grammar_text(reversed_ops, overfactoring_fix)
+            text = vax_grammar_text(
+                reversed_ops, overfactoring_fix, rescue_bridges
+            )
             key = table_cache_key(
                 text,
                 reversed_ops=reversed_ops,
                 overfactoring_fix=overfactoring_fix,
+                rescue_bridges=rescue_bridges,
             )
 
             def build():
                 built = build_vax_grammar(
                     reversed_ops=reversed_ops,
                     overfactoring_fix=overfactoring_fix,
+                    rescue_bridges=rescue_bridges,
                 )
                 constructed = construct_tables(built.grammar)
                 constructed.packed()  # cache the packed form alongside
@@ -195,13 +202,37 @@ class GrahamGlanvilleCodeGenerator:
         self,
         forest: Forest,
         trace: Optional[Tracer] = None,
+        use_packed: Optional[bool] = None,
     ) -> CompileResult:
         """Compile one routine to VAX assembly."""
-        times = PhaseTimes()
-
         started = time.perf_counter()
         work, ordering_stats = self.transform(forest)
-        times.transform = time.perf_counter() - started
+        transform_seconds = time.perf_counter() - started
+        result = self.generate(
+            work, ordering_stats, name=forest.name,
+            trace=trace, use_packed=use_packed,
+        )
+        result.times.transform += transform_seconds
+        return result
+
+    def generate(
+        self,
+        work: Forest,
+        ordering_stats: OrderingStats,
+        name: str,
+        trace: Optional[Tracer] = None,
+        use_packed: Optional[bool] = None,
+    ) -> CompileResult:
+        """Phases 2-4 on an already-transformed forest.
+
+        Split out of :meth:`compile` so the recovery ladder can mutate the
+        transformed forest (operand hoisting) and regenerate with fresh
+        buffers, and so a blocked function can be retried on the dict
+        matcher (``use_packed=False``) without rebuilding the generator.
+        """
+        times = PhaseTimes()
+        if use_packed is None:
+            use_packed = self.use_packed
 
         # Compiler temporaries (call results, hoisted subtrees, spill
         # slots) live in the frame, as PCC's did — statics would break
@@ -209,12 +240,12 @@ class GrahamGlanvilleCodeGenerator:
         assign_temp_slots(work)
         spills = _SpillSlotAllocator()
 
-        unit = AssemblyUnit(name=forest.name)
+        unit = AssemblyUnit(name=name)
         buffer = CodeBuffer(lines=unit.body_lines)
         semantics = VaxSemantics(self.machine, buffer=buffer,
                                  new_temp=spills.take)
         timed = _TimedSemantics(semantics, times)
-        matcher = Matcher(self.tables, timed, use_packed=self.use_packed)
+        matcher = Matcher(self.tables, timed, use_packed=use_packed)
 
         shifts = reductions = chains = statements = 0
         for item in work.items:

@@ -17,12 +17,20 @@ matching the paper's static/dynamic cost split.
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor, ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from .codegen.driver import CompileResult, GrahamGlanvilleCodeGenerator
+from .codegen.recovery import FailedFunction, compile_with_recovery
+from .diag import codes
+from .diag.diagnostics import DiagnosticSink
 from .frontend.lower import CompiledProgram, compile_c
 from .pcc.codegen import PccResult, pcc_compile
 from .sim.assembler import AsmProgram, assemble
@@ -37,6 +45,22 @@ class ProgramAssembly:
     function_results: Dict[str, object] = field(default_factory=dict)
     backend: str = "gg"
     seconds: float = 0.0
+    #: Structured events from the resilient pipeline (empty otherwise).
+    diagnostics: DiagnosticSink = field(default_factory=DiagnosticSink)
+    #: function name -> recovery-ladder tier ("packed" when no rescue ran)
+    tiers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> List[str]:
+        """Functions that failed every recovery rung, in source order."""
+        return [
+            name for name in self.source_program.order
+            if getattr(self.function_results.get(name), "ok", True) is False
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
 
     @property
     def text(self) -> str:
@@ -84,6 +108,8 @@ def compile_program(
     generator: Optional[GrahamGlanvilleCodeGenerator] = None,
     jobs: int = 1,
     parallel: str = "thread",
+    resilient: bool = False,
+    timeout: Optional[float] = None,
 ) -> ProgramAssembly:
     """Compile C-subset source with the chosen backend ("gg" or "pcc").
 
@@ -92,6 +118,13 @@ def compile_program(
     read-only tables, ``"process"`` gives each worker its own generator
     warm-started from the table cache.  Results land in source order
     either way, so the emitted assembly is byte-identical to ``jobs=1``.
+
+    ``resilient=True`` routes every function through the recovery ladder
+    (:mod:`repro.codegen.recovery`) and contains worker failures: a
+    function that blocks, crashes its worker, or (``parallel="process"``
+    only) exceeds the per-function ``timeout`` in seconds becomes a
+    diagnostic in ``out.diagnostics`` plus a degraded or failed entry in
+    ``function_results`` — the rest of the program still compiles.
     """
     program = compile_c(source)
     if backend == "gg":
@@ -105,7 +138,11 @@ def compile_program(
     started = time.perf_counter()
     out = ProgramAssembly(source_program=program, backend=backend)
     if backend == "gg":
-        if jobs > 1 and len(program.order) > 1:
+        if resilient:
+            _compile_functions_resilient(
+                gen, source, program, jobs, parallel, timeout, out
+            )
+        elif jobs > 1 and len(program.order) > 1:
             out.function_results = _compile_functions_parallel(
                 gen, source, program, jobs, parallel
             )
@@ -114,7 +151,22 @@ def compile_program(
                 out.function_results[name] = gen.compile(program.forest(name))
     else:
         for name in program.order:
-            out.function_results[name] = pcc_compile(program.forest(name))
+            if resilient:
+                try:
+                    out.function_results[name] = pcc_compile(
+                        program.forest(name)
+                    )
+                except Exception as exc:
+                    out.diagnostics.add(
+                        codes.FN_FAILED,
+                        f"pcc backend failed: {exc!r}",
+                        function=name,
+                    )
+                    out.function_results[name] = FailedFunction(
+                        name=name, reason=f"{type(exc).__name__}: {exc}",
+                    )
+            else:
+                out.function_results[name] = pcc_compile(program.forest(name))
     out.seconds = time.perf_counter() - started
     return out
 
@@ -160,6 +212,7 @@ def _generator_options(gen: GrahamGlanvilleCodeGenerator) -> Dict[str, object]:
         "reversed_ops": gen.reversed_ops,
         "peephole": gen.peephole,
         "use_packed": gen.use_packed,
+        "rescue_bridges": gen.rescue_bridges,
     }
 
 
@@ -180,6 +233,173 @@ def _compile_function_in_worker(task: tuple) -> CompileResult:
         _WORKER_STATE[key] = state = (program, generator)
     program, generator = state
     return generator.compile(program.forest(name))
+
+
+# --------------------------------------------------------------- resilience
+def _chaos_hooks(name: str) -> None:
+    """Fault-injection points for the chaos harness (process workers).
+
+    ``REPRO_CHAOS_KILL_FN=f,g`` hard-kills the worker compiling a listed
+    function (``os._exit``, no cleanup — exactly what a segfault looks
+    like to the pool).  ``REPRO_CHAOS_HANG_FN=f:5`` sleeps the listed
+    functions for the given seconds (default 30) to trip the timeout.
+    """
+    kill = os.environ.get("REPRO_CHAOS_KILL_FN", "")
+    if kill and name in kill.split(","):
+        os._exit(17)
+    hang = os.environ.get("REPRO_CHAOS_HANG_FN", "")
+    if hang:
+        spec, _, seconds = hang.partition(":")
+        if name in spec.split(","):
+            time.sleep(float(seconds) if seconds else 30.0)
+
+
+def _compile_function_resilient_worker(task: tuple):
+    """Process-pool body for the resilient path.
+
+    Returns ``(tier, result, diagnostics)`` — all plain picklable values,
+    so a worker's recovery history survives the trip back to the parent.
+    """
+    source, name, options = task
+    _chaos_hooks(name)
+    key = (source, tuple(sorted(options.items())))
+    state = _WORKER_STATE.get(key)
+    if state is None:
+        program = compile_c(source)
+        generator = GrahamGlanvilleCodeGenerator(**options)
+        _WORKER_STATE.clear()
+        _WORKER_STATE[key] = state = (program, generator)
+    program, generator = state
+    outcome = compile_with_recovery(generator, program.forest(name))
+    return outcome.tier, outcome.result, outcome.diagnostics
+
+
+def _recover_in_parent(
+    gen: GrahamGlanvilleCodeGenerator,
+    program: CompiledProgram,
+    name: str,
+    out: ProgramAssembly,
+) -> None:
+    """Ladder-compile *name* in the parent process (worker lost)."""
+    outcome = compile_with_recovery(gen, program.forest(name))
+    out.function_results[name] = outcome.result
+    out.tiers[name] = outcome.tier
+    out.diagnostics.extend(outcome.diagnostics)
+
+
+def _compile_functions_resilient(
+    gen: GrahamGlanvilleCodeGenerator,
+    source: str,
+    program: CompiledProgram,
+    jobs: int,
+    parallel: str,
+    timeout: Optional[float],
+    out: ProgramAssembly,
+) -> None:
+    """The contained fan-out: one bad function never kills the program.
+
+    Serial and thread modes run the recovery ladder in-process (threads
+    cannot be killed, so ``timeout`` only applies to process mode).
+    Process mode additionally survives hung workers (per-function
+    ``timeout`` -> WORKER-TIMEOUT, function recovered in the parent) and
+    dead workers (BrokenProcessPool -> WORKER-CRASH, every unfinished
+    function recovered serially in the parent).
+    """
+    cache_outcome = gen.cache_outcome
+    if cache_outcome is not None:
+        if cache_outcome.corruption:
+            out.diagnostics.add(
+                codes.CACHE_CORRUPT,
+                f"table-cache entry rejected ({cache_outcome.corruption}); "
+                f"cold build",
+                quarantined=cache_outcome.quarantined,
+                key=cache_outcome.key,
+            )
+        if cache_outcome.store_retries:
+            out.diagnostics.add(
+                codes.CACHE_RETRY,
+                f"table-cache store took "
+                f"{cache_outcome.store_retries + 1} attempts",
+                key=cache_outcome.key,
+            )
+
+    names = list(program.order)
+
+    if jobs <= 1 or len(names) <= 1 or parallel == "thread":
+        if jobs > 1 and len(names) > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(pool.map(
+                    lambda name: compile_with_recovery(
+                        gen, program.forest(name)
+                    ),
+                    names,
+                ))
+        else:
+            outcomes = [
+                compile_with_recovery(gen, program.forest(name))
+                for name in names
+            ]
+        for name, outcome in zip(names, outcomes):
+            out.function_results[name] = outcome.result
+            out.tiers[name] = outcome.tier
+            out.diagnostics.extend(outcome.diagnostics)
+        return
+
+    if parallel != "process":
+        raise ValueError(f"unknown parallel mode {parallel!r}")
+
+    options = _generator_options(gen)
+    hung = False
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        futures = {
+            name: pool.submit(
+                _compile_function_resilient_worker, (source, name, options)
+            )
+            for name in names
+        }
+        pool_broken = False
+        for name in names:
+            if pool_broken:
+                _recover_in_parent(gen, program, name, out)
+                continue
+            try:
+                tier, result, diags = futures[name].result(timeout=timeout)
+                out.function_results[name] = result
+                out.tiers[name] = tier
+                out.diagnostics.extend(diags)
+            except FutureTimeoutError:
+                hung = True
+                out.diagnostics.add(
+                    codes.WORKER_TIMEOUT,
+                    f"worker exceeded the {timeout:.3g}s per-function "
+                    f"timeout; recovering in parent",
+                    function=name,
+                    timeout_seconds=timeout,
+                )
+                _recover_in_parent(gen, program, name, out)
+            except BrokenProcessPool:
+                pool_broken = True
+                out.diagnostics.add(
+                    codes.WORKER_CRASH,
+                    "a process-pool worker died; unfinished functions "
+                    "recompiled serially in the parent",
+                    function=name,
+                )
+                _recover_in_parent(gen, program, name, out)
+            except Exception as exc:
+                out.diagnostics.add(
+                    codes.WORKER_CRASH,
+                    f"worker raised {exc!r}; recovering in parent",
+                    function=name,
+                )
+                _recover_in_parent(gen, program, name, out)
+    finally:
+        if hung:
+            # a hung worker would block the executor's join forever
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                proc.terminate()
+        pool.shutdown(wait=not hung, cancel_futures=True)
 
 
 def run_program(

@@ -45,24 +45,89 @@ _END_TOKEN = _end_token()
 
 
 class MatchError(Exception):
-    """Base class for pattern-matching failures."""
+    """Base class for pattern-matching failures.
+
+    Every concrete failure carries a ``context()`` dict of primitives —
+    matcher state, stack snapshots, lookahead — so the resilience layer
+    can turn it into a structured diagnostic without parsing message
+    text.
+    """
+
+    def context(self) -> dict:
+        return {}
 
 
 class SyntacticBlock(MatchError):
     """The parser hit the error action on well-formed input: the machine
     description cannot cover this tree (section 6.2.2)."""
 
-    def __init__(self, state: int, token: Token, state_dump: str) -> None:
+    def __init__(
+        self,
+        state: int,
+        token: Token,
+        state_dump: str,
+        position: int = -1,
+        state_stack: Tuple[int, ...] = (),
+        symbol_stack: Tuple[str, ...] = (),
+    ) -> None:
         super().__init__(
             f"syntactic block in state {state} on {token!r}\n{state_dump}"
         )
         self.state = state
         self.token = token
+        self.position = position
+        self.state_stack = state_stack
+        self.symbol_stack = symbol_stack
+
+    def context(self) -> dict:
+        out = {
+            "state": self.state,
+            "lookahead": self.token.symbol,
+            "position": self.position,
+            "state_stack": list(self.state_stack[-12:]),
+        }
+        if self.symbol_stack:
+            out["symbol_stack"] = list(self.symbol_stack[-12:])
+        return out
+
+
+class SemanticBlock(MatchError):
+    """A reduction completed but nothing can consume it: either the
+    chosen production's LHS has no goto from the exposed state, or a
+    reduce/reduce tie has no viable candidate at all.  This is the
+    paper's *semantic blocking* — the grammar covered the prefix but the
+    semantic context cannot continue (section 6.2.2)."""
+
+    def __init__(
+        self,
+        message: str,
+        state: int = -1,
+        lhs: str = "",
+        state_stack: Tuple[int, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.state = state
+        self.lhs = lhs
+        self.state_stack = state_stack
+
+    def context(self) -> dict:
+        return {
+            "state": self.state,
+            "lhs": self.lhs,
+            "state_stack": list(self.state_stack[-12:]),
+        }
 
 
 class ReductionLoop(MatchError):
     """Chain reductions cycled — statically impossible if the table
     constructor's loop check ran, kept as a dynamic backstop."""
+
+    def __init__(self, message: str, state: int = -1) -> None:
+        super().__init__(message)
+        self.state = state
+
+    def context(self) -> dict:
+        return {"state": self.state}
 
 
 #: Shared result of the do-nothing hooks.  The default semantics never
@@ -145,6 +210,32 @@ class Matcher:
             return self._match_packed(tokens, tracer)
         return self._match_dict(tokens, tracer)
 
+    # ---------------------------------------------------------- blocking
+    def _block(
+        self,
+        state: int,
+        stream: Sequence[Token],
+        position: int,
+        states: Sequence[int],
+        symbols: Sequence[str] = (),
+    ) -> "SyntacticBlock":
+        """Build the one true :class:`SyntacticBlock` with full context.
+
+        Both drive loops funnel every error action through here so the
+        block diagnostic always carries the same fields: blocking state,
+        lookahead token and its stream position, and the state (and,
+        for the dict loop, symbol) stack snapshots the resilience layer
+        reports.
+        """
+        return SyntacticBlock(
+            state,
+            stream[position],
+            self.tables.automaton.describe_state(state),
+            position=position,
+            state_stack=tuple(states),
+            symbol_stack=tuple(symbols),
+        )
+
     # ------------------------------------------------- packed (fast) loop
     def _match_packed(self, tokens: Sequence[Token], tracer: Tracer) -> MatchResult:
         """Shift/reduce on the packed integer tables.
@@ -198,10 +289,7 @@ class Matcher:
             else:
                 word = default_words[state]
             if word < 0:
-                raise SyntacticBlock(
-                    state, stream[position],
-                    tables.automaton.describe_state(state),
-                )
+                raise self._block(state, stream, position, states)
 
             tag = word & 3
             if tag == 0:  # TAG_SHIFT
@@ -219,7 +307,9 @@ class Matcher:
             reduces_since_shift += 1
             if reduces_since_shift > loop_limit:
                 raise ReductionLoop(
-                    f"{reduces_since_shift} consecutive reductions in state {state}"
+                    f"{reduces_since_shift} consecutive reductions "
+                    f"in state {state}",
+                    state=state,
                 )
 
             index = pool_single[word >> 2]
@@ -240,10 +330,7 @@ class Matcher:
                 exposed = states[-2]
                 state = goto_words[exposed * nsymbols + prod_lhs_id[index]]
                 if state < 0:
-                    raise SyntacticBlock(
-                        exposed, stream[position],
-                        tables.automaton.describe_state(exposed),
-                    )
+                    raise self._block(exposed, stream, position, states)
                 outcome = on_reduce(production, kids)
                 descriptors[-1] = (
                     outcome[0] if isinstance(outcome, tuple) else outcome
@@ -259,10 +346,7 @@ class Matcher:
             if state < 0:
                 # Only reachable when a default reduce fired on an input
                 # the tables cannot cover: report it as the block it is.
-                raise SyntacticBlock(
-                    states[-1], stream[position],
-                    tables.automaton.describe_state(states[-1]),
-                )
+                raise self._block(states[-1], stream, position, states)
 
             outcome = on_reduce(production, kids)
             if isinstance(outcome, tuple):
@@ -297,9 +381,11 @@ class Matcher:
             if goto_words[base + prod_lhs_id[index]] >= 0
         ]
         if not viable:
-            raise MatchError(
+            raise SemanticBlock(
                 f"reduce/reduce tie {tied} has no viable goto "
-                f"from state {exposed}"
+                f"from state {exposed}",
+                state=exposed,
+                state_stack=tuple(states),
             )
         if len(viable) == 1:
             return viable[0]
@@ -334,9 +420,7 @@ class Matcher:
             action = tables.action_for(state, token.symbol)
 
             if action is None:
-                raise SyntacticBlock(
-                    state, token, tables.automaton.describe_state(state)
-                )
+                raise self._block(state, stream, position, states, symbols)
 
             if isinstance(action, Shift):
                 descriptor = semantics.on_shift(token)
@@ -359,7 +443,9 @@ class Matcher:
             reduces_since_shift += 1
             if reduces_since_shift > loop_limit:
                 raise ReductionLoop(
-                    f"{reduces_since_shift} consecutive reductions in state {state}"
+                    f"{reduces_since_shift} consecutive reductions "
+                    f"in state {state}",
+                    state=state,
                 )
 
             production = self._select(action, states, descriptors)
@@ -369,9 +455,12 @@ class Matcher:
 
             goto = tables.goto_for(states[-1], production.lhs)
             if goto is None:
-                raise MatchError(
+                raise SemanticBlock(
                     f"no goto from state {states[-1]} on {production.lhs!r} "
-                    f"after reducing {production}"
+                    f"after reducing {production}",
+                    state=states[-1],
+                    lhs=production.lhs,
+                    state_stack=tuple(states),
                 )
 
             outcome = semantics.on_reduce(production, kids)
@@ -414,9 +503,11 @@ class Matcher:
             if self.tables.goto_for(exposed, production.lhs) is not None
         ]
         if not viable:
-            raise MatchError(
+            raise SemanticBlock(
                 f"reduce/reduce tie {action.productions} has no viable goto "
-                f"from state {exposed}"
+                f"from state {exposed}",
+                state=exposed,
+                state_stack=tuple(states),
             )
         if len(viable) == 1:
             return viable[0]

@@ -14,10 +14,17 @@ Robustness rules:
 
 * Entries are versioned (:data:`CACHE_VERSION`); a version or key
   mismatch is a miss, never an error.
-* A corrupt or truncated entry (unpicklable, wrong envelope) is deleted
-  and rebuilt — the cache can always be thrown away.
+* Every entry carries a SHA-256 of its pickled payload; a flipped byte
+  anywhere in the payload is detected *before* unpickling, so corruption
+  can never deserialize into silently wrong tables.
+* A corrupt or truncated entry (bad checksum, unpicklable, wrong
+  envelope) is **quarantined** — renamed to ``*.quarantined`` for post
+  mortem — and the build falls back cold; the cache can always be
+  thrown away.
 * Writes are atomic (temp file + ``os.replace``), so a crashed process
-  never leaves a half-written entry for the next one to trip over.
+  never leaves a half-written entry for the next one to trip over, and
+  are retried with a short backoff when racing writers or transient I/O
+  errors get in the way.
 
 The cache directory defaults to ``$REPRO_TABLE_CACHE_DIR``, then
 ``$XDG_CACHE_HOME/repro-gg/tables``, then ``~/.cache/repro-gg/tables``;
@@ -36,7 +43,14 @@ from typing import Any, Callable, Optional, Tuple
 
 #: Bump when the pickled payload layout (or anything it closes over)
 #: changes shape incompatibly; old entries become plain misses.
-CACHE_VERSION = 1
+#: v2: the envelope carries a SHA-256 of the pickled payload.
+CACHE_VERSION = 2
+
+#: Atomic-store attempts before giving up (racing writers, NFS hiccups).
+STORE_ATTEMPTS = 3
+
+#: Base backoff between store attempts, seconds (doubles per retry).
+STORE_BACKOFF = 0.05
 
 ENV_DISABLE = "REPRO_TABLE_CACHE"
 ENV_DIR = "REPRO_TABLE_CACHE_DIR"
@@ -88,63 +102,121 @@ class CacheOutcome:
     build_seconds: float = 0.0
     store_seconds: float = 0.0
     error: str = ""
+    #: why the existing entry was rejected ("" when it wasn't)
+    corruption: str = ""
+    #: where the rejected entry was moved for post mortem
+    quarantined: str = ""
+    #: atomic-store attempts beyond the first
+    store_retries: int = 0
 
 
 class TableCache:
-    """A directory of pickled ``(version, key, payload)`` envelopes."""
+    """A directory of pickled ``(version, key, sha256, payload)``
+    envelopes, where ``payload`` is itself pickled bytes covered by the
+    checksum."""
 
     def __init__(self, directory: Optional[str] = None) -> None:
         self.directory = str(directory) if directory else default_cache_dir()
+        #: Set by :meth:`load` when it rejected an entry: a short reason.
+        self.last_corruption: str = ""
+        #: Where the rejected entry went ("" when deleted or none).
+        self.last_quarantine: str = ""
+        #: Set by :meth:`store`: retries beyond the first attempt.
+        self.last_store_retries: int = 0
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.tables.pickle")
 
     # ------------------------------------------------------------- load
     def load(self, key: str) -> Optional[Any]:
-        """The cached payload, or None on miss/corruption (corrupt
-        entries are removed so they cannot keep failing)."""
+        """The cached payload, or None on miss/corruption.
+
+        Corrupt entries (truncated file, flipped byte, checksum mismatch,
+        foreign key) are quarantined — renamed aside, never re-trusted —
+        and the miss triggers a cold rebuild.  Entries from an older
+        :data:`CACHE_VERSION` are simply stale, and deleted quietly.
+        """
+        self.last_corruption = ""
+        self.last_quarantine = ""
         path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
                 envelope = pickle.load(handle)
         except FileNotFoundError:
             return None
-        except Exception:
+        except Exception as exc:
+            self._reject(path, f"unpicklable envelope: {type(exc).__name__}")
+            return None
+        if not isinstance(envelope, tuple) or len(envelope) != 4:
+            self._reject(path, "malformed envelope")
+            return None
+        version, stored_key, digest, payload_bytes = envelope
+        if version != CACHE_VERSION:
+            # old layout, not damage: a quiet miss
             self._discard(path)
             return None
-        if (
-            not isinstance(envelope, tuple)
-            or len(envelope) != 3
-            or envelope[0] != CACHE_VERSION
-            or envelope[1] != key
+        if stored_key != key:
+            self._reject(path, "envelope key mismatch")
+            return None
+        if not isinstance(payload_bytes, bytes) or (
+            hashlib.sha256(payload_bytes).hexdigest() != digest
         ):
-            self._discard(path)
+            self._reject(path, "payload checksum mismatch")
             return None
-        return envelope[2]
+        try:
+            return pickle.loads(payload_bytes)
+        except Exception as exc:
+            self._reject(path, f"unpicklable payload: {type(exc).__name__}")
+            return None
 
     # ------------------------------------------------------------ store
     def store(self, key: str, payload: Any) -> Optional[str]:
-        """Atomically write *payload*; returns the path, or None when the
-        filesystem refuses (a read-only cache is not an error)."""
+        """Atomically write *payload* (checksummed envelope); returns the
+        path, or None when the filesystem refuses after bounded retries
+        (a read-only cache is not an error)."""
+        self.last_store_retries = 0
         path = self.path_for(key)
-        try:
-            os.makedirs(self.directory, exist_ok=True)
-            fd, temp_path = tempfile.mkstemp(
-                dir=self.directory, suffix=".tmp"
-            )
+        payload_bytes = pickle.dumps(
+            payload, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        envelope = (
+            CACHE_VERSION, key,
+            hashlib.sha256(payload_bytes).hexdigest(), payload_bytes,
+        )
+        for attempt in range(STORE_ATTEMPTS):
             try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(
-                        (CACHE_VERSION, key, payload), handle,
-                        protocol=pickle.HIGHEST_PROTOCOL,
-                    )
-                os.replace(temp_path, path)
-            except BaseException:
-                self._discard(temp_path)
-                raise
+                os.makedirs(self.directory, exist_ok=True)
+                fd, temp_path = tempfile.mkstemp(
+                    dir=self.directory, suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        pickle.dump(
+                            envelope, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                    os.replace(temp_path, path)
+                except BaseException:
+                    self._discard(temp_path)
+                    raise
+                return path
+            except OSError:
+                if attempt + 1 < STORE_ATTEMPTS:
+                    self.last_store_retries = attempt + 1
+                    time.sleep(STORE_BACKOFF * (2 ** attempt))
+        self.last_store_retries = STORE_ATTEMPTS - 1
+        return None
+
+    # -------------------------------------------------------- rejection
+    def _reject(self, path: str, reason: str) -> None:
+        """Quarantine a damaged entry and remember why."""
+        self.last_corruption = reason
+        quarantine = path + ".quarantined"
+        try:
+            os.replace(path, quarantine)
+            self.last_quarantine = quarantine
         except OSError:
-            return None
-        return path
+            self._discard(path)
 
     @staticmethod
     def _discard(path: str) -> None:
@@ -175,6 +247,8 @@ def cached_build(
         started = time.perf_counter()
         payload = cache.load(key)
         outcome.load_seconds = time.perf_counter() - started
+        outcome.corruption = cache.last_corruption
+        outcome.quarantined = cache.last_quarantine
         if payload is not None:
             outcome.hit = True
             outcome.path = cache.path_for(key)
@@ -188,6 +262,7 @@ def cached_build(
         started = time.perf_counter()
         stored = cache.store(key, payload)
         outcome.store_seconds = time.perf_counter() - started
+        outcome.store_retries = cache.last_store_retries
         if stored:
             outcome.path = stored
         else:

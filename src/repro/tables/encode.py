@@ -18,6 +18,7 @@ hashing against the dict tables.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -170,6 +171,34 @@ class PackedRuntime:
     default_words: List[int]
     goto_words: List[int]
     pool_single: List[int]
+    checksum: int = -1
+
+    def compute_checksum(self) -> int:
+        """CRC-32 over the flat matrices (cheap: one bytes() pass each).
+
+        Stamped at expansion time; :meth:`verify_integrity` recomputes it
+        so the resilient pipeline can detect in-memory corruption of the
+        dense rows *before* they silently select wrong instructions —
+        corrupt action words often still parse, just wrongly.
+        """
+        crc = 0
+        for words in (
+            self.action_words, self.default_words,
+            self.goto_words, self.pool_single,
+        ):
+            crc = zlib.crc32(
+                b"".join(
+                    w.to_bytes(4, "little", signed=True) for w in words
+                ),
+                crc,
+            )
+        return zlib.crc32(self.nsymbols.to_bytes(4, "little"), crc)
+
+    def verify_integrity(self) -> bool:
+        """True when the matrices still match their expansion-time CRC."""
+        if self.checksum < 0:
+            return True  # never stamped (hand-built in tests)
+        return self.compute_checksum() == self.checksum
 
     @classmethod
     def from_packed(cls, packed: "PackedTables") -> "PackedRuntime":
@@ -196,7 +225,11 @@ class PackedRuntime:
             productions[0] if len(productions) == 1 else -1
             for productions in packed.reduce_pool
         ]
-        return cls(nsymbols, action_words, default_words, goto_words, pool_single)
+        runtime = cls(
+            nsymbols, action_words, default_words, goto_words, pool_single
+        )
+        runtime.checksum = runtime.compute_checksum()
+        return runtime
 
 
 def pack_tables(tables: ParseTables, compress_rows: bool = True) -> PackedTables:

@@ -13,6 +13,18 @@ the program on the simulated VAX::
 The differential fuzzer is a subcommand with its own options::
 
     ggcc fuzz --seed 0 --budget 30 --jobs 4
+
+So is the chaos harness, which injects pipeline faults (corrupt tables,
+truncated cache entries, de-bridged grammars, dead workers) and asserts
+the recovery ladder never miscompiles silently::
+
+    ggcc chaos --seed 0 --cases 2
+
+Resilient compilation routes every function through the recovery ladder
+and reports structured diagnostics (JSON with ``--diag-json``); failed
+functions make the exit status non-zero::
+
+    ggcc --resilient --diag-json file.c
 """
 
 from __future__ import annotations
@@ -57,6 +69,24 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--args", default="",
                         help="comma-separated integer arguments for --run")
     parser.add_argument("-o", "--output", help="write assembly to a file")
+    parser.add_argument("--resilient", action="store_true",
+                        help="route every function through the recovery "
+                             "ladder; one bad function degrades instead of "
+                             "aborting the program")
+    parser.add_argument("--diag-json", action="store_true",
+                        help="print collected diagnostics as JSON on stdout "
+                             "(assembly then only goes to --output)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="compile functions concurrently (GG backend)")
+    parser.add_argument("--parallel", choices=("thread", "process"),
+                        default="thread", help="worker pool kind for --jobs")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-function seconds before a process worker "
+                             "is declared hung (resilient process mode)")
+    parser.add_argument("--no-rescue-bridges", action="store_true",
+                        help="build the grammar without the section-6.2.2 "
+                             "rescue bridge productions (blocks at runtime; "
+                             "pair with --resilient)")
     return parser
 
 
@@ -133,11 +163,50 @@ def fuzz_main(argv: List[str]) -> int:
     return 1 if stats.findings else 0
 
 
+def build_chaos_parser() -> argparse.ArgumentParser:
+    from ..fuzz.chaos import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="ggcc chaos",
+        description="pipeline fault injection: corrupt packed tables, "
+                    "truncate cache entries, remove bridge productions, "
+                    "kill and hang pool workers — then assert every "
+                    "compile ends correct-or-cleanly-failed, never "
+                    "silently miscompiled",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic campaign seed")
+    parser.add_argument("--cases", type=int, default=2,
+                        help="cases per scenario (default 2; case 0 is "
+                             "the known minimal blocker)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        choices=SCENARIOS, dest="scenarios",
+                        help="run only this scenario (repeatable)")
+    return parser
+
+
+def chaos_main(argv: List[str]) -> int:
+    from ..fuzz.chaos import run_chaos
+
+    options = build_chaos_parser().parse_args(argv)
+    report = run_chaos(
+        seed=options.seed,
+        cases_per_scenario=options.cases,
+        scenarios=options.scenarios,
+        progress=print,
+    )
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "fuzz":
         return fuzz_main(list(argv[1:]))
+    if argv and argv[0] == "chaos":
+        return chaos_main(list(argv[1:]))
     parser = build_arg_parser()
     options = parser.parse_args(argv)
 
@@ -170,6 +239,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         generator = GrahamGlanvilleCodeGenerator(
             reversed_ops=not options.no_reversed_ops,
             peephole=options.peephole,
+            rescue_bridges=not options.no_rescue_bridges,
         )
 
     if options.trace and options.backend == "gg":
@@ -183,9 +253,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_trace(tracer))
         return 0
 
-    assembly = compile_program(source, options.backend, generator)
+    try:
+        assembly = compile_program(
+            source, options.backend, generator,
+            jobs=options.jobs, parallel=options.parallel,
+            resilient=options.resilient, timeout=options.timeout,
+        )
+    except Exception as exc:
+        # without --resilient a block/crash is terminal; still report it
+        # as one structured line and a non-zero exit, not a traceback
+        print(f"ggcc: error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        print("diagnostics: 1 recorded, 1 error(s): "
+              f"{type(exc).__name__}x1", file=sys.stderr)
+        return 1
+
+    if options.diag_json:
+        print(assembly.diagnostics.to_json(indent=2))
+    elif len(assembly.diagnostics):
+        print(assembly.diagnostics.format_human(), file=sys.stderr)
+    if len(assembly.diagnostics) or assembly.failed:
+        print(assembly.diagnostics.summary_line(), file=sys.stderr)
+    if assembly.failed:
+        print(
+            f"ggcc: error: {len(assembly.failed)} function(s) failed: "
+            + ", ".join(assembly.failed),
+            file=sys.stderr,
+        )
 
     if options.run:
+        if assembly.failed:
+            return 1
         vax = assembly.simulator()
         args = [int(a) for a in options.args.split(",") if a.strip()]
         result = vax.call(options.run, args)
@@ -196,9 +293,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.output:
         with open(options.output, "w") as handle:
             handle.write(text)
-    else:
+    elif not options.diag_json:
         print(text)
-    return 0
+    return 1 if assembly.failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,135 @@
+"""The structured diagnostics subsystem."""
+
+import json
+import threading
+
+import pytest
+
+from repro.diag import codes
+from repro.diag.codes import (
+    ERROR, NOTE, WARNING, default_severity, describe, severity_rank,
+)
+from repro.diag.diagnostics import Diagnostic, DiagnosticSink
+
+
+class TestRegistry:
+    def test_every_code_has_severity_and_description(self):
+        for code, (severity, description) in codes.REGISTRY.items():
+            assert severity in (NOTE, WARNING, ERROR), code
+            assert description, code
+
+    def test_blocks_default_to_error(self):
+        assert default_severity(codes.GG_BLOCK_SYN) == ERROR
+        assert default_severity(codes.GG_BLOCK_SEM) == ERROR
+
+    def test_recoveries_are_not_errors(self):
+        assert default_severity(codes.RECOVER_DICT) != ERROR
+        assert default_severity(codes.RECOVER_FORCE) != ERROR
+        assert default_severity(codes.RECOVER_PCC) != ERROR
+
+    def test_unregistered_code_is_an_error(self):
+        assert default_severity("NOT-A-CODE") == ERROR
+        assert describe("NOT-A-CODE") == "unregistered diagnostic code"
+
+    def test_severity_rank_orders(self):
+        assert severity_rank(NOTE) < severity_rank(WARNING) \
+            < severity_rank(ERROR)
+
+
+class TestDiagnostic:
+    def test_severity_filled_from_registry(self):
+        record = Diagnostic(code=codes.GG_BLOCK_SYN, message="blocked")
+        assert record.severity == ERROR
+        assert record.is_error
+
+    def test_explicit_severity_wins(self):
+        record = Diagnostic(
+            code=codes.RECOVER_DICT, message="", severity=WARNING
+        )
+        assert record.severity == WARNING
+
+    def test_context_is_json_coerced(self):
+        record = Diagnostic(
+            code=codes.GG_BLOCK_SYN, message="m",
+            context={"stack": (1, 2), "obj": object(), "n": 3},
+        )
+        # every context value must survive json round-tripping
+        payload = json.loads(json.dumps(record.to_dict()))
+        assert payload["context"]["stack"] == [1, 2]
+        assert payload["context"]["n"] == 3
+        assert isinstance(payload["context"]["obj"], str)
+
+    def test_format_mentions_code_function_and_scalars(self):
+        record = Diagnostic(
+            code=codes.WORKER_TIMEOUT, message="too slow",
+            function="f", context={"timeout_seconds": 2.0},
+        )
+        line = record.format()
+        assert "WORKER-TIMEOUT" in line
+        assert "[f]" in line
+        assert "timeout_seconds=2.0" in line
+
+
+class TestDiagnosticSink:
+    def test_add_and_query(self):
+        sink = DiagnosticSink()
+        sink.add(codes.GG_BLOCK_SYN, "blocked", function="f", state=269)
+        sink.add(codes.RECOVER_PCC, "degraded", function="f")
+        assert len(sink) == 2
+        assert sink.has(codes.GG_BLOCK_SYN)
+        assert not sink.has(codes.CACHE_CORRUPT)
+        assert len(sink.errors) == 1
+        assert not sink.ok
+        assert sink.by_code(codes.RECOVER_PCC)[0].function == "f"
+
+    def test_empty_sink_is_ok(self):
+        sink = DiagnosticSink()
+        assert sink.ok
+        assert sink.summary_line() == "diagnostics: none"
+
+    def test_summary_line_counts_and_errors(self):
+        sink = DiagnosticSink()
+        sink.add(codes.CACHE_CORRUPT, "x")
+        sink.add(codes.CACHE_CORRUPT, "y")
+        sink.add(codes.FN_FAILED, "z", function="f")
+        line = sink.summary_line()
+        assert "3 recorded" in line
+        assert "1 error(s)" in line
+        assert "CACHE-CORRUPTx2" in line
+
+    def test_json_document(self):
+        sink = DiagnosticSink()
+        sink.add(codes.RECOVER_DICT, "rescued", function="g")
+        payload = json.loads(sink.to_json())
+        assert payload["ok"] is True   # notes are not errors
+        assert payload["counts"] == {codes.RECOVER_DICT: 1}
+        assert payload["diagnostics"][0]["function"] == "g"
+
+    def test_extend_with_worker_records(self):
+        # process workers ship diagnostics back by value
+        sink = DiagnosticSink()
+        records = [Diagnostic(code=codes.GG_BLOCK_SYN, message="m")]
+        import pickle
+        sink.extend(pickle.loads(pickle.dumps(records)))
+        assert sink.has(codes.GG_BLOCK_SYN)
+
+    def test_concurrent_adds(self):
+        sink = DiagnosticSink()
+
+        def hammer():
+            for _ in range(200):
+                sink.add(codes.CACHE_RETRY, "tick")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(sink) == 800
+
+    def test_format_human_worst_first(self):
+        sink = DiagnosticSink()
+        sink.add(codes.RECOVER_DICT, "note first")
+        sink.add(codes.FN_FAILED, "error last", function="f")
+        lines = sink.format_human().splitlines()
+        assert lines[0].startswith("error:")
