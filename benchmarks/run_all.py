@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""One-command benchmark trajectory: write BENCH_compile.json and
+BENCH_parse.json at the repo root.
+
+The pytest benches under ``benchmarks/`` regenerate the paper's tables;
+this driver instead records the *reproduction's own* performance so a
+future change has concrete numbers to compare against:
+
+* ``BENCH_compile.json`` — static-phase cost cold vs warm (table cache),
+  end-to-end compile wall/CPU seconds for jobs=1 vs jobs=N on both pool
+  kinds, and the per-phase split from the ``profile`` machinery
+  (exclusive attribution: phases sum to <= wall by construction).
+* ``BENCH_parse.json`` — packed vs dict matcher throughput in
+  tokens/sec over pre-linearized corpus streams.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_all.py          # full numbers
+    PYTHONPATH=src python benchmarks/run_all.py --quick  # CI smoke
+
+Timings are best-of-N repeats (minimum, the standard noise floor
+estimator); CPU seconds are the summed per-function compile times
+measured inside whichever worker ran each function, so parallel speedup
+is ``cpu/wall`` of one run rather than a cross-run comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.codegen.driver import GrahamGlanvilleCodeGenerator  # noqa: E402
+from repro.compile import compile_program  # noqa: E402
+from repro.ir.linearize import linearize  # noqa: E402
+from repro.matcher import Matcher  # noqa: E402
+from repro.matcher.engine import SemanticActions  # noqa: E402
+from repro.obs.profile import profile_program  # noqa: E402
+from repro.workloads import generate_workload  # noqa: E402
+
+
+def best_of(repeats, thunk):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = thunk()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def bench_static(repeats: int) -> dict:
+    """Cold table construction vs cache-warmed start, seconds."""
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold, _ = best_of(1, lambda: GrahamGlanvilleCodeGenerator(
+            cache=False,
+        ))
+        # populate the cache once, then measure warm starts
+        GrahamGlanvilleCodeGenerator(cache=True, cache_dir=cache_dir)
+        warm, gen = best_of(repeats, lambda: GrahamGlanvilleCodeGenerator(
+            cache=True, cache_dir=cache_dir,
+        ))
+        outcome = gen.cache_outcome
+        return {
+            "cold_build_seconds": round(cold, 4),
+            "warm_start_seconds": round(warm, 4),
+            "warm_speedup": round(cold / warm, 1) if warm else None,
+            "cache_load_seconds": round(outcome.load_seconds, 4),
+            "cache_hit": outcome.hit,
+        }
+
+
+def bench_compile(source: str, jobs: int, repeats: int) -> dict:
+    """End-to-end dynamic-phase cost: serial vs thread vs process pool."""
+    gen = GrahamGlanvilleCodeGenerator()  # static phase paid once, outside
+    configs = [
+        ("jobs1", {"jobs": 1}),
+        (f"jobs{jobs}_thread", {"jobs": jobs, "parallel": "thread"}),
+        (f"jobs{jobs}_process", {"jobs": jobs, "parallel": "process"}),
+    ]
+    out = {}
+    baseline = None
+    for label, kwargs in configs:
+        wall, assembly = best_of(repeats, lambda kw=kwargs: compile_program(
+            source, generator=gen, **kw,
+        ))
+        row = {
+            "wall_seconds": round(assembly.seconds, 4),
+            "cpu_seconds": round(assembly.cpu_seconds, 4),
+            "functions": len(assembly.source_program.order),
+            "instructions": assembly.instruction_count,
+        }
+        if baseline is None:
+            baseline = assembly.seconds
+        elif assembly.seconds:
+            row["speedup_vs_jobs1"] = round(baseline / assembly.seconds, 2)
+        out[label] = row
+        print(f"  compile {label:16s} wall {assembly.seconds:8.4f}s "
+              f"cpu {assembly.cpu_seconds:8.4f}s")
+    return out
+
+
+def bench_phases(source: str) -> dict:
+    """Per-phase split under exclusive attribution (jobs=1)."""
+    report, _ = profile_program(source, label="workload")
+    totals = report.totals
+    return {
+        "transform_seconds": round(totals["transform"], 4),
+        "matching_seconds": round(totals["matching"], 4),
+        "semantics_seconds": round(totals["semantics"], 4),
+        "output_seconds": round(totals["output"], 4),
+        "matching_fraction": round(totals["matching_fraction"], 3),
+        "invariants_ok": report.ok,
+        "violations": report.violations,
+    }
+
+
+def bench_parse(source: str, repeats: int) -> dict:
+    """Packed vs dict matcher throughput on pre-linearized streams."""
+    from repro.frontend import compile_c
+
+    gen = GrahamGlanvilleCodeGenerator()
+    program = compile_c(source)
+    streams = []
+    for name in program.order:
+        forest, _ = gen.transform(program.forest(name))
+        streams.extend(linearize(tree) for tree in forest.trees())
+    tokens = sum(len(s) for s in streams)
+
+    def run(matcher):
+        def thunk():
+            for stream in streams:
+                matcher.match_tokens(stream)
+        best, _ = best_of(repeats, thunk)
+        return tokens / best
+
+    packed = run(Matcher(gen.tables, SemanticActions(), use_packed=True))
+    plain = run(Matcher(gen.tables, SemanticActions(), use_packed=False))
+    print(f"  parse packed {packed:12,.0f} tok/s  dict {plain:12,.0f} tok/s")
+    return {
+        "tokens": tokens,
+        "streams": len(streams),
+        "packed_tokens_per_sec": round(packed),
+        "dict_tokens_per_sec": round(plain),
+        "speedup": round(packed / plain, 2),
+    }
+
+
+def write_json(path: str, payload: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {os.path.relpath(path, REPO_ROOT)}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload, fewer repeats (CI smoke)")
+    parser.add_argument("--functions", type=int, default=None)
+    parser.add_argument("--statements", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="pool width for the parallel configs")
+    parser.add_argument("--out-dir", default=REPO_ROOT,
+                        help="where the BENCH_*.json files land")
+    options = parser.parse_args(argv)
+
+    functions = options.functions or (6 if options.quick else 12)
+    statements = options.statements or (8 if options.quick else 15)
+    repeats = options.repeats or (2 if options.quick else 3)
+
+    meta = {
+        "workload": {
+            "functions": functions, "statements_per_function": statements,
+            "seed": 1982,
+        },
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "timing": "best-of-repeats wall clock; cpu = summed per-function",
+    }
+    source = generate_workload(
+        functions=functions, statements_per_function=statements, seed=1982,
+    )
+
+    print("static phase (cold vs cache-warmed)...")
+    static = bench_static(repeats)
+    print(f"  cold {static['cold_build_seconds']}s  "
+          f"warm {static['warm_start_seconds']}s "
+          f"({static['warm_speedup']}x)")
+    print(f"compile trajectory (jobs=1 vs jobs={options.jobs})...")
+    compile_rows = bench_compile(source, options.jobs, repeats)
+    print("phase split (exclusive attribution)...")
+    phases = bench_phases(source)
+    write_json(os.path.join(options.out_dir, "BENCH_compile.json"), {
+        "meta": meta,
+        "static": static,
+        "compile": compile_rows,
+        "phases": phases,
+    })
+
+    print("matcher throughput (packed vs dict)...")
+    parse = bench_parse(source, repeats)
+    write_json(os.path.join(options.out_dir, "BENCH_parse.json"), {
+        "meta": meta,
+        "match_tokens": parse,
+    })
+    return 0 if phases["invariants_ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,8 @@ from ..ir.tree import Forest, LabelDef, Node
 from ..matcher.descriptors import Descriptor
 from ..matcher.engine import Matcher, MatchResult, SemanticActions
 from ..matcher.trace import Tracer
+from ..obs.metrics import REGISTRY as METRICS
+from ..obs.spans import span
 from ..tables.cache import CacheOutcome, cached_build, table_cache_key
 from ..tables.slr import ParseTables, construct_tables
 from ..vax.grammar_gen import (
@@ -44,21 +46,46 @@ from .output import AssemblyUnit
 
 @dataclass
 class PhaseTimes:
-    """Seconds spent per logical phase across one compilation."""
+    """Seconds spent per logical phase across one compilation.
+
+    ``matching`` is *exclusive* parse time: the per-statement wall time
+    of the shift/reduce loop minus the semantic-callback time charged to
+    ``semantics`` while that statement matched.  The attribution is
+    structural (each phase's clock only runs while that phase runs), so
+    no phase can go negative and no clamping is needed.  ``wall`` is the
+    whole compilation's wall time; the gap ``wall - total`` is honest
+    unattributed overhead (temp-slot assignment, statement boundaries,
+    timer reads) rather than time silently folded into a phase.
+    """
 
     transform: float = 0.0
     matching: float = 0.0   # parse actions: shifts/reduces/table lookups
     semantics: float = 0.0  # instruction generation inside reductions
     output: float = 0.0
+    wall: float = 0.0       # whole-compilation wall clock (>= total)
 
     @property
     def total(self) -> float:
         return self.transform + self.matching + self.semantics + self.output
 
     @property
+    def unattributed(self) -> float:
+        return self.wall - self.total
+
+    @property
     def matching_fraction(self) -> float:
         total = self.total
         return self.matching / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "transform": self.transform,
+            "matching": self.matching,
+            "semantics": self.semantics,
+            "output": self.output,
+            "total": self.total,
+            "wall": self.wall,
+        }
 
 
 @dataclass
@@ -147,55 +174,64 @@ class GrahamGlanvilleCodeGenerator:
         self.cache_outcome: Optional[CacheOutcome] = None
 
         static_started = time.perf_counter()
-        if bundle is not None or tables is not None:
-            self.bundle = bundle or build_vax_grammar(
-                reversed_ops=reversed_ops,
-                overfactoring_fix=overfactoring_fix,
-                rescue_bridges=rescue_bridges,
-            )
-            self.tables = tables or construct_tables(self.bundle.grammar)
-            self.table_source = "provided" if tables is not None else "built"
-        else:
-            text = vax_grammar_text(
-                reversed_ops, overfactoring_fix, rescue_bridges
-            )
-            key = table_cache_key(
-                text,
-                reversed_ops=reversed_ops,
-                overfactoring_fix=overfactoring_fix,
-                rescue_bridges=rescue_bridges,
-            )
-
-            def build():
-                built = build_vax_grammar(
+        with span("static.tables", cat="static"):
+            if bundle is not None or tables is not None:
+                self.bundle = bundle or build_vax_grammar(
                     reversed_ops=reversed_ops,
                     overfactoring_fix=overfactoring_fix,
                     rescue_bridges=rescue_bridges,
                 )
-                constructed = construct_tables(built.grammar)
-                constructed.packed()  # cache the packed form alongside
-                return built, constructed
+                self.tables = tables or construct_tables(self.bundle.grammar)
+                self.table_source = (
+                    "provided" if tables is not None else "built"
+                )
+            else:
+                text = vax_grammar_text(
+                    reversed_ops, overfactoring_fix, rescue_bridges
+                )
+                key = table_cache_key(
+                    text,
+                    reversed_ops=reversed_ops,
+                    overfactoring_fix=overfactoring_fix,
+                    rescue_bridges=rescue_bridges,
+                )
 
-            (self.bundle, self.tables), outcome = cached_build(
-                key, build, directory=cache_dir, enabled=cache
-            )
-            self.cache_outcome = outcome
-            self.table_source = "cache" if outcome.hit else "built"
-        if use_packed:
-            # Expand the dense runtime rows now so the first compile's
-            # matching time measures matching, not table expansion.
-            self.tables.packed().runtime()
+                def build():
+                    built = build_vax_grammar(
+                        reversed_ops=reversed_ops,
+                        overfactoring_fix=overfactoring_fix,
+                        rescue_bridges=rescue_bridges,
+                    )
+                    constructed = construct_tables(built.grammar)
+                    constructed.packed()  # cache the packed form alongside
+                    return built, constructed
+
+                (self.bundle, self.tables), outcome = cached_build(
+                    key, build, directory=cache_dir, enabled=cache
+                )
+                self.cache_outcome = outcome
+                self.table_source = "cache" if outcome.hit else "built"
+            if use_packed:
+                # Expand the dense runtime rows now so the first compile's
+                # matching time measures matching, not table expansion.
+                with span("packed.expand", cat="static"):
+                    self.tables.packed().runtime()
         self.static_seconds = time.perf_counter() - static_started
+        METRICS.observe("static.seconds", self.static_seconds)
+        METRICS.inc(f"static.tables.{self.table_source}")
 
     # ------------------------------------------------------------ pipeline
     def transform(self, forest: Forest) -> Tuple[Forest, OrderingStats]:
         """Phases 1a-1c on a (copy of a) forest."""
         work = forest.clone()
-        work = make_control_flow_explicit(work, self.machine)
-        work = expand_operators(work)
-        stats = order_for_evaluation(
-            work, self.machine, enable_reversed=self.reversed_ops
-        )
+        with span("phase.controlflow", cat="phase", function=forest.name):
+            work = make_control_flow_explicit(work, self.machine)
+        with span("phase.expand", cat="phase", function=forest.name):
+            work = expand_operators(work)
+        with span("phase.ordering", cat="phase", function=forest.name):
+            stats = order_for_evaluation(
+                work, self.machine, enable_reversed=self.reversed_ops
+            )
         return work, stats
 
     def compile(
@@ -205,14 +241,16 @@ class GrahamGlanvilleCodeGenerator:
         use_packed: Optional[bool] = None,
     ) -> CompileResult:
         """Compile one routine to VAX assembly."""
-        started = time.perf_counter()
-        work, ordering_stats = self.transform(forest)
-        transform_seconds = time.perf_counter() - started
-        result = self.generate(
-            work, ordering_stats, name=forest.name,
-            trace=trace, use_packed=use_packed,
-        )
+        with span("compile", cat="function", function=forest.name):
+            started = time.perf_counter()
+            work, ordering_stats = self.transform(forest)
+            transform_seconds = time.perf_counter() - started
+            result = self.generate(
+                work, ordering_stats, name=forest.name,
+                trace=trace, use_packed=use_packed,
+            )
         result.times.transform += transform_seconds
+        result.times.wall += transform_seconds
         return result
 
     def generate(
@@ -233,6 +271,7 @@ class GrahamGlanvilleCodeGenerator:
         times = PhaseTimes()
         if use_packed is None:
             use_packed = self.use_packed
+        wall_started = time.perf_counter()
 
         # Compiler temporaries (call results, hoisted subtrees, spill
         # slots) live in the frame, as PCC's did — statics would break
@@ -248,29 +287,56 @@ class GrahamGlanvilleCodeGenerator:
         matcher = Matcher(self.tables, timed, use_packed=use_packed)
 
         shifts = reductions = chains = statements = 0
-        for item in work.items:
-            if isinstance(item, LabelDef):
-                buffer.label(item.name)
-                continue
-            statements += 1
-            started = time.perf_counter()
-            result = matcher.match_tree(item, trace)
-            times.matching += time.perf_counter() - started
-            semantics.statement_boundary()
-            shifts += item.size()
-            reductions += len(result.reductions)
-            chains += result.chain_reductions
-        # matching time includes the semantic callbacks; separate them
-        times.matching = max(0.0, times.matching - times.semantics)
+        with span("phase.matching", cat="phase", function=name) as match_span:
+            for item in work.items:
+                if isinstance(item, LabelDef):
+                    buffer.label(item.name)
+                    continue
+                # Exclusive attribution: semantic-callback time lands in
+                # ``times.semantics`` as it happens (_TimedSemantics);
+                # matching gets the remainder of this statement's wall
+                # time.  Each phase's clock only runs while that phase
+                # runs, so neither can go negative — no clamp.
+                semantics_before = times.semantics
+                started = time.perf_counter()
+                with span("match.statement", cat="statement",
+                          function=name, index=statements):
+                    result = matcher.match_tree(item, trace)
+                statement_wall = time.perf_counter() - started
+                times.matching += (
+                    statement_wall - (times.semantics - semantics_before)
+                )
+                semantics.statement_boundary()
+                statements += 1
+                shifts += item.size()
+                reductions += len(result.reductions)
+                chains += result.chain_reductions
+            match_span.note(
+                statements=statements, shifts=shifts, reductions=reductions,
+                matching_seconds=round(times.matching, 6),
+                semantics_seconds=round(times.semantics, 6),
+            )
 
         started = time.perf_counter()
-        if self.peephole:
-            from .peephole import optimize
+        with span("phase.output", cat="phase", function=name):
+            if self.peephole:
+                from .peephole import optimize
 
-            optimized, _ = optimize(unit.body_lines)
-            unit.body_lines[:] = optimized
-        text = unit.text()  # force formatting for timing purposes
+                optimized, _ = optimize(unit.body_lines)
+                unit.body_lines[:] = optimized
+            text = unit.text()  # force formatting for timing purposes
         times.output = time.perf_counter() - started
+        times.wall = time.perf_counter() - wall_started
+
+        if METRICS.enabled:
+            METRICS.inc("compile.functions")
+            METRICS.inc("compile.statements", statements)
+            METRICS.inc("matcher.shifts", shifts)
+            METRICS.inc("matcher.reductions", reductions)
+            METRICS.inc("matcher.chain_reductions", chains)
+            METRICS.observe("compile.fn_seconds", times.wall)
+            METRICS.observe("compile.matching_seconds", times.matching)
+            METRICS.observe("compile.semantics_seconds", times.semantics)
 
         return CompileResult(
             unit=unit, times=times, ordering=ordering_stats,

@@ -47,6 +47,7 @@ from ..ir.tree import Forest, Node
 from ..matcher.engine import (
     MatchError, ReductionLoop, SemanticBlock, SyntacticBlock,
 )
+from ..obs.metrics import REGISTRY as METRICS
 from ..pcc.codegen import pcc_compile
 from ..vax.semantics import VaxSemanticError
 
@@ -100,6 +101,14 @@ class LadderOutcome:
     @property
     def recovered(self) -> bool:
         return self.ok and self.tier != "packed"
+
+
+def _finish(outcome: "LadderOutcome") -> "LadderOutcome":
+    """Record which rung settled the function before handing it back."""
+    METRICS.inc(f"recovery.tier.{outcome.tier}")
+    if outcome.recovered:
+        METRICS.inc("recovery.rescued")
+    return outcome
 
 
 def _demote_errors(diags: List[Diagnostic]) -> List[Diagnostic]:
@@ -231,7 +240,7 @@ def compile_with_recovery(
     if gen.use_packed and packed_trusted:
         try:
             result = gen.compile(forest)
-            return LadderOutcome(name, result, "packed", diags)
+            return _finish(LadderOutcome(name, result, "packed", diags))
         except (MatchError, VaxSemanticError) as exc:
             first_error = exc
             diags.append(_block_diagnostic(exc, name))
@@ -254,8 +263,8 @@ def compile_with_recovery(
                 message="function recompiled on the dict-table matcher",
                 function=name,
             ))
-            return LadderOutcome(name, result, "dict", _demote_errors(diags))
-        return LadderOutcome(name, result, "packed", diags)
+            return _finish(LadderOutcome(name, result, "dict", _demote_errors(diags)))
+        return _finish(LadderOutcome(name, result, "packed", diags))
     except (MatchError, VaxSemanticError) as exc:
         dict_error = exc
         if not isinstance(first_error, MatchError):
@@ -290,9 +299,10 @@ def compile_with_recovery(
                     function=name,
                     context={"hoisted": list(hoists)},
                 ))
-                return LadderOutcome(
+                METRICS.inc("recovery.hoists", len(hoists))
+                return _finish(LadderOutcome(
                     name, result, "hoist", _demote_errors(diags)
-                )
+                ))
             except SyntacticBlock as blocked:
                 hoisted = _hoist_blocked_operand(work, blocked, len(hoists))
                 if hoisted is None:
@@ -309,7 +319,7 @@ def compile_with_recovery(
             message="function degraded to the PCC baseline backend",
             function=name,
         ))
-        return LadderOutcome(name, result, "pcc", _demote_errors(diags))
+        return _finish(LadderOutcome(name, result, "pcc", _demote_errors(diags)))
     except Exception as exc:
         diags.append(Diagnostic(
             code=codes.FN_FAILED,
@@ -320,4 +330,4 @@ def compile_with_recovery(
             name=name,
             reason=f"{type(exc).__name__}: {exc}",
         )
-        return LadderOutcome(name, failed, "failed", diags)
+        return _finish(LadderOutcome(name, failed, "failed", diags))

@@ -32,6 +32,9 @@ from .codegen.recovery import FailedFunction, compile_with_recovery
 from .diag import codes
 from .diag.diagnostics import DiagnosticSink
 from .frontend.lower import CompiledProgram, compile_c
+from .obs import (
+    absorb_worker_obs, obs_flags, span, worker_obs_drain, worker_obs_sync,
+)
 from .pcc.codegen import PccResult, pcc_compile
 from .sim.assembler import AsmProgram, assemble
 from .sim.cpu import Vax
@@ -39,16 +42,35 @@ from .sim.cpu import Vax
 
 @dataclass
 class ProgramAssembly:
-    """A fully compiled program: per-function assembly plus data."""
+    """A fully compiled program: per-function assembly plus data.
+
+    Two timing fields with deliberately different semantics: ``seconds``
+    is the *wall clock* of the dynamic phase as the caller experienced
+    it (pool startup and scheduling included), while ``cpu_seconds`` is
+    the *summed per-function compile time*, each function measured
+    inside whichever worker ran it.  Under ``jobs=1`` they are nearly
+    equal; under ``jobs>1`` wall shrinks while the summed cost does not
+    — parallel speedup is ``cpu_seconds / seconds`` of the same run, or
+    wall-vs-wall across runs, never a mix of the two.
+    """
 
     source_program: CompiledProgram
     function_results: Dict[str, object] = field(default_factory=dict)
     backend: str = "gg"
+    #: Wall-clock seconds of the dynamic phase (front end and static
+    #: table construction excluded).
     seconds: float = 0.0
+    #: Summed per-function compile seconds (see class docstring).
+    cpu_seconds: float = 0.0
     #: Structured events from the resilient pipeline (empty otherwise).
     diagnostics: DiagnosticSink = field(default_factory=DiagnosticSink)
     #: function name -> recovery-ladder tier ("packed" when no rescue ran)
     tiers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Alias for ``seconds``, for symmetry with ``cpu_seconds``."""
+        return self.seconds
 
     @property
     def failed(self) -> List[str]:
@@ -126,7 +148,8 @@ def compile_program(
     diagnostic in ``out.diagnostics`` plus a degraded or failed entry in
     ``function_results`` — the rest of the program still compiles.
     """
-    program = compile_c(source)
+    with span("frontend.lower", cat="phase"):
+        program = compile_c(source)
     if backend == "gg":
         # Build the generator *before* starting the clock: grammar and
         # table construction are the static phase and must not inflate
@@ -137,38 +160,58 @@ def compile_program(
 
     started = time.perf_counter()
     out = ProgramAssembly(source_program=program, backend=backend)
-    if backend == "gg":
-        if resilient:
-            _compile_functions_resilient(
-                gen, source, program, jobs, parallel, timeout, out
-            )
-        elif jobs > 1 and len(program.order) > 1:
-            out.function_results = _compile_functions_parallel(
-                gen, source, program, jobs, parallel
-            )
+    with span("compile_program", cat="program", backend=backend,
+              jobs=jobs, parallel=parallel):
+        if backend == "gg":
+            if resilient:
+                _compile_functions_resilient(
+                    gen, source, program, jobs, parallel, timeout, out
+                )
+            elif jobs > 1 and len(program.order) > 1:
+                out.function_results = _compile_functions_parallel(
+                    gen, source, program, jobs, parallel
+                )
+            else:
+                for name in program.order:
+                    out.function_results[name] = gen.compile(
+                        program.forest(name)
+                    )
         else:
             for name in program.order:
-                out.function_results[name] = gen.compile(program.forest(name))
-    else:
-        for name in program.order:
-            if resilient:
-                try:
+                if resilient:
+                    try:
+                        out.function_results[name] = pcc_compile(
+                            program.forest(name)
+                        )
+                    except Exception as exc:
+                        out.diagnostics.add(
+                            codes.FN_FAILED,
+                            f"pcc backend failed: {exc!r}",
+                            function=name,
+                        )
+                        out.function_results[name] = FailedFunction(
+                            name=name,
+                            reason=f"{type(exc).__name__}: {exc}",
+                        )
+                else:
                     out.function_results[name] = pcc_compile(
                         program.forest(name)
                     )
-                except Exception as exc:
-                    out.diagnostics.add(
-                        codes.FN_FAILED,
-                        f"pcc backend failed: {exc!r}",
-                        function=name,
-                    )
-                    out.function_results[name] = FailedFunction(
-                        name=name, reason=f"{type(exc).__name__}: {exc}",
-                    )
-            else:
-                out.function_results[name] = pcc_compile(program.forest(name))
     out.seconds = time.perf_counter() - started
+    out.cpu_seconds = sum(
+        _function_seconds(result)
+        for result in out.function_results.values()
+    )
     return out
+
+
+def _function_seconds(result: object) -> float:
+    """One function's compile seconds, as measured inside whichever
+    worker produced it (0.0 for results that carry no timing)."""
+    times = getattr(result, "times", None)  # CompileResult
+    if times is not None:
+        return getattr(times, "wall", 0.0) or times.total
+    return getattr(result, "seconds", 0.0)  # PccResult; FailedFunction: 0
 
 
 def _compile_functions_parallel(
@@ -188,19 +231,26 @@ def _compile_functions_parallel(
     """
     names = list(program.order)
     if parallel == "thread":
+        # Thread workers share this process's metrics registry and span
+        # recorder directly — nothing to merge.
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             results = list(
                 pool.map(lambda name: gen.compile(program.forest(name)), names)
             )
     elif parallel == "process":
         options = _generator_options(gen)
+        flags = obs_flags()
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            results = list(
+            pairs = list(
                 pool.map(
                     _compile_function_in_worker,
-                    [(source, name, options) for name in names],
+                    [(source, name, options, flags) for name in names],
                 )
             )
+        results = []
+        for result, payload in pairs:
+            absorb_worker_obs(payload)
+            results.append(result)
     else:
         raise ValueError(f"unknown parallel mode {parallel!r}")
     return dict(zip(names, results))
@@ -222,8 +272,11 @@ def _generator_options(gen: GrahamGlanvilleCodeGenerator) -> Dict[str, object]:
 _WORKER_STATE: Dict[tuple, tuple] = {}
 
 
-def _compile_function_in_worker(task: tuple) -> CompileResult:
-    source, name, options = task
+def _compile_function_in_worker(task: tuple) -> tuple:
+    """Process-pool body: returns ``(result, obs payload)`` — the
+    worker's metrics delta and spans ride home with each result."""
+    source, name, options, flags = task
+    worker_obs_sync(flags)
     key = (source, tuple(sorted(options.items())))
     state = _WORKER_STATE.get(key)
     if state is None:
@@ -232,7 +285,8 @@ def _compile_function_in_worker(task: tuple) -> CompileResult:
         _WORKER_STATE.clear()  # one live program per worker is plenty
         _WORKER_STATE[key] = state = (program, generator)
     program, generator = state
-    return generator.compile(program.forest(name))
+    result = generator.compile(program.forest(name))
+    return result, worker_obs_drain(flags)
 
 
 # --------------------------------------------------------------- resilience
@@ -257,10 +311,12 @@ def _chaos_hooks(name: str) -> None:
 def _compile_function_resilient_worker(task: tuple):
     """Process-pool body for the resilient path.
 
-    Returns ``(tier, result, diagnostics)`` — all plain picklable values,
-    so a worker's recovery history survives the trip back to the parent.
+    Returns ``(tier, result, diagnostics, obs payload)`` — all plain
+    picklable values, so a worker's recovery history and observability
+    delta survive the trip back to the parent.
     """
-    source, name, options = task
+    source, name, options, flags = task
+    worker_obs_sync(flags)
     _chaos_hooks(name)
     key = (source, tuple(sorted(options.items())))
     state = _WORKER_STATE.get(key)
@@ -271,7 +327,10 @@ def _compile_function_resilient_worker(task: tuple):
         _WORKER_STATE[key] = state = (program, generator)
     program, generator = state
     outcome = compile_with_recovery(generator, program.forest(name))
-    return outcome.tier, outcome.result, outcome.diagnostics
+    return (
+        outcome.tier, outcome.result, outcome.diagnostics,
+        worker_obs_drain(flags),
+    )
 
 
 def _recover_in_parent(
@@ -349,12 +408,14 @@ def _compile_functions_resilient(
         raise ValueError(f"unknown parallel mode {parallel!r}")
 
     options = _generator_options(gen)
+    flags = obs_flags()
     hung = False
     pool = ProcessPoolExecutor(max_workers=jobs)
     try:
         futures = {
             name: pool.submit(
-                _compile_function_resilient_worker, (source, name, options)
+                _compile_function_resilient_worker,
+                (source, name, options, flags),
             )
             for name in names
         }
@@ -364,7 +425,9 @@ def _compile_functions_resilient(
                 _recover_in_parent(gen, program, name, out)
                 continue
             try:
-                tier, result, diags = futures[name].result(timeout=timeout)
+                tier, result, diags, payload = \
+                    futures[name].result(timeout=timeout)
+                absorb_worker_obs(payload)
                 out.function_results[name] = result
                 out.tiers[name] = tier
                 out.diagnostics.extend(diags)

@@ -20,6 +20,7 @@ import threading
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..obs.metrics import REGISTRY as METRICS
 from .codes import ERROR, NOTE, WARNING, default_severity, severity_rank
 
 
@@ -97,11 +98,15 @@ class DiagnosticSink:
         )
         with self._lock:
             self._records.append(record)
+        METRICS.inc(f"diag.{record.severity}")
         return record
 
     def extend(self, records: List[Diagnostic]) -> None:
         with self._lock:
             self._records.extend(records)
+        if METRICS.enabled:
+            for record in records:
+                METRICS.inc(f"diag.{record.severity}")
 
     # ------------------------------------------------------------ queries
     def __len__(self) -> int:

@@ -26,6 +26,7 @@ from ..grammar.production import Production
 from ..grammar.symbols import END
 from ..ir.linearize import Token, linearize
 from ..ir.tree import Node
+from ..obs.metrics import REGISTRY as METRICS
 from ..tables.actions import Accept, Reduce, Shift
 from ..tables.encode import TAG_ACCEPT, TAG_REDUCE, TAG_SHIFT
 from ..tables.slr import ParseTables
@@ -207,7 +208,9 @@ class Matcher:
         if tracer is None:
             tracer = NullTracer()
         if self.use_packed and isinstance(tracer, NullTracer):
+            METRICS.inc("matcher.packed_runs")
             return self._match_packed(tokens, tracer)
+        METRICS.inc("matcher.dict_runs")
         return self._match_dict(tokens, tracer)
 
     # ---------------------------------------------------------- blocking
@@ -227,6 +230,7 @@ class Matcher:
         for the dict loop, symbol) stack snapshots the resilience layer
         reports.
         """
+        METRICS.inc("matcher.block.syntactic")
         return SyntacticBlock(
             state,
             stream[position],
@@ -306,6 +310,7 @@ class Matcher:
             # TAG_REDUCE
             reduces_since_shift += 1
             if reduces_since_shift > loop_limit:
+                METRICS.inc("matcher.block.loop")
                 raise ReductionLoop(
                     f"{reduces_since_shift} consecutive reductions "
                     f"in state {state}",
@@ -369,6 +374,7 @@ class Matcher:
         semantic tie-break, driven by dense goto lookups.  Tied rules have
         equal length (they are the surviving longest-rule winners), so the
         exposed state is the same for every candidate."""
+        METRICS.inc("matcher.tie_breaks")
         grammar = self.tables.grammar
         runtime = packed.runtime()
         prod_lhs_id = packed.prod_lhs_id
@@ -381,6 +387,7 @@ class Matcher:
             if goto_words[base + prod_lhs_id[index]] >= 0
         ]
         if not viable:
+            METRICS.inc("matcher.block.semantic")
             raise SemanticBlock(
                 f"reduce/reduce tie {tied} has no viable goto "
                 f"from state {exposed}",
@@ -442,6 +449,7 @@ class Matcher:
             assert isinstance(action, Reduce)
             reduces_since_shift += 1
             if reduces_since_shift > loop_limit:
+                METRICS.inc("matcher.block.loop")
                 raise ReductionLoop(
                     f"{reduces_since_shift} consecutive reductions "
                     f"in state {state}",
@@ -455,6 +463,7 @@ class Matcher:
 
             goto = tables.goto_for(states[-1], production.lhs)
             if goto is None:
+                METRICS.inc("matcher.block.semantic")
                 raise SemanticBlock(
                     f"no goto from state {states[-1]} on {production.lhs!r} "
                     f"after reducing {production}",
@@ -495,6 +504,7 @@ class Matcher:
         if not action.is_ambiguous:
             return grammar[action.production]
 
+        METRICS.inc("matcher.tie_breaks")
         candidates = [grammar[index] for index in action.productions]
         count = len(candidates[0].rhs)
         exposed = states[-count - 1]
@@ -503,6 +513,7 @@ class Matcher:
             if self.tables.goto_for(exposed, production.lhs) is not None
         ]
         if not viable:
+            METRICS.inc("matcher.block.semantic")
             raise SemanticBlock(
                 f"reduce/reduce tie {action.productions} has no viable goto "
                 f"from state {exposed}",

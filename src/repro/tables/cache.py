@@ -41,6 +41,9 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
 
+from ..obs.metrics import REGISTRY as METRICS
+from ..obs.spans import span
+
 #: Bump when the pickled payload layout (or anything it closes over)
 #: changes shape incompatibly; old entries become plain misses.
 #: v2: the envelope carries a SHA-256 of the pickled payload.
@@ -108,6 +111,23 @@ class CacheOutcome:
     quarantined: str = ""
     #: atomic-store attempts beyond the first
     store_retries: int = 0
+
+    @property
+    def seconds(self) -> float:
+        """Total static-phase time this consultation accounts for."""
+        return self.load_seconds + self.build_seconds + self.store_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "hit": self.hit,
+            "load_seconds": self.load_seconds,
+            "build_seconds": self.build_seconds,
+            "store_seconds": self.store_seconds,
+            "corruption": self.corruption,
+            "quarantined": self.quarantined,
+            "store_retries": self.store_retries,
+            "error": self.error,
+        }
 
 
 class TableCache:
@@ -243,28 +263,74 @@ def cached_build(
         enabled = cache_enabled()
     outcome = CacheOutcome(key=key)
     cache = TableCache(directory)
+
+    # Every step below runs under try/finally: the outcome's timing
+    # fields are populated on *every* exit path — hit, miss, corrupt
+    # entry quarantined mid-load, builder failure, store retry or store
+    # refusal — and the metrics are published even when an exception
+    # propagates, so a crash still leaves an accounted-for trace.
     if enabled:
         started = time.perf_counter()
-        payload = cache.load(key)
-        outcome.load_seconds = time.perf_counter() - started
-        outcome.corruption = cache.last_corruption
-        outcome.quarantined = cache.last_quarantine
+        try:
+            with span("cache.load", cat="static"):
+                payload = cache.load(key)
+        finally:
+            outcome.load_seconds = time.perf_counter() - started
+            outcome.corruption = cache.last_corruption
+            outcome.quarantined = cache.last_quarantine
         if payload is not None:
             outcome.hit = True
             outcome.path = cache.path_for(key)
+            _publish(outcome, consulted=True)
             return payload, outcome
 
     started = time.perf_counter()
-    payload = builder()
-    outcome.build_seconds = time.perf_counter() - started
+    built = False
+    try:
+        with span("tables.build", cat="static"):
+            payload = builder()
+        built = True
+    finally:
+        outcome.build_seconds = time.perf_counter() - started
+        if not built:  # builder raised: publish what we measured
+            _publish(outcome, consulted=enabled)
 
     if enabled:
         started = time.perf_counter()
-        stored = cache.store(key, payload)
-        outcome.store_seconds = time.perf_counter() - started
-        outcome.store_retries = cache.last_store_retries
+        stored = None
+        try:
+            with span("cache.store", cat="static"):
+                stored = cache.store(key, payload)
+        except Exception as exc:
+            # an unpicklable payload (or any other store-time surprise)
+            # must not discard tables that were just built successfully
+            outcome.error = f"store failed ({type(exc).__name__}: {exc})"
+        finally:
+            outcome.store_seconds = time.perf_counter() - started
+            outcome.store_retries = cache.last_store_retries
         if stored:
             outcome.path = stored
-        else:
+        elif not outcome.error:
             outcome.error = "store failed (cache directory not writable)"
+    _publish(outcome, consulted=enabled)
     return payload, outcome
+
+
+def _publish(outcome: CacheOutcome, consulted: bool) -> None:
+    """Surface one consultation's outcome as obs metrics."""
+    if not METRICS.enabled:
+        return
+    if consulted:
+        METRICS.inc("cache.hits" if outcome.hit else "cache.misses")
+        if outcome.load_seconds:
+            METRICS.observe("cache.load_seconds", outcome.load_seconds)
+    if outcome.corruption:
+        METRICS.inc("cache.quarantines")
+    if outcome.build_seconds:
+        METRICS.observe("cache.build_seconds", outcome.build_seconds)
+    if outcome.store_seconds:
+        METRICS.observe("cache.store_seconds", outcome.store_seconds)
+    if outcome.store_retries:
+        METRICS.inc("cache.store_retries", outcome.store_retries)
+    if outcome.error:
+        METRICS.inc("cache.store_failures")

@@ -25,6 +25,18 @@ and reports structured diagnostics (JSON with ``--diag-json``); failed
 functions make the exit status non-zero::
 
     ggcc --resilient --diag-json file.c
+
+Observability: ``--trace-json FILE`` records every pipeline stage as a
+hierarchical span and writes Chrome ``trace_event`` JSON (load it in
+Perfetto or ``chrome://tracing``); the ``profile`` subcommand compiles a
+program under full metrics and prints the per-function phase report —
+phase times are measured exclusively (each clock runs only while its
+phase runs), so they are non-negative and sum to at most the wall time
+by construction, and the report's exit status asserts exactly that::
+
+    ggcc --trace-json trace.json file.c
+    ggcc profile examples/quickstart
+    ggcc profile --json --jobs 4 --parallel process file.c
 """
 
 from __future__ import annotations
@@ -87,6 +99,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="build the grammar without the section-6.2.2 "
                              "rescue bridge productions (blocks at runtime; "
                              "pair with --resilient)")
+    parser.add_argument("--trace-json", metavar="FILE", default=None,
+                        help="record every pipeline stage as spans and "
+                             "write Chrome trace_event JSON to FILE "
+                             "(open in Perfetto)")
     return parser
 
 
@@ -200,6 +216,72 @@ def chaos_main(argv: List[str]) -> int:
     return 0 if report.ok else 1
 
 
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ggcc profile",
+        description="compile one program under full metrics and report "
+                    "per-function phase times (transform/matching/"
+                    "semantics/output, measured exclusively — never "
+                    "clamped), static-phase and cache costs, and the "
+                    "wall-vs-CPU split; exits non-zero if any timing "
+                    "invariant is violated",
+    )
+    parser.add_argument("source",
+                        help="a .c file, '-' for stdin, or an example "
+                             "module exposing SOURCE (e.g. "
+                             "examples/quickstart)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of the "
+                             "human table")
+    parser.add_argument("--backend", choices=("gg", "pcc"), default="gg")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--parallel", choices=("thread", "process"),
+                        default="thread")
+    parser.add_argument("--resilient", action="store_true")
+    parser.add_argument("--trace-json", metavar="FILE", default=None,
+                        help="also write the run's Chrome trace_event "
+                             "JSON to FILE")
+    parser.add_argument("--no-reversed-ops", action="store_true")
+    parser.add_argument("--peephole", action="store_true")
+    return parser
+
+
+def profile_main(argv: List[str]) -> int:
+    from ..obs import install_recorder, uninstall_recorder
+    from ..obs.profile import profile_program, resolve_profile_source
+
+    options = build_profile_parser().parse_args(argv)
+    try:
+        source, label = resolve_profile_source(options.source)
+    except (OSError, ValueError) as exc:
+        print(f"ggcc profile: error: {exc}", file=sys.stderr)
+        return 2
+
+    recorder = install_recorder() if options.trace_json else None
+    try:
+        report, _ = profile_program(
+            source, label=label, backend=options.backend,
+            jobs=options.jobs, parallel=options.parallel,
+            resilient=options.resilient,
+            reversed_ops=not options.no_reversed_ops,
+            peephole=options.peephole,
+        )
+    finally:
+        if recorder is not None:
+            uninstall_recorder()
+    if recorder is not None:
+        recorder.write_chrome_trace(options.trace_json)
+
+    if options.json:
+        print(report.to_json())
+    else:
+        print(report.format_human())
+        if options.trace_json:
+            print(f"trace written to {options.trace_json} "
+                  f"({len(recorder)} spans) — load it in Perfetto")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -207,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return fuzz_main(list(argv[1:]))
     if argv and argv[0] == "chaos":
         return chaos_main(list(argv[1:]))
+    if argv and argv[0] == "profile":
+        return profile_main(list(argv[1:]))
     parser = build_arg_parser()
     options = parser.parse_args(argv)
 
@@ -234,6 +318,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(options.source) as handle:
             source = handle.read()
 
+    if not options.trace_json:
+        return _compile_main(options, source)
+
+    # Install the span recorder before the generator is built so the
+    # static phase (table construction, cache load) lands in the trace.
+    from ..obs import install_recorder, uninstall_recorder
+
+    recorder = install_recorder()
+    try:
+        return _compile_main(options, source)
+    finally:
+        uninstall_recorder()
+        recorder.write_chrome_trace(options.trace_json)
+        print(f"ggcc: trace written to {options.trace_json} "
+              f"({len(recorder)} spans)", file=sys.stderr)
+
+
+def _compile_main(options: argparse.Namespace, source: str) -> int:
     generator = None
     if options.backend == "gg":
         generator = GrahamGlanvilleCodeGenerator(

@@ -72,6 +72,30 @@ class TestPhaseTimes:
         assert times.semantics > 0
         assert 0 <= times.matching_fraction <= 1
 
+    def test_exclusive_attribution_invariants(self, gg):
+        """Attribution is structural, not subtract-and-clamp: every phase
+        is non-negative and the phases sum to at most the compile's wall
+        time, with the gap being honest unattributed overhead."""
+        for _ in range(5):
+            times = gg.compile(loop_forest()).times
+            assert times.transform >= 0
+            assert times.matching >= 0
+            assert times.semantics >= 0
+            assert times.output >= 0
+            assert times.wall > 0
+            assert times.total <= times.wall + 1e-6
+            assert times.unattributed >= -1e-6
+
+    def test_as_dict_round_trip(self, gg):
+        times = gg.compile(loop_forest()).times
+        d = times.as_dict()
+        assert set(d) == {
+            "transform", "matching", "semantics", "output", "total", "wall",
+        }
+        assert d["total"] == pytest.approx(
+            d["transform"] + d["matching"] + d["semantics"] + d["output"]
+        )
+
     def test_tables_shared_across_compiles(self, gg):
         first = gg.compile(loop_forest())
         second = gg.compile(loop_forest())

@@ -60,3 +60,38 @@ def test_seconds_exclude_static_phase(gg):
     warm = compile_program(_BY_NAME["gcd"].source, generator=gg)
     fresh = compile_program(_BY_NAME["gcd"].source)
     assert fresh.seconds < max(0.25, warm.seconds * 25)
+
+
+def test_wall_vs_cpu_seconds_semantics(gg, serial):
+    """``seconds`` is the dynamic phase's wall clock; ``cpu_seconds`` is
+    the summed per-function compile time measured inside whichever
+    worker ran each function.  Serially the sum can never exceed the
+    wall; under a pool the two are decoupled but both stay positive and
+    the sum matches the per-function times exactly."""
+    assert serial.cpu_seconds > 0
+    assert serial.wall_seconds == serial.seconds
+    assert serial.cpu_seconds <= serial.seconds + 1e-6
+    expected = sum(
+        r.times.wall for r in serial.function_results.values()
+    )
+    assert serial.cpu_seconds == pytest.approx(expected)
+
+    threaded = compile_program(
+        MULTI_SOURCE, generator=gg, jobs=4, parallel="thread"
+    )
+    assert threaded.seconds > 0
+    assert threaded.cpu_seconds > 0
+    assert threaded.cpu_seconds == pytest.approx(sum(
+        r.times.wall for r in threaded.function_results.values()
+    ))
+
+
+def test_process_pool_reports_worker_measured_cpu(serial):
+    """Process workers measure each function's compile time in-worker
+    and the parent sums what they shipped back — cpu_seconds must not
+    read as zero just because the compiles happened elsewhere."""
+    forked = compile_program(MULTI_SOURCE, jobs=2, parallel="process")
+    assert forked.cpu_seconds > 0
+    assert forked.cpu_seconds == pytest.approx(sum(
+        r.times.wall for r in forked.function_results.values()
+    ))

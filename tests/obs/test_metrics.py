@@ -1,0 +1,142 @@
+"""Metrics registry: counters, histograms, snapshots, merging."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    SECONDS_BOUNDS, MetricsRegistry, MetricsSnapshot,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounters:
+    def test_inc_and_read(self, registry):
+        registry.inc("a")
+        registry.inc("a", 4)
+        assert registry.counter("a").value == 5
+
+    def test_thread_safety(self, registry):
+        def hammer():
+            for _ in range(1000):
+                registry.inc("hits")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("hits").value == 4000
+
+
+class TestHistograms:
+    def test_observe_and_stats(self, registry):
+        for value in (0.5e-6, 5e-6, 5e-3, 5.0, 100.0):
+            registry.observe("lat", value)
+        histogram = registry.histogram("lat")
+        assert histogram.count == 5
+        assert histogram.total == pytest.approx(105.0050055)
+        assert histogram.vmin == 0.5e-6
+        assert histogram.vmax == 100.0
+        assert histogram.mean == pytest.approx(105.0050055 / 5)
+        # decade bucketing: one value per chosen bucket, 100s overflows
+        assert sum(histogram.buckets) == 5
+        assert histogram.buckets[-1] == 1  # > 10 s catch-all
+
+    def test_bucket_boundaries_are_inclusive_upper(self, registry):
+        registry.observe("edge", SECONDS_BOUNDS[0])
+        assert registry.histogram("edge").buckets[0] == 1
+
+
+class TestDisabled:
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("a", 10)
+        registry.observe("b", 1.0)
+        counter = registry.counter("a")
+        counter.inc(5)  # null instrument: silently ignored
+        assert counter.value == 0
+        snap = registry.snapshot()
+        assert snap.empty
+
+    def test_reenabling_starts_clean(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("a")
+        registry.enabled = True
+        registry.inc("a")
+        assert registry.snapshot().counters == {"a": 1}
+
+
+class TestSnapshots:
+    def test_snapshot_skips_zero_instruments(self, registry):
+        registry.counter("touched-not-incremented")
+        registry.histogram("touched-not-observed")
+        registry.inc("real")
+        snap = registry.snapshot()
+        assert snap.counters == {"real": 1}
+        assert snap.histograms == {}
+
+    def test_drain_resets(self, registry):
+        registry.inc("a")
+        first = registry.drain()
+        assert first.counters == {"a": 1}
+        assert registry.drain().empty
+
+    def test_snapshot_pickles(self, registry):
+        registry.inc("a", 3)
+        registry.observe("h", 0.01)
+        snap = registry.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.counters == snap.counters
+        assert clone.histograms == snap.histograms
+
+    def test_merge_is_commutative(self, registry):
+        other = MetricsRegistry(enabled=True)
+        registry.inc("a", 1)
+        registry.observe("h", 0.001)
+        other.inc("a", 2)
+        other.inc("b", 5)
+        other.observe("h", 0.1)
+        s1, s2 = registry.snapshot(), other.snapshot()
+        ab = MetricsSnapshot().merge(s1).merge(s2)
+        ba = MetricsSnapshot().merge(s2).merge(s1)
+        assert ab.counters == ba.counters == {"a": 3, "b": 5}
+        assert ab.histograms == ba.histograms
+        merged = ab.histograms["h"]
+        assert merged["count"] == 2
+        assert merged["total"] == pytest.approx(0.101)
+        assert merged["min"] == 0.001 and merged["max"] == 0.1
+
+    def test_merge_rejects_mismatched_bounds(self, registry):
+        registry.observe("h", 1.0)
+        other = MetricsRegistry(enabled=True)
+        other.observe("h", 1.0, bounds=(0.5, 1.5))
+        with pytest.raises(ValueError, match="boundaries differ"):
+            registry.snapshot().merge(other.snapshot())
+
+    def test_absorb_folds_worker_delta(self, registry):
+        worker = MetricsRegistry(enabled=True)
+        worker.inc("cache.hits", 2)
+        worker.observe("lat", 0.01)
+        registry.inc("cache.hits")
+        registry.absorb(worker.drain())
+        assert registry.counter("cache.hits").value == 3
+        assert registry.histogram("lat").count == 1
+        registry.absorb(None)  # tolerated
+        registry.absorb(MetricsSnapshot())  # empty: no-op
+        assert registry.counter("cache.hits").value == 3
+
+    def test_to_dict_is_sorted_and_jsonable(self, registry):
+        import json
+
+        registry.inc("z")
+        registry.inc("a")
+        registry.observe("h", 0.5)
+        payload = registry.snapshot().to_dict()
+        assert list(payload["counters"]) == ["a", "z"]
+        json.dumps(payload)  # must not raise

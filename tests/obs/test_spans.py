@@ -1,0 +1,161 @@
+"""Span recorder: nesting, exclusive time, export, validation."""
+
+import json
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.obs.spans import (
+    NOOP_SPAN, SpanRecorder, current_recorder, install_recorder, span,
+    uninstall_recorder, validate_trace_events,
+)
+
+
+@pytest.fixture
+def recorder():
+    rec = install_recorder()
+    yield rec
+    uninstall_recorder()
+
+
+class TestRecording:
+    def test_noop_without_recorder(self):
+        assert current_recorder() is None
+        handle = span("anything")
+        assert handle is NOOP_SPAN
+        with handle as s:
+            s.note(ignored=1)  # must not raise
+
+    def test_basic_span(self, recorder):
+        with span("work", cat="test", detail=42):
+            time.sleep(0.001)
+        (record,) = recorder.records()
+        assert record.name == "work"
+        assert record.cat == "test"
+        assert record.args == {"detail": 42}
+        assert record.dur_us >= 1000
+        assert record.depth == 0
+
+    def test_nesting_and_exclusive_time(self, recorder):
+        with span("parent"):
+            time.sleep(0.002)
+            with span("child"):
+                time.sleep(0.004)
+        child, parent = recorder.records()
+        assert parent.name == "parent" and child.name == "child"
+        assert child.depth == 1
+        # child fits inside parent
+        assert parent.start_us <= child.start_us
+        assert child.end_us <= parent.end_us + 0.5
+        # parent's exclusive time excludes the child's duration
+        assert parent.exclusive_us == pytest.approx(
+            parent.dur_us - child.dur_us, abs=1.0
+        )
+        assert parent.exclusive_us < parent.dur_us
+        assert child.exclusive_us == pytest.approx(child.dur_us)
+
+    def test_note_updates_args(self, recorder):
+        with span("s") as handle:
+            handle.note(statements=3)
+            handle.note(statements=5, shifts=7)
+        (record,) = recorder.records()
+        assert record.args == {"statements": 5, "shifts": 7}
+
+    def test_threads_get_independent_stacks(self, recorder):
+        def worker():
+            with span("thread-root"):
+                with span("thread-child"):
+                    pass
+
+        thread = threading.Thread(target=worker)
+        with span("main-root"):
+            thread.start()
+            thread.join()
+        by_name = {r.name: r for r in recorder.records()}
+        assert by_name["thread-root"].depth == 0
+        assert by_name["thread-child"].depth == 1
+        assert by_name["main-root"].tid != by_name["thread-root"].tid
+
+    def test_records_are_picklable(self, recorder):
+        with span("w", idx=1):
+            pass
+        records = recorder.drain()
+        assert pickle.loads(pickle.dumps(records)) == records
+        assert len(recorder) == 0
+
+    def test_absorb_merges_foreign_records(self, recorder):
+        with span("local"):
+            pass
+        shipped = recorder.drain()
+        for record in shipped:
+            record.pid = 99999  # pretend it came from a worker
+        recorder.absorb(shipped)
+        assert recorder.records()[0].pid == 99999
+
+
+class TestChromeExport:
+    def test_trace_round_trip_validates(self, recorder, tmp_path):
+        with span("outer", cat="phase"):
+            with span("inner", cat="statement"):
+                time.sleep(0.001)
+        path = recorder.write_chrome_trace(str(tmp_path / "trace.json"))
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["displayTimeUnit"] == "ms"
+        assert validate_trace_events(payload) == []
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in events} == {"outer", "inner"}
+        inner = next(e for e in events if e["name"] == "inner")
+        assert inner["args"]["exclusive_us"] >= 1000
+
+    def test_metadata_rows_name_worker_pids(self, recorder):
+        with span("w"):
+            pass
+        shipped = recorder.drain()
+        for record in shipped:
+            record.pid = 4242
+        recorder.absorb(shipped)
+        with span("local"):
+            pass
+        meta = [e for e in recorder.to_trace_events() if e["ph"] == "M"]
+        names = {e["pid"]: e["args"]["name"] for e in meta}
+        assert names[4242].endswith("worker 4242")
+        assert names[recorder.pid] == "ggcc"
+
+    def test_validator_rejects_garbage(self):
+        assert validate_trace_events({}) == [
+            "traceEvents missing or not a list"
+        ]
+        problems = validate_trace_events({"traceEvents": [
+            {"ph": "B", "name": "old-style", "pid": 1},
+            {"ph": "X", "pid": 1},
+            {"ph": "X", "name": "bad", "pid": 1, "ts": "zero", "dur": 1},
+            {"ph": "X", "name": "neg", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": -1.0},
+        ]})
+        assert len(problems) == 4
+
+    def test_validator_flags_non_nesting_overlap(self):
+        problems = validate_trace_events({"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0, "dur": 10},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 1, "ts": 5, "dur": 10},
+        ]})
+        assert any("overlaps" in p for p in problems)
+        # same shape on different tids is two timelines: fine
+        assert validate_trace_events({"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0, "dur": 10},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 2, "ts": 5, "dur": 10},
+        ]}) == []
+
+
+class TestInstallSemantics:
+    def test_install_uninstall(self):
+        rec = install_recorder()
+        assert current_recorder() is rec
+        with span("x"):
+            pass
+        assert uninstall_recorder() is rec
+        assert current_recorder() is None
+        assert len(rec) == 1

@@ -248,6 +248,141 @@ class TestCachedBuild:
         assert cache_enabled() is True
 
 
+class TestCacheOutcomeTiming:
+    """Every exit path of cached_build accounts for its time: the
+    outcome's timing fields, the ``seconds`` roll-up, and the published
+    metrics must be populated whether the consult hit, missed, rejected
+    a corrupt entry, failed to store, or the builder itself blew up."""
+
+    def _fresh_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        return MetricsRegistry(enabled=True)
+
+    def _with_registry(self, monkeypatch, registry):
+        import repro.tables.cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "METRICS", registry)
+
+    def test_hit_path_times_load_only(self, tmp_path, monkeypatch):
+        registry = self._fresh_metrics()
+        self._with_registry(monkeypatch, registry)
+        key = table_cache_key("timed-hit")
+        cached_build(key, lambda: "p", directory=tmp_path, enabled=True)
+        payload, outcome = cached_build(
+            key, lambda: "p", directory=tmp_path, enabled=True
+        )
+        assert outcome.hit
+        assert outcome.load_seconds > 0
+        assert outcome.build_seconds == 0
+        assert outcome.store_seconds == 0
+        assert outcome.seconds == pytest.approx(outcome.load_seconds)
+        snap = registry.snapshot()
+        assert snap.counter("cache.misses") == 1  # the priming consult
+        assert snap.counter("cache.hits") == 1
+        assert snap.histograms["cache.load_seconds"]["count"] == 2
+
+    def test_miss_path_times_build_and_store(self, tmp_path, monkeypatch):
+        registry = self._fresh_metrics()
+        self._with_registry(monkeypatch, registry)
+        _, outcome = cached_build(
+            table_cache_key("timed-miss"), lambda: "p",
+            directory=tmp_path, enabled=True,
+        )
+        assert not outcome.hit
+        assert outcome.build_seconds > 0
+        assert outcome.store_seconds > 0
+        assert outcome.seconds == pytest.approx(
+            outcome.load_seconds + outcome.build_seconds
+            + outcome.store_seconds
+        )
+        snap = registry.snapshot()
+        assert snap.counter("cache.misses") == 1
+        assert snap.histograms["cache.build_seconds"]["count"] == 1
+        assert snap.histograms["cache.store_seconds"]["count"] == 1
+
+    def test_corrupt_entry_path_populates_timing(self, tmp_path,
+                                                 monkeypatch):
+        registry = self._fresh_metrics()
+        self._with_registry(monkeypatch, registry)
+        key = table_cache_key("timed-corrupt")
+        cached_build(key, lambda: "p", directory=tmp_path, enabled=True)
+        path = TableCache(tmp_path).path_for(key)
+        with open(path, "wb") as handle:
+            handle.write(b"\x80garbage")
+        payload, outcome = cached_build(
+            key, lambda: "rebuilt", directory=tmp_path, enabled=True
+        )
+        assert payload == "rebuilt"
+        assert outcome.corruption
+        assert outcome.quarantined.endswith(".quarantined")
+        assert outcome.load_seconds > 0  # the rejected read was timed
+        assert outcome.build_seconds > 0
+        assert registry.snapshot().counter("cache.quarantines") == 1
+
+    def test_builder_failure_still_publishes(self, tmp_path, monkeypatch):
+        registry = self._fresh_metrics()
+        self._with_registry(monkeypatch, registry)
+
+        def explode():
+            raise RuntimeError("construction failed")
+
+        with pytest.raises(RuntimeError, match="construction failed"):
+            cached_build(
+                table_cache_key("timed-boom"), explode,
+                directory=tmp_path, enabled=True,
+            )
+        # the exception propagated, but the consult and the build time
+        # were still published — a crash leaves an accounted-for trace
+        snap = registry.snapshot()
+        assert snap.counter("cache.misses") == 1
+        assert snap.histograms["cache.build_seconds"]["count"] == 1
+
+    def test_unpicklable_payload_keeps_fresh_tables(self, tmp_path,
+                                                    monkeypatch):
+        registry = self._fresh_metrics()
+        self._with_registry(monkeypatch, registry)
+        payload, outcome = cached_build(
+            table_cache_key("timed-unpicklable"),
+            lambda: (lambda: "lambdas cannot pickle"),
+            directory=tmp_path, enabled=True,
+        )
+        # the freshly built payload survives the store failure
+        assert payload() == "lambdas cannot pickle"
+        assert outcome.error.startswith("store failed")
+        assert outcome.store_seconds > 0
+        assert registry.snapshot().counter("cache.store_failures") == 1
+
+    def test_disabled_path_times_build_only(self, tmp_path, monkeypatch):
+        registry = self._fresh_metrics()
+        self._with_registry(monkeypatch, registry)
+        _, outcome = cached_build(
+            table_cache_key("timed-disabled"), lambda: "p",
+            directory=tmp_path, enabled=False,
+        )
+        assert outcome.build_seconds > 0
+        assert outcome.load_seconds == 0
+        assert outcome.store_seconds == 0
+        snap = registry.snapshot()
+        assert snap.counter("cache.hits") == 0
+        assert snap.counter("cache.misses") == 0  # never consulted
+        assert snap.histograms["cache.build_seconds"]["count"] == 1
+
+    def test_as_dict_round_trips(self, tmp_path):
+        import json
+
+        _, outcome = cached_build(
+            table_cache_key("timed-dict"), lambda: "p",
+            directory=tmp_path, enabled=True,
+        )
+        payload = outcome.as_dict()
+        assert set(payload) == {
+            "hit", "load_seconds", "build_seconds", "store_seconds",
+            "corruption", "quarantined", "store_retries", "error",
+        }
+        json.dumps(payload)  # must not raise
+
+
 class TestGeneratorWarmStart:
     def test_cold_then_warm_equal_tables(self, tmp_path):
         cold = GrahamGlanvilleCodeGenerator(cache_dir=str(tmp_path))
