@@ -8,7 +8,8 @@ future change has concrete numbers to compare against:
 
 * ``BENCH_compile.json`` — static-phase cost cold vs warm (table cache),
   end-to-end compile wall/CPU seconds for jobs=1 vs jobs=N on both pool
-  kinds, and the per-phase split from the ``profile`` machinery
+  kinds, batch-request throughput against a warm ``ggcc serve``
+  instance, and the per-phase split from the ``profile`` machinery
   (exclusive attribution: phases sum to <= wall by construction).
 * ``BENCH_parse.json`` — packed vs dict matcher throughput in
   tokens/sec over pre-linearized corpus streams.
@@ -19,9 +20,12 @@ Run from the repo root::
     PYTHONPATH=src python benchmarks/run_all.py --quick  # CI smoke
 
 Timings are best-of-N repeats (minimum, the standard noise floor
-estimator); CPU seconds are the summed per-function compile times
-measured inside whichever worker ran each function, so parallel speedup
-is ``cpu/wall`` of one run rather than a cross-run comparison.
+estimator) and every reported wall/CPU pair comes from the *same* best
+repeat — never a min of each taken independently, which would splice
+two different runs into one row.  The compile-trajectory repeats are
+interleaved round-robin across configs (after one unmeasured warm-up
+each) so machine-load drift lands on every config equally instead of
+penalizing whichever ran last.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.codegen.driver import GrahamGlanvilleCodeGenerator  # noqa: E402
-from repro.compile import compile_program  # noqa: E402
+from repro.compile import compile_program, shutdown_worker_pools  # noqa: E402
 from repro.ir.linearize import linearize  # noqa: E402
 from repro.matcher import Matcher  # noqa: E402
 from repro.matcher.engine import SemanticActions  # noqa: E402
@@ -47,12 +51,20 @@ from repro.workloads import generate_workload  # noqa: E402
 
 
 def best_of(repeats, thunk):
+    """``(best wall seconds, value)`` — both from the same best repeat.
+
+    Keeping the value of the *fastest* repeat (not the last one) is
+    what lets callers report timing fields off the returned value
+    without mixing repeats: the pair is internally consistent.
+    """
     best = float("inf")
     value = None
     for _ in range(repeats):
         started = time.perf_counter()
-        value = thunk()
-        best = min(best, time.perf_counter() - started)
+        candidate = thunk()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best, value = elapsed, candidate
     return best, value
 
 
@@ -78,24 +90,40 @@ def bench_static(repeats: int) -> dict:
 
 
 def bench_compile(source: str, jobs: int, repeats: int) -> dict:
-    """End-to-end dynamic-phase cost: serial vs thread vs process pool."""
+    """End-to-end dynamic-phase cost: serial vs thread vs process pool.
+
+    Each config gets one unmeasured warm-up (pool startup, lowering
+    memoization, allocator steady state), then the measured repeats run
+    interleaved round-robin across configs so that machine-load drift
+    during the bench degrades every config equally.  Each row's
+    wall/cpu pair comes from that config's single best repeat.
+    """
     gen = GrahamGlanvilleCodeGenerator()  # static phase paid once, outside
     configs = [
         ("jobs1", {"jobs": 1}),
         (f"jobs{jobs}_thread", {"jobs": jobs, "parallel": "thread"}),
         (f"jobs{jobs}_process", {"jobs": jobs, "parallel": "process"}),
     ]
+    serial_text = None
+    for label, kwargs in configs:  # warm-up, excluded from timing
+        warmed = compile_program(source, generator=gen, **kwargs)
+        if label == "jobs1":
+            serial_text = warmed.text
+    runs = {label: [] for label, _ in configs}
+    for _ in range(repeats):
+        for label, kwargs in configs:
+            runs[label].append(compile_program(source, generator=gen,
+                                               **kwargs))
     out = {}
     baseline = None
-    for label, kwargs in configs:
-        wall, assembly = best_of(repeats, lambda kw=kwargs: compile_program(
-            source, generator=gen, **kw,
-        ))
+    for label, _ in configs:
+        assembly = min(runs[label], key=lambda a: a.seconds)
         row = {
             "wall_seconds": round(assembly.seconds, 4),
             "cpu_seconds": round(assembly.cpu_seconds, 4),
             "functions": len(assembly.source_program.order),
             "instructions": assembly.instruction_count,
+            "identical_to_jobs1": assembly.text == serial_text,
         }
         if baseline is None:
             baseline = assembly.seconds
@@ -104,7 +132,57 @@ def bench_compile(source: str, jobs: int, repeats: int) -> dict:
         out[label] = row
         print(f"  compile {label:16s} wall {assembly.seconds:8.4f}s "
               f"cpu {assembly.cpu_seconds:8.4f}s")
+    shutdown_worker_pools()  # leave no keep-alive pool behind the bench
     return out
+
+
+def bench_server(source: str, jobs: int, repeats: int,
+                 batch_size: int) -> dict:
+    """Batch-request throughput against a warm in-process compile server.
+
+    One server thread with resident tables (and a persistent worker
+    pool when ``jobs > 1``) answers a batch of ``batch_size`` compile
+    requests per round trip; throughput is requests (and functions) per
+    second over the best repeat, with every response checked against
+    the serial compile's assembly.
+    """
+    import tempfile as _tempfile
+    import threading
+
+    from repro.server import CompileClient, CompileServer
+
+    serial = compile_program(source, jobs=1)
+    with _tempfile.TemporaryDirectory() as sock_dir:
+        path = os.path.join(sock_dir, "ggcc-bench.sock")
+        server = CompileServer(path=path, jobs=jobs)
+        server.bind()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        batch = [{"source": source} for _ in range(batch_size)]
+        with CompileClient(path=path) as client:
+            client.compile(source)  # warm-up: pool spin-up, first frames
+            best, response = best_of(
+                repeats, lambda: client.compile_batch(batch)
+            )
+            identical = all(
+                item["ok"] and item["assembly"] == serial.text
+                for item in response["responses"]
+            )
+            client.shutdown()
+        thread.join(timeout=30)
+    functions = len(serial.source_program.order)
+    row = {
+        "batch_size": batch_size,
+        "round_trip_seconds": round(best, 4),
+        "requests_per_sec": round(batch_size / best, 1),
+        "functions_per_sec": round(batch_size * functions / best, 1),
+        "jobs": jobs,
+        "identical_to_jobs1": identical,
+    }
+    print(f"  server batch={batch_size:3d} round-trip {best:8.4f}s "
+          f"({row['requests_per_sec']} req/s, "
+          f"{row['functions_per_sec']} fn/s)")
+    return row
 
 
 def bench_phases(source: str) -> dict:
@@ -173,9 +251,10 @@ def main(argv=None) -> int:
                         help="where the BENCH_*.json files land")
     options = parser.parse_args(argv)
 
-    functions = options.functions or (6 if options.quick else 12)
-    statements = options.statements or (8 if options.quick else 15)
-    repeats = options.repeats or (2 if options.quick else 3)
+    functions = options.functions or (6 if options.quick else 24)
+    statements = options.statements or (8 if options.quick else 20)
+    repeats = options.repeats or (2 if options.quick else 5)
+    batch_size = 4 if options.quick else 8
 
     meta = {
         "workload": {
@@ -184,7 +263,9 @@ def main(argv=None) -> int:
         },
         "repeats": repeats,
         "python": platform.python_version(),
-        "timing": "best-of-repeats wall clock; cpu = summed per-function",
+        "timing": "best-of-repeats wall clock, interleaved across "
+                  "configs after one warm-up each; wall/cpu pairs come "
+                  "from the same best repeat",
     }
     source = generate_workload(
         functions=functions, statements_per_function=statements, seed=1982,
@@ -197,12 +278,15 @@ def main(argv=None) -> int:
           f"({static['warm_speedup']}x)")
     print(f"compile trajectory (jobs=1 vs jobs={options.jobs})...")
     compile_rows = bench_compile(source, options.jobs, repeats)
+    print(f"compile server (batch requests, jobs={options.jobs})...")
+    server_row = bench_server(source, options.jobs, repeats, batch_size)
     print("phase split (exclusive attribution)...")
     phases = bench_phases(source)
     write_json(os.path.join(options.out_dir, "BENCH_compile.json"), {
         "meta": meta,
         "static": static,
         "compile": compile_rows,
+        "server": server_row,
         "phases": phases,
     })
 

@@ -55,6 +55,7 @@ CACHE_RETRY = "CACHE-RETRY"
 # ------------------------------------------------------------- drivers
 WORKER_TIMEOUT = "WORKER-TIMEOUT"
 WORKER_CRASH = "WORKER-CRASH"
+WORKER_INIT = "WORKER-INIT"
 FN_FAILED = "FN-FAILED"
 FRONTEND_ERROR = "FRONTEND-ERROR"
 
@@ -111,6 +112,11 @@ REGISTRY: Dict[str, Tuple[str, str]] = {
         ERROR,
         "a parallel compile worker died; remaining functions were "
         "recompiled serially",
+    ),
+    WORKER_INIT: (
+        ERROR,
+        "the worker-pool initializer failed (table load or build); the "
+        "program was compiled serially in the parent",
     ),
     FN_FAILED: (
         ERROR,

@@ -1,0 +1,26 @@
+"""The compile server: warm tables behind a local socket.
+
+The paper's static/dynamic split says table construction is the
+expensive part and per-function compilation is cheap — so a driver that
+pays the static phase on every invocation throws the advantage away.
+``ggcc serve`` keeps one process alive with the constructed tables (and,
+with ``--jobs``, a persistent :class:`~repro.compile.SharedTablePool`)
+and accepts batch compile requests over a local socket: each request
+pays only dynamic-phase cost and ships back per-request diagnostics, a
+metrics delta, and (on request) a span trace.
+
+Three modules::
+
+    protocol.py   length-prefixed JSON frames over a stream socket
+    server.py     CompileServer: accept loop, request dispatch, warm pool
+    client.py     CompileClient: connect/retry, one call per operation
+"""
+
+from .client import CompileClient
+from .protocol import ProtocolError, recv_frame, send_frame
+from .server import CompileServer
+
+__all__ = [
+    "CompileClient", "CompileServer", "ProtocolError",
+    "recv_frame", "send_frame",
+]

@@ -1,0 +1,108 @@
+"""Client for the ``ggcc serve`` compile daemon.
+
+One :class:`CompileClient` holds one connection and issues one request
+frame per call; responses come back as plain dicts, shaped exactly like
+:meth:`repro.server.server.CompileServer.handle` built them.  Connect
+retries with a deadline, because the natural usage is "start the
+server, immediately ask it to compile" and the bind may still be in
+flight.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from .protocol import recv_frame, send_frame
+
+
+class CompileClient:
+    """Talk to a :class:`~repro.server.server.CompileServer`.
+
+    ``path`` dials an ``AF_UNIX`` socket, ``host``/``port`` TCP
+    loopback — matching however the server was bound.  Usable as a
+    context manager; the connection closes cleanly (a frame-boundary
+    EOF) on exit.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        if (path is None) == (host is None):
+            raise ValueError("give a unix socket path or a TCP host")
+        self.path = path
+        self.host = host
+        self.port = port
+        self._sock: Optional[socket.socket] = None
+        self._connect(connect_timeout)
+
+    def _connect(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if self.path is not None:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.connect(self.path)
+                else:
+                    sock = socket.create_connection((self.host, self.port))
+                self._sock = sock
+                return
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # ------------------------------------------------------------- ops
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame, wait for its response frame."""
+        if self._sock is None:
+            raise RuntimeError("client is closed")
+        send_frame(self._sock, payload)
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ConnectionError("server closed before responding")
+        return response
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def compile(self, source: str, **options: Any) -> Dict[str, Any]:
+        """Compile one translation unit; ``options`` pass through to the
+        request (``jobs``, ``parallel``, ``resilient``, ``spans``,
+        ``timeout``)."""
+        return self.request({"op": "compile", "source": source, **options})
+
+    def compile_batch(
+        self, requests: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """One round trip for many compile requests (each a dict with
+        at least ``source``); responses come back in order."""
+        return self.request({"op": "compile_batch", "requests": requests})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to stop accepting after this response."""
+        return self.request({"op": "shutdown"})
+
+    # ------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "CompileClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

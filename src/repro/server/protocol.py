@@ -1,0 +1,82 @@
+"""Length-prefixed JSON frames over a local stream socket.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  The prefix makes message boundaries explicit —
+``recv`` returns arbitrary chunks, so a delimiter-free protocol would
+have to parse speculatively — and bounds each side's buffering: a frame
+announcing more than :data:`MAX_FRAME_BYTES` is rejected before any of
+it is read, so a corrupt or hostile peer cannot make the server
+allocate unbounded memory.
+
+EOF exactly on a frame boundary is a clean close (``recv_frame``
+returns ``None``); EOF inside a header or payload is a
+:class:`ProtocolError`, because it means the peer died mid-message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+#: Hard ceiling on one frame's payload.  Generous — a batch of compiled
+#: assembly plus a span trace is well under a megabyte — but finite.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed, truncated, or oversized frame."""
+
+
+def send_frame(sock: socket.socket, payload: Any) -> int:
+    """Serialize *payload* as one frame; returns the bytes sent."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    data = _HEADER.pack(len(body)) + body
+    sock.sendall(data)
+    return len(data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Exactly *count* bytes, ``None`` on EOF before the first byte."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError(
+                f"peer closed mid-frame ({count - remaining} of "
+                f"{count} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Any]:
+    """The next frame's decoded payload, or ``None`` on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("peer closed between header and payload")
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc

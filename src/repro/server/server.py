@@ -1,0 +1,297 @@
+"""The long-lived compile daemon behind ``ggcc serve``.
+
+A :class:`CompileServer` owns one warm generator (tables constructed at
+startup, never again) and — with ``jobs > 1`` — one persistent
+:class:`~repro.compile.SharedTablePool` whose workers made those tables
+resident in their initializer.  Every request thereafter is pure
+dynamic phase: the throughput shape the ROADMAP's "fast as the
+hardware allows" item asks for, and the one that transfers to serving
+many clients from one resident table image.
+
+Requests are JSON frames (:mod:`repro.server.protocol`); the server
+handles one connection at a time and the operations are:
+
+``{"op": "ping"}``
+    liveness probe; returns the server pid and uptime.
+``{"op": "compile", "source": ..., "jobs"?, "parallel"?, "resilient"?,
+"spans"?}``
+    compile one translation unit; the response carries the assembly,
+    per-function tiers and failures, structured diagnostics, the
+    request's metrics *delta*, and (with ``"spans": true``) a Chrome
+    ``trace_event`` list for just that request.
+``{"op": "compile_batch", "requests": [...]}``
+    the compile op over a list, one response per request, in order —
+    one round trip amortizes framing over a whole batch.
+``{"op": "stats"}``
+    request counters, pool shape, uptime.
+``{"op": "shutdown"}``
+    acknowledge, then stop accepting.
+
+Compile errors never tear the connection down: a failing request gets
+``{"ok": false, "error": {...}}`` plus whatever diagnostics were
+collected, and the server keeps serving.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from ..codegen.driver import GrahamGlanvilleCodeGenerator
+from ..compile import SharedTablePool, _effective_width, compile_program
+from ..obs import install_recorder, uninstall_recorder
+from ..obs.metrics import REGISTRY
+from .protocol import ProtocolError, recv_frame, send_frame
+
+
+class CompileServer:
+    """Warm-table compile service over a local stream socket.
+
+    ``path`` binds an ``AF_UNIX`` socket (preferred: filesystem
+    permissions are the access control); ``host``/``port`` binds TCP
+    loopback instead, for platforms without unix sockets.  ``jobs``
+    sizes the persistent worker pool (clamped to available CPUs, like
+    the in-process fast path); ``jobs=1`` serves every request serially
+    in the server process, which still wins whenever table construction
+    dominates a cold ``ggcc`` run.
+
+    ``max_requests`` stops the accept loop after that many requests —
+    the tests' way of bounding a server thread's lifetime.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: int = 0,
+        jobs: int = 1,
+        generator: Optional[GrahamGlanvilleCodeGenerator] = None,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        if path is not None and host is not None:
+            raise ValueError("give a unix socket path or a TCP host, not both")
+        if path is None and host is None:
+            raise ValueError("a unix socket path or a TCP host is required")
+        self.path = path
+        self.host = host
+        self.port = port
+        self.jobs = max(1, jobs)
+        self.max_requests = max_requests
+        self.generator = generator or GrahamGlanvilleCodeGenerator()
+        self.pool: Optional[SharedTablePool] = None
+        self.started_at = time.monotonic()
+        self.requests_served = 0
+        self.functions_compiled = 0
+        self.errors = 0
+        self._running = False
+        self._listener: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------ pool
+    def _ensure_pool(self) -> Optional[SharedTablePool]:
+        """The persistent pool, (re)created if absent or broken."""
+        if self.jobs <= 1:
+            return None
+        if self.pool is not None and self.pool.broken:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = None
+        if self.pool is None:
+            self.pool = SharedTablePool(
+                _effective_width(self.jobs), self.generator
+            )
+        return self.pool
+
+    # --------------------------------------------------------- serving
+    def bind(self) -> socket.socket:
+        """Create, bind and listen; returns the listening socket."""
+        if self.path is not None:
+            if os.path.exists(self.path):
+                os.unlink(self.path)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            self.port = listener.getsockname()[1]
+        listener.listen(8)
+        self._listener = listener
+        return listener
+
+    @property
+    def address(self) -> str:
+        return self.path if self.path is not None \
+            else f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Accept loop: one connection at a time, frames until EOF.
+
+        Returns after a ``shutdown`` request or once ``max_requests``
+        requests have been answered; the listening socket (and the
+        unix-socket path) are cleaned up on the way out, the worker
+        pool is shut down, but the warm generator survives for a later
+        ``serve_forever`` call.
+        """
+        if self._listener is None:
+            self.bind()
+        if self.jobs > 1:
+            self._ensure_pool()
+        self._running = True
+        try:
+            while self._running:
+                conn, _ = self._listener.accept()
+                try:
+                    self._serve_connection(conn)
+                finally:
+                    conn.close()
+        finally:
+            self._running = False
+            self._listener.close()
+            self._listener = None
+            if self.path is not None and os.path.exists(self.path):
+                os.unlink(self.path)
+            if self.pool is not None:
+                self.pool.shutdown(wait=False, cancel_futures=True)
+                self.pool = None
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        while True:
+            try:
+                request = recv_frame(conn)
+            except ProtocolError as exc:
+                # A malformed frame poisons only its connection: report
+                # it if the socket still works, then drop the peer.
+                try:
+                    send_frame(conn, _error("protocol", str(exc)))
+                except OSError:
+                    pass
+                return
+            if request is None:
+                return
+            response = self.handle(request)
+            send_frame(conn, response)
+            if not self._running:
+                return
+            if self.max_requests is not None \
+                    and self.requests_served >= self.max_requests:
+                self._running = False
+                return
+
+    # -------------------------------------------------------- dispatch
+    def handle(self, request: Any) -> Dict[str, Any]:
+        """One request in, one JSON-ready response out.  Never raises —
+        every failure becomes an ``{"ok": false, "error": ...}``."""
+        self.requests_served += 1
+        if not isinstance(request, dict) or "op" not in request:
+            self.errors += 1
+            return _error("bad-request", "a request is {'op': ..., ...}")
+        op = request["op"]
+        try:
+            if op == "ping":
+                return {
+                    "ok": True, "op": "ping", "pid": os.getpid(),
+                    "uptime_seconds": time.monotonic() - self.started_at,
+                }
+            if op == "compile":
+                return self._handle_compile(request)
+            if op == "compile_batch":
+                requests = request.get("requests")
+                if not isinstance(requests, list):
+                    self.errors += 1
+                    return _error(
+                        "bad-request", "compile_batch needs 'requests'"
+                    )
+                return {
+                    "ok": True, "op": "compile_batch",
+                    "responses": [
+                        self._handle_compile(item) for item in requests
+                    ],
+                }
+            if op == "stats":
+                return self._handle_stats()
+            if op == "shutdown":
+                self._running = False
+                return {"ok": True, "op": "shutdown"}
+            self.errors += 1
+            return _error("bad-request", f"unknown op {op!r}")
+        except Exception as exc:  # the server must outlive any request
+            self.errors += 1
+            return _error(type(exc).__name__, str(exc))
+
+    def _handle_compile(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        source = request.get("source")
+        if not isinstance(source, str):
+            self.errors += 1
+            return _error("bad-request", "compile needs 'source' text")
+        jobs = int(request.get("jobs", self.jobs))
+        parallel = request.get("parallel", "process")
+        resilient = bool(request.get("resilient", False))
+        want_spans = bool(request.get("spans", False))
+
+        # The resilient path may terminate workers for containment —
+        # that poisons a pool, so it never borrows the persistent one.
+        pool = None
+        if jobs > 1 and parallel == "process" and not resilient:
+            pool = self._ensure_pool()
+
+        recorder = install_recorder() if want_spans else None
+        REGISTRY.drain()  # open this request's metrics window
+        try:
+            assembly = compile_program(
+                source,
+                generator=self.generator,
+                jobs=jobs,
+                parallel=parallel,
+                resilient=resilient,
+                timeout=request.get("timeout"),
+                pool=pool,
+            )
+        except Exception as exc:
+            self.errors += 1
+            response = _error(type(exc).__name__, str(exc))
+            response["op"] = "compile"
+            response["metrics"] = REGISTRY.drain().to_dict()
+            return response
+        finally:
+            if recorder is not None:
+                uninstall_recorder()
+
+        self.functions_compiled += len(assembly.function_results)
+        response: Dict[str, Any] = {
+            "ok": assembly.ok,
+            "op": "compile",
+            "assembly": assembly.text,
+            "functions": list(assembly.source_program.order),
+            "failed": assembly.failed,
+            "tiers": assembly.tiers,
+            "seconds": assembly.seconds,
+            "cpu_seconds": assembly.cpu_seconds,
+            "diagnostics": [d.to_dict() for d in assembly.diagnostics],
+            "metrics": REGISTRY.drain().to_dict(),
+        }
+        if recorder is not None:
+            response["spans"] = recorder.to_trace_events()
+        return response
+
+    def _handle_stats(self) -> Dict[str, Any]:
+        pool = self.pool
+        return {
+            "ok": True,
+            "op": "stats",
+            "pid": os.getpid(),
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "requests_served": self.requests_served,
+            "functions_compiled": self.functions_compiled,
+            "errors": self.errors,
+            "jobs": self.jobs,
+            "pool": None if pool is None else {
+                "workers": pool.jobs,
+                "broken": pool.broken,
+            },
+            "table_source": self.generator.table_source,
+        }
+
+
+def _error(kind: str, message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": {"type": kind, "message": message}}

@@ -316,6 +316,43 @@ def cached_build(
     return payload, outcome
 
 
+def cached_load(
+    key: str,
+    directory: Optional[str] = None,
+    enabled: Optional[bool] = None,
+) -> Tuple[Optional[Any], CacheOutcome]:
+    """Load-only consultation: the payload for *key*, or None — never
+    builds.
+
+    This is the pool-worker warm start: the parent computed *key* once
+    (it owns the generator whose tables were cached under it) and ships
+    only the hex digest to each worker, whose initializer loads the
+    constructed tables straight from the content-addressed entry without
+    regenerating the grammar text or re-deriving the key.  A miss or a
+    quarantined entry returns ``(None, outcome)`` and the caller decides
+    whether to build cold.
+    """
+    if enabled is None:
+        enabled = cache_enabled()
+    outcome = CacheOutcome(key=key)
+    if not enabled:
+        return None, outcome
+    cache = TableCache(directory)
+    started = time.perf_counter()
+    try:
+        with span("cache.load", cat="static"):
+            payload = cache.load(key)
+    finally:
+        outcome.load_seconds = time.perf_counter() - started
+        outcome.corruption = cache.last_corruption
+        outcome.quarantined = cache.last_quarantine
+    outcome.hit = payload is not None
+    if outcome.hit:
+        outcome.path = cache.path_for(key)
+    _publish(outcome, consulted=True)
+    return payload, outcome
+
+
 def _publish(outcome: CacheOutcome, consulted: bool) -> None:
     """Surface one consultation's outcome as obs metrics."""
     if not METRICS.enabled:

@@ -37,6 +37,12 @@ by construction, and the report's exit status asserts exactly that::
     ggcc --trace-json trace.json file.c
     ggcc profile examples/quickstart
     ggcc profile --json --jobs 4 --parallel process file.c
+
+The compile server keeps constructed tables (and, with ``--jobs``, a
+persistent worker pool) warm in one long-lived process and answers
+batch compile requests over a local socket::
+
+    ggcc serve --socket /tmp/ggcc.sock --jobs 4
 """
 
 from __future__ import annotations
@@ -216,6 +222,67 @@ def chaos_main(argv: List[str]) -> int:
     return 0 if report.ok else 1
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ggcc serve",
+        description="long-lived compile daemon: construct the tables "
+                    "once, keep a worker pool warm, and answer batch "
+                    "compile requests over a local socket with "
+                    "per-request diagnostics, metrics and span export",
+    )
+    parser.add_argument("--socket", metavar="PATH", default=None,
+                        help="unix socket path to listen on "
+                             "(default ./ggcc.sock)")
+    parser.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                        help="listen on TCP loopback instead of a unix "
+                             "socket (port 0 picks a free port)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="persistent worker-pool width (1 = compile "
+                             "in the server process)")
+    parser.add_argument("--max-requests", type=int, default=None,
+                        help="exit after N requests (smoke tests)")
+    parser.add_argument("--no-reversed-ops", action="store_true")
+    parser.add_argument("--peephole", action="store_true")
+    parser.add_argument("--no-rescue-bridges", action="store_true")
+    return parser
+
+
+def serve_main(argv: List[str]) -> int:
+    from ..server import CompileServer
+
+    options = build_serve_parser().parse_args(argv)
+    generator = GrahamGlanvilleCodeGenerator(
+        reversed_ops=not options.no_reversed_ops,
+        peephole=options.peephole,
+        rescue_bridges=not options.no_rescue_bridges,
+    )
+    if options.tcp is not None:
+        host, _, port = options.tcp.partition(":")
+        server = CompileServer(
+            host=host or "127.0.0.1", port=int(port or 0),
+            jobs=options.jobs, generator=generator,
+            max_requests=options.max_requests,
+        )
+    else:
+        server = CompileServer(
+            path=options.socket or "ggcc.sock",
+            jobs=options.jobs, generator=generator,
+            max_requests=options.max_requests,
+        )
+    server.bind()
+    print(f"ggcc serve: listening on {server.address} "
+          f"(jobs={options.jobs}, tables {generator.table_source})",
+          file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    print(f"ggcc serve: served {server.requests_served} request(s), "
+          f"{server.functions_compiled} function(s), "
+          f"{server.errors} error(s)", file=sys.stderr)
+    return 0
+
+
 def build_profile_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ggcc profile",
@@ -291,6 +358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return chaos_main(list(argv[1:]))
     if argv and argv[0] == "profile":
         return profile_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        return serve_main(list(argv[1:]))
     parser = build_arg_parser()
     options = parser.parse_args(argv)
 

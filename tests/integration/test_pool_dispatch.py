@@ -1,0 +1,206 @@
+"""The shared-table pool's dispatch contract.
+
+The 0.2x process-pool regression came from shipping generator options
+with every per-function task and rebuilding tables per worker
+submission.  These tests pin the fixed contract: task payloads are
+O(source text) and never carry tables, batches are weight-balanced and
+order-preserving, a failed pool initializer degrades to a serial
+fallback with a WORKER-* diagnostic (never a hang or dropped
+functions), the keep-alive pool is actually reused, and the resilient
+path can no longer leak a pool when dispatch raises early.
+"""
+
+import pickle
+from concurrent.futures import Future
+
+import pytest
+
+import repro.compile as compile_mod
+from repro.compile import (
+    BATCHES_PER_WORKER, _effective_width, available_cpus, compile_program,
+    plan_batches, shutdown_worker_pools,
+)
+from repro.diag import codes
+from repro.frontend import compile_c
+from repro.workloads import generate_workload
+from repro.workloads.programs import ALL_PROGRAMS
+
+_BY_NAME = {p.name: p for p in ALL_PROGRAMS}
+
+MULTI_SOURCE = "\n".join(
+    _BY_NAME[name].source for name in ("gcd", "fib", "bits", "poly_eval")
+)
+
+
+class InlinePool:
+    """A fake SharedTablePool that runs tasks inline and records the
+    exact pickled payload each submission would ship to a worker."""
+
+    def __init__(self, gen, jobs=2):
+        self.options_key = compile_mod._options_key(
+            compile_mod._generator_options(gen)
+        )
+        self.jobs = jobs
+        self.broken = False
+        self.payloads = []
+        self.shutdown_calls = 0
+
+    def submit(self, fn, *args):
+        self.payloads.append(pickle.dumps(args))
+        future = Future()
+        future.set_result(fn(*args))
+        return future
+
+    def terminate_workers(self):
+        self.broken = True
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_calls += 1
+
+
+@pytest.fixture()
+def inline_worker(gg, monkeypatch):
+    """Make this test process act as its own pool worker: the state the
+    real initializer would install, without forking."""
+    key = compile_mod._options_key(compile_mod._generator_options(gg))
+    monkeypatch.setattr(compile_mod, "_WORKER_GENERATOR", (key, gg))
+    monkeypatch.setattr(compile_mod, "_WORKER_PROGRAMS", {})
+
+
+def test_task_payload_is_small_and_table_free(gg, inline_worker):
+    """Satellite: a task payload is O(source text) — independent of the
+    table size, because tables travel via the pool initializer."""
+    pool = InlinePool(gg)
+    serial = compile_program(MULTI_SOURCE, generator=gg, jobs=1)
+    out = compile_program(
+        MULTI_SOURCE, generator=gg, jobs=2, parallel="process", pool=pool
+    )
+    assert out.text == serial.text
+    assert pool.payloads, "nothing was dispatched through the pool"
+    table_bytes = len(pickle.dumps(gg.tables))
+    biggest = max(len(p) for p in pool.payloads)
+    # every payload: (source, names) plus pickle framing — nowhere near
+    # the tables, and bounded by the source text itself
+    assert biggest < len(MULTI_SOURCE) + 512
+    assert biggest * 20 < table_bytes
+    # an external pool is caller-owned: compile_program must not close it
+    assert pool.shutdown_calls == 0
+
+
+def test_external_pool_options_must_match(gg, inline_worker):
+    from repro.codegen.driver import GrahamGlanvilleCodeGenerator
+
+    pool = InlinePool(gg)
+    other = GrahamGlanvilleCodeGenerator(
+        bundle=gg.bundle, tables=gg.tables, peephole=True
+    )
+    with pytest.raises(ValueError, match="pool"):
+        compile_program(
+            MULTI_SOURCE, generator=other, jobs=2, parallel="process",
+            pool=pool,
+        )
+
+
+# ------------------------------------------------------------- batching
+@pytest.fixture(scope="module")
+def workload_program():
+    return compile_c(generate_workload(
+        functions=9, statements_per_function=6, seed=11
+    ))
+
+
+def test_batches_cover_names_in_order(workload_program):
+    names = list(workload_program.order)
+    batches = plan_batches(workload_program, names, jobs=2)
+    flat = [name for batch in batches for name in batch]
+    assert flat == names
+    assert len(batches) <= 2 * BATCHES_PER_WORKER
+
+
+def test_batch_count_bounded_by_functions(workload_program):
+    names = list(workload_program.order)
+    batches = plan_batches(workload_program, names, jobs=64)
+    assert len(batches) <= len(names)
+    assert all(batch for batch in batches)
+
+
+def test_single_function_is_one_batch(workload_program):
+    names = list(workload_program.order)[:1]
+    assert plan_batches(workload_program, names, jobs=4) == [tuple(names)]
+
+
+def test_effective_width_clamps_to_cpus():
+    cpus = available_cpus()
+    assert _effective_width(1) == 1
+    assert _effective_width(4096) == cpus
+    assert _effective_width(0) == 1
+
+
+# ------------------------------------------------- initializer failure
+def test_init_failure_falls_back_to_serial(gg, monkeypatch):
+    """Satellite: a pool whose initializer raises (what a cache miss +
+    builder failure in the worker looks like) must surface WORKER-INIT
+    and compile everything serially — same text, nothing dropped."""
+    monkeypatch.setenv(compile_mod.ENV_CHAOS_INIT_FAIL, "1")
+    monkeypatch.setenv(compile_mod.ENV_KEEPALIVE, "0")
+    serial = compile_program(MULTI_SOURCE, generator=gg, jobs=1)
+    out = compile_program(
+        MULTI_SOURCE, generator=gg, jobs=2, parallel="process"
+    )
+    assert out.text == serial.text
+    assert list(out.function_results) == list(serial.function_results)
+    assert out.diagnostics.has(codes.WORKER_INIT)
+
+
+def test_init_failure_resilient_recovers_all(gg, monkeypatch):
+    monkeypatch.setenv(compile_mod.ENV_CHAOS_INIT_FAIL, "1")
+    serial = compile_program(MULTI_SOURCE, generator=gg, jobs=1)
+    out = compile_program(
+        MULTI_SOURCE, generator=gg, jobs=2, parallel="process",
+        resilient=True,
+    )
+    assert out.ok
+    assert out.text == serial.text
+    assert out.diagnostics.has(codes.WORKER_CRASH)
+    assert set(out.tiers) == set(serial.function_results)
+
+
+# ------------------------------------------------------ pool lifecycle
+def test_keepalive_pool_reused_across_calls(gg):
+    shutdown_worker_pools()
+    first = compile_program(
+        MULTI_SOURCE, generator=gg, jobs=2, parallel="process"
+    )
+    pool = compile_mod._KEEPALIVE_POOL
+    assert pool is not None
+    again = compile_program(
+        MULTI_SOURCE, generator=gg, jobs=2, parallel="process"
+    )
+    assert compile_mod._KEEPALIVE_POOL is pool
+    assert again.text == first.text
+    shutdown_worker_pools()
+    assert compile_mod._KEEPALIVE_POOL is None
+
+
+def test_resilient_early_raise_cannot_leak_pool(gg, monkeypatch):
+    """Satellite regression: dispatch raising before the first result
+    used to leak the ProcessPoolExecutor; the pool must now be shut
+    down on the way out of the resilient path."""
+    created = []
+
+    class ExplodingPool(InlinePool):
+        def __init__(self, jobs, gen, flags=None, program=None):
+            super().__init__(gen, jobs)
+            created.append(self)
+
+        def submit(self, fn, *args):
+            raise RuntimeError("dispatch exploded before any result")
+
+    monkeypatch.setattr(compile_mod, "SharedTablePool", ExplodingPool)
+    with pytest.raises(RuntimeError, match="dispatch exploded"):
+        compile_program(
+            MULTI_SOURCE, generator=gg, jobs=2, parallel="process",
+            resilient=True,
+        )
+    assert created, "the resilient path never built its pool"
+    assert created[0].shutdown_calls >= 1
