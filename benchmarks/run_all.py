@@ -11,8 +11,10 @@ future change has concrete numbers to compare against:
   kinds, batch-request throughput against a warm ``ggcc serve``
   instance, and the per-phase split from the ``profile`` machinery
   (exclusive attribution: phases sum to <= wall by construction).
-* ``BENCH_parse.json`` — packed vs dict matcher throughput in
-  tokens/sec over pre-linearized corpus streams.
+* ``BENCH_parse.json`` — compiled vs packed vs dict matcher throughput
+  in tokens/sec over pre-linearized corpus streams, plus the compaction
+  size stats (merged rows/columns, total words) behind the compiled
+  engine.
 
 Run from the repo root::
 
@@ -201,8 +203,10 @@ def bench_phases(source: str) -> dict:
 
 
 def bench_parse(source: str, repeats: int) -> dict:
-    """Packed vs dict matcher throughput on pre-linearized streams."""
+    """Compiled vs packed vs dict matcher throughput on pre-linearized
+    streams, plus the compaction size stats behind the compiled engine."""
     from repro.frontend import compile_c
+    from repro.tables.encode import measure_tables
 
     gen = GrahamGlanvilleCodeGenerator()
     program = compile_c(source)
@@ -213,21 +217,35 @@ def bench_parse(source: str, repeats: int) -> dict:
     tokens = sum(len(s) for s in streams)
 
     def run(matcher):
+        matcher.match_tokens(streams[0])  # bind/expand outside the clock
         def thunk():
             for stream in streams:
                 matcher.match_tokens(stream)
         best, _ = best_of(repeats, thunk)
         return tokens / best
 
-    packed = run(Matcher(gen.tables, SemanticActions(), use_packed=True))
-    plain = run(Matcher(gen.tables, SemanticActions(), use_packed=False))
-    print(f"  parse packed {packed:12,.0f} tok/s  dict {plain:12,.0f} tok/s")
+    compiled = run(Matcher(gen.tables, SemanticActions(), engine="compiled"))
+    packed = run(Matcher(gen.tables, SemanticActions(), engine="packed"))
+    plain = run(Matcher(gen.tables, SemanticActions(), engine="dict"))
+    print(f"  parse compiled {compiled:12,.0f} tok/s  "
+          f"packed {packed:12,.0f} tok/s  dict {plain:12,.0f} tok/s")
+    size = measure_tables(gen.tables)
     return {
         "tokens": tokens,
         "streams": len(streams),
+        "compiled_tokens_per_sec": round(compiled),
         "packed_tokens_per_sec": round(packed),
         "dict_tokens_per_sec": round(plain),
         "speedup": round(packed / plain, 2),
+        "compiled_speedup_vs_packed": round(compiled / packed, 2),
+        "compaction": {
+            "packed_entries": size.packed_entries,
+            "packed_bytes": size.packed_bytes,
+            "compact_rows": size.compact_rows,
+            "compact_goto_columns": size.compact_goto_columns,
+            "compact_entries": size.compact_entries,
+            "compact_bytes": size.compact_bytes,
+        },
     }
 
 
@@ -290,7 +308,7 @@ def main(argv=None) -> int:
         "phases": phases,
     })
 
-    print("matcher throughput (packed vs dict)...")
+    print("matcher throughput (compiled vs packed vs dict)...")
     parse = bench_parse(source, repeats)
     write_json(os.path.join(options.out_dir, "BENCH_parse.json"), {
         "meta": meta,

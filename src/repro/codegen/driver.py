@@ -27,7 +27,9 @@ from ..ir.linearize import Token
 from ..ir.ops import Op
 from ..ir.tree import Forest, LabelDef, Node
 from ..matcher.descriptors import Descriptor
-from ..matcher.engine import Matcher, MatchResult, SemanticActions
+from ..matcher.engine import (
+    Matcher, MatchResult, SemanticActions, resolve_engine,
+)
 from ..matcher.trace import Tracer
 from ..obs.metrics import REGISTRY as METRICS
 from ..obs.spans import span
@@ -148,9 +150,11 @@ class GrahamGlanvilleCodeGenerator:
     cache (:mod:`repro.tables.cache`) keyed on the exact grammar text and
     options, warm-starting in milliseconds when the description is
     unchanged.  ``cache=False`` forces a fresh build; ``cache_dir``
-    redirects the store (tests use a tmp dir).  ``use_packed`` selects
-    the matcher's packed integer fast path (the default) or the original
-    dict-table loop for differential runs.
+    redirects the store (tests use a tmp dir).  ``engine`` selects the
+    matcher's drive loop (``"compiled"``, ``"packed"`` — the default —
+    or the original ``"dict"`` loop for differential runs); the legacy
+    ``use_packed`` boolean and ``$REPRO_MATCHER`` are honoured through
+    :func:`repro.matcher.engine.resolve_engine`.
     """
 
     def __init__(
@@ -161,15 +165,17 @@ class GrahamGlanvilleCodeGenerator:
         peephole: bool = False,
         bundle: Optional[VaxGrammarBundle] = None,
         tables: Optional[ParseTables] = None,
-        use_packed: bool = True,
+        use_packed: Optional[bool] = None,
         cache: Optional[bool] = None,
         cache_dir: Optional[str] = None,
         rescue_bridges: bool = True,
+        engine: Optional[str] = None,
     ) -> None:
         self.machine = machine
         self.reversed_ops = reversed_ops
         self.peephole = peephole
-        self.use_packed = use_packed
+        self.engine = resolve_engine(engine, use_packed)
+        self.use_packed = self.engine != "dict"
         self.rescue_bridges = rescue_bridges
         self.cache_outcome: Optional[CacheOutcome] = None
 
@@ -211,11 +217,21 @@ class GrahamGlanvilleCodeGenerator:
                 )
                 self.cache_outcome = outcome
                 self.table_source = "cache" if outcome.hit else "built"
-            if use_packed:
+            if self.use_packed:
                 # Expand the dense runtime rows now so the first compile's
                 # matching time measures matching, not table expansion.
                 with span("packed.expand", cat="static"):
                     self.tables.packed().runtime()
+            if self.engine == "compiled":
+                # Generate (or cache-load) the compiled matcher up front
+                # for the same reason; a failure memoizes the packed
+                # fallback here rather than on the first match.
+                from ..tables.compiled import compiled_matcher_for
+
+                with span("matchgen.prepare", cat="static"):
+                    compiled_matcher_for(
+                        self.tables, cache=cache, cache_dir=cache_dir
+                    )
         self.static_seconds = time.perf_counter() - static_started
         METRICS.observe("static.seconds", self.static_seconds)
         METRICS.inc(f"static.tables.{self.table_source}")
@@ -239,6 +255,7 @@ class GrahamGlanvilleCodeGenerator:
         forest: Forest,
         trace: Optional[Tracer] = None,
         use_packed: Optional[bool] = None,
+        engine: Optional[str] = None,
     ) -> CompileResult:
         """Compile one routine to VAX assembly."""
         with span("compile", cat="function", function=forest.name):
@@ -247,7 +264,7 @@ class GrahamGlanvilleCodeGenerator:
             transform_seconds = time.perf_counter() - started
             result = self.generate(
                 work, ordering_stats, name=forest.name,
-                trace=trace, use_packed=use_packed,
+                trace=trace, use_packed=use_packed, engine=engine,
             )
         result.times.transform += transform_seconds
         result.times.wall += transform_seconds
@@ -260,17 +277,22 @@ class GrahamGlanvilleCodeGenerator:
         name: str,
         trace: Optional[Tracer] = None,
         use_packed: Optional[bool] = None,
+        engine: Optional[str] = None,
     ) -> CompileResult:
         """Phases 2-4 on an already-transformed forest.
 
         Split out of :meth:`compile` so the recovery ladder can mutate the
         transformed forest (operand hoisting) and regenerate with fresh
-        buffers, and so a blocked function can be retried on the dict
-        matcher (``use_packed=False``) without rebuilding the generator.
+        buffers, and so a blocked function can be retried on a slower
+        engine (``engine="packed"`` or ``"dict"``) without rebuilding the
+        generator.
         """
         times = PhaseTimes()
-        if use_packed is None:
-            use_packed = self.use_packed
+        if engine is None:
+            engine = (
+                self.engine if use_packed is None
+                else ("packed" if use_packed else "dict")
+            )
         wall_started = time.perf_counter()
 
         # Compiler temporaries (call results, hoisted subtrees, spill
@@ -284,7 +306,7 @@ class GrahamGlanvilleCodeGenerator:
         semantics = VaxSemantics(self.machine, buffer=buffer,
                                  new_temp=spills.take)
         timed = _TimedSemantics(semantics, times)
-        matcher = Matcher(self.tables, timed, use_packed=use_packed)
+        matcher = Matcher(self.tables, timed, engine=engine)
 
         shifts = reductions = chains = statements = 0
         with span("phase.matching", cat="phase", function=name) as match_span:

@@ -11,12 +11,18 @@ rest of the program.
 
 The rungs, in order:
 
-tier 0  ``packed``
+tier 0  ``compiled``
+    Only when the generator selected the compiled engine: the normal
+    compile on the generated specialized matcher (which itself falls
+    back to packed when generation failed).  A failure here retries on
+    the packed interpreter below (RECOVER-PACKED).
+tier 0/1  ``packed``
     The normal compile on the packed integer matcher.  When the packed
-    runtime fails its integrity checksum this rung is skipped outright
+    runtime fails its integrity checksum this rung — and the compiled
+    rung, which is generated from the same tables — is skipped outright
     (GG-TABLE-CORRUPT) rather than trusted to crash.
 tier 1  ``dict``
-    Retry on the original dict-table matcher (``use_packed=False``).
+    Retry on the original dict-table matcher (``engine="dict"``).
     The dict loop shares no state with the packed arrays, so corrupt or
     miscoded packed tables are fully rescued here (RECOVER-DICT).
 tier 2  ``hoist``
@@ -91,7 +97,8 @@ class LadderOutcome:
 
     name: str
     result: object  # CompileResult | PccResult | FailedFunction
-    tier: str       # "packed" | "dict" | "hoist" | "pcc" | "failed"
+    tier: str       # "compiled" | "packed" | "dict" | "hoist" | "pcc"
+                    # | "failed"
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
     @property
@@ -100,7 +107,15 @@ class LadderOutcome:
 
     @property
     def recovered(self) -> bool:
-        return self.ok and self.tier != "packed"
+        """True when a rescue rung (not the engine the generator asked
+        for) produced the result.  A compiled-engine generator settling
+        on ``packed`` *is* a recovery — the compiled rung failed."""
+        if not self.ok:
+            return False
+        return self.tier not in ("compiled", "packed") or any(
+            diag.code in (codes.RECOVER_PACKED, codes.RECOVER_DICT)
+            for diag in self.diagnostics
+        )
 
 
 def _finish(outcome: "LadderOutcome") -> "LadderOutcome":
@@ -221,31 +236,71 @@ def compile_with_recovery(
     """
     name = forest.name
     diags: List[Diagnostic] = []
+    engine0 = getattr(
+        gen, "engine", "packed" if gen.use_packed else "dict"
+    )
 
-    # tier 0: the normal packed compile — unless the packed runtime fails
-    # its checksum, in which case it must not be trusted to even crash.
+    # tier 0: the normal fast compile — unless the packed runtime fails
+    # its checksum, in which case neither integer engine (the compiled
+    # matcher is generated from the same tables) can be trusted to even
+    # crash.
     packed_trusted = True
-    if gen.use_packed and check_integrity:
+    if engine0 != "dict" and check_integrity:
         runtime = gen.tables.packed().runtime()
         if not runtime.verify_integrity():
             packed_trusted = False
             diags.append(Diagnostic(
                 code=codes.GG_TABLE_CORRUPT,
                 message="packed runtime tables failed their integrity "
-                        "checksum; packed tier skipped",
+                        "checksum; compiled/packed tiers skipped",
                 function=name,
             ))
 
     first_error: Optional[Exception] = None
-    if gen.use_packed and packed_trusted:
+    compiled_failed = False
+    if engine0 == "compiled" and packed_trusted:
         try:
-            result = gen.compile(forest)
-            return _finish(LadderOutcome(name, result, "packed", diags))
+            result = gen.compile(forest, engine="compiled")
+            return _finish(LadderOutcome(name, result, "compiled", diags))
         except (MatchError, VaxSemanticError) as exc:
             first_error = exc
+            compiled_failed = True
             diags.append(_block_diagnostic(exc, name))
-        except Exception as exc:  # corrupt tables crash in odd ways
+        except Exception as exc:  # a codegen/runtime bug in the program
             first_error = exc
+            compiled_failed = True
+            diags.append(Diagnostic(
+                code=codes.GG_TABLE_CORRUPT,
+                message=f"compiled matcher crashed: {exc!r}",
+                function=name,
+            ))
+
+    if engine0 != "dict" and packed_trusted:
+        try:
+            result = gen.compile(forest, engine="packed")
+            if compiled_failed:
+                # the interpreter survived what the generated program did
+                # not: a genuine rescue, worth its own diagnostic code
+                diags.append(Diagnostic(
+                    code=codes.RECOVER_PACKED,
+                    message="function recompiled on the packed "
+                            "interpreter matcher",
+                    function=name,
+                ))
+                return _finish(LadderOutcome(
+                    name, result, "packed", _demote_errors(diags)
+                ))
+            return _finish(LadderOutcome(name, result, "packed", diags))
+        except (MatchError, VaxSemanticError) as exc:
+            # the twin engines block identically; don't record the same
+            # MatchError twice
+            if not isinstance(first_error, MatchError):
+                diags.append(_block_diagnostic(exc, name))
+            if first_error is None:
+                first_error = exc
+        except Exception as exc:  # corrupt tables crash in odd ways
+            if first_error is None:
+                first_error = exc
             diags.append(Diagnostic(
                 code=codes.GG_TABLE_CORRUPT,
                 message=f"packed matcher crashed: {exc!r}",
@@ -256,8 +311,8 @@ def compile_with_recovery(
     # arrays, so packed corruption/miscoding is fully rescued here.
     dict_error: Optional[Exception] = None
     try:
-        result = gen.compile(forest, use_packed=False)
-        if gen.use_packed or not packed_trusted or first_error is not None:
+        result = gen.compile(forest, engine="dict")
+        if engine0 != "dict" or not packed_trusted or first_error is not None:
             diags.append(Diagnostic(
                 code=codes.RECOVER_DICT,
                 message="function recompiled on the dict-table matcher",
@@ -288,7 +343,7 @@ def compile_with_recovery(
         while work is not None and len(hoists) < max_hoists:
             try:
                 result = gen.generate(
-                    work, stats, name=name, use_packed=False
+                    work, stats, name=name, engine="dict"
                 )
                 diags.append(Diagnostic(
                     code=codes.RECOVER_FORCE,

@@ -77,7 +77,8 @@ class ProgramAssembly:
     cpu_seconds: float = 0.0
     #: Structured events from the resilient pipeline (empty otherwise).
     diagnostics: DiagnosticSink = field(default_factory=DiagnosticSink)
-    #: function name -> recovery-ladder tier ("packed" when no rescue ran)
+    #: function name -> recovery-ladder tier ("compiled"/"packed" when no
+    #: rescue ran — whichever engine the generator selected)
     tiers: Dict[str, str] = field(default_factory=dict)
 
     @property
@@ -146,8 +147,13 @@ def compile_program(
     resilient: bool = False,
     timeout: Optional[float] = None,
     pool: Optional["SharedTablePool"] = None,
+    engine: Optional[str] = None,
 ) -> ProgramAssembly:
     """Compile C-subset source with the chosen backend ("gg" or "pcc").
+
+    ``engine`` picks the matcher drive loop (``"compiled"``, ``"packed"``
+    or ``"dict"``) when no ``generator`` is handed in; the default
+    honours ``$REPRO_MATCHER`` and falls back to packed.
 
     ``jobs`` > 1 compiles independent functions concurrently ("gg" only);
     ``parallel`` picks the pool: ``"thread"`` shares one generator's
@@ -174,7 +180,7 @@ def compile_program(
         # Build the generator *before* starting the clock: grammar and
         # table construction are the static phase and must not inflate
         # the reported per-program (dynamic) compile seconds.
-        gen = generator or GrahamGlanvilleCodeGenerator()
+        gen = generator or GrahamGlanvilleCodeGenerator(engine=engine)
     elif backend != "pcc":
         raise ValueError(f"unknown backend {backend!r}")
 
@@ -240,7 +246,7 @@ def _generator_options(gen: GrahamGlanvilleCodeGenerator) -> Dict[str, object]:
     return {
         "reversed_ops": gen.reversed_ops,
         "peephole": gen.peephole,
-        "use_packed": gen.use_packed,
+        "engine": gen.engine,
         "rescue_bridges": gen.rescue_bridges,
     }
 

@@ -4,8 +4,8 @@ from .descriptors import (
     Descriptor, DKind, dregdesc, imm, labeldesc, mem, regdesc, void,
 )
 from .engine import (
-    MatchError, Matcher, MatchResult, ReductionLoop, SemanticActions,
-    SyntacticBlock,
+    ENGINES, MatchError, Matcher, MatchResult, ReductionLoop,
+    SemanticActions, SyntacticBlock, resolve_engine,
 )
 from .trace import HEADERS, NullTracer, TraceEntry, Tracer, format_trace
 
@@ -13,6 +13,6 @@ __all__ = [
     "Descriptor", "DKind", "imm", "mem", "regdesc", "dregdesc", "labeldesc",
     "void",
     "Matcher", "MatchResult", "MatchError", "SyntacticBlock", "ReductionLoop",
-    "SemanticActions",
+    "SemanticActions", "ENGINES", "resolve_engine",
     "Tracer", "NullTracer", "TraceEntry", "format_trace", "HEADERS",
 ]

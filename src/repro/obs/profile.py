@@ -117,6 +117,16 @@ class ProfileReport:
             lines.append(
                 f"static phase: {static.get('seconds', 0.0):.3f} s ({detail})"
             )
+            tables = static.get("tables")
+            if tables and tables.get("compact_entries"):
+                lines.append(
+                    f"table sizes: packed {tables['packed_entries']} entries "
+                    f"({tables['packed_bytes']} bytes); compacted "
+                    f"{tables['compact_rows']} rows + "
+                    f"{tables['compact_goto_columns']} goto cols, "
+                    f"{tables['compact_entries']} words "
+                    f"({tables['compact_bytes']} bytes)"
+                )
         if self.functions:
             header = (
                 f"  {'function':<20} {'tier':<7} {'stmts':>5} "
@@ -230,6 +240,17 @@ def profile_program(
                 for key, value in cache.items()
             }
             report.static["cache"] = cache
+        from ..tables.encode import measure_tables
+
+        size = measure_tables(generator.tables)
+        report.static["tables"] = {
+            "packed_entries": size.packed_entries,
+            "packed_bytes": size.packed_bytes,
+            "compact_rows": size.compact_rows,
+            "compact_goto_columns": size.compact_goto_columns,
+            "compact_entries": size.compact_entries,
+            "compact_bytes": size.compact_bytes,
+        }
 
     phase_sums = {phase: 0.0 for phase in PHASES}
     for name in assembly.source_program.order:

@@ -144,11 +144,14 @@ class TableCache:
         #: Set by :meth:`store`: retries beyond the first attempt.
         self.last_store_retries: int = 0
 
-    def path_for(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.tables.pickle")
+    def path_for(self, key: str, kind: str = "tables") -> str:
+        """Entry path; *kind* namespaces envelope flavours sharing one
+        directory (``tables`` pickles, ``matchgen`` compiled-matcher
+        sources) without any change to the envelope format itself."""
+        return os.path.join(self.directory, f"{key}.{kind}.pickle")
 
     # ------------------------------------------------------------- load
-    def load(self, key: str) -> Optional[Any]:
+    def load(self, key: str, kind: str = "tables") -> Optional[Any]:
         """The cached payload, or None on miss/corruption.
 
         Corrupt entries (truncated file, flipped byte, checksum mismatch,
@@ -158,7 +161,7 @@ class TableCache:
         """
         self.last_corruption = ""
         self.last_quarantine = ""
-        path = self.path_for(key)
+        path = self.path_for(key, kind)
         try:
             with open(path, "rb") as handle:
                 envelope = pickle.load(handle)
@@ -190,12 +193,12 @@ class TableCache:
             return None
 
     # ------------------------------------------------------------ store
-    def store(self, key: str, payload: Any) -> Optional[str]:
+    def store(self, key: str, payload: Any, kind: str = "tables") -> Optional[str]:
         """Atomically write *payload* (checksummed envelope); returns the
         path, or None when the filesystem refuses after bounded retries
         (a read-only cache is not an error)."""
         self.last_store_retries = 0
-        path = self.path_for(key)
+        path = self.path_for(key, kind)
         payload_bytes = pickle.dumps(
             payload, protocol=pickle.HIGHEST_PROTOCOL
         )
@@ -228,6 +231,20 @@ class TableCache:
         return None
 
     # -------------------------------------------------------- rejection
+    def reject(self, key: str, reason: str, kind: str = "tables") -> None:
+        """Quarantine *key*'s entry explicitly.
+
+        The v2 quarantine path normally fires inside :meth:`load` when an
+        envelope is damaged; callers whose payload passes the envelope
+        checks but fails *semantic* validation (a compiled source that no
+        longer ``exec``s, say) use this to give the entry the same
+        ``*.quarantined`` post-mortem treatment instead of re-trusting
+        it on the next load.
+        """
+        self._reject(self.path_for(key, kind), reason)
+        if METRICS.enabled:
+            METRICS.inc("cache.quarantines")
+
     def _reject(self, path: str, reason: str) -> None:
         """Quarantine a damaged entry and remember why."""
         self.last_corruption = reason

@@ -1,0 +1,639 @@
+"""Compiled matcher: specialized Python source generated from the tables.
+
+The packed loop is already 3x over the dict tables, but it is still a
+generic interpreter — every step pays for table indirection, tag
+decoding and bounds bookkeeping that are *constants* for any one set of
+tables.  This module takes the compaction pass's output
+(:func:`repro.tables.encode.compact_tables`) and renders a specialized
+shift/reduce loop as Python source: the compact action rows and goto
+columns become module-level tuple literals (shared rows emitted once),
+the reduce-pool metadata is inlined, and the loop classifies an action
+word with one sign test and one parity test.  The source is ``compile``d
+and ``exec``d once, then bound to the live error/semantic machinery
+(``SyntacticBlock``/``SemanticBlock`` construction, tie-breaks, loop
+guards) through :func:`CompiledMatcher.bind` — the generated code never
+imports anything, so an ``exec`` of a cached entry cannot reach outside
+its namespace.
+
+Generated programs are cached in the content-addressed table cache
+(:mod:`repro.tables.cache`) under a distinct envelope kind
+(:data:`CACHE_KIND`), checksummed exactly like the v2 table pickles.
+The key covers the packed-table content, :data:`CODEGEN_VERSION` and any
+frequency histogram used for layout, so a codegen change or a different
+corpus profile is a clean miss, never a stale hit.  A cached entry whose
+payload passes the envelope checksum but fails *semantic* validation
+(source no longer compiles, wrong symbol count, missing ``bind``) is
+quarantined through :meth:`TableCache.reject` and rebuilt from the
+tables.
+
+Failures anywhere in this pipeline are memoized as ``False`` on the
+packed tables and reported as ``None`` from :func:`compiled_matcher_for`
+— callers (the :class:`~repro.matcher.engine.Matcher`, the recovery
+ladder) fall back to the packed interpreter, which remains the
+differential oracle for every generated program.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import marshal
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..obs.metrics import REGISTRY as METRICS
+from ..obs.spans import span
+from .cache import TableCache, cache_enabled
+from .encode import CompactedTables, CompactionReport, PackedTables, compact_tables
+
+#: Bump whenever the rendered source's shape or the bind() contract
+#: changes; part of the fingerprint, so old cache entries become misses.
+CODEGEN_VERSION = 2
+
+#: Envelope kind for compiled-matcher entries in the shared table cache.
+CACHE_KIND = "matchgen"
+
+#: Counter-name prefix for per-production reduce counts in the obs
+#: registry (``matcher.rule.<production index>``), drained by
+#: :func:`rule_frequencies` to guide compaction layout.
+RULE_METRIC_PREFIX = "matcher.rule."
+
+
+# --------------------------------------------------------------------- key
+def matchgen_fingerprint(
+    packed: PackedTables,
+    frequencies: Optional[Mapping[int, int]] = None,
+) -> str:
+    """Content hash naming one generated program.
+
+    Covers everything the rendered source depends on: the codegen
+    version, the full packed-table content (symbols, action rows,
+    defaults, gotos, reduce pools, production metadata) and the
+    frequency histogram (layout changes the emitted source even though
+    it never changes behaviour).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"matchgen-v{CODEGEN_VERSION}".encode())
+    hasher.update(repr(sorted(packed.symbol_ids.items())).encode())
+    for row in packed.action_rows:
+        hasher.update(repr(row).encode())
+    hasher.update(repr(packed.default_reduce).encode())
+    for row in packed.goto_rows:
+        hasher.update(repr(row).encode())
+    hasher.update(repr(packed.reduce_pool).encode())
+    hasher.update(repr(packed.prod_lhs_id).encode())
+    hasher.update(repr(packed.prod_rhs_len).encode())
+    if frequencies:
+        hasher.update(repr(sorted(frequencies.items())).encode())
+    return hasher.hexdigest()
+
+
+def rule_frequencies(snapshot: Optional[Any] = None) -> Dict[int, int]:
+    """Production-index -> reduce-count histogram from the obs registry.
+
+    The matcher records ``matcher.rule.<index>`` counters when
+    ``REPRO_OBS_RULES`` is set (e.g. while replaying the fuzz corpus);
+    this drains them into the mapping :func:`compact_tables` takes for
+    corpus-guided layout.  Pass a :class:`MetricsSnapshot` to read a
+    saved profile instead of the live registry.
+    """
+    counters = (
+        snapshot.counters if snapshot is not None
+        else METRICS.snapshot().counters
+    )
+    frequencies: Dict[int, int] = {}
+    for name, value in counters.items():
+        if name.startswith(RULE_METRIC_PREFIX):
+            try:
+                frequencies[int(name[len(RULE_METRIC_PREFIX):])] = value
+            except ValueError:
+                continue
+    return frequencies
+
+
+# ---------------------------------------------------------------- renderer
+def _vector_literal(name: str, vector: Tuple[int, ...]) -> str:
+    """One row/column as source: sparse ``_row`` form when most entries
+    share one value (they do — defaults were folded in), dense ``repr``
+    when sparsity would not pay."""
+    counts: Dict[int, int] = {}
+    for word in vector:
+        counts[word] = counts.get(word, 0) + 1
+    default = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+    entries = tuple(
+        (index, word) for index, word in enumerate(vector) if word != default
+    )
+    if 2 * len(entries) >= len(vector):
+        return f"{name} = {vector!r}"
+    return f"{name} = _row({len(vector)}, {default}, {entries!r})"
+
+
+def render_matcher_source(compact: CompactedTables, key: str = "") -> str:
+    """Render *compact* as the source of a specialized matcher module.
+
+    The module is self-contained (no imports): constants, shared row and
+    goto-column literals, pool metadata, the tie/goto side tables the
+    host needs for slow paths, and ``bind(productions, block, choose,
+    loop)`` returning the ``(match_null, match_sem)`` loop pair.
+    """
+    nslots = compact.nsymbols + 1
+    nstates = compact.nstates
+    nred_factor = 2 * (len(compact.goto_col_of_lhs) + 4)
+    lines = [
+        '"""Specialized shift/reduce matcher generated from packed SLR',
+        "tables.",
+        "",
+        f"Generated by repro.tables.compiled (codegen v{CODEGEN_VERSION})"
+        f" for table",
+        f"fingerprint {key or '<unkeyed>'}.",
+        "Do not edit: regenerated on any table or codegen change and",
+        "cached content-addressed alongside the packed table pickles.",
+        '"""',
+        "",
+        f"CODEGEN_VERSION = {CODEGEN_VERSION}",
+        f"NSYMBOLS = {compact.nsymbols}",
+        f"NSTATES = {nstates}",
+        f"START = {compact.start_state}",
+        f"NRED_FACTOR = {nred_factor}",
+        "",
+        "",
+        "def _row(n, default, entries):",
+        "    row = [default] * n",
+        "    for index, word in entries:",
+        "        row[index] = word",
+        "    return tuple(row)",
+        "",
+    ]
+    emit = lines.append
+
+    # Unique action rows, each a tuple of nsymbols+1 compact words with
+    # the default folded into every unmentioned slot *and* slot -1.
+    for index, row in enumerate(compact.rows):
+        emit(_vector_literal(f"_R{index}", row))
+    emit("")
+    emit("_UROWS = (%s)" % ", ".join(
+        f"_R{index}" for index in range(len(compact.rows))
+    ))
+    emit("")
+
+    # Unique goto columns, indexed by state.
+    for index, column in enumerate(compact.goto_cols):
+        emit(_vector_literal(f"_G{index}", column))
+    emit("")
+    emit("_GCOLS = (%s)" % ", ".join(
+        f"_G{index}" for index in range(len(compact.goto_cols))
+    ))
+    emit("")
+    emit(f"_NOGOTO = (-1,) * {nstates}")
+    emit("")
+    emit(f"_ROW_OF_STATE = {compact.row_of_state!r}")
+    emit("")
+    emit("ROWS = tuple(_UROWS[i] for i in _ROW_OF_STATE)")
+    emit("")
+    emit(f"_PGOTO_IDX = {compact.pool_goto!r}")
+    emit("")
+    emit(
+        "PGOTO = tuple(_GCOLS[i] if i >= 0 else _NOGOTO"
+        " for i in _PGOTO_IDX)"
+    )
+    emit("")
+    emit(f"PLEN = {compact.pool_len!r}")
+    emit("")
+    emit(f"PPROD = {compact.pool_prod!r}")
+    emit("")
+    # Slow-path side tables: ambiguous pools and the goto column of each
+    # LHS id, for the host's tie-break helper.
+    tied = {
+        pool: members
+        for pool, members in enumerate(compact.pool_tied)
+        if len(members) != 1
+    }
+    emit(f"PTIED = {tied!r}")
+    emit("")
+    emit(f"GOTO_OF_LHS = {compact.goto_col_of_lhs!r}")
+    emit(_BIND_SOURCE)
+    emit("")
+    return "\n".join(lines)
+
+
+# The loop pair, verbatim in every generated module.  ``bind`` closes the
+# loops over live helpers the host supplies: ``productions`` (grammar
+# order), ``block(state, stream, position, states)`` and
+# ``loop(state, nred)`` building the raising MatchError subclasses, and
+# ``choose(pool, states, descriptors)`` resolving reduce/reduce ties to
+# a ``(production, goto_target)`` pair.  ``match_sem`` mirrors the
+# packed interpreter action-for-action (goto resolved before on_reduce;
+# the generic path pops before the goto lookup; a failed unit goto
+# blocks with the unpopped stack) so the two engines stay differential
+# twins even on error paths.
+#
+# Unit reductions get one extra specialization the interpreters cannot
+# afford: a run of chain reductions never moves the lookahead and never
+# changes the stack shape (the top is replaced in place), so the whole
+# run — every intermediate state and the production sequence — is a
+# pure function of ``(state, exposed, lookahead)``.  ``_chain`` walks a
+# run once and the loops replay it from the ``chains`` memo as a single
+# dict hit plus one ``extend``; a run that stops early because its next
+# unit goto is missing is memoized up to the block, so the blocking
+# step itself is re-handled (and raised) exactly where the packed loop
+# would raise it.
+_BIND_SOURCE = '''
+
+def bind(productions, block, choose, loop):
+    """(match_null, match_sem) closed over the host's helpers."""
+    chains = {}
+
+    def _chain(state, exposed, sym):
+        # The maximal run of non-blocking unit reductions from *state*
+        # under lookahead *sym* above *exposed*.  Bounded by NSTATES:
+        # a longer run must revisit a state, and the nred guard in the
+        # caller ends any such cycle after a bounded number of replays.
+        prods = []
+        while len(prods) < NSTATES:
+            w = ROWS[state][sym]
+            if w < 0 or not w & 1:
+                break
+            p = w >> 1
+            if PLEN[p] != 1:
+                break
+            g = PGOTO[p][exposed]
+            if g < 0:
+                break
+            state = g
+            prods.append(productions[PPROD[p]])
+        return state, tuple(prods)
+
+    def match_null(ids, stream):
+        rows = ROWS
+        plen = PLEN
+        pgoto = PGOTO
+        prods = productions
+        pprod = PPROD
+        cget = chains.get
+        states = [START]
+        reductions = []
+        sappend = states.append
+        rappend = reductions.append
+        rextend = reductions.extend
+        state = START
+        position = 0
+        nred = 0
+        sym = ids[0]
+        limit = (len(ids) + 2) * NRED_FACTOR
+        while 1:
+            w = rows[state][sym]
+            if w >= 0:
+                if w & 1:
+                    nred += 1
+                    if nred > limit:
+                        raise loop(state, nred)
+                    p = w >> 1
+                    count = plen[p]
+                    if count == 1:
+                        exposed = states[-2]
+                        key = (state, exposed, sym)
+                        hit = cget(key)
+                        if hit is None:
+                            hit = chains[key] = _chain(state, exposed, sym)
+                        chained = hit[1]
+                        if not chained:
+                            raise block(exposed, stream, position, states)
+                        nred += len(chained) - 1
+                        if nred > limit:
+                            raise loop(state, nred)
+                        states[-1] = state = hit[0]
+                        rextend(chained)
+                    elif count:
+                        del states[-count:]
+                        g = pgoto[p][states[-1]]
+                        if g < 0:
+                            raise block(states[-1], stream, position, states)
+                        state = g
+                        sappend(g)
+                        rappend(prods[pprod[p]])
+                    else:
+                        production, g = choose(p, states, None)
+                        del states[-len(production.rhs):]
+                        state = g
+                        sappend(g)
+                        rappend(production)
+                else:
+                    state = w >> 1
+                    sappend(state)
+                    position += 1
+                    sym = ids[position]
+            elif w == -2:
+                return reductions
+            else:
+                raise block(state, stream, position, states)
+
+    def match_sem(ids, stream, descriptors, on_shift, on_reduce):
+        rows = ROWS
+        plen = PLEN
+        pgoto = PGOTO
+        prods = productions
+        pprod = PPROD
+        cget = chains.get
+        states = [START]
+        reductions = []
+        sappend = states.append
+        rappend = reductions.append
+        dappend = descriptors.append
+        state = START
+        position = 0
+        nred = 0
+        sym = ids[0]
+        limit = (len(ids) + 2) * NRED_FACTOR
+        while 1:
+            w = rows[state][sym]
+            if w >= 0:
+                if w & 1:
+                    nred += 1
+                    if nred > limit:
+                        raise loop(state, nred)
+                    p = w >> 1
+                    count = plen[p]
+                    if count == 1:
+                        exposed = states[-2]
+                        key = (state, exposed, sym)
+                        hit = cget(key)
+                        if hit is None:
+                            hit = chains[key] = _chain(state, exposed, sym)
+                        chained = hit[1]
+                        if not chained:
+                            raise block(exposed, stream, position, states)
+                        nred += len(chained) - 1
+                        if nred > limit:
+                            raise loop(state, nred)
+                        for production in chained:
+                            outcome = on_reduce(production, descriptors[-1:])
+                            descriptors[-1] = (
+                                outcome[0] if isinstance(outcome, tuple)
+                                else outcome
+                            )
+                            rappend(production)
+                        states[-1] = state = hit[0]
+                    elif count:
+                        production = prods[pprod[p]]
+                        kids = descriptors[-count:]
+                        del states[-count:], descriptors[-count:]
+                        g = pgoto[p][states[-1]]
+                        if g < 0:
+                            raise block(states[-1], stream, position, states)
+                        outcome = on_reduce(production, kids)
+                        state = g
+                        sappend(g)
+                        dappend(
+                            outcome[0] if isinstance(outcome, tuple)
+                            else outcome
+                        )
+                        rappend(production)
+                    else:
+                        production, g = choose(p, states, descriptors)
+                        count = len(production.rhs)
+                        kids = descriptors[-count:]
+                        del states[-count:], descriptors[-count:]
+                        outcome = on_reduce(production, kids)
+                        state = g
+                        sappend(g)
+                        dappend(
+                            outcome[0] if isinstance(outcome, tuple)
+                            else outcome
+                        )
+                        rappend(production)
+                else:
+                    dappend(on_shift(stream[position]))
+                    state = w >> 1
+                    sappend(state)
+                    position += 1
+                    sym = ids[position]
+            elif w == -2:
+                return reductions
+            else:
+                raise block(state, stream, position, states)
+
+    return match_null, match_sem
+'''
+
+
+# ----------------------------------------------------------------- program
+@dataclass
+class CompiledMatcher:
+    """One generated, executed matcher program.
+
+    ``namespace`` is the module dict the source was ``exec``d into; the
+    host reads the loop pair through :meth:`bind` and the slow-path side
+    tables through the properties below.
+    """
+
+    key: str
+    source: str
+    report: Optional[CompactionReport] = None
+    from_cache: bool = False
+    namespace: Dict[str, Any] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def bind(self, productions, block, choose, loop):
+        """``(match_null, match_sem)`` closed over the host helpers."""
+        return self.namespace["bind"](productions, block, choose, loop)
+
+    @property
+    def pool_tied(self) -> Dict[int, Tuple[int, ...]]:
+        """Ambiguous pools only: pool index -> tied production indices."""
+        return self.namespace["PTIED"]
+
+    @property
+    def nsymbols(self) -> int:
+        return self.namespace["NSYMBOLS"]
+
+    def goto_target(self, lhs_id: int, state: int) -> int:
+        """Goto for (state, LHS id), -1 when absent — the tie-break
+        viability test, off the hot path."""
+        column = self.namespace["GOTO_OF_LHS"].get(lhs_id)
+        if column is None:
+            return -1
+        return self.namespace["_GCOLS"][column][state]
+
+
+def _module_filename(key: str) -> str:
+    return f"<matchgen:{key[:12]}>"
+
+
+def _execute(code: Any, key: str) -> Dict[str, Any]:
+    namespace: Dict[str, Any] = {"__name__": f"repro_matchgen_{key[:12]}"}
+    exec(code, namespace)
+    return namespace
+
+
+def _validate_namespace(namespace: Dict[str, Any], packed: PackedTables) -> str:
+    """Semantic validation of an executed program; '' when sound."""
+    if namespace.get("CODEGEN_VERSION") != CODEGEN_VERSION:
+        return "generated module reports a different codegen version"
+    if namespace.get("NSYMBOLS") != len(packed.symbol_ids):
+        return "generated module was built for different tables"
+    if not callable(namespace.get("bind")):
+        return "generated module has no bind() entry point"
+    return ""
+
+
+def _revive(
+    payload: Any,
+    key: str,
+    packed: PackedTables,
+    store: TableCache,
+) -> Optional[CompiledMatcher]:
+    """Rebuild a program from a cached payload, or quarantine and miss.
+
+    The envelope checksum already passed (``TableCache.load`` verified
+    it); everything here is semantic validation, so any failure goes
+    through :meth:`TableCache.reject` — same post-mortem treatment as a
+    flipped byte, because a payload that checksums clean but will not
+    execute is *also* an entry that must never be re-trusted.
+    """
+    def reject(reason: str) -> None:
+        store.reject(key, reason, kind=CACHE_KIND)
+        METRICS.inc("matchgen.quarantines")
+
+    if not isinstance(payload, dict):
+        reject("matchgen payload is not a dict")
+        return None
+    if payload.get("codegen_version") != CODEGEN_VERSION:
+        reject("matchgen payload codegen-version mismatch")
+        return None
+    if payload.get("fingerprint") != key:
+        reject("matchgen payload fingerprint mismatch")
+        return None
+    source = payload.get("source")
+    if not isinstance(source, str):
+        reject("matchgen payload has no source")
+        return None
+
+    # Prefer the marshalled code object (skips re-parsing ~100KB of
+    # generated source) when it was produced by this very interpreter;
+    # fall back to compiling the source otherwise.
+    code = None
+    magic = payload.get("magic")
+    blob = payload.get("code")
+    if magic == importlib.util.MAGIC_NUMBER.hex() and isinstance(blob, bytes):
+        try:
+            code = marshal.loads(blob)
+        except Exception:
+            code = None
+    if code is None:
+        try:
+            code = compile(source, _module_filename(key), "exec")
+        except SyntaxError:
+            reject("cached matchgen source does not compile")
+            return None
+    try:
+        namespace = _execute(code, key)
+    except Exception as exc:
+        reject(f"cached matchgen source failed to exec: {type(exc).__name__}")
+        return None
+    problem = _validate_namespace(namespace, packed)
+    if problem:
+        reject(problem)
+        return None
+    report = payload.get("report")
+    if not isinstance(report, CompactionReport):
+        report = None
+    return CompiledMatcher(
+        key=key,
+        source=source,
+        report=report,
+        from_cache=True,
+        namespace=namespace,
+    )
+
+
+def load_or_build_compiled(
+    packed: PackedTables,
+    frequencies: Optional[Mapping[int, int]] = None,
+    start_state: int = 0,
+    directory: Optional[str] = None,
+    enabled: Optional[bool] = None,
+) -> CompiledMatcher:
+    """The compiled program for *packed*: cache-load or compact+render.
+
+    Raises :class:`~repro.tables.encode.CompactionError` (and anything
+    else that goes structurally wrong) — :func:`compiled_matcher_for` is
+    the never-raises wrapper.
+    """
+    if enabled is None:
+        enabled = cache_enabled()
+    key = matchgen_fingerprint(packed, frequencies)
+    store = TableCache(directory)
+
+    if enabled:
+        payload = store.load(key, kind=CACHE_KIND)
+        if payload is not None:
+            program = _revive(payload, key, packed, store)
+            if program is not None:
+                METRICS.inc("matchgen.cache_hits")
+                return program
+
+    with span("matchgen.render", cat="static"):
+        compact = compact_tables(packed, frequencies, start_state=start_state)
+        source = render_matcher_source(compact, key)
+    with span("matchgen.compile", cat="static"):
+        code = compile(source, _module_filename(key), "exec")
+        namespace = _execute(code, key)
+    problem = _validate_namespace(namespace, packed)
+    if problem:  # a renderer bug, not cache damage: fail the build
+        raise RuntimeError(f"generated matcher failed validation: {problem}")
+    METRICS.inc("matchgen.builds")
+
+    if enabled:
+        store.store(key, {
+            "codegen_version": CODEGEN_VERSION,
+            "fingerprint": key,
+            "source": source,
+            "report": compact.report,
+            "magic": importlib.util.MAGIC_NUMBER.hex(),
+            "code": marshal.dumps(code),
+        }, kind=CACHE_KIND)
+    return CompiledMatcher(
+        key=key,
+        source=source,
+        report=compact.report,
+        from_cache=False,
+        namespace=namespace,
+    )
+
+
+def compiled_matcher_for(
+    tables: Any,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    frequencies: Optional[Mapping[int, int]] = None,
+) -> Optional[CompiledMatcher]:
+    """The memoized compiled program for *tables*, or None.
+
+    Never raises: a compaction or codegen failure is memoized as
+    ``False`` on the packed tables (so the matcher asks exactly once)
+    and reported as ``None``, which callers read as "stay on packed".
+    """
+    packed = tables.packed()
+    memo = packed._compiled
+    if memo is False:
+        return None
+    if isinstance(memo, CompiledMatcher) and (
+        frequencies is None
+        or memo.key == matchgen_fingerprint(packed, frequencies)
+    ):
+        return memo
+    try:
+        program = load_or_build_compiled(
+            packed,
+            frequencies=frequencies,
+            start_state=tables.start_state,
+            directory=cache_dir,
+            enabled=cache,
+        )
+    except Exception:
+        METRICS.inc("matchgen.failures")
+        packed._compiled = False
+        return None
+    packed._compiled = program
+    return program

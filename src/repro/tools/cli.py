@@ -43,6 +43,13 @@ persistent worker pool) warm in one long-lived process and answers
 batch compile requests over a local socket::
 
     ggcc serve --socket /tmp/ggcc.sock --jobs 4
+
+``match-bench`` times the matcher's three drive loops (compiled, packed,
+dict) over one program's linearized statements — the quick local check
+that the compiled engine's speedup has not regressed::
+
+    ggcc match-bench examples/quickstart
+    ggcc match-bench --engine compiled --engine packed --json file.c
 """
 
 from __future__ import annotations
@@ -79,6 +86,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dump-blocking", action="store_true")
     parser.add_argument("--no-reversed-ops", action="store_true",
                         help="build the grammar without Rxxx operators")
+    parser.add_argument("--engine", choices=("compiled", "packed", "dict"),
+                        default=None,
+                        help="matcher drive loop (default honours "
+                             "$REPRO_MATCHER, then packed)")
     parser.add_argument("--peephole", action="store_true",
                         help="run the section-6.1 peephole optimizer over "
                              "the generated assembly")
@@ -244,6 +255,10 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-reversed-ops", action="store_true")
     parser.add_argument("--peephole", action="store_true")
     parser.add_argument("--no-rescue-bridges", action="store_true")
+    parser.add_argument("--engine", choices=("compiled", "packed", "dict"),
+                        default=None,
+                        help="matcher drive loop for the server's "
+                             "generator and its pool workers")
     return parser
 
 
@@ -255,6 +270,7 @@ def serve_main(argv: List[str]) -> int:
         reversed_ops=not options.no_reversed_ops,
         peephole=options.peephole,
         rescue_bridges=not options.no_rescue_bridges,
+        engine=options.engine,
     )
     if options.tcp is not None:
         host, _, port = options.tcp.partition(":")
@@ -349,6 +365,93 @@ def profile_main(argv: List[str]) -> int:
     return 0 if report.ok else 1
 
 
+def build_match_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ggcc match-bench",
+        description="time the matcher's drive loops (compiled, packed, "
+                    "dict) over one program's linearized statements and "
+                    "print tokens/sec per engine — the quick local check "
+                    "that the compiled engine's speedup has not regressed",
+    )
+    parser.add_argument("source",
+                        help="a .c file, '-' for stdin, or an example "
+                             "module exposing SOURCE (e.g. "
+                             "examples/quickstart)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of repeats per engine (default 5)")
+    parser.add_argument("--engine", action="append", dest="engines",
+                        choices=("compiled", "packed", "dict"), default=None,
+                        help="bench only this engine (repeatable; "
+                             "default all three)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit results as JSON")
+    return parser
+
+
+def match_bench_main(argv: List[str]) -> int:
+    import json
+    import time
+
+    from ..frontend import compile_c
+    from ..ir.linearize import linearize
+    from ..matcher.engine import ENGINES, Matcher, SemanticActions
+    from ..obs.profile import resolve_profile_source
+
+    options = build_match_bench_parser().parse_args(argv)
+    try:
+        source, label = resolve_profile_source(options.source)
+    except (OSError, ValueError) as exc:
+        print(f"ggcc match-bench: error: {exc}", file=sys.stderr)
+        return 2
+    engines = options.engines or list(ENGINES)
+    repeats = max(1, options.repeats)
+
+    gen = GrahamGlanvilleCodeGenerator()
+    program = compile_c(source)
+    streams = []
+    for name in program.order:
+        work, _ = gen.transform(program.forest(name))
+        streams.extend(linearize(tree) for tree in work.trees())
+    tokens = sum(len(stream) for stream in streams)
+    if not tokens:
+        print("ggcc match-bench: error: program has no statements",
+              file=sys.stderr)
+        return 2
+
+    rates = {}
+    for engine in engines:
+        matcher = Matcher(gen.tables, SemanticActions(), engine=engine)
+        matcher.match_tokens(streams[0])  # bind/expand outside the clock
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for stream in streams:
+                matcher.match_tokens(stream)
+            best = min(best, time.perf_counter() - started)
+        rates[engine] = tokens / best
+
+    baseline = rates.get("packed")
+    if options.json:
+        print(json.dumps({
+            "label": label,
+            "streams": len(streams),
+            "tokens": tokens,
+            "repeats": repeats,
+            "tokens_per_sec": {
+                engine: round(rate) for engine, rate in rates.items()
+            },
+        }, indent=2))
+        return 0
+    print(f"{label}: {len(streams)} statement stream(s), {tokens} tokens, "
+          f"best of {repeats}")
+    for engine in engines:
+        line = f"  {engine:<9}{rates[engine]:>13,.0f} tokens/sec"
+        if baseline and engine != "packed":
+            line += f"  ({rates[engine] / baseline:.2f}x packed)"
+        print(line)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -360,6 +463,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return profile_main(list(argv[1:]))
     if argv and argv[0] == "serve":
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "match-bench":
+        return match_bench_main(list(argv[1:]))
     parser = build_arg_parser()
     options = parser.parse_args(argv)
 
@@ -411,6 +516,7 @@ def _compile_main(options: argparse.Namespace, source: str) -> int:
             reversed_ops=not options.no_reversed_ops,
             peephole=options.peephole,
             rescue_bridges=not options.no_rescue_bridges,
+            engine=options.engine,
         )
 
     if options.trace and options.backend == "gg":

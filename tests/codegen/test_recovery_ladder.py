@@ -114,10 +114,12 @@ class TestCorruptTables:
         # caught and the dict tier takes over
         original = scratch_gen.compile
 
-        def crashing(forest, trace=None, use_packed=None):
-            if use_packed is not False:
-                raise RuntimeError("packed matcher exploded")
-            return original(forest, trace=trace, use_packed=use_packed)
+        def crashing(forest, trace=None, use_packed=None, engine=None):
+            if engine == "dict" or use_packed is False:
+                return original(
+                    forest, trace=trace, use_packed=use_packed, engine=engine
+                )
+            raise RuntimeError("packed matcher exploded")
 
         monkeypatch.setattr(scratch_gen, "compile", crashing)
         outcome = compile_with_recovery(

@@ -1,0 +1,142 @@
+"""Differential testing: the compiled matcher vs its two oracles.
+
+The generated loop pair is the fastest engine and therefore the least
+inspectable one; this suite holds it to byte-identical output against
+the packed interpreter (its direct oracle) and the dict reference loop
+over the curated workload suite, the fuzzer's widened spec space, every
+checked-in fuzz reproducer, and the shipped example programs' golden
+assembly.  Any divergence is a codegen bug in the rendered source,
+never an acceptable approximation.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.codegen.driver import GrahamGlanvilleCodeGenerator
+from repro.compile import compile_program
+from repro.fuzz.driver import spec_for_case
+from repro.workloads.generator import generate_workload
+from repro.workloads.programs import ALL_PROGRAMS
+
+_REPO = pathlib.Path(__file__).resolve().parents[2]
+CORPUS = _REPO / "fuzz" / "corpus"
+GOLDEN_DIR = _REPO / "tests" / "goldens"
+
+
+@pytest.fixture(scope="module")
+def compiled_gen(vax_bundle, vax_tables):
+    return GrahamGlanvilleCodeGenerator(
+        bundle=vax_bundle, tables=vax_tables, engine="compiled"
+    )
+
+
+@pytest.fixture(scope="module")
+def packed_gen(vax_bundle, vax_tables):
+    return GrahamGlanvilleCodeGenerator(
+        bundle=vax_bundle, tables=vax_tables, engine="packed"
+    )
+
+
+@pytest.fixture(scope="module")
+def dict_gen(vax_bundle, vax_tables):
+    return GrahamGlanvilleCodeGenerator(
+        bundle=vax_bundle, tables=vax_tables, engine="dict"
+    )
+
+
+def assert_identical(source, compiled_gen, packed_gen, dict_gen=None):
+    compiled = compile_program(source, generator=compiled_gen)
+    packed = compile_program(source, generator=packed_gen)
+    assert compiled.text == packed.text
+    for name in compiled.source_program.order:
+        fast = compiled.function_results[name]
+        slow = packed.function_results[name]
+        assert fast.shifts == slow.shifts
+        assert fast.reductions == slow.reductions
+        assert fast.chain_reductions == slow.chain_reductions
+        assert fast.statements == slow.statements
+    if dict_gen is not None:
+        assert compiled.text == compile_program(
+            source, generator=dict_gen
+        ).text
+
+
+@pytest.mark.parametrize(
+    "program", ALL_PROGRAMS, ids=[p.name for p in ALL_PROGRAMS]
+)
+def test_compiled_matches_oracles_everywhere(
+    program, compiled_gen, packed_gen, dict_gen
+):
+    assert_identical(program.source, compiled_gen, packed_gen, dict_gen)
+
+
+@pytest.mark.parametrize("case", range(8))
+def test_compiled_matches_packed_on_fuzz_programs(
+    case, compiled_gen, packed_gen
+):
+    """The fuzzer's widened spec space reaches grammar corners the
+    curated suite does not; the generated loops must not diverge
+    there either."""
+    source = generate_workload(spec_for_case(1982, case))
+    assert_identical(source, compiled_gen, packed_gen)
+
+
+@pytest.mark.parametrize(
+    "fingerprint",
+    sorted(p.name for p in CORPUS.iterdir() if p.is_dir())
+    if CORPUS.is_dir() else ["<empty>"],
+)
+def test_compiled_matches_packed_on_corpus_reproducers(
+    fingerprint, compiled_gen, packed_gen
+):
+    """Every checked-in fuzz reproducer once exposed an engine
+    divergence; the compiled engine replays them against packed."""
+    if fingerprint == "<empty>":
+        pytest.skip("fuzz corpus is empty")
+    source = (CORPUS / fingerprint / "repro.c").read_text()
+    assert_identical(source, compiled_gen, packed_gen)
+
+
+def test_compiled_reproduces_the_example_goldens(compiled_gen):
+    """The shipped golden `.s` files were produced on the packed
+    engine; the compiled engine must regenerate them byte-for-byte."""
+    import importlib.util
+
+    def load_example(name):
+        path = _REPO / "examples" / f"{name}.py"
+        spec = importlib.util.spec_from_file_location(f"gold_{name}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    programs = [("quickstart", load_example("quickstart").SOURCE)] + [
+        (f"idiom_{index:02d}", source)
+        for index, (_title, source) in enumerate(
+            load_example("idioms_tour").SNIPPETS
+        )
+    ]
+    for name, source in programs:
+        golden = GOLDEN_DIR / f"{name}.gg.s"
+        text = compile_program(source, generator=compiled_gen).text
+        assert text == golden.read_text(), (
+            f"compiled engine drifted from {golden.name}"
+        )
+
+
+def test_compiled_engine_reports_compiled_runs(compiled_gen):
+    from repro.obs.metrics import REGISTRY
+
+    was_enabled = REGISTRY.enabled
+    held = REGISTRY.drain()
+    REGISTRY.enabled = True
+    try:
+        compile_program(
+            "int f(int x) { return x * 2; }", generator=compiled_gen
+        )
+        snapshot = REGISTRY.drain()
+    finally:
+        REGISTRY.enabled = was_enabled
+        REGISTRY.absorb(held)
+    assert snapshot.counters.get("matcher.compiled_runs", 0) > 0
+    assert snapshot.counters.get("matcher.compiled_fallbacks", 0) == 0

@@ -1,0 +1,45 @@
+"""The ``ggcc match-bench`` subcommand: three-engine throughput."""
+
+import json
+
+import pytest
+
+from repro.tools.cli import main, match_bench_main
+
+
+def test_match_bench_json_reports_all_three_engines(capsys):
+    rc = match_bench_main(["examples/quickstart", "--repeats", "1", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["label"].endswith("quickstart.py")
+    assert payload["streams"] > 0
+    assert payload["tokens"] > 0
+    rates = payload["tokens_per_sec"]
+    assert set(rates) == {"compiled", "packed", "dict"}
+    assert all(rate > 0 for rate in rates.values())
+
+
+def test_match_bench_engine_filter_and_human_output(capsys):
+    rc = match_bench_main([
+        "examples/quickstart", "--repeats", "1",
+        "--engine", "compiled", "--engine", "packed",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "compiled" in out and "packed" in out
+    assert "dict" not in out
+    assert "x packed" in out, "non-packed engines annotate their speedup"
+
+
+def test_match_bench_dispatches_from_main(capsys):
+    rc = main(["match-bench", "examples/quickstart", "--repeats", "1",
+               "--engine", "packed", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert list(payload["tokens_per_sec"]) == ["packed"]
+
+
+def test_match_bench_rejects_sourceless_module(capsys):
+    rc = match_bench_main(["examples/idioms_tour", "--repeats", "1"])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
