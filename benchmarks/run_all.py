@@ -1,6 +1,6 @@
 #!/usr/bin/env python
-"""One-command benchmark trajectory: write BENCH_compile.json and
-BENCH_parse.json at the repo root.
+"""One-command benchmark trajectory: write BENCH_compile.json,
+BENCH_parse.json and BENCH_server.json at the repo root.
 
 The pytest benches under ``benchmarks/`` regenerate the paper's tables;
 this driver instead records the *reproduction's own* performance so a
@@ -15,6 +15,11 @@ future change has concrete numbers to compare against:
   in tokens/sec over pre-linearized corpus streams, plus the compaction
   size stats (merged rows/columns, total words) behind the compiled
   engine.
+* ``BENCH_server.json`` — the async compile service under concurrent
+  load: a cold row (distinct units per request) and a warm row (pure
+  result-cache traffic), p50/p99 latency, throughput, and the speedups
+  over cold and over the old one-connection blocking server (same
+  harness as ``ggcc load-test``).
 
 Run from the repo root::
 
@@ -156,7 +161,10 @@ def bench_server(source: str, jobs: int, repeats: int,
     serial = compile_program(source, jobs=1)
     with _tempfile.TemporaryDirectory() as sock_dir:
         path = os.path.join(sock_dir, "ggcc-bench.sock")
-        server = CompileServer(path=path, jobs=jobs)
+        # The result cache would turn the repeats into pure cache reads;
+        # this row's meaning is "every request pays the dynamic phase",
+        # so it stays off (BENCH_server.json measures the cached rates).
+        server = CompileServer(path=path, jobs=jobs, result_cache=False)
         server.bind()
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()
@@ -185,6 +193,32 @@ def bench_server(source: str, jobs: int, repeats: int,
           f"({row['requests_per_sec']} req/s, "
           f"{row['functions_per_sec']} fn/s)")
     return row
+
+
+def bench_server_load(quick: bool) -> dict:
+    """Concurrent-load rows for ``BENCH_server.json``: cold (distinct
+    units, every compile pays the dynamic phase) and warm (pure
+    result-cache traffic) against a private async server, with p50/p99
+    latency, throughput, and the speedup over the PR-5 blocking
+    baseline.  Same harness as ``ggcc load-test``."""
+    from repro.server.loadgen import load_test_report
+
+    if quick:
+        report = load_test_report(
+            clients=12, requests_per_client=3, functions=2, statements=4,
+        )
+    else:
+        report = load_test_report(
+            clients=50, requests_per_client=4, functions=3, statements=6,
+        )
+    for row in ("cold", "warm"):
+        stats = report[row]
+        print(f"  load {row:4s} {stats['requests_per_sec']:8.1f} req/s  "
+              f"p50 {stats['p50_ms']:7.1f}ms  p99 {stats['p99_ms']:7.1f}ms")
+    print(f"  warm speedup {report['warm_speedup']}x over cold, "
+          f"{report['speedup_vs_blocking']}x over the blocking baseline "
+          f"({report['baseline_blocking_rps']} req/s)")
+    return report
 
 
 def bench_phases(source: str) -> dict:
@@ -313,6 +347,17 @@ def main(argv=None) -> int:
     write_json(os.path.join(options.out_dir, "BENCH_parse.json"), {
         "meta": meta,
         "match_tokens": parse,
+    })
+
+    print("server under concurrent load (cold vs result-cache warm)...")
+    load = bench_server_load(options.quick)
+    write_json(os.path.join(options.out_dir, "BENCH_server.json"), {
+        "meta": {
+            "python": meta["python"],
+            "timing": "closed-loop concurrent clients, wall clock over "
+                      "the whole run; latencies per round trip",
+        },
+        "load": load,
     })
     return 0 if phases["invariants_ok"] else 1
 

@@ -17,6 +17,9 @@ text.  Codes are grouped by prefix:
     persistent table-cache integrity events.
 ``WORKER-*``
     parallel-driver containment events.
+``SERVER-*``
+    compile-service admission control: queue-full backpressure and
+    expired request deadlines.
 ``FN-*`` / ``FRONTEND-*``
     per-function and whole-program terminal failures.
 
@@ -59,6 +62,10 @@ WORKER_CRASH = "WORKER-CRASH"
 WORKER_INIT = "WORKER-INIT"
 FN_FAILED = "FN-FAILED"
 FRONTEND_ERROR = "FRONTEND-ERROR"
+
+# ------------------------------------------------------------- service
+SERVER_OVERLOAD = "SERVER-OVERLOAD"
+SERVER_DEADLINE = "SERVER-DEADLINE"
 
 #: code -> (default severity, one-line description)
 REGISTRY: Dict[str, Tuple[str, str]] = {
@@ -131,6 +138,16 @@ REGISTRY: Dict[str, Tuple[str, str]] = {
     FRONTEND_ERROR: (
         ERROR,
         "the front end rejected the program before code generation",
+    ),
+    SERVER_OVERLOAD: (
+        WARNING,
+        "the compile service's admission queue was full; the request "
+        "was rejected immediately with backpressure instead of queued",
+    ),
+    SERVER_DEADLINE: (
+        ERROR,
+        "the request's deadline expired before its compile finished; "
+        "queued work was cancelled, running work was abandoned",
     ),
 }
 

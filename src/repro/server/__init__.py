@@ -1,26 +1,41 @@
-"""The compile server: warm tables behind a local socket.
+"""The compile service: warm tables behind a local socket.
 
 The paper's static/dynamic split says table construction is the
 expensive part and per-function compilation is cheap — so a driver that
 pays the static phase on every invocation throws the advantage away.
 ``ggcc serve`` keeps one process alive with the constructed tables (and,
 with ``--jobs``, a persistent :class:`~repro.compile.SharedTablePool`)
-and accepts batch compile requests over a local socket: each request
-pays only dynamic-phase cost and ships back per-request diagnostics, a
-metrics delta, and (on request) a span trace.
+and serves concurrent clients from an asyncio accept loop: bounded
+admission queue with ``SERVER-OVERLOAD`` backpressure, per-request
+deadlines, request pipelining with id echo, and a per-function
+content-addressed result cache so repeat traffic skips the dynamic
+phase too.  Each response ships per-request diagnostics, a metrics
+delta, and (on request) a span trace.
 
-Three modules::
+Five modules::
 
-    protocol.py   length-prefixed JSON frames over a stream socket
-    server.py     CompileServer: accept loop, request dispatch, warm pool
-    client.py     CompileClient: connect/retry, one call per operation
+    protocol.py      length-prefixed JSON frames; sans-IO FrameDecoder,
+                     blocking and asyncio transports
+    server.py        CompileServer: async accept loop, admission queue,
+                     deadlines, warm pool, result cache
+    result_cache.py  content-addressed per-function assembly cache
+    client.py        CompileClient: jittered connect retry, pipelining
+    loadgen.py       concurrent load harness behind ``ggcc load-test``
 """
 
 from .client import CompileClient
-from .protocol import ProtocolError, recv_frame, send_frame
+from .loadgen import LoadReport, run_load
+from .protocol import (
+    FrameDecoder, ProtocolError, encode_frame, read_frame_async,
+    recv_frame, send_frame, write_frame_async,
+)
+from .result_cache import ResultCache, result_key, table_fingerprint
 from .server import CompileServer
 
 __all__ = [
-    "CompileClient", "CompileServer", "ProtocolError",
-    "recv_frame", "send_frame",
+    "CompileClient", "CompileServer", "ProtocolError", "FrameDecoder",
+    "encode_frame", "recv_frame", "send_frame",
+    "read_frame_async", "write_frame_async",
+    "ResultCache", "result_key", "table_fingerprint",
+    "LoadReport", "run_load",
 ]

@@ -11,14 +11,25 @@ allocate unbounded memory.
 EOF exactly on a frame boundary is a clean close (``recv_frame``
 returns ``None``); EOF inside a header or payload is a
 :class:`ProtocolError`, because it means the peer died mid-message.
+
+The framing logic exists once, sans-IO, in :class:`FrameDecoder`: feed
+it bytes in whatever chunks the transport delivers (a byte at a time,
+many frames at once) and it yields decoded payloads, raising
+:class:`ProtocolError` at the earliest byte that proves the stream is
+bad — an oversized announcement is rejected on the fourth header byte,
+before any payload is buffered.  The blocking helpers
+(:func:`recv_frame`) and the asyncio helpers
+(:func:`read_frame_async`/:func:`write_frame_async`) are thin
+transports over the same decoder semantics.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import struct
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 #: Hard ceiling on one frame's payload.  Generous — a batch of compiled
 #: assembly plus a span trace is well under a megabyte — but finite.
@@ -31,15 +42,90 @@ class ProtocolError(RuntimeError):
     """A malformed, truncated, or oversized frame."""
 
 
-def send_frame(sock: socket.socket, payload: Any) -> int:
-    """Serialize *payload* as one frame; returns the bytes sent."""
+def encode_frame(payload: Any) -> bytes:
+    """Serialize *payload* into one length-prefixed frame."""
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(body)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit"
         )
-    data = _HEADER.pack(len(body)) + body
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_payload(body: bytes) -> Any:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+class FrameDecoder:
+    """Incremental, transport-agnostic frame decoder.
+
+    Feed it whatever the transport delivered; it returns every complete
+    frame the buffer now holds.  Errors surface at the earliest
+    decisive byte: a header announcing more than *limit* bytes raises
+    before one payload byte is accepted (the announcement itself proves
+    the peer is corrupt or hostile), and a payload that is not UTF-8
+    JSON raises as soon as its last byte arrives.  :meth:`eof` asserts
+    the stream ended on a frame boundary — EOF mid-header or
+    mid-payload is the peer dying mid-message, a protocol error.
+    """
+
+    def __init__(self, limit: int = MAX_FRAME_BYTES) -> None:
+        self.limit = limit
+        self._buffer = bytearray()
+        #: Announced length of the frame being assembled (None while
+        #: the header itself is still incomplete).
+        self._expected: Optional[int] = None
+
+    @property
+    def mid_frame(self) -> bool:
+        """True when a partially received frame is buffered."""
+        return bool(self._buffer) or self._expected is not None
+
+    def feed(self, data: bytes) -> List[Any]:
+        """Consume *data*; return the payloads completed by it."""
+        self._buffer.extend(data)
+        frames: List[Any] = []
+        while True:
+            if self._expected is None:
+                if len(self._buffer) < _HEADER.size:
+                    break
+                (length,) = _HEADER.unpack(self._buffer[:_HEADER.size])
+                if length > self.limit:
+                    raise ProtocolError(
+                        f"peer announced a {length}-byte frame "
+                        f"(limit {self.limit})"
+                    )
+                del self._buffer[:_HEADER.size]
+                self._expected = length
+            if len(self._buffer) < self._expected:
+                break
+            body = bytes(self._buffer[:self._expected])
+            del self._buffer[:self._expected]
+            self._expected = None
+            frames.append(_decode_payload(body))
+        return frames
+
+    def eof(self) -> None:
+        """Declare end of stream; raises unless on a frame boundary."""
+        if self._expected is not None:
+            raise ProtocolError(
+                f"peer closed mid-frame ({len(self._buffer)} of "
+                f"{self._expected} payload bytes received)"
+            )
+        if self._buffer:
+            raise ProtocolError(
+                f"peer closed mid-header ({len(self._buffer)} of "
+                f"{_HEADER.size} header bytes received)"
+            )
+
+
+def send_frame(sock: socket.socket, payload: Any) -> int:
+    """Serialize *payload* as one frame; returns the bytes sent."""
+    data = encode_frame(payload)
     sock.sendall(data)
     return len(data)
 
@@ -76,7 +162,48 @@ def recv_frame(sock: socket.socket) -> Optional[Any]:
     body = _recv_exact(sock, length) if length else b""
     if body is None:
         raise ProtocolError("peer closed between header and payload")
+    return _decode_payload(body)
+
+
+# ------------------------------------------------------------------ asyncio
+async def read_frame_async(reader: asyncio.StreamReader) -> Optional[Any]:
+    """The next frame from an asyncio stream, ``None`` on clean EOF.
+
+    Same contract as :func:`recv_frame`: EOF exactly on a frame
+    boundary is a clean close, EOF mid-header or mid-payload (the peer
+    died mid-message) is a :class:`ProtocolError`, and an oversized
+    announcement is rejected before any payload is read.
+    """
     try:
-        return json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"peer closed mid-header ({len(exc.partial)} of "
+            f"{_HEADER.size} header bytes received)"
+        ) from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"peer closed mid-frame ({len(exc.partial)} of "
+            f"{length} payload bytes received)"
+        ) from exc
+    return _decode_payload(body)
+
+
+async def write_frame_async(
+    writer: asyncio.StreamWriter, payload: Any
+) -> int:
+    """Send one frame on an asyncio stream; returns the bytes written."""
+    data = encode_frame(payload)
+    writer.write(data)
+    await writer.drain()
+    return len(data)

@@ -1,29 +1,58 @@
-"""The long-lived compile daemon behind ``ggcc serve``.
+"""The long-lived compile service behind ``ggcc serve``.
 
 A :class:`CompileServer` owns one warm generator (tables constructed at
-startup, never again) and — with ``jobs > 1`` — one persistent
-:class:`~repro.compile.SharedTablePool` whose workers made those tables
-resident in their initializer.  Every request thereafter is pure
-dynamic phase: the throughput shape the ROADMAP's "fast as the
-hardware allows" item asks for, and the one that transfers to serving
-many clients from one resident table image.
+startup, never again), an optional persistent
+:class:`~repro.compile.SharedTablePool` (``jobs > 1``), and a
+per-function content-addressed **result cache**
+(:mod:`repro.server.result_cache`): repeat traffic whose functions,
+tables and engine are unchanged skips the dynamic phase entirely.
 
-Requests are JSON frames (:mod:`repro.server.protocol`); the server
-handles one connection at a time and the operations are:
+The service is an asyncio accept loop built for concurrent load:
+
+* **Many connections, pipelined requests.**  Every connection is served
+  concurrently; within one connection a client may stream request
+  frames without waiting for responses.  Responses carry the request's
+  ``"id"`` back verbatim (include one to correlate under pipelining —
+  compile responses complete in admission order today, but only the id
+  is contract).
+* **Bounded admission queue with backpressure.**  Compile work enters a
+  queue of at most ``queue_limit`` entries.  When it is full, the
+  request is rejected *immediately* with a structured
+  ``SERVER-OVERLOAD`` diagnostic — never a hang, never a silently
+  dropped connection.  Control operations (``ping``, ``stats``,
+  ``shutdown``) bypass the queue so the server stays observable under
+  overload.
+* **Per-request deadlines.**  ``{"deadline": seconds}`` (or the
+  server-wide ``default_deadline``) starts a watchdog at admission.  If
+  it fires while the request is still queued the work is cancelled
+  outright; if it fires mid-compile the response is sent immediately
+  and the in-flight result is discarded on completion (a running
+  compile cannot be interrupted, but its caller is never left waiting
+  past the deadline).  Either way the client gets a structured
+  ``SERVER-DEADLINE`` response.
+* **One compile executor.**  Compiles run on a single worker thread:
+  the dynamic phase is pure Python (GIL-bound across threads anyway),
+  per-request parallelism comes from the process pool (``jobs``), and
+  serializing compiles is what keeps each response's *metrics delta*
+  exact — the registry window opens and closes around exactly one
+  request's work.  Admission, framing, caching decisions and deadline
+  handling all stay on the event loop, concurrent with any compile.
+
+Operations (JSON frames, :mod:`repro.server.protocol`):
 
 ``{"op": "ping"}``
     liveness probe; returns the server pid and uptime.
-``{"op": "compile", "source": ..., "jobs"?, "parallel"?, "resilient"?,
-"spans"?}``
+``{"op": "compile", "source": ..., "id"?, "deadline"?, "jobs"?,
+"parallel"?, "resilient"?, "spans"?}``
     compile one translation unit; the response carries the assembly,
     per-function tiers and failures, structured diagnostics, the
-    request's metrics *delta*, and (with ``"spans": true``) a Chrome
-    ``trace_event`` list for just that request.
+    request's metrics *delta*, result-cache traffic, and (with
+    ``"spans": true``) a Chrome ``trace_event`` list.
 ``{"op": "compile_batch", "requests": [...]}``
     the compile op over a list, one response per request, in order —
-    one round trip amortizes framing over a whole batch.
+    one round trip (and one admission-queue slot) for a whole batch.
 ``{"op": "stats"}``
-    request counters, pool shape, uptime.
+    request counters, queue depth, result-cache stats, pool shape.
 ``{"op": "shutdown"}``
     acknowledge, then stop accepting.
 
@@ -34,16 +63,101 @@ collected, and the server keeps serving.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import socket
 import time
-from typing import Any, Dict, List, Optional
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..codegen.driver import GrahamGlanvilleCodeGenerator
-from ..compile import SharedTablePool, _effective_width, compile_program
+from ..compile import (
+    ProgramAssembly, SharedTablePool, _effective_width, _function_seconds,
+    compile_program,
+)
+from ..diag import codes
+from ..diag.diagnostics import Diagnostic
+from ..frontend import lower_program, parse
 from ..obs import install_recorder, uninstall_recorder
 from ..obs.metrics import REGISTRY
-from .protocol import ProtocolError, recv_frame, send_frame
+from ..obs.spans import span
+from .protocol import (
+    ProtocolError, read_frame_async, write_frame_async,
+)
+from .result_cache import ResultCache, table_fingerprint
+
+#: Admission-queue capacity when the caller doesn't choose one.  Large
+#: enough that a burst of concurrent clients queues rather than sheds,
+#: small enough that queueing delay stays bounded by tens of compiles.
+DEFAULT_QUEUE_LIMIT = 128
+
+#: Bucket boundaries for the queue-depth histogram (entries, not
+#: seconds).
+QUEUE_DEPTH_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+_FALSEY = {"0", "off", "false", "no"}
+
+#: ``REPRO_RESULT_CACHE=0`` disables the per-function result cache for
+#: servers that don't choose explicitly.
+ENV_RESULT_CACHE = "REPRO_RESULT_CACHE"
+
+
+def _result_cache_default() -> bool:
+    value = os.environ.get(ENV_RESULT_CACHE)
+    if value is None:
+        return True
+    return value.strip().lower() not in _FALSEY
+
+
+class _Connection:
+    """One peer: its streams plus a write lock so pipelined responses
+    never interleave mid-frame."""
+
+    __slots__ = ("reader", "writer", "lock")
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.lock = asyncio.Lock()
+
+    async def send(self, payload: Any) -> None:
+        async with self.lock:
+            await write_frame_async(self.writer, payload)
+
+    async def send_safe(self, payload: Any) -> bool:
+        """Send, swallowing a dead peer (it can't be helped by now)."""
+        try:
+            await self.send(payload)
+            return True
+        except (OSError, ConnectionError):
+            return False
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except (OSError, RuntimeError):
+            pass
+
+
+@dataclass
+class _Job:
+    """One admitted compile request, from queue to response."""
+
+    conn: _Connection
+    request: Dict[str, Any]
+    op: str
+    rid: Any = None
+    enqueued_at: float = 0.0
+    deadline: Optional[float] = None
+    started: bool = False
+    #: Once True, exactly one response has been (or is being) sent —
+    #: the worker and the deadline watchdog race for it on the single
+    #: event-loop thread, so a plain flag is a safe arbiter.
+    responded: bool = False
+    watchdog: Optional[asyncio.TimerHandle] = None
 
 
 class CompileServer:
@@ -52,13 +166,23 @@ class CompileServer:
     ``path`` binds an ``AF_UNIX`` socket (preferred: filesystem
     permissions are the access control); ``host``/``port`` binds TCP
     loopback instead, for platforms without unix sockets.  ``jobs``
-    sizes the persistent worker pool (clamped to available CPUs, like
-    the in-process fast path); ``jobs=1`` serves every request serially
-    in the server process, which still wins whenever table construction
-    dominates a cold ``ggcc`` run.
+    sizes the persistent worker pool used *within* a request (clamped
+    to available CPUs); cross-request concurrency comes from the async
+    accept loop and the result cache, not from thread fan-out.
 
-    ``max_requests`` stops the accept loop after that many requests —
-    the tests' way of bounding a server thread's lifetime.
+    ``queue_limit`` bounds the admission queue (queue-full requests get
+    an immediate ``SERVER-OVERLOAD`` response); ``default_deadline``
+    applies to requests that don't carry their own ``"deadline"``.
+    ``result_cache`` may be ``False`` (disable), a ready
+    :class:`ResultCache` (tests), or ``None`` — enabled, memory-only
+    unless ``result_cache_dir`` names a persistent directory, and
+    honouring ``REPRO_RESULT_CACHE=0``.
+
+    ``max_requests`` stops the accept loop once that many requests have
+    been received and answered — the tests' way of bounding a server
+    thread's lifetime.  ``_before_compile`` is a test seam: a callable
+    run on the compile thread before each request's work (tests block
+    it on an event to fill the queue deterministically).
     """
 
     def __init__(
@@ -69,6 +193,11 @@ class CompileServer:
         jobs: int = 1,
         generator: Optional[GrahamGlanvilleCodeGenerator] = None,
         max_requests: Optional[int] = None,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        default_deadline: Optional[float] = None,
+        result_cache: Any = None,
+        result_cache_dir: Optional[str] = None,
+        _before_compile: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if path is not None and host is not None:
             raise ValueError("give a unix socket path or a TCP host, not both")
@@ -79,14 +208,38 @@ class CompileServer:
         self.port = port
         self.jobs = max(1, jobs)
         self.max_requests = max_requests
+        self.queue_limit = max(1, queue_limit)
+        self.default_deadline = default_deadline
         self.generator = generator or GrahamGlanvilleCodeGenerator()
         self.pool: Optional[SharedTablePool] = None
         self.started_at = time.monotonic()
         self.requests_served = 0
         self.functions_compiled = 0
         self.errors = 0
+        self.overloads = 0
+        self.deadline_expired = 0
+        self._before_compile = _before_compile
         self._running = False
         self._listener: Optional[socket.socket] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._outstanding = 0
+        self._connections: Set[_Connection] = set()
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+        if result_cache is False:
+            self.result_cache: Optional[ResultCache] = None
+        elif isinstance(result_cache, ResultCache):
+            self.result_cache = result_cache
+        elif _result_cache_default():
+            self.result_cache = ResultCache(
+                table_fingerprint(self.generator),
+                self.generator.engine,
+                directory=result_cache_dir,
+            )
+        else:
+            self.result_cache = None
 
     # ------------------------------------------------------------ pool
     def _ensure_pool(self) -> Optional[SharedTablePool]:
@@ -115,7 +268,8 @@ class CompileServer:
             listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
             listener.bind((self.host, self.port))
             self.port = listener.getsockname()[1]
-        listener.listen(8)
+        listener.listen(128)
+        listener.setblocking(False)
         self._listener = listener
         return listener
 
@@ -124,64 +278,251 @@ class CompileServer:
         return self.path if self.path is not None \
             else f"{self.host}:{self.port}"
 
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
     def serve_forever(self) -> None:
-        """Accept loop: one connection at a time, frames until EOF.
+        """Run the async service to completion on a private event loop.
 
         Returns after a ``shutdown`` request or once ``max_requests``
         requests have been answered; the listening socket (and the
         unix-socket path) are cleaned up on the way out, the worker
-        pool is shut down, but the warm generator survives for a later
-        ``serve_forever`` call.
+        pool is shut down, but the warm generator (and the result
+        cache) survive for a later call.
         """
+        asyncio.run(self.serve_async())
+
+    async def serve_async(self) -> None:
+        """The accept loop proper, for callers who own an event loop."""
         if self._listener is None:
             self.bind()
         if self.jobs > 1:
             self._ensure_pool()
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.queue_limit)
+        self._shutdown_event = asyncio.Event()
+        self._outstanding = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="ggcc-compile"
+        )
         self._running = True
+        if self.path is not None:
+            server = await asyncio.start_unix_server(
+                self._serve_connection, sock=self._listener
+            )
+        else:
+            server = await asyncio.start_server(
+                self._serve_connection, sock=self._listener
+            )
+        worker = asyncio.create_task(self._compile_worker())
         try:
-            while self._running:
-                conn, _ = self._listener.accept()
-                try:
-                    self._serve_connection(conn)
-                finally:
-                    conn.close()
+            await self._shutdown_event.wait()
         finally:
             self._running = False
-            self._listener.close()
+            server.close()
+            await server.wait_closed()
+            worker.cancel()
+            for conn in list(self._connections):
+                conn.close()
+            self._connections.clear()
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
             self._listener = None
+            self._queue = None
+            self._loop = None
             if self.path is not None and os.path.exists(self.path):
                 os.unlink(self.path)
             if self.pool is not None:
                 self.pool.shutdown(wait=False, cancel_futures=True)
                 self.pool = None
 
-    def _serve_connection(self, conn: socket.socket) -> None:
-        while True:
-            try:
-                request = recv_frame(conn)
-            except ProtocolError as exc:
-                # A malformed frame poisons only its connection: report
-                # it if the socket still works, then drop the peer.
+    # ------------------------------------------------------ connections
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(reader, writer)
+        self._connections.add(conn)
+        try:
+            while self._running:
                 try:
-                    send_frame(conn, _error("protocol", str(exc)))
-                except OSError:
-                    pass
-                return
-            if request is None:
-                return
-            response = self.handle(request)
-            send_frame(conn, response)
-            if not self._running:
-                return
-            if self.max_requests is not None \
-                    and self.requests_served >= self.max_requests:
-                self._running = False
-                return
+                    request = await read_frame_async(reader)
+                except ProtocolError as exc:
+                    # A malformed frame poisons only its connection:
+                    # report it if the socket still works, then drop
+                    # the peer.
+                    await conn.send_safe(_error("protocol", str(exc)))
+                    return
+                if request is None:
+                    return
+                await self._dispatch(conn, request)
+        except (OSError, ConnectionError):
+            pass
+        finally:
+            self._connections.discard(conn)
+            conn.close()
+
+    async def _dispatch(
+        self, conn: _Connection, request: Any
+    ) -> None:
+        """Route one request frame: control ops answer inline, compile
+        ops pass admission control into the bounded queue."""
+        self.requests_served += 1
+        if not isinstance(request, dict) or "op" not in request:
+            self.errors += 1
+            await self._respond(
+                conn, _error("bad-request", "a request is {'op': ..., ...}")
+            )
+            return
+        op = request["op"]
+        rid = request.get("id")
+        if op == "ping":
+            await self._respond(conn, self._ping_response(), rid)
+            return
+        if op == "stats":
+            await self._respond(conn, self._stats_response(), rid)
+            return
+        if op == "shutdown":
+            await self._respond(conn, {"ok": True, "op": "shutdown"}, rid)
+            self._begin_shutdown()
+            return
+        if op not in ("compile", "compile_batch"):
+            self.errors += 1
+            await self._respond(
+                conn, _error("bad-request", f"unknown op {op!r}"), rid
+            )
+            return
+
+        job = _Job(
+            conn=conn, request=request, op=op, rid=rid,
+            enqueued_at=self._loop.time(),
+            deadline=_deadline_of(request, self.default_deadline),
+        )
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.overloads += 1
+            REGISTRY.inc("server.queue.rejected")
+            await self._respond(conn, self._overload_response(op), rid)
+            return
+        self._outstanding += 1
+        REGISTRY.inc("server.queue.admitted")
+        REGISTRY.observe(
+            "server.queue.depth", self._queue.qsize(),
+            bounds=QUEUE_DEPTH_BOUNDS,
+        )
+        if job.deadline is not None:
+            job.watchdog = self._loop.call_later(
+                job.deadline, self._expire_job, job
+            )
+
+    # ------------------------------------------------------- responding
+    async def _respond(
+        self, conn: _Connection, payload: Dict[str, Any], rid: Any = None
+    ) -> None:
+        if rid is not None:
+            payload["id"] = rid
+        await conn.send_safe(payload)
+        self._maybe_stop()
+
+    def _maybe_stop(self) -> None:
+        if (
+            self.max_requests is not None
+            and self.requests_served >= self.max_requests
+            and self._outstanding <= 0
+        ):
+            self._begin_shutdown()
+
+    def _begin_shutdown(self) -> None:
+        self._running = False
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    # -------------------------------------------------------- deadlines
+    def _expire_job(self, job: _Job) -> None:
+        """Watchdog body: the deadline fired first.  Queued work is
+        cancelled outright (the worker will skip it); running work is
+        abandoned — the response goes out now, the eventual result is
+        discarded."""
+        if job.responded:
+            return
+        job.responded = True
+        self._outstanding -= 1
+        self.deadline_expired += 1
+        REGISTRY.inc("server.deadline.expired")
+        self._loop.create_task(
+            self._respond(job.conn, self._deadline_response(job), job.rid)
+        )
+
+    def _deadline_response(self, job: _Job) -> Dict[str, Any]:
+        waited = self._loop.time() - job.enqueued_at
+        stage = "running" if job.started else "queued"
+        message = (
+            f"deadline of {job.deadline:.3g}s expired after "
+            f"{waited:.3g}s ({stage}); "
+            + ("the in-flight compile was abandoned"
+               if job.started else "the queued request was cancelled")
+        )
+        diag = Diagnostic(
+            code=codes.SERVER_DEADLINE, message=message,
+            context={"deadline_seconds": job.deadline,
+                     "waited_seconds": round(waited, 6), "stage": stage},
+        )
+        response = _error(codes.SERVER_DEADLINE, message)
+        response["op"] = job.op
+        response["diagnostics"] = [diag.to_dict()]
+        return response
+
+    def _overload_response(self, op: str) -> Dict[str, Any]:
+        message = (
+            f"admission queue full ({self.queue_limit} request(s) "
+            f"queued); retry with backoff"
+        )
+        diag = Diagnostic(
+            code=codes.SERVER_OVERLOAD, message=message,
+            context={"queue_limit": self.queue_limit,
+                     "queue_depth": self.queue_depth},
+        )
+        response = _error(codes.SERVER_OVERLOAD, message)
+        response["op"] = op
+        response["diagnostics"] = [diag.to_dict()]
+        response["queue"] = {
+            "depth": self.queue_depth, "limit": self.queue_limit,
+        }
+        return response
+
+    # ----------------------------------------------------------- worker
+    async def _compile_worker(self) -> None:
+        """Drain the admission queue through the compile executor, one
+        request at a time (see the class docstring for why one)."""
+        while True:
+            job = await self._queue.get()
+            if job.responded:
+                continue  # expired while queued; already answered
+            job.started = True
+            waited = self._loop.time() - job.enqueued_at
+            REGISTRY.observe("server.queue.wait_seconds", waited)
+            try:
+                response = await self._loop.run_in_executor(
+                    self._executor, self._execute, job.request
+                )
+            except Exception as exc:  # the server must outlive any request
+                self.errors += 1
+                response = _error(type(exc).__name__, str(exc))
+                response["op"] = job.op
+            if job.watchdog is not None:
+                job.watchdog.cancel()
+            if job.responded:
+                continue  # deadline fired mid-compile; result discarded
+            job.responded = True
+            self._outstanding -= 1
+            await self._respond(job.conn, response, job.rid)
 
     # -------------------------------------------------------- dispatch
     def handle(self, request: Any) -> Dict[str, Any]:
-        """One request in, one JSON-ready response out.  Never raises —
-        every failure becomes an ``{"ok": false, "error": ...}``."""
+        """Synchronous single-request dispatch — the compile semantics
+        without sockets, queueing or deadlines.  Never raises: every
+        failure becomes an ``{"ok": false, "error": ...}``."""
         self.requests_served += 1
         if not isinstance(request, dict) or "op" not in request:
             self.errors += 1
@@ -189,92 +530,27 @@ class CompileServer:
         op = request["op"]
         try:
             if op == "ping":
-                return {
-                    "ok": True, "op": "ping", "pid": os.getpid(),
-                    "uptime_seconds": time.monotonic() - self.started_at,
-                }
-            if op == "compile":
-                return self._handle_compile(request)
-            if op == "compile_batch":
-                requests = request.get("requests")
-                if not isinstance(requests, list):
-                    self.errors += 1
-                    return _error(
-                        "bad-request", "compile_batch needs 'requests'"
-                    )
-                return {
-                    "ok": True, "op": "compile_batch",
-                    "responses": [
-                        self._handle_compile(item) for item in requests
-                    ],
-                }
+                return self._ping_response()
             if op == "stats":
-                return self._handle_stats()
+                return self._stats_response()
             if op == "shutdown":
                 self._running = False
                 return {"ok": True, "op": "shutdown"}
+            if op in ("compile", "compile_batch"):
+                return self._execute(request)
             self.errors += 1
             return _error("bad-request", f"unknown op {op!r}")
-        except Exception as exc:  # the server must outlive any request
+        except Exception as exc:  # pragma: no cover - defensive
             self.errors += 1
             return _error(type(exc).__name__, str(exc))
 
-    def _handle_compile(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        source = request.get("source")
-        if not isinstance(source, str):
-            self.errors += 1
-            return _error("bad-request", "compile needs 'source' text")
-        jobs = int(request.get("jobs", self.jobs))
-        parallel = request.get("parallel", "process")
-        resilient = bool(request.get("resilient", False))
-        want_spans = bool(request.get("spans", False))
-
-        # The resilient path may terminate workers for containment —
-        # that poisons a pool, so it never borrows the persistent one.
-        pool = None
-        if jobs > 1 and parallel == "process" and not resilient:
-            pool = self._ensure_pool()
-
-        recorder = install_recorder() if want_spans else None
-        REGISTRY.drain()  # open this request's metrics window
-        try:
-            assembly = compile_program(
-                source,
-                generator=self.generator,
-                jobs=jobs,
-                parallel=parallel,
-                resilient=resilient,
-                timeout=request.get("timeout"),
-                pool=pool,
-            )
-        except Exception as exc:
-            self.errors += 1
-            response = _error(type(exc).__name__, str(exc))
-            response["op"] = "compile"
-            response["metrics"] = REGISTRY.drain().to_dict()
-            return response
-        finally:
-            if recorder is not None:
-                uninstall_recorder()
-
-        self.functions_compiled += len(assembly.function_results)
-        response: Dict[str, Any] = {
-            "ok": assembly.ok,
-            "op": "compile",
-            "assembly": assembly.text,
-            "functions": list(assembly.source_program.order),
-            "failed": assembly.failed,
-            "tiers": assembly.tiers,
-            "seconds": assembly.seconds,
-            "cpu_seconds": assembly.cpu_seconds,
-            "diagnostics": [d.to_dict() for d in assembly.diagnostics],
-            "metrics": REGISTRY.drain().to_dict(),
+    def _ping_response(self) -> Dict[str, Any]:
+        return {
+            "ok": True, "op": "ping", "pid": os.getpid(),
+            "uptime_seconds": time.monotonic() - self.started_at,
         }
-        if recorder is not None:
-            response["spans"] = recorder.to_trace_events()
-        return response
 
-    def _handle_stats(self) -> Dict[str, Any]:
+    def _stats_response(self) -> Dict[str, Any]:
         pool = self.pool
         return {
             "ok": True,
@@ -284,13 +560,198 @@ class CompileServer:
             "requests_served": self.requests_served,
             "functions_compiled": self.functions_compiled,
             "errors": self.errors,
+            "overloads": self.overloads,
+            "deadline_expired": self.deadline_expired,
             "jobs": self.jobs,
+            "queue": {
+                "depth": self.queue_depth,
+                "limit": self.queue_limit,
+            },
+            "result_cache": (
+                self.result_cache.stats()
+                if self.result_cache is not None else None
+            ),
             "pool": None if pool is None else {
                 "workers": pool.jobs,
                 "broken": pool.broken,
             },
             "table_source": self.generator.table_source,
         }
+
+    # ---------------------------------------------------------- compile
+    def _execute(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Compile-op body; runs on the compile executor thread."""
+        if self._before_compile is not None:
+            self._before_compile(request)
+        if request["op"] == "compile":
+            return self._handle_compile(request)
+        requests = request.get("requests")
+        if not isinstance(requests, list):
+            self.errors += 1
+            return _error("bad-request", "compile_batch needs 'requests'")
+        return {
+            "ok": True, "op": "compile_batch",
+            "responses": [self._handle_compile(item) for item in requests],
+        }
+
+    def _handle_compile(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if not isinstance(request, dict):
+            self.errors += 1
+            return _error("bad-request", "a compile request is a dict")
+        source = request.get("source")
+        if not isinstance(source, str):
+            self.errors += 1
+            return _error("bad-request", "compile needs 'source' text")
+        resilient = bool(request.get("resilient", False))
+        want_spans = bool(request.get("spans", False))
+        use_cache = self.result_cache is not None and not resilient
+
+        recorder = install_recorder() if want_spans else None
+        REGISTRY.drain()  # open this request's metrics window
+        try:
+            try:
+                with span("server.request", cat="server",
+                          cached=use_cache):
+                    if use_cache:
+                        response = self._compile_cached(source, request)
+                    else:
+                        response = self._compile_full(source, request)
+            except Exception as exc:
+                self.errors += 1
+                response = _error(type(exc).__name__, str(exc))
+                response["op"] = "compile"
+            response["metrics"] = REGISTRY.drain().to_dict()
+            if recorder is not None and response.get("ok"):
+                response["spans"] = recorder.to_trace_events()
+        finally:
+            if recorder is not None:
+                uninstall_recorder()
+        return response
+
+    def _compile_full(
+        self, source: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """The whole-unit path: ``compile_program`` with the persistent
+        pool, exactly the PR-5 semantics — and, when the result cache is
+        on, the population side of a fully-cold cached request."""
+        jobs = int(request.get("jobs", self.jobs))
+        parallel = request.get("parallel", "process")
+        resilient = bool(request.get("resilient", False))
+
+        # The resilient path may terminate workers for containment —
+        # that poisons a pool, so it never borrows the persistent one.
+        pool = None
+        if jobs > 1 and parallel == "process" and not resilient:
+            pool = self._ensure_pool()
+
+        assembly = compile_program(
+            source,
+            generator=self.generator,
+            jobs=jobs,
+            parallel=parallel,
+            resilient=resilient,
+            timeout=request.get("timeout"),
+            pool=pool,
+        )
+        self.functions_compiled += len(assembly.function_results)
+        if self.result_cache is not None and not resilient and assembly.ok:
+            self._populate_cache(source, assembly)
+        return {
+            "ok": assembly.ok,
+            "op": "compile",
+            "assembly": assembly.text,
+            "functions": list(assembly.source_program.order),
+            "failed": assembly.failed,
+            "tiers": assembly.tiers,
+            "seconds": assembly.seconds,
+            "cpu_seconds": assembly.cpu_seconds,
+            "diagnostics": [d.to_dict() for d in assembly.diagnostics],
+        }
+
+    def _populate_cache(
+        self, source: str, assembly: ProgramAssembly
+    ) -> None:
+        """Store every function of a successful full compile under its
+        content address, so the next request for any of them is warm."""
+        try:
+            keys = self.result_cache.keys_for(parse(source))
+        except Exception:
+            return  # cache population must never fail a served request
+        for name in assembly.source_program.order:
+            result = assembly.function_results[name]
+            self.result_cache.put(
+                keys[name], name,
+                result.assembly,  # type: ignore[attr-defined]
+                _function_seconds(result),
+            )
+
+    def _compile_cached(
+        self, source: str, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """The result-cache path: hits skip the dynamic phase, misses
+        compile serially against the warm generator and populate the
+        cache.  A fully-cold unit falls back to :meth:`_compile_full`
+        (pool parallelism) and populates from its results."""
+        started = time.perf_counter()
+        with span("server.cache_probe", cat="server"):
+            ast = parse(source)
+            keys = self.result_cache.keys_for(ast)
+            entries: Dict[str, Dict[str, Any]] = {}
+            misses: List[str] = []
+            for func in ast.functions:
+                entry = self.result_cache.get(keys[func.name])
+                if entry is None:
+                    misses.append(func.name)
+                else:
+                    entries[func.name] = entry
+
+        if misses and len(misses) == len(ast.functions):
+            response = self._compile_full(source, request)
+            response["result_cache"] = {"hits": 0, "misses": len(misses)}
+            return response
+
+        program = lower_program(ast)
+        cpu_seconds = 0.0
+        for name in misses:
+            result = self.generator.compile(program.forest(name))
+            cpu_seconds += _function_seconds(result)
+            entries[name] = self.result_cache.put(
+                keys[name], name, result.assembly, _function_seconds(result)
+            )
+        self.functions_compiled += len(program.order)
+        data_section = ProgramAssembly(source_program=program).data_section()
+        text = "\n".join(
+            [data_section]
+            + [entries[name]["assembly"] for name in program.order]
+        )
+        return {
+            "ok": True,
+            "op": "compile",
+            "assembly": text,
+            "functions": list(program.order),
+            "failed": [],
+            "tiers": {},
+            "seconds": time.perf_counter() - started,
+            "cpu_seconds": cpu_seconds,
+            "diagnostics": [],
+            "result_cache": {
+                "hits": len(program.order) - len(misses),
+                "misses": len(misses),
+            },
+        }
+
+
+def _deadline_of(
+    request: Dict[str, Any], default: Optional[float]
+) -> Optional[float]:
+    value = request.get("deadline", default)
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return default
+    return seconds if seconds > 0 else default
 
 
 def _error(kind: str, message: str) -> Dict[str, Any]:

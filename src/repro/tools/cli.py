@@ -39,10 +39,16 @@ by construction, and the report's exit status asserts exactly that::
     ggcc profile --json --jobs 4 --parallel process file.c
 
 The compile server keeps constructed tables (and, with ``--jobs``, a
-persistent worker pool) warm in one long-lived process and answers
-batch compile requests over a local socket::
+persistent worker pool) warm in one long-lived process and serves
+concurrent clients over a local socket — bounded admission queue with
+``SERVER-OVERLOAD`` backpressure, per-request deadlines, and a
+content-addressed result cache for repeat traffic.  ``load-test``
+measures it: cold and warm rows of concurrent traffic with p50/p99
+latency and throughput (``--out BENCH_server.json`` regenerates the
+checked-in benchmark)::
 
-    ggcc serve --socket /tmp/ggcc.sock --jobs 4
+    ggcc serve --socket /tmp/ggcc.sock --jobs 4 --queue-limit 256
+    ggcc load-test --clients 50 --requests 4 --out BENCH_server.json
 
 ``match-bench`` times the matcher's three drive loops (compiled, packed,
 dict) over one program's linearized statements — the quick local check
@@ -252,6 +258,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "in the server process)")
     parser.add_argument("--max-requests", type=int, default=None,
                         help="exit after N requests (smoke tests)")
+    parser.add_argument("--queue-limit", type=int, default=None,
+                        help="admission-queue capacity; a full queue "
+                             "rejects immediately with SERVER-OVERLOAD "
+                             "backpressure (default 128)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="default per-request deadline in seconds "
+                             "(requests may override per frame)")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="disable the per-function result cache")
+    parser.add_argument("--result-cache-dir", metavar="DIR", default=None,
+                        help="persist result-cache entries (checksummed "
+                             "envelopes) under DIR")
     parser.add_argument("--no-reversed-ops", action="store_true")
     parser.add_argument("--peephole", action="store_true")
     parser.add_argument("--no-rescue-bridges", action="store_true")
@@ -265,6 +283,8 @@ def build_serve_parser() -> argparse.ArgumentParser:
 def serve_main(argv: List[str]) -> int:
     from ..server import CompileServer
 
+    from ..server.server import DEFAULT_QUEUE_LIMIT
+
     options = build_serve_parser().parse_args(argv)
     generator = GrahamGlanvilleCodeGenerator(
         reversed_ops=not options.no_reversed_ops,
@@ -272,18 +292,22 @@ def serve_main(argv: List[str]) -> int:
         rescue_bridges=not options.no_rescue_bridges,
         engine=options.engine,
     )
+    shared = dict(
+        jobs=options.jobs, generator=generator,
+        max_requests=options.max_requests,
+        queue_limit=options.queue_limit or DEFAULT_QUEUE_LIMIT,
+        default_deadline=options.deadline,
+        result_cache=False if options.no_result_cache else None,
+        result_cache_dir=options.result_cache_dir,
+    )
     if options.tcp is not None:
         host, _, port = options.tcp.partition(":")
         server = CompileServer(
-            host=host or "127.0.0.1", port=int(port or 0),
-            jobs=options.jobs, generator=generator,
-            max_requests=options.max_requests,
+            host=host or "127.0.0.1", port=int(port or 0), **shared,
         )
     else:
         server = CompileServer(
-            path=options.socket or "ggcc.sock",
-            jobs=options.jobs, generator=generator,
-            max_requests=options.max_requests,
+            path=options.socket or "ggcc.sock", **shared,
         )
     server.bind()
     print(f"ggcc serve: listening on {server.address} "
@@ -452,6 +476,68 @@ def match_bench_main(argv: List[str]) -> int:
     return 0
 
 
+def build_load_test_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ggcc load-test",
+        description="boot a private compile server and drive concurrent "
+                    "clients against it: a cold row (every request a "
+                    "distinct unit) and a warm row (pure result-cache "
+                    "traffic), reporting p50/p99 latency, throughput, "
+                    "and the warm-over-cold / vs-blocking speedups",
+    )
+    parser.add_argument("--clients", type=int, default=50,
+                        help="concurrent closed-loop clients (default 50)")
+    parser.add_argument("--requests", type=int, default=4,
+                        help="requests per client (default 4)")
+    parser.add_argument("--functions", type=int, default=3,
+                        help="functions per generated unit (default 3)")
+    parser.add_argument("--statements", type=int, default=6,
+                        help="statements per function (default 6)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="server worker-pool width (default 1)")
+    parser.add_argument("--queue-limit", type=int, default=None,
+                        help="server admission-queue capacity "
+                             "(default max(128, 2*clients))")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-request deadline in seconds")
+    parser.add_argument("--seed", type=int, default=1982,
+                        help="workload seed (default 1982)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the report as JSON to FILE "
+                             "(e.g. BENCH_server.json)")
+    return parser
+
+
+def load_test_main(argv: List[str]) -> int:
+    import json
+
+    from ..server.loadgen import load_test_report
+
+    options = build_load_test_parser().parse_args(argv)
+    report = load_test_report(
+        clients=options.clients,
+        requests_per_client=options.requests,
+        functions=options.functions,
+        statements=options.statements,
+        jobs=options.jobs,
+        queue_limit=options.queue_limit,
+        deadline=options.deadline,
+        seed=options.seed,
+    )
+    if options.out:
+        with open(options.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"ggcc load-test: wrote {options.out}", file=sys.stderr)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    integrity = sum(
+        report[row][key]
+        for row in ("cold", "warm")
+        for key in ("errors", "id_mismatches", "dropped_connections")
+    )
+    return 0 if integrity == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -463,6 +549,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return profile_main(list(argv[1:]))
     if argv and argv[0] == "serve":
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "load-test":
+        return load_test_main(list(argv[1:]))
     if argv and argv[0] == "match-bench":
         return match_bench_main(list(argv[1:]))
     parser = build_arg_parser()

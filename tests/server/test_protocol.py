@@ -1,0 +1,192 @@
+"""Framing edge cases: partial delivery, truncation, hostile prefixes.
+
+The contract under test is :class:`FrameDecoder`'s — the sans-IO core
+both transports share: arbitrary chunking never changes the decoded
+frames, EOF anywhere but a frame boundary is a :class:`ProtocolError`
+that *names* where the peer died (mid-header vs mid-payload), an
+oversized announcement is rejected at the header before any payload is
+buffered, and garbage raises instead of hanging.  The asyncio reader
+is then checked against the same cases through a real stream pair.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.server.protocol import (
+    FrameDecoder, ProtocolError, encode_frame, read_frame_async,
+    write_frame_async,
+)
+
+PAYLOADS = [
+    {"op": "ping"},
+    {"op": "compile", "source": "int f() { return 1; }", "id": 7},
+    ["a", {"nested": [1, 2, 3]}],
+]
+
+
+# ----------------------------------------------------------- sans-IO core
+def test_byte_by_byte_feeding_decodes_every_frame():
+    wire = b"".join(encode_frame(p) for p in PAYLOADS)
+    decoder = FrameDecoder()
+    frames = []
+    for i in range(len(wire)):
+        frames.extend(decoder.feed(wire[i:i + 1]))
+    assert frames == PAYLOADS
+    assert not decoder.mid_frame
+    decoder.eof()  # clean boundary: no error
+
+
+def test_many_frames_in_one_chunk():
+    wire = b"".join(encode_frame(p) for p in PAYLOADS)
+    decoder = FrameDecoder()
+    assert decoder.feed(wire) == PAYLOADS
+
+
+def test_eof_mid_length_prefix():
+    decoder = FrameDecoder()
+    assert decoder.feed(b"\x00\x00") == []
+    assert decoder.mid_frame
+    with pytest.raises(ProtocolError, match="mid-header"):
+        decoder.eof()
+
+
+def test_eof_mid_payload():
+    wire = encode_frame({"op": "ping"})
+    decoder = FrameDecoder()
+    assert decoder.feed(wire[:-3]) == []
+    assert decoder.mid_frame
+    with pytest.raises(ProtocolError, match="mid-frame"):
+        decoder.eof()
+
+
+def test_oversized_announcement_rejected_at_the_header():
+    decoder = FrameDecoder(limit=16)
+    # 2 GiB announced; the 4th header byte is enough to refuse — no
+    # payload byte is ever buffered.
+    with pytest.raises(ProtocolError, match="announced"):
+        decoder.feed(b"\x7f\xff\xff\xff")
+
+
+def test_oversized_encode_rejected(monkeypatch):
+    from repro.server import protocol as protocol_mod
+
+    monkeypatch.setattr(protocol_mod, "MAX_FRAME_BYTES", 16)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        encode_frame({"pad": "x" * 64})
+
+
+def test_garbage_payload_raises_not_hangs():
+    bad = b"\x00\x00\x00\x04\xff\xfe\xfd\xfc"  # length 4, not UTF-8
+    decoder = FrameDecoder()
+    with pytest.raises(ProtocolError, match="undecodable"):
+        decoder.feed(bad)
+
+
+def test_non_json_utf8_payload_raises():
+    body = b"not json at all"
+    frame = len(body).to_bytes(4, "big") + body
+    with pytest.raises(ProtocolError, match="undecodable"):
+        FrameDecoder().feed(frame)
+
+
+def test_frame_straddling_feeds_resumes_correctly():
+    first = encode_frame(PAYLOADS[0])
+    second = encode_frame(PAYLOADS[1])
+    wire = first + second
+    decoder = FrameDecoder()
+    # split inside the second frame's header
+    cut = len(first) + 2
+    assert decoder.feed(wire[:cut]) == [PAYLOADS[0]]
+    assert decoder.mid_frame
+    assert decoder.feed(wire[cut:]) == [PAYLOADS[1]]
+    assert not decoder.mid_frame
+
+
+# ------------------------------------------------------- asyncio transport
+def _run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=10))
+
+
+async def _stream_pair():
+    """An in-process (reader, writer-feeder) pair: the test writes raw
+    bytes into the reader the way a socket would deliver them."""
+    reader = asyncio.StreamReader()
+    return reader
+
+
+def test_async_clean_eof_is_none():
+    async def scenario():
+        reader = await _stream_pair()
+        reader.feed_eof()
+        return await read_frame_async(reader)
+
+    assert _run(scenario()) is None
+
+
+def test_async_eof_mid_header():
+    async def scenario():
+        reader = await _stream_pair()
+        reader.feed_data(b"\x00\x00")
+        reader.feed_eof()
+        with pytest.raises(ProtocolError, match="mid-header"):
+            await read_frame_async(reader)
+
+    _run(scenario())
+
+
+def test_async_eof_mid_payload():
+    async def scenario():
+        reader = await _stream_pair()
+        reader.feed_data(encode_frame({"op": "ping"})[:-2])
+        reader.feed_eof()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            await read_frame_async(reader)
+
+    _run(scenario())
+
+
+def test_async_oversized_rejected_before_payload():
+    async def scenario():
+        reader = await _stream_pair()
+        reader.feed_data(b"\x7f\xff\xff\xff")  # 2 GiB announcement
+        # no payload ever arrives; the announcement alone must raise
+        # rather than wait for 2 GiB
+        with pytest.raises(ProtocolError, match="announced"):
+            await read_frame_async(reader)
+
+    _run(scenario())
+
+
+def test_async_round_trip_over_real_sockets(tmp_path):
+    path = str(tmp_path / "pair.sock")
+
+    async def scenario():
+        received = []
+        done = asyncio.Event()
+
+        async def on_connect(reader, writer):
+            while True:
+                frame = await read_frame_async(reader)
+                if frame is None:
+                    break
+                received.append(frame)
+                await write_frame_async(writer, {"echo": frame})
+            writer.close()
+            done.set()
+
+        server = await asyncio.start_unix_server(on_connect, path=path)
+        reader, writer = await asyncio.open_unix_connection(path)
+        for payload in PAYLOADS:
+            await write_frame_async(writer, payload)
+        echoes = [await read_frame_async(reader) for _ in PAYLOADS]
+        writer.close()
+        await writer.wait_closed()
+        await done.wait()
+        server.close()
+        await server.wait_closed()
+        return received, echoes
+
+    received, echoes = _run(scenario())
+    assert received == PAYLOADS
+    assert echoes == [{"echo": p} for p in PAYLOADS]

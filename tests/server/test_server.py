@@ -130,19 +130,30 @@ def test_per_request_metrics_delta(running_server):
     response = client.compile(SMALL_SOURCE, jobs=1)
     counters = response["metrics"]["counters"]
     assert counters.get("compile.functions") == 1
-    # a second request opens a fresh window — deltas, not totals
+    assert counters.get("server.result_cache.misses") == 1
+    # a second identical request opens a fresh window — deltas, not
+    # totals — and is pure result-cache traffic: no compile at all.
     again = client.compile(SMALL_SOURCE, jobs=1)
-    assert again["metrics"]["counters"].get("compile.functions") == 1
+    counters = again["metrics"]["counters"]
+    assert counters.get("server.result_cache.hits") == 1
+    assert "compile.functions" not in counters
 
 
 def test_spans_only_when_requested(running_server):
     _, client = running_server
     plain = client.compile(SMALL_SOURCE, jobs=1)
     assert "spans" not in plain
-    traced = client.compile(SMALL_SOURCE, jobs=1, spans=True)
+    # a fresh unit, so the traced request actually compiles (a warm
+    # request's trace shows only the cache probe)
+    traced = client.compile(MULTI_SOURCE, jobs=1, spans=True)
     assert traced["ok"]
     names = {event.get("name") for event in traced["spans"]}
     assert "compile_program" in names
+    assert "server.request" in names
+    warm = client.compile(MULTI_SOURCE, jobs=1, spans=True)
+    warm_names = {event.get("name") for event in warm["spans"]}
+    assert "server.cache_probe" in warm_names
+    assert "compile_program" not in warm_names
 
 
 def test_resilient_request_ships_diagnostics(tmp_path):

@@ -1,0 +1,326 @@
+"""The service under concurrency, overload and deadline pressure.
+
+Three families:
+
+* **Stress** — 50 concurrent clients over a mixed workload must each get
+  back assembly byte-identical to ``compile_program(jobs=1)``, with
+  every response carrying its request's id (nothing dropped, nothing
+  cross-wired), including under single-connection pipelining.
+* **Backpressure** — with the admission queue deliberately tiny and the
+  compile worker gated shut, an overflowing request is rejected
+  *immediately* with a structured ``SERVER-OVERLOAD`` diagnostic while
+  control operations keep answering; nothing hangs, nothing is dropped
+  without a response frame.
+* **Deadlines** — a queued request whose deadline fires is cancelled and
+  answered with ``SERVER-DEADLINE`` within the deadline (not after the
+  queue drains); a running request past its deadline is answered
+  immediately and its result discarded.
+
+Plus the connect-backoff contract: retries grow exponentially under a
+fake clock, and a late-binding server is still reached in few attempts.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.compile import compile_program
+from repro.server import CompileClient, CompileServer
+from repro.server import client as client_mod
+from repro.server.client import CONNECT_RETRY_CAP, CONNECT_RETRY_INITIAL
+from repro.workloads.programs import ALL_PROGRAMS
+
+_BY_NAME = {p.name: p for p in ALL_PROGRAMS}
+WORKLOAD = [
+    _BY_NAME[name].source for name in ("gcd", "fib", "bits", "poly_eval")
+]
+
+CLIENTS = 50
+REQUESTS_PER_CLIENT = 3
+
+SMALL_SOURCE = _BY_NAME["gcd"].source
+
+
+def _start(server):
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+# ---------------------------------------------------------------- stress
+def test_concurrent_clients_byte_identical_and_id_matched(tmp_path):
+    """N >= 50 concurrent clients, mixed workload: every response byte-
+    identical to the serial compile, every id echoed, zero drops."""
+    expected = {
+        source: compile_program(source, jobs=1).text for source in WORKLOAD
+    }
+    path = str(tmp_path / "stress.sock")
+    server = CompileServer(path=path, queue_limit=2 * CLIENTS)
+    server.bind()
+    thread = _start(server)
+
+    failures = []
+    lock = threading.Lock()
+
+    def client_loop(cid):
+        try:
+            with CompileClient(path=path, connect_timeout=30) as client:
+                for seq in range(REQUESTS_PER_CLIENT):
+                    source = WORKLOAD[(cid + seq) % len(WORKLOAD)]
+                    rid = f"c{cid}-r{seq}"
+                    response = client.request({
+                        "op": "compile", "source": source, "id": rid,
+                    })
+                    if response.get("id") != rid:
+                        raise AssertionError(
+                            f"cross-wired: sent {rid}, "
+                            f"got {response.get('id')}"
+                        )
+                    if not response.get("ok"):
+                        raise AssertionError(f"{rid}: {response}")
+                    if response["assembly"] != expected[source]:
+                        raise AssertionError(f"{rid}: assembly differs")
+        except Exception as exc:
+            with lock:
+                failures.append(f"client {cid}: {exc}")
+
+    threads = [
+        threading.Thread(target=client_loop, args=(cid,))
+        for cid in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    try:
+        assert not failures, failures[:5]
+        assert not any(t.is_alive() for t in threads)
+    finally:
+        with CompileClient(path=path) as admin:
+            admin.shutdown()
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def test_pipelined_requests_come_back_id_matched(tmp_path):
+    """One connection, many requests in flight before any response is
+    read: the id echo is what correlates them."""
+    path = str(tmp_path / "pipeline.sock")
+    server = CompileServer(path=path)
+    server.bind()
+    thread = _start(server)
+    expected = {
+        source: compile_program(source, jobs=1).text for source in WORKLOAD
+    }
+    try:
+        with CompileClient(path=path) as client:
+            sent = {}
+            for seq in range(12):
+                source = WORKLOAD[seq % len(WORKLOAD)]
+                rid = f"p{seq}"
+                sent[rid] = source
+                client.send({
+                    "op": "compile", "source": source, "id": rid,
+                })
+            for _ in range(len(sent)):
+                response = client.recv()
+                rid = response.get("id")
+                assert rid in sent, f"unknown id {rid!r}"
+                assert response["ok"]
+                assert response["assembly"] == expected[sent.pop(rid)]
+            assert not sent  # every request answered exactly once
+            client.shutdown()
+    finally:
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+# ------------------------------------------------------------ backpressure
+def test_queue_full_rejects_immediately_with_structured_overload(tmp_path):
+    gate = threading.Event()
+    entered = threading.Event()
+
+    def gated(request):
+        entered.set()
+        gate.wait(30)
+
+    path = str(tmp_path / "overload.sock")
+    server = CompileServer(path=path, queue_limit=1, _before_compile=gated)
+    server.bind()
+    thread = _start(server)
+    try:
+        client = CompileClient(path=path)
+        # r1 occupies the compile worker, r2 the single queue slot.
+        client.send({"op": "compile", "source": SMALL_SOURCE, "id": "r1"})
+        assert entered.wait(10)  # r1 is on the worker, not in the queue
+        client.send({"op": "compile", "source": SMALL_SOURCE, "id": "r2"})
+        deadline = time.monotonic() + 10
+        while server.queue_depth < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.queue_depth == 1  # r2 holds the only slot
+        started = time.perf_counter()
+        client.send({"op": "compile", "source": SMALL_SOURCE, "id": "r3"})
+        rejection = client.recv()
+        elapsed = time.perf_counter() - started
+        # immediate structured backpressure, not a hang behind the gate
+        assert elapsed < 5
+        assert rejection["id"] == "r3"
+        assert not rejection["ok"]
+        assert rejection["error"]["type"] == "SERVER-OVERLOAD"
+        diag = rejection["diagnostics"][0]
+        assert diag["code"] == "SERVER-OVERLOAD"
+        assert diag["severity"] == "warning"
+        assert rejection["queue"]["limit"] == 1
+        # control ops bypass the queue: still observable under overload
+        client.send({"op": "stats", "id": "s"})
+        stats = client.recv()
+        assert stats["ok"] and stats["id"] == "s"
+        assert stats["overloads"] == 1
+        # releasing the gate drains the queued work normally
+        gate.set()
+        first = client.recv()
+        second = client.recv()
+        assert {first["id"], second["id"]} == {"r1", "r2"}
+        assert first["ok"] and second["ok"]
+        client.shutdown()
+        client.close()
+    finally:
+        gate.set()
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert server.overloads == 1
+
+
+# ---------------------------------------------------------------- deadlines
+def test_deadline_expired_while_queued_cancels_and_reports(tmp_path):
+    gate = threading.Event()
+    entered = threading.Event()
+
+    def gated(request):
+        entered.set()
+        gate.wait(30)
+
+    path = str(tmp_path / "deadline.sock")
+    server = CompileServer(path=path, _before_compile=gated)
+    server.bind()
+    thread = _start(server)
+    try:
+        client = CompileClient(path=path)
+        client.send({"op": "compile", "source": SMALL_SOURCE, "id": "slow"})
+        assert entered.wait(10)  # "slow" occupies the gated worker
+        started = time.perf_counter()
+        client.send({
+            "op": "compile", "source": SMALL_SOURCE,
+            "id": "doomed", "deadline": 0.25,
+        })
+        response = client.recv()
+        elapsed = time.perf_counter() - started
+        assert response["id"] == "doomed"
+        assert response["error"]["type"] == "SERVER-DEADLINE"
+        diag = response["diagnostics"][0]
+        assert diag["code"] == "SERVER-DEADLINE"
+        assert diag["context"]["stage"] == "queued"
+        # answered at the deadline, not after the queue drained
+        assert 0.2 <= elapsed < 5
+        gate.set()
+        finished = client.recv()
+        assert finished["id"] == "slow" and finished["ok"]
+        client.shutdown()
+        client.close()
+    finally:
+        gate.set()
+        thread.join(timeout=30)
+    assert server.deadline_expired == 1
+
+
+def test_deadline_expired_while_running_abandons_the_compile(tmp_path):
+    gate = threading.Event()
+    path = str(tmp_path / "running.sock")
+    server = CompileServer(
+        path=path, _before_compile=lambda request: gate.wait(30),
+    )
+    server.bind()
+    thread = _start(server)
+    try:
+        client = CompileClient(path=path)
+        started = time.perf_counter()
+        client.send({
+            "op": "compile", "source": SMALL_SOURCE,
+            "id": "hung", "deadline": 0.25,
+        })
+        response = client.recv()
+        elapsed = time.perf_counter() - started
+        assert response["id"] == "hung"
+        assert response["error"]["type"] == "SERVER-DEADLINE"
+        assert response["diagnostics"][0]["context"]["stage"] == "running"
+        assert elapsed < 5  # answered at the deadline, worker still gated
+        gate.set()
+        # the abandoned compile's result is discarded, not delivered:
+        # the next round trip gets its own response, nothing stale
+        probe = client.request({"op": "ping", "id": "after"})
+        assert probe["ok"] and probe["id"] == "after"
+        client.shutdown()
+        client.close()
+    finally:
+        gate.set()
+        thread.join(timeout=30)
+    assert server.deadline_expired == 1
+
+
+# ------------------------------------------------------------- connect retry
+def test_connect_backoff_grows_exponentially(monkeypatch, tmp_path):
+    """Under a fake clock, retry pauses double from the initial value to
+    the cap (full jitter pinned to its upper bound), and the attempt
+    count is recorded."""
+    clock = [0.0]
+    sleeps = []
+
+    def fake_sleep(seconds):
+        sleeps.append(round(seconds, 6))
+        clock[0] += seconds
+
+    monkeypatch.setattr(client_mod.time, "monotonic", lambda: clock[0])
+    monkeypatch.setattr(client_mod.time, "sleep", fake_sleep)
+    monkeypatch.setattr(client_mod.random, "uniform", lambda low, high: high)
+
+    with pytest.raises(OSError):
+        CompileClient(
+            path=str(tmp_path / "nobody-home.sock"), connect_timeout=1.0,
+        )
+
+    assert sleeps[:5] == [
+        CONNECT_RETRY_INITIAL,
+        CONNECT_RETRY_INITIAL * 2,
+        CONNECT_RETRY_INITIAL * 4,
+        CONNECT_RETRY_INITIAL * 8,
+        CONNECT_RETRY_INITIAL * 16,
+    ]
+    assert max(sleeps) <= CONNECT_RETRY_CAP
+    # attempts = one initial dial + one per recorded sleep + the final
+    # dial that exhausted the deadline
+    assert len(sleeps) >= 5
+
+
+def test_connect_attempts_counted_against_late_server(tmp_path):
+    """A server that binds late is still reached — in a handful of
+    backed-off attempts, not a 50ms busy-wait storm."""
+    path = str(tmp_path / "late.sock")
+    server = CompileServer(path=path, max_requests=1)
+
+    def bind_late():
+        time.sleep(0.4)
+        server.bind()
+        server.serve_forever()
+
+    thread = threading.Thread(target=bind_late, daemon=True)
+    thread.start()
+    client = CompileClient(path=path, connect_timeout=30)
+    try:
+        assert client.connect_attempts >= 2  # it really did retry
+        assert client.connect_attempts <= 30  # and really backed off
+        assert client.ping()["ok"]
+    finally:
+        client.close()
+        thread.join(timeout=30)
+    assert not thread.is_alive()
