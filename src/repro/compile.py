@@ -347,6 +347,30 @@ def _worker_program(source: str) -> tuple:
     return program, _WORKER_GENERATOR[1]
 
 
+def shared_table_initargs(
+    generator: GrahamGlanvilleCodeGenerator,
+    flags: Optional[Tuple[bool, bool]] = None,
+) -> Tuple[Dict[str, object], Tuple[bool, bool], Optional[str]]:
+    """Publish *generator* for fork copy-on-write adoption and return
+    the ``(options, flags, cache_key)`` triple that
+    :func:`_pool_initializer` wants in a worker process.
+
+    The creation-side half of :class:`SharedTablePool` without the
+    pool: callers that spawn their own processes (the compile service's
+    worker supervisor) get the same warm-table residency — fork
+    inheritance when available, the content-addressed cache load
+    otherwise."""
+    global _PARENT_STATE
+    options = _generator_options(generator)
+    if flags is None:
+        flags = obs_flags()
+    _PARENT_STATE = (_options_key(options), generator)
+    cache_key = None
+    if generator.cache_outcome is not None:
+        cache_key = generator.cache_outcome.key
+    return options, flags, cache_key
+
+
 class SharedTablePool:
     """A process pool whose workers share one generator's tables.
 
@@ -371,19 +395,13 @@ class SharedTablePool:
         flags: Optional[Tuple[bool, bool]] = None,
         program: Optional[tuple] = None,
     ) -> None:
-        global _PARENT_STATE, _PARENT_PROGRAM
-        options = _generator_options(generator)
-        if flags is None:
-            flags = obs_flags()
+        global _PARENT_PROGRAM
+        options, flags, cache_key = shared_table_initargs(generator, flags)
         self.jobs = jobs
         self.options_key = _options_key(options)
         #: Reuse identity: options, width and obs flags must all match.
         self.key = (self.options_key, jobs, flags)
         self.broken = False
-        cache_key = None
-        if generator.cache_outcome is not None:
-            cache_key = generator.cache_outcome.key
-        _PARENT_STATE = (self.options_key, generator)
         if program is not None:
             _PARENT_PROGRAM = program
         self._pool = ProcessPoolExecutor(

@@ -18,8 +18,10 @@ text.  Codes are grouped by prefix:
 ``WORKER-*``
     parallel-driver containment events.
 ``SERVER-*``
-    compile-service admission control: queue-full backpressure and
-    expired request deadlines.
+    compile-service admission control and self-healing: queue-full
+    backpressure, expired request deadlines, supervised-worker crash
+    and retry events, circuit-breaker sheds, and graceful-drain
+    rejections.
 ``FN-*`` / ``FRONTEND-*``
     per-function and whole-program terminal failures.
 
@@ -66,6 +68,10 @@ FRONTEND_ERROR = "FRONTEND-ERROR"
 # ------------------------------------------------------------- service
 SERVER_OVERLOAD = "SERVER-OVERLOAD"
 SERVER_DEADLINE = "SERVER-DEADLINE"
+SERVER_WORKER_CRASH = "SERVER-WORKER-CRASH"
+SERVER_RETRY = "SERVER-RETRY"
+SERVER_CIRCUIT_OPEN = "SERVER-CIRCUIT-OPEN"
+SERVER_SHUTDOWN = "SERVER-SHUTDOWN"
 
 #: code -> (default severity, one-line description)
 REGISTRY: Dict[str, Tuple[str, str]] = {
@@ -148,6 +154,30 @@ REGISTRY: Dict[str, Tuple[str, str]] = {
         ERROR,
         "the request's deadline expired before its compile finished; "
         "queued work was cancelled, running work was abandoned",
+    ),
+    SERVER_WORKER_CRASH: (
+        ERROR,
+        "a supervised compile worker died or hung mid-request; the "
+        "worker was restarted and the request re-dispatched when "
+        "retries remained",
+    ),
+    SERVER_RETRY: (
+        NOTE,
+        "the request was re-dispatched to a healthy worker after its "
+        "first worker failed (idempotent under the content-addressed "
+        "result key)",
+    ),
+    SERVER_CIRCUIT_OPEN: (
+        WARNING,
+        "the circuit breaker is open for this failure class; the "
+        "request was shed immediately instead of queued onto a failing "
+        "backend",
+    ),
+    SERVER_SHUTDOWN: (
+        WARNING,
+        "the service is draining: the request was rejected or its "
+        "in-flight compile abandoned so the response could be flushed "
+        "before the connection closed",
     ),
 }
 

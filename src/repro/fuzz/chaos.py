@@ -139,16 +139,36 @@ def _case_source(seed: int, case: int) -> str:
     ))
 
 
+def observe_text(
+    program, text: str, calls, max_steps: int = MAX_STEPS
+) -> Tuple[Optional[dict], str]:
+    """Assemble raw assembly *text* and run it against *calls* —
+    the observer for outputs that arrive without a
+    :class:`ProgramAssembly` (e.g. a compile-server response)."""
+    from ..sim.assembler import assemble
+    from ..sim.cpu import Vax
+
+    try:
+        vax = Vax(assemble(text), max_steps=max_steps)
+    except Exception as exc:
+        return None, f"assemble {type(exc).__name__}: {exc}"
+    return _observe_vax(program, vax, calls)
+
+
 def _observe_assembly(
     program, assembly: ProgramAssembly, calls, max_steps: int
 ) -> Tuple[Optional[dict], str]:
     """Run an already-built assembly; (state dict, "") or (None, error)."""
-    from .oracle import _global_reads
-
     try:
         vax = assembly.simulator(max_steps=max_steps)
     except Exception as exc:
         return None, f"assemble {type(exc).__name__}: {exc}"
+    return _observe_vax(program, vax, calls)
+
+
+def _observe_vax(program, vax, calls) -> Tuple[Optional[dict], str]:
+    from .oracle import _global_reads
+
     returns: Dict[str, int] = {}
     try:
         for index, (entry, args) in enumerate(calls):

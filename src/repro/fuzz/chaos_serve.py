@@ -1,0 +1,572 @@
+"""Service-level chaos: fault injection against the *running server*.
+
+:mod:`repro.fuzz.chaos` breaks the batch pipeline's machinery and
+asserts the recovery ladder contains it; this module boots a real
+:class:`~repro.server.CompileServer` (supervised workers, result cache,
+framed protocol — the whole service stack) and breaks the *service*:
+workers killed or hung mid-compile, the persistent result-cache
+envelope corrupted under load, truncated and malformed frames, clients
+that trickle bytes, a cache directory that stops accepting writes.
+
+Every scenario is judged against two invariants:
+
+1. **Zero silent miscompiles** — every ``ok`` response's assembly text
+   is assembled, simulated, and compared against the IR interpreter
+   (:func:`repro.fuzz.chaos.observe_text`); disagreement is a
+   ``silent-miscompile`` verdict and fails the run.
+2. **Zero unanswered requests** — every admitted request produces
+   exactly one response frame, worst case a structured error
+   (``SERVER-WORKER-CRASH``, ``SERVER-SHUTDOWN``, ...).  A request
+   whose connection yields no frame is an ``unanswered`` verdict and
+   fails the run.
+
+Scenarios (``ggcc chaos-serve``)::
+
+    worker-kill       a worker kills itself at job receipt (marker file
+                      re-armed per request); retries must recover
+    worker-hang       a worker sleeps past the job deadline; hang
+                      detection must kill, restart, re-dispatch
+    cache-corrupt     persistent result-cache entries truncated or
+                      bit-flipped between requests; the checksummed
+                      envelope must quarantine, never serve garbage
+    malformed-frames  truncated/mutated/oversized frames; the peer gets
+                      a protocol error or a clean close, the server
+                      keeps serving everyone else
+    slow-client       a client trickling its frame byte-by-byte must
+                      neither stall other clients nor go unanswered
+    cache-readonly    the result-cache directory stops accepting
+                      writes; compiles still succeed, stores fail
+                      silently
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import stat
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..frontend.lower import compile_c
+from ..server import CompileServer
+from ..server.client import CompileClient
+from ..server.protocol import encode_frame, recv_frame
+from ..server.supervisor import ENV_HANG_ONCE, ENV_KILL_ONCE
+from .chaos import MAX_STEPS, TINY_BLOCKER, _case_source, observe_text
+from .oracle import _observe_interp, default_calls
+
+SERVE_SCENARIOS = (
+    "worker-kill", "worker-hang", "cache-corrupt",
+    "malformed-frames", "slow-client", "cache-readonly",
+)
+
+#: Kill/hang markers park under this name inside each scenario tempdir.
+_BAD_VERDICTS = ("silent-miscompile", "unanswered", "uncontained")
+
+
+@dataclass
+class ServeCase:
+    """One request (or frame) sent into one chaos scenario."""
+
+    scenario: str
+    case: int
+    verdict: str  # clean | recovered | failed-clean | skip |
+    #               silent-miscompile | unanswered | uncontained
+    codes: List[str] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict not in _BAD_VERDICTS
+
+
+@dataclass
+class ServeChaosReport:
+    """A whole chaos-serve run's verdicts."""
+
+    seed: int
+    cases: List[ServeCase] = field(default_factory=list)
+
+    @property
+    def silent_miscompiles(self) -> List[ServeCase]:
+        return [c for c in self.cases if c.verdict == "silent-miscompile"]
+
+    @property
+    def unanswered(self) -> List[ServeCase]:
+        return [c for c in self.cases if c.verdict == "unanswered"]
+
+    @property
+    def uncontained(self) -> List[ServeCase]:
+        return [c for c in self.cases if c.verdict == "uncontained"]
+
+    @property
+    def ok(self) -> bool:
+        return not any(not c.ok for c in self.cases)
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"chaos-serve: seed {self.seed}, {len(self.cases)} case(s)"
+        ]
+        by_verdict: Dict[str, int] = {}
+        for case in self.cases:
+            by_verdict[case.verdict] = by_verdict.get(case.verdict, 0) + 1
+        lines.append(
+            "chaos-serve: " + ", ".join(
+                f"{verdict}={count}"
+                for verdict, count in sorted(by_verdict.items())
+            )
+        )
+        for case in self.cases:
+            if not case.ok:
+                lines.append(
+                    f"chaos-serve: FAIL {case.scenario}#{case.case}: "
+                    f"{case.verdict} ({case.detail})"
+                )
+        lines.append(
+            "chaos-serve: zero silent miscompiles, zero unanswered"
+            if self.ok else "chaos-serve: INVARIANT VIOLATED"
+        )
+        return lines
+
+
+class _LiveServer:
+    """A compile server on a private unix socket in a background
+    thread, with saved/restored chaos environment variables."""
+
+    def __init__(self, directory: str, env: Optional[Dict[str, str]] = None,
+                 **options: Any) -> None:
+        self.directory = directory
+        self.socket_path = os.path.join(directory, "chaos.sock")
+        self._env = env or {}
+        self._saved: Dict[str, Optional[str]] = {}
+        self.server = CompileServer(path=self.socket_path, **options)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+
+    def __enter__(self) -> "_LiveServer":
+        # Workers inherit the environment at fork: the chaos variables
+        # must be exported before the serve loop spawns them.
+        for key, value in self._env.items():
+            self._saved[key] = os.environ.get(key)
+            os.environ[key] = value
+        self.thread.start()
+        deadline = time.monotonic() + 10.0
+        while (not os.path.exists(self.socket_path)
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        try:
+            if self.thread.is_alive():
+                with self.client() as client:
+                    client.shutdown()
+            self.thread.join(timeout=30)
+        except Exception:
+            pass
+        finally:
+            for key, value in self._saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+
+    def client(self) -> CompileClient:
+        return CompileClient(path=self.socket_path)
+
+    @property
+    def alive(self) -> bool:
+        return self.thread.is_alive()
+
+
+def _request(client: CompileClient,
+             payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """One request; ``None`` means the service never answered it."""
+    try:
+        return client.request(payload)
+    except Exception:
+        return None
+
+
+def _judge_response(
+    scenario: str, case: int, source: str,
+    response: Optional[Dict[str, Any]],
+) -> ServeCase:
+    """Apply both service invariants to one compile response."""
+    result = ServeCase(scenario=scenario, case=case, verdict="clean")
+    if response is None:
+        result.verdict = "unanswered"
+        result.detail = "no response frame before the connection closed"
+        return result
+    result.codes = [
+        diag.get("code", "?") for diag in response.get("diagnostics", [])
+    ]
+    if not response.get("ok"):
+        error = response.get("error")
+        if isinstance(error, dict) and error.get("type"):
+            result.verdict = "failed-clean"
+            result.detail = str(error.get("type"))
+        else:
+            result.verdict = "uncontained"
+            result.detail = f"unstructured failure: {response!r:.200}"
+        return result
+
+    program = compile_c(source)
+    calls = default_calls(program)
+    reference = _observe_interp(program, calls, MAX_STEPS)
+    if reference.error is not None:
+        result.verdict = "skip"
+        result.detail = f"interp: {reference.error}"
+        return result
+    observed, error = observe_text(
+        program, response.get("assembly", ""), calls
+    )
+    if observed is None:
+        result.verdict = "silent-miscompile"
+        result.detail = f"ok response does not run: {error}"
+        return result
+    if (observed["returns"] != reference.returns
+            or observed["finals"] != reference.finals):
+        result.verdict = "silent-miscompile"
+        result.detail = (
+            f"interp={reference.returns}/{reference.finals} "
+            f"got={observed['returns']}/{observed['finals']}"
+        )
+        return result
+    if result.codes:
+        result.verdict = "recovered"
+    return result
+
+
+def _sources(seed: int, count: int) -> List[str]:
+    return [
+        TINY_BLOCKER if case == 0 else _case_source(seed, case)
+        for case in range(count)
+    ]
+
+
+# ------------------------------------------------------------- scenarios
+def _run_worker_kill(seed: int, cases: int,
+                     rng: random.Random) -> List[ServeCase]:
+    """A worker kills itself at job receipt; the marker is re-armed
+    before every request so every compile attempt faces a murder."""
+    results: List[ServeCase] = []
+    with tempfile.TemporaryDirectory() as directory:
+        marker = os.path.join(directory, "kill.marker")
+        with _LiveServer(
+            directory, env={ENV_KILL_ONCE: marker},
+            workers=2, result_cache=False, max_retries=2,
+        ) as live:
+            with live.client() as client:
+                for case, source in enumerate(_sources(seed, cases)):
+                    open(marker, "w").close()
+                    response = _request(
+                        client, {"op": "compile", "source": source}
+                    )
+                    results.append(_judge_response(
+                        "worker-kill", case, source, response
+                    ))
+            stats = None
+            if live.alive:
+                with live.client() as client:
+                    stats = _request(client, {"op": "stats"})
+        if stats is not None and results:
+            crashes = stats["supervisor"]["crashes"]
+            results[-1].detail = (
+                f"{results[-1].detail} crashes={crashes} "
+                f"restarts={stats['supervisor']['restarts']}"
+            ).strip()
+            if crashes == 0:
+                # the chaos never fired — the scenario proved nothing
+                results[-1].verdict = "uncontained"
+                results[-1].detail = "kill marker was never consumed"
+    return results
+
+
+def _run_worker_hang(seed: int, cases: int,
+                     rng: random.Random) -> List[ServeCase]:
+    """A worker sleeps far past the per-job deadline; hang detection
+    must kill it, restart the slot, and re-dispatch the request."""
+    results: List[ServeCase] = []
+    with tempfile.TemporaryDirectory() as directory:
+        marker = os.path.join(directory, "hang.marker")
+        with _LiveServer(
+            directory, env={ENV_HANG_ONCE: f"{marker}:30"},
+            workers=2, result_cache=False, max_retries=2,
+            job_timeout=1.5,
+        ) as live:
+            with live.client() as client:
+                for case, source in enumerate(_sources(seed, cases)):
+                    open(marker, "w").close()
+                    response = _request(
+                        client, {"op": "compile", "source": source}
+                    )
+                    results.append(_judge_response(
+                        "worker-hang", case, source, response
+                    ))
+            if live.alive and results:
+                with live.client() as client:
+                    stats = _request(client, {"op": "stats"})
+                if stats is not None \
+                        and stats["supervisor"]["hangs"] == 0:
+                    results[-1].verdict = "uncontained"
+                    results[-1].detail = "hang marker was never consumed"
+    return results
+
+
+def _run_cache_corrupt(seed: int, cases: int,
+                       rng: random.Random) -> List[ServeCase]:
+    """Corrupt every persistent result-cache entry between requests;
+    the checksummed envelope must quarantine and recompile."""
+    results: List[ServeCase] = []
+    with tempfile.TemporaryDirectory() as directory:
+        cache_dir = os.path.join(directory, "cache")
+        with _LiveServer(
+            directory, workers=2, result_cache_dir=cache_dir,
+        ) as live:
+            sources = _sources(seed, cases)
+            with live.client() as client:
+                for source in sources:  # populate the persistent tier
+                    _request(client, {"op": "compile", "source": source})
+            _corrupt_tree(cache_dir, rng)
+            # A fresh server on the same directory has a cold memory
+            # tier, so every request must consult the corrupt envelope.
+            live2_dir = os.path.join(directory, "second")
+            os.mkdir(live2_dir)
+            with _LiveServer(
+                live2_dir, workers=2, result_cache_dir=cache_dir,
+            ) as live2:
+                with live2.client() as client:
+                    for case, source in enumerate(sources):
+                        response = _request(
+                            client, {"op": "compile", "source": source}
+                        )
+                        results.append(_judge_response(
+                            "cache-corrupt", case, source, response
+                        ))
+    return results
+
+
+def _corrupt_tree(root: str, rng: random.Random) -> None:
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            path = os.path.join(dirpath, name)
+            try:
+                data = bytearray(open(path, "rb").read())
+            except OSError:
+                continue
+            if not data:
+                continue
+            if rng.random() < 0.5:
+                data = data[:rng.randrange(1, max(2, len(data)))]
+            else:
+                data[rng.randrange(len(data))] ^= 0xFF
+            with open(path, "wb") as handle:
+                handle.write(bytes(data))
+
+
+def _run_malformed_frames(seed: int, cases: int,
+                          rng: random.Random) -> List[ServeCase]:
+    """Feed the server truncated and mutated frames raw; each bad peer
+    gets a protocol error or a clean close, and a well-formed request
+    afterwards must still be answered correctly."""
+    results: List[ServeCase] = []
+    source = TINY_BLOCKER
+    good = encode_frame({"op": "compile", "source": source})
+    with tempfile.TemporaryDirectory() as directory:
+        with _LiveServer(directory, workers=0) as live:
+            for case in range(max(1, cases) * 4):
+                data = bytearray(good)
+                choice = case % 4
+                if choice == 0:      # truncate mid-frame
+                    data = data[:rng.randrange(1, len(data))]
+                elif choice == 1:    # flip a byte in the JSON body
+                    data[rng.randrange(4, len(data))] ^= 0xFF
+                elif choice == 2:    # lie about the length
+                    data[:4] = (1 << 30).to_bytes(4, "big")
+                else:                # pure garbage
+                    data = bytearray(os.urandom(rng.randrange(1, 64)))
+                verdict = _poke_raw(live.socket_path, bytes(data))
+                results.append(ServeCase(
+                    scenario="malformed-frames", case=case,
+                    verdict=verdict,
+                    detail=f"mutation={('truncate','flip','length','garbage')[choice]}",
+                ))
+            # the server must have survived all of it
+            if live.alive:
+                with live.client() as client:
+                    response = _request(
+                        client, {"op": "compile", "source": source}
+                    )
+                results.append(_judge_response(
+                    "malformed-frames", len(results), source, response
+                ))
+            else:
+                results.append(ServeCase(
+                    scenario="malformed-frames", case=len(results),
+                    verdict="uncontained",
+                    detail="server died under malformed frames",
+                ))
+    return results
+
+
+def _poke_raw(path: str, data: bytes) -> str:
+    """Send raw bytes; expect a frame back or a clean close within the
+    timeout — a hang or an exception is ``uncontained``."""
+    try:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(10.0)
+        sock.connect(path)
+        sock.sendall(data)
+        sock.shutdown(socket.SHUT_WR)
+        try:
+            reply = recv_frame(sock)
+        except Exception:
+            reply = None  # decoder-level close; still contained
+        sock.close()
+    except socket.timeout:
+        return "uncontained"
+    except OSError:
+        return "failed-clean"  # reset mid-write: the peer was dropped
+    if reply is None or not reply.get("ok", True):
+        return "failed-clean"
+    return "clean"  # a truncation can still parse as a valid frame
+
+
+def _run_slow_client(seed: int, cases: int,
+                     rng: random.Random) -> List[ServeCase]:
+    """One peer trickles its frame byte-by-byte while a fast peer
+    compiles; both must be answered and the fast one must not stall."""
+    results: List[ServeCase] = []
+    source = TINY_BLOCKER
+    frame = encode_frame({"op": "compile", "source": source, "id": "slow"})
+    with tempfile.TemporaryDirectory() as directory:
+        with _LiveServer(directory, workers=2) as live:
+            slow = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            slow.settimeout(30.0)
+            slow.connect(live.socket_path)
+            trickled = 0
+            step = max(1, len(frame) // 40)
+            fast_done: List[Optional[Dict[str, Any]]] = []
+
+            def _fast() -> None:
+                with live.client() as client:
+                    fast_done.append(_request(
+                        client, {"op": "compile", "source": source}
+                    ))
+
+            fast_thread = threading.Thread(target=_fast)
+            fast_started = time.monotonic()
+            fast_thread.start()
+            while trickled < len(frame):
+                slow.sendall(frame[trickled:trickled + step])
+                trickled += step
+                time.sleep(0.02)
+            fast_thread.join(timeout=30)
+            fast_seconds = time.monotonic() - fast_started
+            reply = None
+            try:
+                reply = recv_frame(slow)
+            except Exception:
+                pass
+            slow.close()
+            fast = fast_done[0] if fast_done else None
+            case = _judge_response("slow-client", 0, source, fast)
+            case.detail = (
+                f"fast client answered in {fast_seconds:.2f}s "
+                f"alongside the trickling peer"
+            )
+            results.append(case)
+            results.append(_judge_response("slow-client", 1, source, reply))
+    return results
+
+
+def _run_cache_readonly(seed: int, cases: int,
+                        rng: random.Random) -> List[ServeCase]:
+    """The result-cache directory stops accepting writes mid-service;
+    compiles must keep succeeding with stores failing silently."""
+    results: List[ServeCase] = []
+    with tempfile.TemporaryDirectory() as directory:
+        cache_dir = os.path.join(directory, "cache")
+        os.makedirs(cache_dir)
+        os.chmod(cache_dir, stat.S_IRUSR | stat.S_IXUSR)
+        try:
+            with _LiveServer(
+                directory, workers=2, result_cache_dir=cache_dir,
+            ) as live:
+                with live.client() as client:
+                    for case, source in enumerate(_sources(seed, cases)):
+                        response = _request(
+                            client, {"op": "compile", "source": source}
+                        )
+                        results.append(_judge_response(
+                            "cache-readonly", case, source, response
+                        ))
+        finally:
+            os.chmod(cache_dir, stat.S_IRWXU)
+    return results
+
+
+_RUNNERS: Dict[
+    str, Callable[[int, int, random.Random], List[ServeCase]]
+] = {
+    "worker-kill": _run_worker_kill,
+    "worker-hang": _run_worker_hang,
+    "cache-corrupt": _run_cache_corrupt,
+    "malformed-frames": _run_malformed_frames,
+    "slow-client": _run_slow_client,
+    "cache-readonly": _run_cache_readonly,
+}
+
+
+def run_chaos_serve(
+    seed: int = 0,
+    cases_per_scenario: int = 2,
+    scenarios: Optional[List[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ServeChaosReport:
+    """Run the service chaos campaign; deterministic for a given seed
+    (modulo scheduling, which the invariants are robust to)."""
+    chosen = list(scenarios) if scenarios else list(SERVE_SCENARIOS)
+    unknown = [s for s in chosen if s not in _RUNNERS]
+    if unknown:
+        raise ValueError(f"unknown chaos-serve scenario(s) {unknown}; "
+                         f"have {sorted(_RUNNERS)}")
+    report = ServeChaosReport(seed=seed)
+    for scenario in chosen:
+        if progress:
+            progress(f"chaos-serve: {scenario} ...")
+        rng = random.Random((seed << 20) ^ hash_stable(scenario))
+        try:
+            cases = _RUNNERS[scenario](seed, cases_per_scenario, rng)
+        except Exception as exc:
+            cases = [ServeCase(
+                scenario=scenario, case=0, verdict="uncontained",
+                detail=f"harness raised {type(exc).__name__}: {exc}",
+            )]
+        for case in cases:
+            if progress and not case.ok:
+                progress(
+                    f"chaos-serve: {scenario}#{case.case}: "
+                    f"{case.verdict} ({case.detail})"
+                )
+        if progress:
+            verdicts = ", ".join(
+                f"{c.verdict}" for c in cases
+            ) or "no cases"
+            progress(f"chaos-serve: {scenario}: {verdicts}")
+        report.cases.extend(cases)
+    return report
+
+
+def hash_stable(text: str) -> int:
+    """A process-stable small hash (``hash()`` is PYTHONHASHSEED-random)."""
+    import hashlib
+    return int.from_bytes(
+        hashlib.sha256(text.encode()).digest()[:2], "big"
+    )

@@ -269,6 +269,22 @@ def _default_enabled() -> bool:
 REGISTRY = MetricsRegistry(enabled=_default_enabled())
 
 
+def _reinit_after_fork() -> None:
+    """A fork can land while another thread (the compile server's
+    executor) holds the registry lock — the child would inherit it
+    locked forever.  Hand the child a fresh lock and empty instruments;
+    forked pool/supervisor workers reset their registry on first use
+    anyway, and nothing outside the registry caches instrument objects.
+    """
+    REGISTRY._lock = threading.Lock()
+    REGISTRY._counters.clear()
+    REGISTRY._histograms.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
 def metrics() -> MetricsRegistry:
     return REGISTRY
 

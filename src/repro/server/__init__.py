@@ -12,30 +12,45 @@ content-addressed result cache so repeat traffic skips the dynamic
 phase too.  Each response ships per-request diagnostics, a metrics
 delta, and (on request) a span trace.
 
-Five modules::
+With ``--workers N`` the service is *self-healing*: compiles dispatch
+to N supervised warm subprocesses (health probes, crash/hang detection,
+restart with backoff, bounded re-dispatch), a per-failure-class circuit
+breaker sheds load when the backend is failing, and SIGTERM/SIGINT
+drains gracefully — every admitted request is answered, worst case with
+a structured ``SERVER-SHUTDOWN`` error.
+
+Six modules::
 
     protocol.py      length-prefixed JSON frames; sans-IO FrameDecoder,
                      blocking and asyncio transports
     server.py        CompileServer: async accept loop, admission queue,
-                     deadlines, warm pool, result cache
+                     deadlines, warm pool, result cache, graceful drain
+    supervisor.py    WorkerSupervisor + CircuitBreaker: supervised
+                     compile subprocesses, retries, breaker
     result_cache.py  content-addressed per-function assembly cache
     client.py        CompileClient: jittered connect retry, pipelining
     loadgen.py       concurrent load harness behind ``ggcc load-test``
 """
 
 from .client import CompileClient
-from .loadgen import LoadReport, run_load
+from .loadgen import LoadReport, resilience_report, run_load
 from .protocol import (
     FrameDecoder, ProtocolError, encode_frame, read_frame_async,
     recv_frame, send_frame, write_frame_async,
 )
 from .result_cache import ResultCache, result_key, table_fingerprint
 from .server import CompileServer
+from .supervisor import (
+    BreakerPolicy, CircuitBreaker, JobOutcome, WorkerFailure,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "CompileClient", "CompileServer", "ProtocolError", "FrameDecoder",
     "encode_frame", "recv_frame", "send_frame",
     "read_frame_async", "write_frame_async",
     "ResultCache", "result_key", "table_fingerprint",
-    "LoadReport", "run_load",
+    "LoadReport", "run_load", "resilience_report",
+    "WorkerSupervisor", "CircuitBreaker", "BreakerPolicy",
+    "JobOutcome", "WorkerFailure",
 ]

@@ -30,13 +30,30 @@ The service is an asyncio accept loop built for concurrent load:
   compile cannot be interrupted, but its caller is never left waiting
   past the deadline).  Either way the client gets a structured
   ``SERVER-DEADLINE`` response.
-* **One compile executor.**  Compiles run on a single worker thread:
-  the dynamic phase is pure Python (GIL-bound across threads anyway),
-  per-request parallelism comes from the process pool (``jobs``), and
-  serializing compiles is what keeps each response's *metrics delta*
-  exact — the registry window opens and closes around exactly one
-  request's work.  Admission, framing, caching decisions and deadline
-  handling all stay on the event loop, concurrent with any compile.
+* **One compile executor** (``workers=0``, the default).  Compiles run
+  on a single worker thread: the dynamic phase is pure Python
+  (GIL-bound across threads anyway), per-request parallelism comes from
+  the process pool (``jobs``), and serializing compiles is what keeps
+  each response's *metrics delta* exact — the registry window opens and
+  closes around exactly one request's work.  Admission, framing,
+  caching decisions and deadline handling all stay on the event loop,
+  concurrent with any compile.
+* **Supervised workers** (``workers=N``).  Compiles dispatch to N warm
+  worker *subprocesses* under a :class:`WorkerSupervisor
+  <repro.server.supervisor.WorkerSupervisor>`: a crashed or hung worker
+  is detected, killed, restarted with backoff, and its request
+  re-dispatched to a healthy sibling (bounded by ``max_retries``;
+  idempotent because results are content-addressed).  A per-failure-
+  class :class:`~repro.server.supervisor.CircuitBreaker` sheds load
+  with ``SERVER-CIRCUIT-OPEN`` instead of queueing onto a failing
+  backend.  Cache probing, cache population and response assembly stay
+  in the parent on the executor thread; only the dynamic phase crosses
+  the process boundary.
+* **Graceful drain.**  SIGTERM/SIGINT (or the ``shutdown`` op) stops
+  accepting, lets in-flight work finish within ``drain_grace`` seconds,
+  and answers everything still queued or abandoned with a structured
+  ``SERVER-SHUTDOWN`` error before connections close — no request is
+  ever silently dropped by a shutdown.
 
 Operations (JSON frames, :mod:`repro.server.protocol`):
 
@@ -65,6 +82,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import signal
 import socket
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -80,12 +98,16 @@ from ..diag import codes
 from ..diag.diagnostics import Diagnostic
 from ..frontend import lower_program, parse
 from ..obs import install_recorder, uninstall_recorder
-from ..obs.metrics import REGISTRY
+from ..obs.metrics import REGISTRY, MetricsSnapshot
 from ..obs.spans import span
 from .protocol import (
     ProtocolError, read_frame_async, write_frame_async,
 )
 from .result_cache import ResultCache, table_fingerprint
+from .supervisor import (
+    CircuitBreaker, DEFAULT_JOB_TIMEOUT, DEFAULT_MAX_RETRIES, JobOutcome,
+    WorkerSupervisor,
+)
 
 #: Admission-queue capacity when the caller doesn't choose one.  Large
 #: enough that a burst of concurrent clients queues rather than sheds,
@@ -178,6 +200,15 @@ class CompileServer:
     unless ``result_cache_dir`` names a persistent directory, and
     honouring ``REPRO_RESULT_CACHE=0``.
 
+    ``workers`` > 0 turns on the supervised subsystem: that many warm
+    compile subprocesses, per-job deadlines (``job_timeout``), bounded
+    re-dispatch (``max_retries``), and a circuit breaker.  ``breaker``
+    may be ``False`` (off), a ready
+    :class:`~repro.server.supervisor.CircuitBreaker` (tests), or
+    ``None`` — a default breaker when workers are supervised.
+    ``drain_grace`` bounds how long shutdown waits for in-flight work
+    before abandoning it with ``SERVER-SHUTDOWN``.
+
     ``max_requests`` stops the accept loop once that many requests have
     been received and answered — the tests' way of bounding a server
     thread's lifetime.  ``_before_compile`` is a test seam: a callable
@@ -197,6 +228,11 @@ class CompileServer:
         default_deadline: Optional[float] = None,
         result_cache: Any = None,
         result_cache_dir: Optional[str] = None,
+        workers: int = 0,
+        job_timeout: float = DEFAULT_JOB_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        breaker: Any = None,
+        drain_grace: float = 5.0,
         _before_compile: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if path is not None and host is not None:
@@ -218,8 +254,24 @@ class CompileServer:
         self.errors = 0
         self.overloads = 0
         self.deadline_expired = 0
+        self.shutdown_rejected = 0
+        self.breaker_shed = 0
+        self.workers = max(0, workers)
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.drain_grace = drain_grace
+        self.supervisor: Optional[WorkerSupervisor] = None
+        if breaker is False:
+            self.breaker: Optional[CircuitBreaker] = None
+        elif isinstance(breaker, CircuitBreaker):
+            self.breaker = breaker
+        else:
+            self.breaker = CircuitBreaker() if self.workers > 0 else None
         self._before_compile = _before_compile
         self._running = False
+        self._draining = False
+        self._abandoned: List[_Job] = []
+        self._shutdown_reason: Optional[str] = None
         self._listener: Optional[socket.socket] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._queue: Optional[asyncio.Queue] = None
@@ -297,15 +349,25 @@ class CompileServer:
         """The accept loop proper, for callers who own an event loop."""
         if self._listener is None:
             self.bind()
-        if self.jobs > 1:
+        if self.jobs > 1 and self.workers == 0:
             self._ensure_pool()
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=self.queue_limit)
         self._shutdown_event = asyncio.Event()
         self._outstanding = 0
+        self._draining = False
+        self._abandoned = []
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="ggcc-compile"
         )
+        if self.workers > 0:
+            self.supervisor = WorkerSupervisor(
+                self.workers, self.generator,
+                job_timeout=self.job_timeout,
+                max_retries=self.max_retries,
+                on_failure=self._worker_failed,
+            )
+            await self.supervisor.start()
         self._running = True
         if self.path is not None:
             server = await asyncio.start_unix_server(
@@ -315,27 +377,114 @@ class CompileServer:
             server = await asyncio.start_server(
                 self._serve_connection, sock=self._listener
             )
-        worker = asyncio.create_task(self._compile_worker())
+        # One dispatcher per supervised worker keeps N compiles in
+        # flight; unsupervised servers keep the single-dispatcher
+        # discipline (exact per-request metrics windows).
+        dispatchers = [
+            asyncio.create_task(self._dispatcher())
+            for _ in range(self.workers or 1)
+        ]
+        installed_signals: List[int] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(
+                    signum, self.request_shutdown,
+                    signal.Signals(signum).name,
+                )
+                installed_signals.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError, OSError):
+                pass  # non-main thread or platform without signal support
         try:
             await self._shutdown_event.wait()
         finally:
             self._running = False
+            self._draining = True
+            for signum in installed_signals:
+                try:
+                    self._loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
             server.close()
             await server.wait_closed()
-            worker.cancel()
+            await self._drain(dispatchers)
             for conn in list(self._connections):
                 conn.close()
             self._connections.clear()
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+            if self.supervisor is not None:
+                await self.supervisor.stop()
+                self.supervisor = None
             self._listener = None
             self._queue = None
             self._loop = None
+            self._draining = False
             if self.path is not None and os.path.exists(self.path):
                 os.unlink(self.path)
             if self.pool is not None:
                 self.pool.shutdown(wait=False, cancel_futures=True)
                 self.pool = None
+
+    def request_shutdown(self, reason: str = "request") -> None:
+        """Begin a graceful drain (signal handlers land here)."""
+        self._shutdown_reason = reason
+        self._begin_shutdown()
+
+    async def _drain(self, dispatchers: List[asyncio.Task]) -> None:
+        """Finish or reject everything still in flight, then stop the
+        dispatchers.  Every admitted-but-unanswered job gets a
+        ``SERVER-SHUTDOWN`` response before its connection closes."""
+        leftovers: List[_Job] = []
+        while True:
+            try:
+                leftovers.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+
+        async def _feed_sentinels() -> None:
+            for _ in dispatchers:
+                await self._queue.put(None)
+
+        feeder = self._loop.create_task(_feed_sentinels())
+        _done, stragglers = await asyncio.wait(
+            dispatchers, timeout=self.drain_grace
+        )
+        feeder.cancel()
+        for task in stragglers:
+            task.cancel()
+        await asyncio.gather(*dispatchers, feeder, return_exceptions=True)
+        for job in leftovers + self._abandoned:
+            if job is None or job.responded:
+                continue
+            job.responded = True
+            self._outstanding -= 1
+            if job.watchdog is not None:
+                job.watchdog.cancel()
+            self.shutdown_rejected += 1
+            REGISTRY.inc("server.shutdown.rejected")
+            payload = self._shutdown_payload(job.op, job.started)
+            if job.rid is not None:
+                payload["id"] = job.rid
+            await job.conn.send_safe(payload)
+        self._abandoned = []
+
+    def _shutdown_payload(
+        self, op: str, started: bool
+    ) -> Dict[str, Any]:
+        stage = "running" if started else "queued"
+        message = "the service is draining; " + (
+            "the in-flight compile was abandoned" if started
+            else "the request was rejected before compiling"
+        )
+        diag = Diagnostic(
+            code=codes.SERVER_SHUTDOWN, message=message,
+            context={"stage": stage,
+                     "reason": self._shutdown_reason or "shutdown"},
+        )
+        response = _error(codes.SERVER_SHUTDOWN, message)
+        response["op"] = op
+        response["diagnostics"] = [diag.to_dict()]
+        return response
 
     # ------------------------------------------------------ connections
     async def _serve_connection(
@@ -359,8 +508,12 @@ class CompileServer:
         except (OSError, ConnectionError):
             pass
         finally:
-            self._connections.discard(conn)
-            conn.close()
+            # During shutdown the drain may still owe this peer
+            # SERVER-SHUTDOWN responses; serve_async closes every
+            # connection once the drain has flushed them.
+            if self._running:
+                self._connections.discard(conn)
+                conn.close()
 
     async def _dispatch(
         self, conn: _Connection, request: Any
@@ -392,6 +545,24 @@ class CompileServer:
                 conn, _error("bad-request", f"unknown op {op!r}"), rid
             )
             return
+        if not self._running or self._draining:
+            # A frame racing the drain: reject it now so it can't land
+            # in the queue behind the stop sentinels and go unanswered.
+            self.shutdown_rejected += 1
+            REGISTRY.inc("server.shutdown.rejected")
+            await self._respond(
+                conn, self._shutdown_payload(op, started=False), rid
+            )
+            return
+        if self.breaker is not None:
+            shed_class = self.breaker.admit()
+            if shed_class is not None:
+                self.breaker_shed += 1
+                REGISTRY.inc("server.breaker.shed")
+                await self._respond(
+                    conn, self._circuit_response(op, shed_class), rid
+                )
+                return
 
         job = _Job(
             conn=conn, request=request, op=op, rid=rid,
@@ -450,9 +621,17 @@ class CompileServer:
         self._outstanding -= 1
         self.deadline_expired += 1
         REGISTRY.inc("server.deadline.expired")
+        if self.breaker is not None:
+            self.breaker.record_failure("deadline")
         self._loop.create_task(
             self._respond(job.conn, self._deadline_response(job), job.rid)
         )
+
+    def _worker_failed(self, failure_class: str) -> None:
+        """Supervisor callback: every worker crash or hang feeds the
+        breaker (on the event-loop thread, so no locking needed)."""
+        if self.breaker is not None:
+            self.breaker.record_failure(failure_class)
 
     def _deadline_response(self, job: _Job) -> Dict[str, Any]:
         waited = self._loop.time() - job.enqueued_at
@@ -491,25 +670,51 @@ class CompileServer:
         }
         return response
 
+    def _circuit_response(self, op: str, failure_class: str) -> Dict[str, Any]:
+        message = (
+            f"circuit breaker open for failure class {failure_class!r}; "
+            f"load shed — retry after the cooldown"
+        )
+        diag = Diagnostic(
+            code=codes.SERVER_CIRCUIT_OPEN, message=message,
+            context={"failure_class": failure_class,
+                     "breaker": self.breaker.snapshot()},
+        )
+        response = _error(codes.SERVER_CIRCUIT_OPEN, message)
+        response["op"] = op
+        response["diagnostics"] = [diag.to_dict()]
+        return response
+
     # ----------------------------------------------------------- worker
-    async def _compile_worker(self) -> None:
-        """Drain the admission queue through the compile executor, one
-        request at a time (see the class docstring for why one)."""
+    async def _dispatcher(self) -> None:
+        """Drain the admission queue — through the compile executor
+        (``workers=0``) or the worker supervisor — until the drain
+        sentinel arrives."""
         while True:
             job = await self._queue.get()
+            if job is None:
+                return  # drain sentinel
             if job.responded:
                 continue  # expired while queued; already answered
             job.started = True
             waited = self._loop.time() - job.enqueued_at
             REGISTRY.observe("server.queue.wait_seconds", waited)
             try:
-                response = await self._loop.run_in_executor(
-                    self._executor, self._execute, job.request
-                )
-            except Exception as exc:  # the server must outlive any request
-                self.errors += 1
-                response = _error(type(exc).__name__, str(exc))
-                response["op"] = job.op
+                try:
+                    if self.supervisor is not None:
+                        response = await self._run_supervised(job)
+                    else:
+                        response = await self._loop.run_in_executor(
+                            self._executor, self._execute, job.request
+                        )
+                except Exception as exc:  # the server must outlive any request
+                    self.errors += 1
+                    response = _error(type(exc).__name__, str(exc))
+                    response["op"] = job.op
+            except asyncio.CancelledError:
+                # Drain gave up on this compile; _drain answers it.
+                self._abandoned.append(job)
+                raise
             if job.watchdog is not None:
                 job.watchdog.cancel()
             if job.responded:
@@ -517,6 +722,253 @@ class CompileServer:
             job.responded = True
             self._outstanding -= 1
             await self._respond(job.conn, response, job.rid)
+            if self.breaker is not None:
+                # Any answered request closes a half-open breaker (and
+                # is a no-op otherwise) — without this, a trial request
+                # that fails for an unrelated reason would leave the
+                # trial slot taken forever.
+                self.breaker.record_success("crash")
+                self.breaker.record_success("deadline")
+
+    # ------------------------------------------------------- supervised
+    async def _run_supervised(self, job: _Job) -> Dict[str, Any]:
+        """The compile op against the worker supervisor (batch-aware)."""
+        if job.op == "compile":
+            return await self._run_supervised_one(job.request)
+        requests = job.request.get("requests")
+        if not isinstance(requests, list):
+            self.errors += 1
+            return _error("bad-request", "compile_batch needs 'requests'")
+        return {
+            "ok": True, "op": "compile_batch",
+            "responses": [
+                await self._run_supervised_one(item) for item in requests
+            ],
+        }
+
+    async def _run_supervised_one(
+        self, request: Any
+    ) -> Dict[str, Any]:
+        """One compile: probe the cache in the parent, cross the process
+        boundary only for the dynamic phase, assemble in the parent."""
+        probe = await self._loop.run_in_executor(
+            self._executor, self._supervised_probe, request
+        )
+        if "response" in probe:
+            return probe["response"]
+        outcome = await self.supervisor.submit(
+            request, only=probe.get("misses")
+        )
+        return await self._loop.run_in_executor(
+            self._executor, self._assemble_supervised,
+            request, probe, outcome,
+        )
+
+    def _supervised_probe(self, request: Any) -> Dict[str, Any]:
+        """Executor-thread half 1: validate, consult the result cache.
+
+        Returns ``{"response": ...}`` when the request is answerable
+        without a worker (validation failure, every function a cache
+        hit), else a probe dict carrying the cache state and the
+        parent-side metrics delta forward to assembly."""
+        if self._before_compile is not None:
+            self._before_compile(request)
+        if not isinstance(request, dict):
+            self.errors += 1
+            return {"response": _error(
+                "bad-request", "a compile request is a dict"
+            )}
+        source = request.get("source")
+        if not isinstance(source, str):
+            self.errors += 1
+            return {"response": _error(
+                "bad-request", "compile needs 'source' text"
+            )}
+        resilient = bool(request.get("resilient", False))
+        use_cache = self.result_cache is not None and not resilient
+        probe: Dict[str, Any] = {
+            "use_cache": use_cache, "started": time.perf_counter(),
+            "misses": None,
+        }
+        REGISTRY.drain()  # open this request's metrics window
+        try:
+            with span("server.request", cat="server", cached=use_cache,
+                      supervised=True):
+                if not use_cache:
+                    probe["metrics"] = REGISTRY.drain()
+                    return probe
+                with span("server.cache_probe", cat="server"):
+                    ast = parse(source)
+                    keys = self.result_cache.keys_for(ast)
+                    entries: Dict[str, Dict[str, Any]] = {}
+                    misses: List[str] = []
+                    for func in ast.functions:
+                        entry = self.result_cache.get(keys[func.name])
+                        if entry is None:
+                            misses.append(func.name)
+                        else:
+                            entries[func.name] = entry
+                if misses and len(misses) == len(ast.functions):
+                    # Fully cold: the worker compiles the whole unit.
+                    probe["metrics"] = REGISTRY.drain()
+                    return probe
+                program = lower_program(ast)
+                if not misses:
+                    # Every function warm: answer without a worker.
+                    response = self._assembled_cached_response(
+                        program, entries, hits=len(program.order),
+                        misses=0, cpu_seconds=0.0,
+                        started=probe["started"], diagnostics=[],
+                    )
+                    self.functions_compiled += len(program.order)
+                    response["metrics"] = REGISTRY.drain().to_dict()
+                    return {"response": response}
+                probe.update(
+                    misses=misses, keys=keys, entries=entries,
+                    program=program,
+                )
+        except Exception as exc:
+            self.errors += 1
+            response = _error(type(exc).__name__, str(exc))
+            response["op"] = "compile"
+            response["metrics"] = REGISTRY.drain().to_dict()
+            return {"response": response}
+        probe["metrics"] = REGISTRY.drain()
+        return probe
+
+    def _assemble_supervised(
+        self,
+        request: Dict[str, Any],
+        probe: Dict[str, Any],
+        outcome: JobOutcome,
+    ) -> Dict[str, Any]:
+        """Executor-thread half 2: turn the worker's outcome into the
+        response — crash/retry diagnostics, cache population, metrics
+        merge."""
+        REGISTRY.drain()  # open the assembly-side metrics window
+        recovered = not outcome.failed
+        crash_diags: List[Dict[str, Any]] = []
+        for attempt, kind in enumerate(outcome.failures, start=1):
+            crash_diags.append(Diagnostic(
+                code=codes.SERVER_WORKER_CRASH,
+                message=(
+                    f"compile worker {kind} on attempt {attempt}; "
+                    + ("the request was re-dispatched" if recovered
+                       else "the retry budget was exhausted")
+                ),
+                severity=codes.WARNING if recovered else codes.ERROR,
+                context={"attempt": attempt, "kind": kind},
+            ).to_dict())
+        if outcome.failures and recovered:
+            crash_diags.append(Diagnostic(
+                code=codes.SERVER_RETRY,
+                message=(
+                    f"request succeeded on attempt {outcome.attempts} "
+                    f"after {len(outcome.failures)} worker failure(s)"
+                ),
+                context={"attempts": outcome.attempts,
+                         "failures": list(outcome.failures)},
+            ).to_dict())
+
+        if outcome.failed:
+            self.errors += 1
+            message = (
+                "the compile's worker failed on every attempt "
+                f"({outcome.attempts} attempt(s): "
+                f"{', '.join(outcome.failures)})"
+            )
+            response = _error(codes.SERVER_WORKER_CRASH, message)
+            response["op"] = "compile"
+            response["diagnostics"] = crash_diags
+        elif outcome.response is not None:
+            # Whole-unit compile: the worker built the response body.
+            response = outcome.response
+            if "error" in response:
+                self.errors += 1
+            response["diagnostics"] = (
+                crash_diags + list(response.get("diagnostics", []))
+            )
+            names = response.get("functions", [])
+            if response.get("ok"):
+                self.functions_compiled += len(names)
+                if probe["use_cache"] and outcome.functions:
+                    self._populate_supervised_cache(
+                        request, outcome.functions
+                    )
+            if probe["use_cache"]:
+                response["result_cache"] = {
+                    "hits": 0, "misses": len(names),
+                }
+        else:
+            # Partial cache hit: worker compiled just the misses.
+            program = probe["program"]
+            keys = probe["keys"]
+            entries = dict(probe["entries"])
+            cpu_seconds = 0.0
+            for name, info in outcome.functions.items():
+                cpu_seconds += info["cpu_seconds"]
+                entries[name] = self.result_cache.put(
+                    keys[name], name, info["assembly"],
+                    info["cpu_seconds"],
+                )
+            self.functions_compiled += len(program.order)
+            response = self._assembled_cached_response(
+                program, entries,
+                hits=len(program.order) - len(outcome.functions),
+                misses=len(outcome.functions), cpu_seconds=cpu_seconds,
+                started=probe["started"], diagnostics=crash_diags,
+            )
+
+        merged = probe.get("metrics") or MetricsSnapshot()
+        if outcome.metrics is not None:
+            merged.merge(outcome.metrics)
+        merged.merge(REGISTRY.drain())
+        response["metrics"] = merged.to_dict()
+        return response
+
+    def _assembled_cached_response(
+        self,
+        program: Any,
+        entries: Dict[str, Dict[str, Any]],
+        hits: int,
+        misses: int,
+        cpu_seconds: float,
+        started: float,
+        diagnostics: List[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        data_section = ProgramAssembly(source_program=program).data_section()
+        text = "\n".join(
+            [data_section]
+            + [entries[name]["assembly"] for name in program.order]
+        )
+        return {
+            "ok": True,
+            "op": "compile",
+            "assembly": text,
+            "functions": list(program.order),
+            "failed": [],
+            "tiers": {},
+            "seconds": time.perf_counter() - started,
+            "cpu_seconds": cpu_seconds,
+            "diagnostics": diagnostics,
+            "result_cache": {"hits": hits, "misses": misses},
+        }
+
+    def _populate_supervised_cache(
+        self, request: Dict[str, Any], functions: Dict[str, Any]
+    ) -> None:
+        """Store a supervised whole-unit compile's per-function results
+        under their content addresses (mirror of :meth:`_populate_cache`
+        for results that arrived over the worker pipe)."""
+        try:
+            keys = self.result_cache.keys_for(parse(request["source"]))
+            for name, info in functions.items():
+                self.result_cache.put(
+                    keys[name], name, info["assembly"],
+                    info["cpu_seconds"],
+                )
+        except Exception:
+            return  # cache population must never fail a served request
 
     # -------------------------------------------------------- dispatch
     def handle(self, request: Any) -> Dict[str, Any]:
@@ -562,7 +1014,19 @@ class CompileServer:
             "errors": self.errors,
             "overloads": self.overloads,
             "deadline_expired": self.deadline_expired,
+            "shutdown_rejected": self.shutdown_rejected,
+            "breaker_shed": self.breaker_shed,
             "jobs": self.jobs,
+            "workers": self.workers,
+            "draining": self._draining,
+            "supervisor": (
+                self.supervisor.snapshot()
+                if self.supervisor is not None else None
+            ),
+            "breaker": (
+                self.breaker.snapshot()
+                if self.breaker is not None else None
+            ),
             "queue": {
                 "depth": self.queue_depth,
                 "limit": self.queue_limit,

@@ -20,6 +20,14 @@ the recovery ladder never miscompiles silently::
 
     ggcc chaos --seed 0 --cases 2
 
+``chaos-serve`` lifts the same discipline to the service: it boots the
+real compile server and kills/hangs its supervised workers, corrupts
+the persistent result cache, feeds it malformed frames and trickling
+clients — asserting zero silent miscompiles and zero unanswered
+requests::
+
+    ggcc chaos-serve --scenario worker-kill --scenario worker-hang
+
 Resilient compilation routes every function through the recovery ladder
 and reports structured diagnostics (JSON with ``--diag-json``); failed
 functions make the exit status non-zero::
@@ -47,8 +55,16 @@ measures it: cold and warm rows of concurrent traffic with p50/p99
 latency and throughput (``--out BENCH_server.json`` regenerates the
 checked-in benchmark)::
 
+With ``--workers N`` the server becomes self-healing: compiles run on
+N supervised warm subprocesses with crash/hang detection, restart with
+backoff, bounded re-dispatch, a circuit breaker, and SIGTERM/SIGINT
+graceful drain.  ``load-test --resilience`` measures throughput under a
+sustained worker-kill barrage next to the undisturbed warm row::
+
     ggcc serve --socket /tmp/ggcc.sock --jobs 4 --queue-limit 256
+    ggcc serve --socket /tmp/ggcc.sock --workers 4 --job-timeout 30
     ggcc load-test --clients 50 --requests 4 --out BENCH_server.json
+    ggcc load-test --resilience --out BENCH_server.json
 
 ``match-bench`` times the matcher's three drive loops (compiled, packed,
 dict) over one program's linearized statements — the quick local check
@@ -239,6 +255,45 @@ def chaos_main(argv: List[str]) -> int:
     return 0 if report.ok else 1
 
 
+def build_chaos_serve_parser() -> argparse.ArgumentParser:
+    from ..fuzz.chaos_serve import SERVE_SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="ggcc chaos-serve",
+        description="service fault injection: boot the real compile "
+                    "server and kill/hang its supervised workers, "
+                    "corrupt the persistent result cache, feed it "
+                    "malformed frames and trickling clients, make the "
+                    "cache dir read-only — then assert zero silent "
+                    "miscompiles (IR-interpreter oracle) and zero "
+                    "unanswered requests",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic campaign seed")
+    parser.add_argument("--cases", type=int, default=2,
+                        help="cases per scenario (default 2; case 0 is "
+                             "the known minimal blocker)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        choices=SERVE_SCENARIOS, dest="scenarios",
+                        help="run only this scenario (repeatable)")
+    return parser
+
+
+def chaos_serve_main(argv: List[str]) -> int:
+    from ..fuzz.chaos_serve import run_chaos_serve
+
+    options = build_chaos_serve_parser().parse_args(argv)
+    report = run_chaos_serve(
+        seed=options.seed,
+        cases_per_scenario=options.cases,
+        scenarios=options.scenarios,
+        progress=print,
+    )
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ggcc serve",
@@ -256,6 +311,24 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1,
                         help="persistent worker-pool width (1 = compile "
                              "in the server process)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="supervised compile subprocesses (0 = the "
+                             "single in-process executor); crashed or "
+                             "hung workers restart and their requests "
+                             "re-dispatch")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="seconds before a supervised worker is "
+                             "declared hung (default 60)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="re-dispatch budget per request after a "
+                             "worker failure (default 1)")
+    parser.add_argument("--drain-grace", type=float, default=None,
+                        help="seconds shutdown waits for in-flight work "
+                             "before answering SERVER-SHUTDOWN "
+                             "(default 5)")
+    parser.add_argument("--no-breaker", action="store_true",
+                        help="disable the circuit breaker that sheds "
+                             "load while the backend is failing")
     parser.add_argument("--max-requests", type=int, default=None,
                         help="exit after N requests (smoke tests)")
     parser.add_argument("--queue-limit", type=int, default=None,
@@ -284,6 +357,7 @@ def serve_main(argv: List[str]) -> int:
     from ..server import CompileServer
 
     from ..server.server import DEFAULT_QUEUE_LIMIT
+    from ..server.supervisor import DEFAULT_JOB_TIMEOUT, DEFAULT_MAX_RETRIES
 
     options = build_serve_parser().parse_args(argv)
     generator = GrahamGlanvilleCodeGenerator(
@@ -299,6 +373,14 @@ def serve_main(argv: List[str]) -> int:
         default_deadline=options.deadline,
         result_cache=False if options.no_result_cache else None,
         result_cache_dir=options.result_cache_dir,
+        workers=options.workers,
+        job_timeout=(DEFAULT_JOB_TIMEOUT if options.job_timeout is None
+                     else options.job_timeout),
+        max_retries=(DEFAULT_MAX_RETRIES if options.max_retries is None
+                     else options.max_retries),
+        breaker=False if options.no_breaker else None,
+        drain_grace=(5.0 if options.drain_grace is None
+                     else options.drain_grace),
     )
     if options.tcp is not None:
         host, _, port = options.tcp.partition(":")
@@ -311,7 +393,8 @@ def serve_main(argv: List[str]) -> int:
         )
     server.bind()
     print(f"ggcc serve: listening on {server.address} "
-          f"(jobs={options.jobs}, tables {generator.table_source})",
+          f"(jobs={options.jobs}, workers={options.workers}, "
+          f"tables {generator.table_source})",
           file=sys.stderr, flush=True)
     try:
         server.serve_forever()
@@ -502,6 +585,14 @@ def build_load_test_parser() -> argparse.ArgumentParser:
                         help="per-request deadline in seconds")
     parser.add_argument("--seed", type=int, default=1982,
                         help="workload seed (default 1982)")
+    parser.add_argument("--resilience", action="store_true",
+                        help="also measure a supervised server under a "
+                             "sustained worker-kill barrage and record "
+                             "the disturbed/undisturbed throughput "
+                             "ratio (gate: >= 0.5)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="supervised workers for --resilience "
+                             "(default 2)")
     parser.add_argument("--out", metavar="FILE", default=None,
                         help="also write the report as JSON to FILE "
                              "(e.g. BENCH_server.json)")
@@ -511,7 +602,7 @@ def build_load_test_parser() -> argparse.ArgumentParser:
 def load_test_main(argv: List[str]) -> int:
     import json
 
-    from ..server.loadgen import load_test_report
+    from ..server.loadgen import load_test_report, resilience_report
 
     options = build_load_test_parser().parse_args(argv)
     report = load_test_report(
@@ -524,6 +615,10 @@ def load_test_main(argv: List[str]) -> int:
         deadline=options.deadline,
         seed=options.seed,
     )
+    if options.resilience:
+        report["resilience"] = resilience_report(
+            workers=options.workers, seed=options.seed,
+        )
     if options.out:
         with open(options.out, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -535,6 +630,12 @@ def load_test_main(argv: List[str]) -> int:
         for row in ("cold", "warm")
         for key in ("errors", "id_mismatches", "dropped_connections")
     )
+    if options.resilience \
+            and report["resilience"]["throughput_ratio"] < 0.5:
+        print("ggcc load-test: resilience gate FAILED "
+              f"(ratio {report['resilience']['throughput_ratio']} < 0.5)",
+              file=sys.stderr)
+        return 1
     return 0 if integrity == 0 else 1
 
 
@@ -545,6 +646,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return fuzz_main(list(argv[1:]))
     if argv and argv[0] == "chaos":
         return chaos_main(list(argv[1:]))
+    if argv and argv[0] == "chaos-serve":
+        return chaos_serve_main(list(argv[1:]))
     if argv and argv[0] == "profile":
         return profile_main(list(argv[1:]))
     if argv and argv[0] == "serve":

@@ -1,0 +1,51 @@
+"""Service-level chaos smoke: one fast scenario end to end.
+
+The full campaign (worker-kill, worker-hang, cache-corrupt,
+malformed-frames, slow-client, cache-readonly) runs under
+``ggcc chaos-serve`` and the CI chaos-serve-smoke job; here we keep to
+the cheapest scenario — malformed frames against a live server — so
+the suite stays fast while still proving the harness boots a real
+server, injects, judges against the oracle, and reports.
+"""
+
+import pytest
+
+from repro.fuzz.chaos_serve import (
+    SERVE_SCENARIOS, ServeChaosReport, run_chaos_serve,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_chaos_serve(
+        seed=0, cases_per_scenario=1, scenarios=["malformed-frames"],
+    )
+
+
+def test_scenario_names_cover_the_issue_taxonomy():
+    assert set(SERVE_SCENARIOS) == {
+        "worker-kill", "worker-hang", "cache-corrupt",
+        "malformed-frames", "slow-client", "cache-readonly",
+    }
+
+
+def test_campaign_invariants_hold(report):
+    assert isinstance(report, ServeChaosReport)
+    assert report.ok
+    assert report.silent_miscompiles == []
+    assert report.unanswered == []
+    assert report.uncontained == []
+
+
+def test_cases_are_judged_not_just_run(report):
+    assert report.cases
+    for case in report.cases:
+        assert case.scenario == "malformed-frames"
+        assert case.verdict in (
+            "clean", "failed-clean", "recovered",
+        )
+
+
+def test_summary_states_the_invariant(report):
+    text = "\n".join(report.summary_lines())
+    assert "zero silent miscompiles, zero unanswered" in text

@@ -5,8 +5,12 @@ both transports share: arbitrary chunking never changes the decoded
 frames, EOF anywhere but a frame boundary is a :class:`ProtocolError`
 that *names* where the peer died (mid-header vs mid-payload), an
 oversized announcement is rejected at the header before any payload is
-buffered, and garbage raises instead of hanging.  The asyncio reader
-is then checked against the same cases through a real stream pair.
+buffered, and garbage raises instead of hanging.  A seeded fuzz family
+hammers the same invariant with random truncations, bit flips, byte
+insertions/deletions, and pure noise: the decoder must either yield
+valid frames or raise :class:`ProtocolError` — never any other
+exception, never a hang.  The asyncio reader is then checked against
+the same cases through a real stream pair.
 """
 
 import asyncio
@@ -101,6 +105,82 @@ def test_frame_straddling_feeds_resumes_correctly():
     assert decoder.mid_frame
     assert decoder.feed(wire[cut:]) == [PAYLOADS[1]]
     assert not decoder.mid_frame
+
+
+# ------------------------------------------------------------- fuzzing
+# The robustness contract: whatever bytes arrive, in whatever chunking,
+# the decoder either yields valid frames or raises ProtocolError — no
+# other exception type, no hang, no partial state that poisons a fresh
+# connection.  Seeded RNG keeps every failure replayable.
+
+def _drive(decoder, wire, rng):
+    """Feed *wire* in random chunk sizes, then EOF.  Returns the frames
+    decoded before the first ProtocolError (if any)."""
+    frames = []
+    position = 0
+    try:
+        while position < len(wire):
+            step = rng.randint(1, 7)
+            frames.extend(decoder.feed(wire[position:position + step]))
+            position += step
+        decoder.eof()
+    except ProtocolError:
+        pass
+    return frames
+
+
+def test_fuzz_truncated_streams_never_escape_protocolerror():
+    import random
+
+    rng = random.Random(0x47474343)
+    wire = b"".join(encode_frame(p) for p in PAYLOADS)
+    for _ in range(200):
+        cut = rng.randint(0, len(wire) - 1)
+        decoder = FrameDecoder()
+        frames = _drive(decoder, wire[:cut], rng)
+        # every frame that did decode is one of the originals, in order
+        assert frames == PAYLOADS[:len(frames)]
+
+
+def test_fuzz_mutated_streams_never_escape_protocolerror():
+    import random
+
+    rng = random.Random(1982)
+    wire = b"".join(encode_frame(p) for p in PAYLOADS)
+    for _ in range(300):
+        mutated = bytearray(wire)
+        for _ in range(rng.randint(1, 4)):
+            kind = rng.randrange(3)
+            at = rng.randrange(len(mutated))
+            if kind == 0:  # bit flip
+                mutated[at] ^= 1 << rng.randrange(8)
+            elif kind == 1:  # byte insertion
+                mutated.insert(at, rng.randrange(256))
+            else:  # byte deletion
+                del mutated[at]
+        decoder = FrameDecoder(limit=1 << 20)
+        for frame in _drive(decoder, bytes(mutated), rng):
+            assert isinstance(frame, (dict, list))  # valid JSON value
+
+
+def test_fuzz_pure_garbage_rejected_quickly():
+    import random
+
+    rng = random.Random(7)
+    for _ in range(100):
+        garbage = bytes(rng.randrange(256) for _ in range(rng.randint(1, 64)))
+        decoder = FrameDecoder(limit=1 << 20)
+        _drive(decoder, garbage, rng)  # must return, not hang or crash
+
+
+def test_fuzz_decoder_survives_for_reuse_after_error():
+    """A ProtocolError poisons that connection only: a *fresh* decoder
+    on the same wire content minus the damage still round-trips."""
+    wire = encode_frame(PAYLOADS[1])
+    broken = FrameDecoder()
+    with pytest.raises(ProtocolError):
+        broken.feed(b"\x00\x00\x00\x02{}"[:5] + b"\xff" + wire)
+    assert FrameDecoder().feed(wire) == [PAYLOADS[1]]
 
 
 # ------------------------------------------------------- asyncio transport

@@ -7,8 +7,12 @@ nothing else (whitespace and sibling functions must still hit).  The
 persistent tier must give the v2-envelope treatment to damage: a
 flipped byte is a quarantined miss, and a payload that deserializes but
 fails semantic validation is rejected through the same path, never
-re-trusted.  Finally, a cold/warm request pair against a live server
-must show the traffic in each response's own metrics delta.
+re-trusted.  A cold/warm request pair against a live server must show
+the traffic in each response's own metrics delta.  And the tier must
+stay *sound under abuse through the service path*: racing writers on a
+shared cache directory never corrupt what a fresh server reads back,
+and a read-only cache directory degrades to recomputation, never to a
+wrong or dropped answer.
 """
 
 import os
@@ -213,4 +217,103 @@ def test_persistent_cache_survives_server_restart(tmp_path, gg):
     assert first["assembly"] == second["assembly"]
     assert first["result_cache"] == {"hits": 0, "misses": 2}
     # the restarted server's memory tier is cold; the hits came off disk
+    assert second["result_cache"] == {"hits": 2, "misses": 0}
+
+
+def test_racing_writers_keep_persistent_tier_sound(tmp_path, gg):
+    """Two servers sharing one cache directory, many clients writing
+    the same keys concurrently: every response stays correct, and a
+    third, fresh server reads the survivors back as clean hits."""
+    cache_dir = str(tmp_path / "racingcache")
+    paths = [str(tmp_path / f"racer{i}.sock") for i in range(2)]
+    servers, threads = [], []
+    for path in paths:
+        server = CompileServer(
+            path=path, generator=gg, result_cache_dir=cache_dir,
+        )
+        server.bind()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        servers.append(server)
+        threads.append(thread)
+
+    expected = None
+    failures = []
+    lock = threading.Lock()
+
+    def hammer(client_id):
+        try:
+            with CompileClient(path=paths[client_id % 2]) as client:
+                for _ in range(4):
+                    response = client.compile(SOURCE)
+                    assert response["ok"], response
+                    assert response["assembly"] == expected
+        except Exception as exc:
+            with lock:
+                failures.append(f"client {client_id}: {exc}")
+
+    try:
+        with CompileClient(path=paths[0]) as seed_client:
+            seed = seed_client.compile(SOURCE_EDITED)  # prime the tables
+            expected = seed_client.compile(SOURCE)["assembly"]
+        workers = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join(timeout=120)
+        assert not failures, failures[:3]
+        assert seed["ok"]
+    finally:
+        for path, thread in zip(paths, threads):
+            with CompileClient(path=path) as admin:
+                admin.shutdown()
+            thread.join(timeout=30)
+
+    # a fresh server trusts only entries that validate: they all must
+    path = str(tmp_path / "reader.sock")
+    server = CompileServer(
+        path=path, generator=gg, result_cache_dir=cache_dir,
+    )
+    server.bind()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with CompileClient(path=path) as client:
+            warm = client.compile(SOURCE)
+            client.shutdown()
+    finally:
+        thread.join(timeout=30)
+    assert warm["ok"] and warm["assembly"] == expected
+    assert warm["result_cache"] == {"hits": 2, "misses": 0}
+
+
+def test_read_only_cache_dir_degrades_to_compute(tmp_path, gg):
+    """An unwritable persistent tier must cost performance, never
+    correctness: compiles still answer through the server path."""
+    import stat
+
+    cache_dir = tmp_path / "frozencache"
+    cache_dir.mkdir()
+    os.chmod(cache_dir, stat.S_IRUSR | stat.S_IXUSR)
+    path = str(tmp_path / "readonly.sock")
+    server = CompileServer(
+        path=path, generator=gg, result_cache_dir=str(cache_dir),
+    )
+    server.bind()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with CompileClient(path=path) as client:
+            first = client.compile(SOURCE)
+            second = client.compile(SOURCE)
+            client.shutdown()
+    finally:
+        thread.join(timeout=30)
+        os.chmod(cache_dir, stat.S_IRWXU)
+    assert first["ok"] and second["ok"]
+    assert first["assembly"] == second["assembly"]
+    assert first["result_cache"]["misses"] == 2
+    # the memory tier still serves repeats even when disk is frozen
     assert second["result_cache"] == {"hits": 2, "misses": 0}
