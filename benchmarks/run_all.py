@@ -8,9 +8,12 @@ future change has concrete numbers to compare against:
 
 * ``BENCH_compile.json`` — static-phase cost cold vs warm (table cache),
   end-to-end compile wall/CPU seconds for jobs=1 vs jobs=N on both pool
-  kinds, batch-request throughput against a warm ``ggcc serve``
-  instance, and the per-phase split from the ``profile`` machinery
-  (exclusive attribution: phases sum to <= wall by construction).
+  kinds over a ``--scale``-multiplied workload, cold-vs-warm incremental
+  compilation through the persistent result cache (plus the
+  one-function-edit case), batch-request throughput against a warm
+  ``ggcc serve`` instance, and the per-phase split from the ``profile``
+  machinery (exclusive attribution: phases sum to <= wall by
+  construction).
 * ``BENCH_parse.json`` — compiled vs packed vs dict matcher throughput
   in tokens/sec over pre-linearized corpus streams, plus the compaction
   size stats (merged rows/columns, total words) behind the compiled
@@ -49,7 +52,10 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.codegen.driver import GrahamGlanvilleCodeGenerator  # noqa: E402
-from repro.compile import compile_program, shutdown_worker_pools  # noqa: E402
+from repro.compile import (  # noqa: E402
+    available_cpus, compile_program, reset_result_caches,
+    shutdown_worker_pools,
+)
 from repro.ir.linearize import linearize  # noqa: E402
 from repro.matcher import Matcher  # noqa: E402
 from repro.matcher.engine import SemanticActions  # noqa: E402
@@ -141,6 +147,68 @@ def bench_compile(source: str, jobs: int, repeats: int) -> dict:
               f"cpu {assembly.cpu_seconds:8.4f}s")
     shutdown_worker_pools()  # leave no keep-alive pool behind the bench
     return out
+
+
+def bench_incremental(source: str, repeats: int) -> dict:
+    """Cold vs warm compile through the persistent result cache, plus
+    the one-function-edit case incremental mode exists for.
+
+    ``cold`` pays the full dynamic phase and stores every function;
+    ``warm`` re-submits the identical unit (pure probe: parse, key
+    derivation, memory-tier hits); ``edit`` changes one function body
+    and should recompile exactly that function.  All three assemble
+    byte-identical output to a plain serial compile — asserted here,
+    not assumed.
+    """
+    gen = GrahamGlanvilleCodeGenerator()  # static phase outside the rows
+    serial_text = compile_program(source, generator=gen).text
+    edited = source.replace("return x + y + z;", "return x + y + z + 1;", 1)
+    assert edited != source, "edit marker not found in workload source"
+    with tempfile.TemporaryDirectory() as cache_dir:
+        reset_result_caches()
+        cold_wall, cold = best_of(1, lambda: compile_program(
+            source, generator=gen, incremental=True,
+            result_cache_dir=cache_dir,
+        ))
+        warm_wall, warm = best_of(repeats, lambda: compile_program(
+            source, generator=gen, incremental=True,
+            result_cache_dir=cache_dir,
+        ))
+        edit_wall, edit = best_of(1, lambda: compile_program(
+            edited, generator=gen, incremental=True,
+            result_cache_dir=cache_dir,
+        ))
+        reset_result_caches()
+    functions = len(cold.source_program.order)
+    rows = {
+        "cold": {
+            "wall_seconds": round(cold_wall, 4),
+            "cache_hits": cold.cache_hits,
+            "cache_misses": cold.cache_misses,
+            "identical_to_jobs1": cold.text == serial_text,
+        },
+        "warm": {
+            "wall_seconds": round(warm_wall, 4),
+            "cache_hits": warm.cache_hits,
+            "cache_misses": warm.cache_misses,
+            "warm_vs_cold_ratio": round(warm_wall / cold_wall, 4)
+            if cold_wall else None,
+            "identical_to_jobs1": warm.text == serial_text,
+        },
+        "one_function_edit": {
+            "wall_seconds": round(edit_wall, 4),
+            "cache_hits": edit.cache_hits,
+            "cache_misses": edit.cache_misses,
+            "recompiled_exactly_one": edit.cache_misses == 1
+            and edit.cache_hits == functions - 1,
+        },
+        "functions": functions,
+    }
+    print(f"  incremental cold {cold_wall:8.4f}s  warm {warm_wall:8.4f}s "
+          f"(ratio {rows['warm']['warm_vs_cold_ratio']})  "
+          f"edit {edit_wall:8.4f}s "
+          f"({edit.cache_misses} recompiled)")
+    return rows
 
 
 def bench_server(source: str, jobs: int, repeats: int,
@@ -311,6 +379,11 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--jobs", type=int, default=4,
                         help="pool width for the parallel configs")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload size multiplier for the compile "
+                             "trajectory and incremental rows (functions "
+                             "and per-function body both scale; default "
+                             "1 with --quick, 4 otherwise)")
     parser.add_argument("--out-dir", default=REPO_ROOT,
                         help="where the BENCH_*.json files land")
     options = parser.parse_args(argv)
@@ -319,13 +392,19 @@ def main(argv=None) -> int:
     statements = options.statements or (8 if options.quick else 20)
     repeats = options.repeats or (2 if options.quick else 5)
     batch_size = 4 if options.quick else 8
+    scale = options.scale if options.scale is not None \
+        else (1.0 if options.quick else 4.0)
 
     meta = {
         "workload": {
             "functions": functions, "statements_per_function": statements,
+            "scale": scale,
+            "scaled_functions": max(1, round(functions * scale)),
+            "scaled_statements": max(1, round(statements * scale)),
             "seed": 1982,
         },
         "repeats": repeats,
+        "available_cpus": available_cpus(),
         "python": platform.python_version(),
         "timing": "best-of-repeats wall clock, interleaved across "
                   "configs after one warm-up each; wall/cpu pairs come "
@@ -334,14 +413,25 @@ def main(argv=None) -> int:
     source = generate_workload(
         functions=functions, statements_per_function=statements, seed=1982,
     )
+    # The compile trajectory and incremental rows run on the scaled
+    # unit — the hundreds-of-functions regime where per-task dispatch
+    # overhead must amortize; the server/phase/parse rows keep the base
+    # unit so their numbers stay comparable across PRs.
+    scaled_source = source if scale == 1.0 else generate_workload(
+        functions=functions, statements_per_function=statements,
+        scale=scale, seed=1982,
+    )
 
     print("static phase (cold vs cache-warmed)...")
     static = bench_static(repeats)
     print(f"  cold {static['cold_build_seconds']}s  "
           f"warm {static['warm_start_seconds']}s "
           f"({static['warm_speedup']}x)")
-    print(f"compile trajectory (jobs=1 vs jobs={options.jobs})...")
-    compile_rows = bench_compile(source, options.jobs, repeats)
+    print(f"compile trajectory (jobs=1 vs jobs={options.jobs}, "
+          f"scale={scale:g})...")
+    compile_rows = bench_compile(scaled_source, options.jobs, repeats)
+    print("incremental compile (cold vs warm result cache)...")
+    incremental = bench_incremental(scaled_source, repeats)
     print(f"compile server (batch requests, jobs={options.jobs})...")
     server_row = bench_server(source, options.jobs, repeats, batch_size)
     print("phase split (exclusive attribution)...")
@@ -350,6 +440,7 @@ def main(argv=None) -> int:
         "meta": meta,
         "static": static,
         "compile": compile_rows,
+        "incremental": incremental,
         "server": server_row,
         "phases": phases,
     })

@@ -21,6 +21,16 @@ long-lived driver (the benchmarks, ``ggcc serve``) needs.
 The reported ``seconds`` cover the *dynamic* phase only — the generator
 (the static phase: grammar plus table construction) is built before the
 clock starts, matching the paper's static/dynamic cost split.
+
+Incremental mode (``incremental=True``, ``result_cache_dir=``, or
+``REPRO_INCREMENTAL=1``) probes the content-addressed per-function
+result cache (:mod:`repro.result_cache` — the same cache the compile
+server uses) before dispatching anything: a function whose key (source
+hash × table fingerprint × engine × peephole) already has a healthy
+entry skips the pool entirely and is reassembled from cached text, so a
+one-function edit recompiles one function.  Fresh results are stored on
+the way out — except those the recovery ladder rescued, whose degraded
+assembly must never answer a later healthy compile.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ import atexit
 import gc
 import os
 import time
+from collections import OrderedDict
 from concurrent.futures import (
     ProcessPoolExecutor, ThreadPoolExecutor,
     TimeoutError as FutureTimeoutError,
@@ -37,17 +48,22 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .codegen.driver import CompileResult, GrahamGlanvilleCodeGenerator
+from .codegen.driver import (
+    CompileResult, GrahamGlanvilleCodeGenerator, PhaseTimes,
+)
 from .codegen.recovery import FailedFunction, compile_with_recovery
 from .diag import codes
 from .diag.diagnostics import DiagnosticSink
-from .frontend.lower import CompiledProgram, compile_c
+from .frontend.lower import CompiledProgram, compile_c, lower_program
+from .frontend.parser import parse
 from .ir.tree import LabelDef
 from .obs import (
-    absorb_worker_obs, obs_flags, span, worker_obs_drain, worker_obs_sync,
+    absorb_worker_obs_many, obs_flags, span,
+    worker_obs_drain, worker_obs_sync,
 )
 from .obs.metrics import REGISTRY as METRICS
 from .pcc.codegen import PccResult, pcc_compile
+from .result_cache import ResultCache, entry_healthy, table_fingerprint
 from .sim.assembler import AsmProgram, assemble
 from .sim.cpu import Vax
 from .tables.cache import cached_load
@@ -78,8 +94,13 @@ class ProgramAssembly:
     #: Structured events from the resilient pipeline (empty otherwise).
     diagnostics: DiagnosticSink = field(default_factory=DiagnosticSink)
     #: function name -> recovery-ladder tier ("compiled"/"packed" when no
-    #: rescue ran — whichever engine the generator selected)
+    #: rescue ran — whichever engine the generator selected; "cache" for
+    #: functions answered by the incremental result cache)
     tiers: Dict[str, str] = field(default_factory=dict)
+    #: Incremental-mode accounting: functions answered from the result
+    #: cache vs actually compiled.  Both zero when incremental is off.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def wall_seconds(self) -> float:
@@ -138,6 +159,67 @@ class ProgramAssembly:
         return vax, results
 
 
+@dataclass
+class FunctionText:
+    """A compiled function as a process worker ships it home.
+
+    Pickling a full :class:`CompileResult` drags the whole
+    ``AssemblyUnit`` — every instruction object, operand tree and
+    ordering stat — across the pipe, only for the parent to call
+    ``.text()`` once.  Workers format the assembly *in the worker* and
+    return this flat record instead: the text, plus the compact stats
+    the driver, benchmarks and profile report actually read.  The
+    ``times`` property keeps the ``result.times.wall`` accounting shape
+    that :func:`_function_seconds` and the benchmarks rely on.
+    """
+
+    name: str
+    assembly: str
+    instruction_count: int = 0
+    seconds: float = 0.0
+    statements: int = 0
+    shifts: int = 0
+    reductions: int = 0
+    chain_reductions: int = 0
+    ok: bool = True
+
+    @property
+    def times(self) -> PhaseTimes:
+        return PhaseTimes(wall=self.seconds)
+
+
+@dataclass
+class CachedFunction:
+    """A function answered by the incremental result cache.
+
+    Carries the cached assembly text and instruction count;
+    ``seconds=0.0`` is deliberate — no compile ran, so the function
+    contributes nothing to ``cpu_seconds`` and the cold/warm speedup
+    stays an honest wall-time ratio.
+    """
+
+    name: str
+    assembly: str
+    instruction_count: int = 0
+    seconds: float = 0.0
+    ok: bool = True
+    tier: str = "cache"
+
+
+def _function_text(name: str, result: CompileResult) -> FunctionText:
+    """Flatten a worker-side :class:`CompileResult` for the pipe."""
+    return FunctionText(
+        name=name,
+        assembly=result.assembly,
+        instruction_count=result.instruction_count,
+        seconds=result.times.wall,
+        statements=result.statements,
+        shifts=result.shifts,
+        reductions=result.reductions,
+        chain_reductions=result.chain_reductions,
+    )
+
+
 def compile_program(
     source: str,
     backend: str = "gg",
@@ -148,12 +230,27 @@ def compile_program(
     timeout: Optional[float] = None,
     pool: Optional["SharedTablePool"] = None,
     engine: Optional[str] = None,
+    incremental: Optional[bool] = None,
+    result_cache: Optional[ResultCache] = None,
+    result_cache_dir: Optional[str] = None,
 ) -> ProgramAssembly:
     """Compile C-subset source with the chosen backend ("gg" or "pcc").
 
     ``engine`` picks the matcher drive loop (``"compiled"``, ``"packed"``
     or ``"dict"``) when no ``generator`` is handed in; the default
     honours ``$REPRO_MATCHER`` and falls back to packed.
+
+    ``incremental=True`` probes the content-addressed result cache per
+    function before compiling anything ("gg" only): hits are reassembled
+    from cached assembly text, misses flow to whichever compile path
+    ``jobs``/``parallel``/``resilient`` select, and fresh *healthy*
+    results are stored for next time.  ``result_cache`` hands in a
+    :class:`~repro.result_cache.ResultCache` (it must match the
+    generator's tables and engine); ``result_cache_dir`` persists
+    entries across processes.  Passing either implies
+    ``incremental=True``; with all three unset, ``$REPRO_INCREMENTAL``
+    decides (default off).  Hit/miss counts land in ``out.cache_hits``
+    / ``out.cache_misses`` and hit functions get tier ``"cache"``.
 
     ``jobs`` > 1 compiles independent functions concurrently ("gg" only);
     ``parallel`` picks the pool: ``"thread"`` shares one generator's
@@ -175,7 +272,10 @@ def compile_program(
     ``function_results`` — the rest of the program still compiles.
     """
     with span("frontend.lower", cat="phase"):
-        program = compile_c(source)
+        # Parse and lower as separate, memoized steps: the incremental
+        # probe derives cache keys from the AST, and a warm recompile
+        # of unchanged source should pay for neither.
+        ast, program = _parsed_program(source)
     if backend == "gg":
         # Build the generator *before* starting the clock: grammar and
         # table construction are the static phase and must not inflate
@@ -189,19 +289,46 @@ def compile_program(
     with span("compile_program", cat="program", backend=backend,
               jobs=jobs, parallel=parallel):
         if backend == "gg":
+            cache: Optional[ResultCache] = None
+            keys: Dict[str, str] = {}
+            pending = list(program.order)
+            if _incremental_enabled(
+                incremental, result_cache, result_cache_dir
+            ):
+                cache = _resolve_result_cache(
+                    gen, result_cache, result_cache_dir
+                )
+                with span("compile.cache_probe", cat="program"):
+                    keys = cache.keys_for(ast)
+                    pending = _serve_cache_hits(cache, keys, program, out)
+                out.cache_hits = len(program.order) - len(pending)
+                out.cache_misses = len(pending)
+                METRICS.inc("compile.incremental.hits", out.cache_hits)
+                METRICS.inc("compile.incremental.misses", out.cache_misses)
             if resilient:
                 _compile_functions_resilient(
-                    gen, source, program, jobs, parallel, timeout, out, pool
+                    gen, source, program, jobs, parallel, timeout, out,
+                    pool, names=pending,
                 )
-            elif jobs > 1 and len(program.order) > 1:
+            elif jobs > 1 and len(pending) > 1:
                 _compile_functions_parallel(
-                    gen, source, program, jobs, parallel, out, pool
+                    gen, source, program, jobs, parallel, out, pool,
+                    names=pending,
                 )
             else:
-                for name in program.order:
+                for name in pending:
                     out.function_results[name] = gen.compile(
                         program.forest(name)
                     )
+            if cache is not None and pending:
+                _store_fresh_results(cache, keys, pending, out, gen)
+            # Cache hits land first, batch results in dispatch order,
+            # serial fallbacks wherever recovery put them — normalize to
+            # source order so jobs= and incremental= never change the
+            # result iteration order.
+            out.function_results = {
+                name: out.function_results[name] for name in program.order
+            }
         else:
             for name in program.order:
                 if resilient:
@@ -238,6 +365,161 @@ def _function_seconds(result: object) -> float:
     if times is not None:
         return getattr(times, "wall", 0.0) or times.total
     return getattr(result, "seconds", 0.0)  # PccResult; FailedFunction: 0
+
+
+#: Parent-side parse/lower memo, the mirror of the workers'
+#: ``_WORKER_PROGRAMS``: a long-lived driver (benchmarks, a watch loop,
+#: ``ggcc serve`` falling back to in-process compiles) resubmits the
+#: same source text, and re-parsing it dwarfs the incremental probe.
+#: ASTs and lowered programs are read-only downstream, so sharing is
+#: safe; the bound keeps a source-cycling caller from accumulating.
+_PARSED_LIMIT = 8
+_PARSED_PROGRAMS: "OrderedDict[str, tuple]" = OrderedDict()
+
+
+def _parsed_program(source: str) -> tuple:
+    """``(ast, lowered program)`` for *source*, memoized (bounded)."""
+    hit = _PARSED_PROGRAMS.get(source)
+    if hit is not None:
+        _PARSED_PROGRAMS.move_to_end(source)
+        return hit
+    ast = parse(source)
+    program = lower_program(ast)
+    while len(_PARSED_PROGRAMS) >= _PARSED_LIMIT:
+        _PARSED_PROGRAMS.popitem(last=False)
+    _PARSED_PROGRAMS[source] = (ast, program)
+    return ast, program
+
+
+# ------------------------------------------------- incremental compilation
+ENV_INCREMENTAL = "REPRO_INCREMENTAL"
+
+#: Process-wide result caches, one per (table fingerprint, engine,
+#: directory) — the same sharing shape as the keep-alive pool, so
+#: repeated ``compile_program(incremental=True)`` calls in one process
+#: hit the in-memory tier without the caller threading a cache through.
+_RESULT_CACHES: Dict[tuple, ResultCache] = {}
+
+
+def _incremental_enabled(
+    incremental: Optional[bool],
+    result_cache: Optional[ResultCache],
+    result_cache_dir: Optional[str],
+) -> bool:
+    if incremental is not None:
+        return incremental
+    if result_cache is not None or result_cache_dir is not None:
+        return True
+    value = os.environ.get(ENV_INCREMENTAL)
+    return value is not None and value.strip().lower() not in _FALSEY
+
+
+def _result_fingerprint(gen: GrahamGlanvilleCodeGenerator) -> str:
+    """*gen*'s table fingerprint, memoized on the generator — hashing
+    the packed tables is milliseconds, and the probe runs per call."""
+    fingerprint = getattr(gen, "_result_fingerprint", None)
+    if fingerprint is None:
+        fingerprint = table_fingerprint(gen)
+        gen._result_fingerprint = fingerprint
+    return fingerprint
+
+
+def incremental_result_cache(
+    gen: GrahamGlanvilleCodeGenerator,
+    directory: Optional[str] = None,
+) -> ResultCache:
+    """The process-wide :class:`ResultCache` for *gen*'s tables+engine."""
+    key = (_result_fingerprint(gen), gen.engine, directory)
+    cache = _RESULT_CACHES.get(key)
+    if cache is None:
+        cache = ResultCache(key[0], gen.engine, directory=directory)
+        _RESULT_CACHES[key] = cache
+    return cache
+
+
+def reset_result_caches() -> None:
+    """Drop the process-wide result caches and parse memo (tests)."""
+    _RESULT_CACHES.clear()
+    _PARSED_PROGRAMS.clear()
+
+
+def _resolve_result_cache(
+    gen: GrahamGlanvilleCodeGenerator,
+    result_cache: Optional[ResultCache],
+    directory: Optional[str],
+) -> ResultCache:
+    if result_cache is not None:
+        if (
+            result_cache.fingerprint != _result_fingerprint(gen)
+            or result_cache.engine != gen.engine
+        ):
+            raise ValueError(
+                "result_cache was created for a different table "
+                "fingerprint or matcher engine than this generator's"
+            )
+        return result_cache
+    return incremental_result_cache(gen, directory)
+
+
+def _serve_cache_hits(
+    cache: ResultCache,
+    keys: Dict[str, str],
+    program: CompiledProgram,
+    out: ProgramAssembly,
+) -> List[str]:
+    """Fill *out* from cached entries; returns the miss list in source
+    order.  Entries flagged ``rescued`` are refused — degraded assembly
+    from a recovery-ladder rescue must not answer a healthy compile."""
+    pending: List[str] = []
+    for name in program.order:
+        entry = cache.get(keys[name])
+        if entry is None or not entry_healthy(entry):
+            pending.append(name)
+            continue
+        out.function_results[name] = CachedFunction(
+            name=name,
+            assembly=entry["assembly"],
+            instruction_count=entry.get("instructions", 0),
+        )
+        out.tiers[name] = "cache"
+    return pending
+
+
+def _store_fresh_results(
+    cache: ResultCache,
+    keys: Dict[str, str],
+    names: Sequence[str],
+    out: ProgramAssembly,
+    gen: GrahamGlanvilleCodeGenerator,
+) -> None:
+    """Store the functions just compiled — except anything the pipeline
+    had to touch with a diagnostic.
+
+    Tier strings cannot distinguish a healthy compile from a
+    compiled→packed rescue (both say "packed"), but every ladder rescue
+    and every worker-containment recovery leaves a diagnostic attached
+    to its function name, so "has a diagnostic" is the conservative
+    store gate: a rescued function costs a later cache miss instead of
+    ever poisoning the cache with degraded assembly.
+    """
+    flagged = {
+        diag.function for diag in out.diagnostics.records() if diag.function
+    }
+    for name in names:
+        result = out.function_results.get(name)
+        if result is None or getattr(result, "ok", True) is False:
+            continue
+        if name in flagged:
+            METRICS.inc("compile.incremental.rescues_not_cached")
+            continue
+        cache.put(
+            keys[name],
+            name,
+            result.assembly,  # type: ignore[attr-defined]
+            cpu_seconds=_function_seconds(result),
+            instructions=getattr(result, "instruction_count", 0),
+            tier=out.tiers.get(name, gen.engine),
+        )
 
 
 # ----------------------------------------------------- shared-table pool
@@ -529,6 +811,17 @@ def plan_batches(
     overhead.  Source order is preserved within and across batches, so
     reassembling batch results in dispatch order is already source
     order.
+
+    The cut rule is a *dynamic fair share*: a batch closes once it holds
+    ``remaining weight / remaining slots`` — recomputed after every cut
+    — rather than a fixed ``total/target`` quota.  A fixed quota skews
+    under front-loaded weight: each heavy head batch overshoots it, the
+    quota never adapts, and the entire light tail lands in one oversized
+    final batch while the other workers idle.  The fair share shrinks as
+    heavy batches close, so the tail still splits across the remaining
+    slots.  A batch also force-closes when the names left are exactly
+    enough to give every remaining slot one function, so the batch count
+    always reaches the target when enough names exist.
     """
     weights = []
     for name in names:
@@ -537,33 +830,55 @@ def plan_batches(
             if not isinstance(item, LabelDef)
         )
         weights.append(max(1, tokens))
-    total = sum(weights)
     target_batches = max(1, min(len(names), jobs * batches_per_worker))
-    target_weight = total / target_batches
+    remaining = float(sum(weights))
+    slots = target_batches
     batches: List[tuple] = []
     current: List[str] = []
     current_weight = 0.0
-    for name, weight in zip(names, weights):
+    for index, (name, weight) in enumerate(zip(names, weights)):
         current.append(name)
         current_weight += weight
-        if current_weight >= target_weight \
-                and len(batches) < target_batches - 1:
+        names_left = len(names) - index - 1
+        if slots <= 1 or not names_left:
+            continue
+        if current_weight >= remaining / slots or names_left < slots:
             batches.append(tuple(current))
+            remaining -= current_weight
             current = []
             current_weight = 0.0
+            slots -= 1
     if current:
         batches.append(tuple(current))
     return batches
+
+
+#: Batch result payload shape: ``text`` (default) ships flat
+#: :class:`FunctionText` records — assembly preformatted in the worker,
+#: stats only — while ``object`` ships pickled :class:`CompileResult`
+#: objects, the pre-lean shape the differential test compares against.
+ENV_BATCH_PAYLOAD = "REPRO_BATCH_PAYLOAD"
+
+
+def _payload_mode() -> str:
+    mode = os.environ.get(ENV_BATCH_PAYLOAD, "text").strip().lower()
+    return "object" if mode == "object" else "text"
 
 
 def _compile_batch_in_worker(task: tuple) -> tuple:
     """Process-pool body: compile one batch of functions against the
     worker-resident generator.  Returns ``(results, obs payload)`` —
     the metrics delta and spans drain once per *batch*, not per
-    function."""
-    source, names = task
+    function.  The payload mode rides in the task (not worker env) so
+    one pool can serve both shapes."""
+    source, names, mode = task
     program, generator = _worker_program(source)
-    results = [generator.compile(program.forest(name)) for name in names]
+    results: List[object] = []
+    for name in names:
+        result = generator.compile(program.forest(name))
+        if mode != "object":
+            result = _function_text(name, result)
+        results.append(result)
     return results, worker_obs_drain(_WORKER_FLAGS)
 
 
@@ -575,8 +890,9 @@ def _compile_functions_parallel(
     parallel: str,
     out: ProgramAssembly,
     pool: Optional[SharedTablePool] = None,
+    names: Optional[List[str]] = None,
 ) -> None:
-    """Fan the program's functions over a worker pool.
+    """Fan *names* (default: the whole program) over a worker pool.
 
     Thread workers call ``gen.compile`` directly — every compilation
     builds its own semantics/buffer/matcher, and the shared tables are
@@ -590,7 +906,8 @@ def _compile_functions_parallel(
     as one WORKER-INIT diagnostic and a serial fallback in the parent —
     functions are never silently dropped and the call never hangs.
     """
-    names = list(program.order)
+    if names is None:
+        names = list(program.order)
     if parallel == "thread":
         # Thread workers share this process's metrics registry and span
         # recorder directly — nothing to merge.
@@ -612,16 +929,26 @@ def _compile_functions_parallel(
     else:
         pool, owned = _acquire_pool(gen, jobs, source, program)
     batches = plan_batches(program, names, pool.jobs)
+    mode = _payload_mode()
+    payloads: List[object] = []
     try:
         futures = [
-            pool.submit(_compile_batch_in_worker, (source, batch))
+            pool.submit(_compile_batch_in_worker, (source, batch, mode))
             for batch in batches
         ]
         METRICS.inc("pool.batches", len(batches))
-        for batch, future in zip(batches, futures):
-            results, payload = future.result()
-            absorb_worker_obs(payload)
-            out.function_results.update(zip(batch, results))
+        try:
+            for batch, future in zip(batches, futures):
+                results, payload = future.result()
+                payloads.append(payload)
+                out.function_results.update(zip(batch, results))
+        finally:
+            # Merging spans/metrics is parent-side bookkeeping; doing it
+            # inline per future sits between one worker finishing and
+            # the next result being consumed.  Drain it after the last
+            # batch lands instead.
+            absorb_worker_obs_many(payloads)
+            payloads = []
     except BrokenProcessPool:
         pool.broken = True
         out.diagnostics.add(
@@ -641,9 +968,12 @@ def _compile_functions_parallel(
             pool.shutdown()
     # Batches complete in dispatch order, but the serial fallback can
     # interleave — normalize to source order so jobs= never changes the
-    # result iteration order.
+    # result iteration order.  Cache hits served before dispatch (the
+    # incremental path) are already present and must survive, hence the
+    # membership filter rather than a rebuild from *names*.
     out.function_results = {
-        name: out.function_results[name] for name in names
+        name: out.function_results[name]
+        for name in program.order if name in out.function_results
     }
 
 
@@ -672,16 +1002,21 @@ def _compile_function_resilient_worker(task: tuple):
     One function per task — unlike the fast path's batches, containment
     wants per-function granularity: a timeout, kill or crash then costs
     exactly one function's recovery in the parent.  State comes from the
-    pool initializer, so the payload is only ``(source, name)``.
+    pool initializer, so the payload is only ``(source, name, mode)``.
     Returns ``(tier, result, diagnostics, obs payload)`` — all plain
-    picklable values.
+    picklable values; in ``text`` mode a healthy ladder result is
+    flattened to :class:`FunctionText` like the fast path's batches
+    (rescue results — PCC degrades, stubs — are already compact).
     """
-    source, name = task
+    source, name, mode = task
     _chaos_hooks(name)
     program, generator = _worker_program(source)
     outcome = compile_with_recovery(generator, program.forest(name))
+    result = outcome.result
+    if mode != "object" and isinstance(result, CompileResult):
+        result = _function_text(name, result)
     return (
-        outcome.tier, outcome.result, outcome.diagnostics,
+        outcome.tier, result, outcome.diagnostics,
         worker_obs_drain(_WORKER_FLAGS),
     )
 
@@ -708,6 +1043,7 @@ def _compile_functions_resilient(
     timeout: Optional[float],
     out: ProgramAssembly,
     pool: Optional[SharedTablePool] = None,
+    names: Optional[List[str]] = None,
 ) -> None:
     """The contained fan-out: one bad function never kills the program.
 
@@ -741,7 +1077,8 @@ def _compile_functions_resilient(
                 key=cache_outcome.key,
             )
 
-    names = list(program.order)
+    if names is None:
+        names = list(program.order)
 
     if jobs <= 1 or len(names) <= 1 or parallel == "thread":
         if jobs > 1 and len(names) > 1:
@@ -768,12 +1105,14 @@ def _compile_functions_resilient(
 
     hung = False
     owned = pool is None
+    mode = _payload_mode()
+    payloads: List[object] = []
     try:
         if owned:
             pool = SharedTablePool(jobs, gen, program=(source, program))
         futures = {
             name: pool.submit(
-                _compile_function_resilient_worker, (source, name)
+                _compile_function_resilient_worker, (source, name, mode)
             )
             for name in names
         }
@@ -785,7 +1124,7 @@ def _compile_functions_resilient(
             try:
                 tier, result, diags, payload = \
                     futures[name].result(timeout=timeout)
-                absorb_worker_obs(payload)
+                payloads.append(payload)
                 out.function_results[name] = result
                 out.tiers[name] = tier
                 out.diagnostics.extend(diags)
@@ -818,6 +1157,9 @@ def _compile_functions_resilient(
                 )
                 _recover_in_parent(gen, program, name, out)
     finally:
+        # Same deferral as the fast path: fold worker obs after the
+        # last result, never between two futures.
+        absorb_worker_obs_many(payloads)
         if pool is not None:
             if hung:
                 # a hung worker would block the executor's join forever

@@ -44,7 +44,7 @@ __all__ = [
     "FunctionProfile", "ProfileReport", "profile_program",
     "resolve_profile_source",
     "WorkerObs", "obs_flags", "worker_obs_sync", "worker_obs_drain",
-    "absorb_worker_obs",
+    "absorb_worker_obs", "absorb_worker_obs_many",
 ]
 
 
@@ -110,3 +110,15 @@ def absorb_worker_obs(payload: Optional[WorkerObs]) -> None:
     recorder = current_recorder()
     if recorder is not None and payload.spans:
         recorder.absorb(payload.spans)
+
+
+def absorb_worker_obs_many(payloads: List[Optional[WorkerObs]]) -> None:
+    """Fold several workers' deltas at once.
+
+    The batch driver collects payloads while results stream in and
+    absorbs them here after the last one lands: merging counters and
+    span records is parent-side bookkeeping, and doing it inline per
+    future puts it between a worker finishing and the next result being
+    consumed — squarely on the dispatch critical path."""
+    for payload in payloads:
+        absorb_worker_obs(payload)

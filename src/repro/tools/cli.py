@@ -131,6 +131,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="compile functions concurrently (GG backend)")
     parser.add_argument("--parallel", choices=("thread", "process"),
                         default="thread", help="worker pool kind for --jobs")
+    parser.add_argument("--incremental", dest="incremental",
+                        action="store_true", default=None,
+                        help="probe the content-addressed result cache per "
+                             "function and only compile what changed "
+                             "(GG backend; default honours "
+                             "$REPRO_INCREMENTAL)")
+    parser.add_argument("--no-incremental", dest="incremental",
+                        action="store_false",
+                        help="force incremental compilation off")
+    parser.add_argument("--result-cache-dir", metavar="DIR", default=None,
+                        help="persist incremental per-function results "
+                             "under DIR (implies --incremental)")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-function seconds before a process worker "
                              "is declared hung (resilient process mode)")
@@ -726,6 +738,8 @@ def _compile_main(options: argparse.Namespace, source: str) -> int:
             source, options.backend, generator,
             jobs=options.jobs, parallel=options.parallel,
             resilient=options.resilient, timeout=options.timeout,
+            incremental=options.incremental,
+            result_cache_dir=options.result_cache_dir,
         )
     except Exception as exc:
         # without --resilient a block/crash is terminal; still report it

@@ -26,10 +26,18 @@ class WorkloadSpec:
     and shift counts spanning the operand width instead of 1..4.  All
     are off by default so the benchmark corpus keeps its historical
     shape; the fuzzer's spec sampler turns them on per program.
+
+    ``scale`` multiplies both the function count and the per-function
+    body size, so one knob moves a unit from the historical bench shape
+    into the hundreds-of-functions regime the parallel-compile and
+    incremental benchmarks care about, without touching the shape
+    distribution (``scale=1`` reproduces the exact historical output
+    for any seed).
     """
 
     functions: int = 10
     statements_per_function: int = 20
+    scale: float = 1.0
     max_expression_depth: int = 4
     arrays: int = 3
     array_length: int = 64
@@ -45,6 +53,14 @@ class WorkloadSpec:
     wide_shifts: bool = False     # shift counts 0..12 instead of 1..4
     float_globals: int = 2        # double globals when floats=True
     seed: int = 1982
+
+    @property
+    def effective_functions(self) -> int:
+        return max(1, round(self.functions * self.scale))
+
+    @property
+    def effective_statements(self) -> int:
+        return max(1, round(self.statements_per_function * self.scale))
 
 
 _INT_BINOPS = ["+", "+", "+", "-", "*", "&", "|", "^"]
@@ -82,7 +98,7 @@ class WorkloadGenerator:
         for name in self.global_floats:
             lines.append(f"double {name};")
         lines.append("")
-        for index in range(spec.functions):
+        for index in range(spec.effective_functions):
             lines.extend(self._function(index))
             lines.append("")
         return "\n".join(lines)
@@ -107,7 +123,7 @@ class WorkloadGenerator:
         if spec.unsigned_compares:
             lines.append("    u = p0 + 11;")
 
-        body_budget = spec.statements_per_function
+        body_budget = spec.effective_statements
         while body_budget > 0:
             produced = self._statement(lines, scope, index, depth=1)
             body_budget -= produced

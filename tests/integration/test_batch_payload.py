@@ -1,0 +1,202 @@
+"""Lean batch payloads: the text-mode pipe format vs the object path.
+
+Process workers now ship preformatted assembly text plus compact stats
+(:class:`FunctionText`) instead of pickled ``CompileResult`` objects.
+``REPRO_BATCH_PAYLOAD=object`` keeps the old shape alive as the oracle:
+this suite holds the two byte-identical — program text, per-function
+stats, diagnostics content *and ordering* — across the curated
+workloads, the fuzzer's widened spec space, every checked-in fuzz
+reproducer, and the shipped golden assembly, and pins down that the
+lean shape is actually smaller on the wire.
+"""
+
+import pathlib
+import pickle
+from concurrent.futures import Future
+
+import pytest
+
+import repro.compile as compile_mod
+from repro.codegen.driver import GrahamGlanvilleCodeGenerator
+from repro.compile import FunctionText, compile_program
+from repro.fuzz.chaos import TINY_BLOCKER
+from repro.fuzz.driver import spec_for_case
+from repro.workloads.generator import generate_workload
+from repro.workloads.programs import ALL_PROGRAMS
+
+_REPO = pathlib.Path(__file__).resolve().parents[2]
+CORPUS = _REPO / "fuzz" / "corpus"
+GOLDEN_DIR = _REPO / "tests" / "goldens"
+
+_BY_NAME = {p.name: p for p in ALL_PROGRAMS}
+MULTI_SOURCE = "\n".join(
+    _BY_NAME[name].source for name in ("gcd", "fib", "bits", "poly_eval")
+)
+
+
+class InlinePool:
+    """Runs process-pool tasks inline, recording each pickled payload."""
+
+    def __init__(self, gen, jobs=2):
+        self.options_key = compile_mod._options_key(
+            compile_mod._generator_options(gen)
+        )
+        self.jobs = jobs
+        self.broken = False
+        self.payloads = []
+
+    def submit(self, fn, *args):
+        self.payloads.append(pickle.dumps(args))
+        future = Future()
+        future.set_result(fn(*args))
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+def _install_worker(gen, monkeypatch):
+    key = compile_mod._options_key(compile_mod._generator_options(gen))
+    monkeypatch.setattr(compile_mod, "_WORKER_GENERATOR", (key, gen))
+    monkeypatch.setattr(compile_mod, "_WORKER_PROGRAMS", {})
+
+
+@pytest.fixture()
+def inline_worker(gg, monkeypatch):
+    _install_worker(gg, monkeypatch)
+
+
+def compile_both_modes(source, gen, monkeypatch, **kwargs):
+    """The same process-pool compile under both payload shapes."""
+    outs = {}
+    for mode in ("object", "text"):
+        monkeypatch.setenv(compile_mod.ENV_BATCH_PAYLOAD, mode)
+        outs[mode] = compile_program(
+            source, generator=gen, jobs=2, parallel="process",
+            pool=InlinePool(gen), **kwargs,
+        )
+    monkeypatch.delenv(compile_mod.ENV_BATCH_PAYLOAD)
+    return outs["object"], outs["text"]
+
+
+def assert_equivalent(source, gen, monkeypatch):
+    obj, text = compile_both_modes(source, gen, monkeypatch)
+    serial = compile_program(source, generator=gen, jobs=1)
+    assert text.text == obj.text == serial.text
+    pooled = len(serial.source_program.order) > 1
+    for name in serial.source_program.order:
+        lean = text.function_results[name]
+        full = obj.function_results[name]
+        if pooled:  # single-function units compile serially in-parent
+            assert isinstance(lean, FunctionText)
+        assert lean.assembly == full.assembly
+        assert lean.instruction_count == full.instruction_count
+        assert lean.shifts == full.shifts
+        assert lean.reductions == full.reductions
+        assert lean.chain_reductions == full.chain_reductions
+        assert lean.statements == full.statements
+
+
+@pytest.mark.parametrize(
+    "program", ALL_PROGRAMS, ids=[p.name for p in ALL_PROGRAMS]
+)
+def test_text_mode_matches_object_mode_on_workloads(
+    program, gg, inline_worker, monkeypatch
+):
+    assert_equivalent(program.source, gg, monkeypatch)
+
+
+@pytest.mark.parametrize("case", range(4))
+def test_text_mode_matches_on_fuzz_spec_space(
+    case, gg, inline_worker, monkeypatch
+):
+    source = generate_workload(spec_for_case(1982, case))
+    assert_equivalent(source, gg, monkeypatch)
+
+
+@pytest.mark.parametrize(
+    "fingerprint",
+    sorted(p.name for p in CORPUS.iterdir() if p.is_dir())
+    if CORPUS.is_dir() else ["<empty>"],
+)
+def test_text_mode_matches_on_corpus_reproducers(
+    fingerprint, gg, inline_worker, monkeypatch
+):
+    if fingerprint == "<empty>":
+        pytest.skip("fuzz corpus is empty")
+    source = (CORPUS / fingerprint / "repro.c").read_text()
+    assert_equivalent(source, gg, monkeypatch)
+
+
+def test_text_mode_reproduces_the_quickstart_golden(
+    gg, inline_worker, monkeypatch
+):
+    import importlib.util
+
+    path = _REPO / "examples" / "quickstart.py"
+    spec = importlib.util.spec_from_file_location("gold_quickstart", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setenv(compile_mod.ENV_BATCH_PAYLOAD, "text")
+    out = compile_program(
+        module.SOURCE, generator=gg, jobs=2, parallel="process",
+        pool=InlinePool(gg),
+    )
+    assert out.text == (GOLDEN_DIR / "quickstart.gg.s").read_text()
+
+
+def test_resilient_diagnostics_identical_across_modes(monkeypatch):
+    """The resilient path also ships lean results; a rescue's
+    diagnostics must come back with identical codes, functions and
+    *ordering* under either payload shape."""
+    debridged = GrahamGlanvilleCodeGenerator(
+        rescue_bridges=False, cache=False
+    )
+    _install_worker(debridged, monkeypatch)
+    source = TINY_BLOCKER + "\nint ok(int a, int b) { return a + b; }\n"
+    obj, text = compile_both_modes(
+        source, debridged, monkeypatch, resilient=True
+    )
+    assert text.text == obj.text
+    assert text.tiers == obj.tiers
+    assert text.tiers["f"] == "hoist"
+    assert [
+        (d.code, d.function) for d in text.diagnostics.records()
+    ] == [
+        (d.code, d.function) for d in obj.diagnostics.records()
+    ]
+    assert text.diagnostics.has(compile_mod.codes.RECOVER_FORCE)
+
+
+def test_text_payload_is_smaller_on_the_wire(gg, inline_worker):
+    """The point of the lean shape: the worker's return value pickles
+    far smaller than the full CompileResult graph."""
+    program_names = tuple(
+        compile_program(MULTI_SOURCE, generator=gg).function_results
+    )
+    lean_results, _ = compile_mod._compile_batch_in_worker(
+        (MULTI_SOURCE, program_names, "text")
+    )
+    full_results, _ = compile_mod._compile_batch_in_worker(
+        (MULTI_SOURCE, program_names, "object")
+    )
+    lean_bytes = len(pickle.dumps(lean_results))
+    full_bytes = len(pickle.dumps(full_results))
+    assert lean_bytes < full_bytes, (lean_bytes, full_bytes)
+    # the lean shape is the assembly text plus a compact constant per
+    # function — nothing proportional to the instruction object graph
+    text_bytes = sum(len(r.assembly) for r in lean_results)
+    assert lean_bytes < text_bytes + 256 * len(lean_results), (
+        lean_bytes, text_bytes,
+    )
+
+
+def test_function_text_keeps_timing_shape(gg, inline_worker):
+    """`result.times.wall` is how cpu_seconds accounting reads worker
+    results; the flat record must answer the same way."""
+    results, _ = compile_mod._compile_batch_in_worker(
+        (MULTI_SOURCE, ("gcd",), "text")
+    )
+    (lean,) = results
+    assert lean.times.wall == lean.seconds
+    assert compile_mod._function_seconds(lean) == lean.seconds

@@ -129,6 +129,68 @@ def test_single_function_is_one_batch(workload_program):
     assert plan_batches(workload_program, names, jobs=4) == [tuple(names)]
 
 
+def test_front_loaded_heavy_function_does_not_collapse_tail():
+    """Satellite regression: under the old fixed-quota cut rule, one
+    huge head function satisfied the quota alone and the entire light
+    tail landed in a single oversized final batch (2 batches for 4
+    slots — half the workers idle).  The dynamic fair share must give
+    the head its own batch and still split the tail across the
+    remaining slots."""
+    big_body = " ".join(f"x = x + {i};" for i in range(120))
+    parts = [f"int big(int x, int y) {{ {big_body} return x; }}"] + [
+        f"int s{i}(int x, int y) {{ return x + {i}; }}" for i in range(15)
+    ]
+    program = compile_c("\n".join(parts))
+    names = list(program.order)
+    batches = plan_batches(program, names, jobs=2)  # 4 slots
+    assert [name for batch in batches for name in batch] == names
+    assert len(batches) == 2 * BATCHES_PER_WORKER
+    assert batches[0] == ("big",)
+    tail_sizes = [len(batch) for batch in batches[1:]]
+    assert max(tail_sizes) <= 6, batches  # 15 light fns over 3 batches
+
+
+def test_adversarial_weights_stay_balanced():
+    """Across adversarial weight layouts the plan must reach the target
+    batch count and keep every batch's *weight* within the fair-share
+    envelope: no batch heavier than one indivisible function plus the
+    fair share — the collapsed tail the old guard produced blew far
+    past that."""
+    from repro.ir.tree import LabelDef
+
+    layouts = {
+        "heavy_head": [60, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1],
+        "heavy_pair": [40, 40, 2, 2, 2, 2, 2, 2],
+        "ramp_down": [30, 20, 12, 6, 4, 3, 2, 1, 1, 1],
+    }
+    for label, sizes in layouts.items():
+        parts = []
+        for index, statements in enumerate(sizes):
+            body = " ".join(f"x = x + {j};" for j in range(statements))
+            parts.append(
+                f"int f{index}(int x, int y) {{ {body} return x; }}"
+            )
+        program = compile_c("\n".join(parts))
+        names = list(program.order)
+        batches = plan_batches(program, names, jobs=2)
+        assert [n for b in batches for n in b] == names, label
+        assert len(batches) == 2 * BATCHES_PER_WORKER, label
+
+        def weight(name):
+            return max(1, sum(
+                item.size() for item in program.forest(name).items
+                if not isinstance(item, LabelDef)
+            ))
+
+        total = sum(weight(n) for n in names)
+        fair = total / len(batches)
+        heaviest_fn = max(weight(n) for n in names)
+        for batch in batches:
+            assert sum(weight(n) for n in batch) <= heaviest_fn + fair, (
+                label, batch,
+            )
+
+
 def test_effective_width_clamps_to_cpus():
     cpus = available_cpus()
     assert _effective_width(1) == 1

@@ -49,6 +49,36 @@ class TestStructure:
                 raise AssertionError(f"zero divisor: {line}")
 
 
+class TestScale:
+    def test_scale_one_is_identity(self):
+        base = generate_workload(WorkloadSpec(functions=5, seed=7))
+        scaled = generate_workload(WorkloadSpec(functions=5, seed=7,
+                                                scale=1.0))
+        assert scaled == base
+
+    def test_scale_multiplies_function_count(self):
+        spec = WorkloadSpec(functions=4, statements_per_function=6, seed=9,
+                            scale=3.0)
+        assert spec.effective_functions == 12
+        assert spec.effective_statements == 18
+        program = parse(generate_workload(spec))
+        assert len(program.functions) == 12
+
+    def test_scale_grows_total_size(self):
+        small = generate_workload(WorkloadSpec(functions=4, seed=9))
+        large = generate_workload(WorkloadSpec(functions=4, seed=9,
+                                               scale=3.0))
+        assert len(large) > 2 * len(small)
+
+    def test_fractional_scale_floors_at_one_function(self):
+        spec = WorkloadSpec(functions=2, statements_per_function=3,
+                            seed=1, scale=0.1)
+        assert spec.effective_functions == 1
+        assert spec.effective_statements == 1
+        program = parse(generate_workload(spec))
+        assert len(program.functions) == 1
+
+
 class TestCompilability:
     @pytest.mark.parametrize("seed", [11, 22, 33])
     def test_compiles_with_gg(self, seed, gg):
