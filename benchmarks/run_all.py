@@ -301,6 +301,35 @@ def bench_server_load(quick: bool) -> dict:
     return report
 
 
+def bench_targets(source: str, repeats: int) -> dict:
+    """One row per registered target: same workload, same tables
+    engine, that machine's description.  Static build cost and dynamic
+    compile cost both split by target, so a new machine description
+    shows its price next to the VAX instead of hiding inside it."""
+    from repro.targets import available_targets
+
+    out = {}
+    for name in available_targets():
+        build, gen = best_of(1, lambda: GrahamGlanvilleCodeGenerator(
+            target=name, cache=False,
+        ))
+        wall, assembly = best_of(repeats, lambda: compile_program(
+            source, generator=gen,
+        ))
+        out[name] = {
+            "table_build_seconds": round(build, 4),
+            "states": len(gen.tables.actions),
+            "compile_wall_seconds": round(wall, 4),
+            "instructions": assembly.instruction_count,
+            "asm_lines": len(assembly.text.splitlines()),
+            "supports_pcc": gen.target.supports_pcc,
+        }
+        print(f"  target {name:6s} build {build:7.3f}s  "
+              f"compile {wall:7.3f}s  "
+              f"{assembly.instruction_count} instructions")
+    return out
+
+
 def bench_phases(source: str) -> dict:
     """Per-phase split under exclusive attribution (jobs=1)."""
     report, _ = profile_program(source, label="workload")
@@ -436,6 +465,8 @@ def main(argv=None) -> int:
     server_row = bench_server(source, options.jobs, repeats, batch_size)
     print("phase split (exclusive attribution)...")
     phases = bench_phases(source)
+    print("per-target rows (every registered machine)...")
+    targets = bench_targets(source, repeats)
     write_json(os.path.join(options.out_dir, "BENCH_compile.json"), {
         "meta": meta,
         "static": static,
@@ -443,6 +474,7 @@ def main(argv=None) -> int:
         "incremental": incremental,
         "server": server_row,
         "phases": phases,
+        "targets": targets,
     })
 
     print("matcher throughput (compiled vs packed vs dict)...")

@@ -26,7 +26,16 @@ from ..ir.builder import cmp as build_cmp
 from ..ir.ops import Cond, Op, OpClass
 from ..ir.tree import Forest, ForestItem, LabelDef, Node
 from ..ir.types import MachineType
-from ..vax.machine import VAX, VaxMachine
+from ..targets.base import Machine
+from ..targets.registry import resolve_target
+
+
+def _resolve_machine(machine: Optional[Machine]) -> Machine:
+    """``None`` means "the configured target's machine" (honouring
+    ``$REPRO_TARGET``), never a hard-wired default."""
+    if machine is not None:
+        return machine
+    return resolve_target(None).machine
 
 _BOOL_OPS = frozenset({Op.ANDAND, Op.OROR, Op.NOT, Op.CMP})
 
@@ -43,7 +52,8 @@ class Phase1RegisterPool:
     memory instead.
     """
 
-    def __init__(self, machine: VaxMachine = VAX, limit: int = 3) -> None:
+    def __init__(self, machine: Optional[Machine] = None, limit: int = 3) -> None:
+        machine = _resolve_machine(machine)
         self._bank = list(reversed(machine.allocatable))[:limit]
         self._next = 0
 
@@ -61,10 +71,10 @@ class Phase1RegisterPool:
 class ControlFlowRewriter:
     """Applies the 1a rewrites to one forest, producing a new item list."""
 
-    def __init__(self, forest: Forest, machine: VaxMachine = VAX) -> None:
+    def __init__(self, forest: Forest, machine: Optional[Machine] = None) -> None:
         self.forest = forest
-        self.machine = machine
-        self.pool = Phase1RegisterPool(machine)
+        self.machine = _resolve_machine(machine)
+        self.pool = Phase1RegisterPool(self.machine)
         self.out: List[ForestItem] = []
 
     # ------------------------------------------------------------- driver
@@ -141,7 +151,13 @@ class ControlFlowRewriter:
 
         if node.op is Op.INDIR:
             inner = node.kids[0]
-            if self._autoinc_eligible(inner, node.ty):
+            # Only a machine with autoincrement hardware may leave the
+            # tree intact; on a load/store target the increment becomes
+            # explicit statements like any other.
+            if (
+                self.machine.has_autoincrement
+                and self._autoinc_eligible(inner, node.ty)
+            ):
                 return node  # the autoincrement addressing mode covers it
             node.kids[0] = self._expression(inner)
             return node
@@ -313,10 +329,18 @@ class ControlFlowRewriter:
         bare = Node(Op.CALL, call.ty, [argc_node], value=call.value)
         if dest is None:
             self.out.append(bare)
-        else:
-            self.out.append(
-                Node(Op.ASSIGN, dest_ty or call.ty, [dest, bare])
-            )
+            return
+        ty = dest_ty or call.ty
+        if not self.machine.safe_call_destination(dest):
+            # The destination's address would be materialised into an
+            # allocatable register *before* the call — which the callee
+            # is free to clobber.  Stage the result through a value
+            # cell so the address computation runs after the call.
+            cell = self._value_cell(ty)
+            self.out.append(Node(Op.ASSIGN, ty, [cell.clone(), bare]))
+            self.out.append(Node(Op.ASSIGN, ty, [dest, cell.clone()]))
+            return
+        self.out.append(Node(Op.ASSIGN, ty, [dest, bare]))
 
     # ----------------------------------------------------- inc/dec values
     def _is_autoinc_context(self, node: Node) -> bool:
@@ -364,6 +388,8 @@ class ControlFlowRewriter:
         return lvalue.clone()
 
 
-def make_control_flow_explicit(forest: Forest, machine: VaxMachine = VAX) -> Forest:
+def make_control_flow_explicit(
+    forest: Forest, machine: Optional[Machine] = None
+) -> Forest:
     """Run phase 1a over a forest, returning the rewritten forest."""
     return ControlFlowRewriter(forest, machine).run()

@@ -8,7 +8,7 @@ the static/dynamic split of section 3) and runs, per routine:
   phase 1b  operator expansion           (expand)
   phase 1c  evaluation ordering          (ordering)
   phase 2   pattern matching             (repro.matcher + tables)
-  phase 3   instruction generation       (repro.vax.semantics)
+  phase 3   instruction generation       (the target's semantics)
   phase 4   output formatting            (output)
 
 Per-phase wall-clock is recorded so experiment F2 can reproduce the
@@ -35,11 +35,10 @@ from ..obs.metrics import REGISTRY as METRICS
 from ..obs.spans import span
 from ..tables.cache import CacheOutcome, cached_build, table_cache_key
 from ..tables.slr import ParseTables, construct_tables
-from ..vax.grammar_gen import (
-    VaxGrammarBundle, build_vax_grammar, vax_grammar_text,
-)
-from ..vax.machine import VAX, VaxMachine
-from ..vax.semantics import CodeBuffer, VaxSemantics
+from ..targets.base import Target
+from ..targets.grammar import GrammarBundle
+from ..targets.registry import resolve_target
+from ..targets.semantics import CodeBuffer
 from .controlflow import make_control_flow_explicit
 from .expand import expand_operators
 from .ordering import OrderingStats, order_for_evaluation
@@ -155,15 +154,22 @@ class GrahamGlanvilleCodeGenerator:
     or the original ``"dict"`` loop for differential runs); the legacy
     ``use_packed`` boolean and ``$REPRO_MATCHER`` are honoured through
     :func:`repro.matcher.engine.resolve_engine`.
+
+    ``target`` names the machine description to drive the tables with: a
+    registered target name (``"vax"``, ``"r32"``), a
+    :class:`~repro.targets.base.Target` instance, or ``None`` to honour
+    ``$REPRO_TARGET`` and fall back to the registry default.  The target
+    is resolved exactly once, here — nothing downstream assumes a
+    machine.
     """
 
     def __init__(
         self,
-        machine: VaxMachine = VAX,
+        target: Optional[object] = None,
         reversed_ops: bool = True,
         overfactoring_fix: bool = True,
         peephole: bool = False,
-        bundle: Optional[VaxGrammarBundle] = None,
+        bundle: Optional[GrammarBundle] = None,
         tables: Optional[ParseTables] = None,
         use_packed: Optional[bool] = None,
         cache: Optional[bool] = None,
@@ -171,7 +177,8 @@ class GrahamGlanvilleCodeGenerator:
         rescue_bridges: bool = True,
         engine: Optional[str] = None,
     ) -> None:
-        self.machine = machine
+        self.target: Target = resolve_target(target)
+        self.machine = self.target.machine
         self.reversed_ops = reversed_ops
         self.peephole = peephole
         self.engine = resolve_engine(engine, use_packed)
@@ -182,7 +189,7 @@ class GrahamGlanvilleCodeGenerator:
         static_started = time.perf_counter()
         with span("static.tables", cat="static"):
             if bundle is not None or tables is not None:
-                self.bundle = bundle or build_vax_grammar(
+                self.bundle = bundle or self.target.build_grammar(
                     reversed_ops=reversed_ops,
                     overfactoring_fix=overfactoring_fix,
                     rescue_bridges=rescue_bridges,
@@ -192,18 +199,22 @@ class GrahamGlanvilleCodeGenerator:
                     "provided" if tables is not None else "built"
                 )
             else:
-                text = vax_grammar_text(
+                text = self.target.grammar_text(
                     reversed_ops, overfactoring_fix, rescue_bridges
                 )
+                # The target name is an explicit key component: two
+                # machine descriptions must never alias in the table
+                # store even if their texts somehow collide.
                 key = table_cache_key(
                     text,
+                    target=self.target.name,
                     reversed_ops=reversed_ops,
                     overfactoring_fix=overfactoring_fix,
                     rescue_bridges=rescue_bridges,
                 )
 
                 def build():
-                    built = build_vax_grammar(
+                    built = self.target.build_grammar(
                         reversed_ops=reversed_ops,
                         overfactoring_fix=overfactoring_fix,
                         rescue_bridges=rescue_bridges,
@@ -257,7 +268,7 @@ class GrahamGlanvilleCodeGenerator:
         use_packed: Optional[bool] = None,
         engine: Optional[str] = None,
     ) -> CompileResult:
-        """Compile one routine to VAX assembly."""
+        """Compile one routine to the target's assembly."""
         with span("compile", cat="function", function=forest.name):
             started = time.perf_counter()
             work, ordering_stats = self.transform(forest)
@@ -303,8 +314,9 @@ class GrahamGlanvilleCodeGenerator:
 
         unit = AssemblyUnit(name=name)
         buffer = CodeBuffer(lines=unit.body_lines)
-        semantics = VaxSemantics(self.machine, buffer=buffer,
-                                 new_temp=spills.take)
+        semantics = self.target.make_semantics(
+            self.machine, buffer=buffer, new_temp=spills.take
+        )
         timed = _TimedSemantics(semantics, times)
         matcher = Matcher(self.tables, timed, engine=engine)
 

@@ -19,11 +19,12 @@ spill".  Function calls were already factored out by phase 1a.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..ir.ops import Op, OpClass
 from ..ir.tree import Forest, ForestItem, LabelDef, Node
-from ..vax.machine import VAX, VaxMachine
+from ..targets.base import Machine
+from ..targets.registry import resolve_target
 
 
 @dataclass
@@ -54,7 +55,7 @@ _NO_SWAP = frozenset({
 
 def order_for_evaluation(
     forest: Forest,
-    machine: VaxMachine = VAX,
+    machine: Optional[Machine] = None,
     enable_reversed: bool = True,
     register_limit: int = 0,
 ) -> OrderingStats:
@@ -66,6 +67,8 @@ def order_for_evaluation(
     against.
     """
     stats = OrderingStats()
+    if machine is None:
+        machine = resolve_target(None).machine
     limit = register_limit or (len(machine.allocatable) - 1)
     new_items: List[ForestItem] = []
     for item in forest.items:

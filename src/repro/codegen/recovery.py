@@ -55,7 +55,7 @@ from ..matcher.engine import (
 )
 from ..obs.metrics import REGISTRY as METRICS
 from ..pcc.codegen import pcc_compile
-from ..vax.semantics import VaxSemanticError
+from ..targets.semantics import TargetSemanticError
 
 #: Frame area for hoisted-operand temporaries, between the ordinary temp
 #: area (-2048 down) and the spill area (-3584 down).  Slots are assigned
@@ -262,7 +262,7 @@ def compile_with_recovery(
         try:
             result = gen.compile(forest, engine="compiled")
             return _finish(LadderOutcome(name, result, "compiled", diags))
-        except (MatchError, VaxSemanticError) as exc:
+        except (MatchError, TargetSemanticError) as exc:
             first_error = exc
             compiled_failed = True
             diags.append(_block_diagnostic(exc, name))
@@ -291,7 +291,7 @@ def compile_with_recovery(
                     name, result, "packed", _demote_errors(diags)
                 ))
             return _finish(LadderOutcome(name, result, "packed", diags))
-        except (MatchError, VaxSemanticError) as exc:
+        except (MatchError, TargetSemanticError) as exc:
             # the twin engines block identically; don't record the same
             # MatchError twice
             if not isinstance(first_error, MatchError):
@@ -320,7 +320,7 @@ def compile_with_recovery(
             ))
             return _finish(LadderOutcome(name, result, "dict", _demote_errors(diags)))
         return _finish(LadderOutcome(name, result, "packed", diags))
-    except (MatchError, VaxSemanticError) as exc:
+    except (MatchError, TargetSemanticError) as exc:
         dict_error = exc
         if not isinstance(first_error, MatchError):
             diags.append(_block_diagnostic(exc, name))
@@ -367,7 +367,16 @@ def compile_with_recovery(
                 break
 
     # tier 3: degrade this one function to the PCC baseline backend.
+    # The PCC back end emits VAX assembly; for any other target this rung
+    # would silently produce code the target's simulator cannot run, so
+    # targets without PCC support skip straight to FailedFunction.
+    target = getattr(gen, "target", None)
+    supports_pcc = target is None or getattr(target, "supports_pcc", True)
     try:
+        if not supports_pcc:
+            raise RuntimeError(
+                f"target {target.name!r} has no PCC baseline backend"
+            )
         result = pcc_compile(forest)
         diags.append(Diagnostic(
             code=codes.RECOVER_PCC,

@@ -65,8 +65,9 @@ from .obs.metrics import REGISTRY as METRICS
 from .pcc.codegen import PccResult, pcc_compile
 from .result_cache import ResultCache, entry_healthy, table_fingerprint
 from .sim.assembler import AsmProgram, assemble
-from .sim.cpu import Vax
 from .tables.cache import cached_load
+from .targets.base import Machine, Target
+from .targets.registry import resolve_target
 
 
 @dataclass
@@ -86,6 +87,10 @@ class ProgramAssembly:
     source_program: CompiledProgram
     function_results: Dict[str, object] = field(default_factory=dict)
     backend: str = "gg"
+    #: The target the assembly was emitted for; ``simulator()`` builds
+    #: this target's CPU model.  ``None`` (a hand-built instance) means
+    #: the historical default, VAX.
+    target: Optional[Target] = None
     #: Wall-clock seconds of the dynamic phase (front end and static
     #: table construction excluded).
     seconds: float = 0.0
@@ -143,8 +148,9 @@ class ProgramAssembly:
     def assembled(self) -> AsmProgram:
         return assemble(self.text)
 
-    def simulator(self, max_steps: int = 2_000_000) -> Vax:
-        return Vax(self.assembled(), max_steps=max_steps)
+    def simulator(self, max_steps: int = 2_000_000):
+        target = self.target or resolve_target("vax")
+        return target.make_simulator(self.assembled(), max_steps=max_steps)
 
     def run_calls(self, calls, max_steps: int = 2_000_000):
         """Run ``(entry, args)`` pairs on one fresh simulator in order.
@@ -233,8 +239,16 @@ def compile_program(
     incremental: Optional[bool] = None,
     result_cache: Optional[ResultCache] = None,
     result_cache_dir: Optional[str] = None,
+    target: Optional[object] = None,
 ) -> ProgramAssembly:
     """Compile C-subset source with the chosen backend ("gg" or "pcc").
+
+    ``target`` names the machine to compile for (a registry name like
+    ``"vax"``/``"r32"`` or a :class:`~repro.targets.base.Target`); the
+    default honours ``$REPRO_TARGET`` and falls back to VAX.  When a
+    ``generator`` is handed in it must have been built for the same
+    target.  The ``"pcc"`` backend emits VAX assembly only and refuses
+    targets without PCC support.
 
     ``engine`` picks the matcher drive loop (``"compiled"``, ``"packed"``
     or ``"dict"``) when no ``generator`` is handed in; the default
@@ -271,21 +285,41 @@ def compile_program(
     diagnostic in ``out.diagnostics`` plus a degraded or failed entry in
     ``function_results`` — the rest of the program still compiles.
     """
+    if backend not in ("gg", "pcc"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if backend == "gg" and generator is not None:
+        if (
+            target is not None
+            and resolve_target(target).name != generator.target.name
+        ):
+            raise ValueError(
+                f"generator was built for target "
+                f"{generator.target.name!r}, not "
+                f"{resolve_target(target).name!r}"
+            )
+        gen = generator
+        tgt = gen.target
+    else:
+        tgt = resolve_target(target)
+        if backend == "gg":
+            # Build the generator *before* starting the clock: grammar
+            # and table construction are the static phase and must not
+            # inflate the reported per-program (dynamic) compile seconds.
+            gen = GrahamGlanvilleCodeGenerator(target=tgt, engine=engine)
+        elif not tgt.supports_pcc:
+            raise ValueError(
+                f"backend 'pcc' emits VAX assembly only; target "
+                f"{tgt.name!r} does not support it"
+            )
+
     with span("frontend.lower", cat="phase"):
         # Parse and lower as separate, memoized steps: the incremental
         # probe derives cache keys from the AST, and a warm recompile
         # of unchanged source should pay for neither.
-        ast, program = _parsed_program(source)
-    if backend == "gg":
-        # Build the generator *before* starting the clock: grammar and
-        # table construction are the static phase and must not inflate
-        # the reported per-program (dynamic) compile seconds.
-        gen = generator or GrahamGlanvilleCodeGenerator(engine=engine)
-    elif backend != "pcc":
-        raise ValueError(f"unknown backend {backend!r}")
+        ast, program = _parsed_program(source, tgt.machine)
 
     started = time.perf_counter()
-    out = ProgramAssembly(source_program=program, backend=backend)
+    out = ProgramAssembly(source_program=program, backend=backend, target=tgt)
     with span("compile_program", cat="program", backend=backend,
               jobs=jobs, parallel=parallel):
         if backend == "gg":
@@ -374,20 +408,27 @@ def _function_seconds(result: object) -> float:
 #: ASTs and lowered programs are read-only downstream, so sharing is
 #: safe; the bound keeps a source-cycling caller from accumulating.
 _PARSED_LIMIT = 8
-_PARSED_PROGRAMS: "OrderedDict[str, tuple]" = OrderedDict()
+_PARSED_PROGRAMS: "OrderedDict[tuple, tuple]" = OrderedDict()
 
 
-def _parsed_program(source: str) -> tuple:
-    """``(ast, lowered program)`` for *source*, memoized (bounded)."""
-    hit = _PARSED_PROGRAMS.get(source)
+def _parsed_program(source: str, machine: Optional[Machine] = None) -> tuple:
+    """``(ast, lowered program)`` for *source*, memoized (bounded).
+
+    The memo is keyed by ``(source, machine name)`` — two targets must
+    never share a lowered program, even while their frame layouts happen
+    to agree."""
+    if machine is None:
+        machine = resolve_target(None).machine
+    key = (source, machine.name)
+    hit = _PARSED_PROGRAMS.get(key)
     if hit is not None:
-        _PARSED_PROGRAMS.move_to_end(source)
+        _PARSED_PROGRAMS.move_to_end(key)
         return hit
     ast = parse(source)
-    program = lower_program(ast)
+    program = lower_program(ast, machine)
     while len(_PARSED_PROGRAMS) >= _PARSED_LIMIT:
         _PARSED_PROGRAMS.popitem(last=False)
-    _PARSED_PROGRAMS[source] = (ast, program)
+    _PARSED_PROGRAMS[key] = (ast, program)
     return ast, program
 
 
@@ -526,6 +567,7 @@ def _store_fresh_results(
 def _generator_options(gen: GrahamGlanvilleCodeGenerator) -> Dict[str, object]:
     """The constructor options a process worker needs to recreate *gen*."""
     return {
+        "target": gen.target.name,
         "reversed_ops": gen.reversed_ops,
         "peephole": gen.peephole,
         "engine": gen.engine,
@@ -617,16 +659,17 @@ def _worker_program(source: str) -> tuple:
     """
     if _WORKER_GENERATOR is None:
         raise RuntimeError("pool worker used before its initializer ran")
+    generator = _WORKER_GENERATOR[1]
     program = _WORKER_PROGRAMS.get(source)
     if program is None:
         if _PARENT_PROGRAM is not None and _PARENT_PROGRAM[0] == source:
             program = _PARENT_PROGRAM[1]
         else:
-            program = compile_c(source)
+            program = compile_c(source, generator.machine)
         while len(_WORKER_PROGRAMS) >= _WORKER_PROGRAM_LIMIT:
             _WORKER_PROGRAMS.pop(next(iter(_WORKER_PROGRAMS)))
         _WORKER_PROGRAMS[source] = program
-    return program, _WORKER_GENERATOR[1]
+    return program, generator
 
 
 def shared_table_initargs(
@@ -1175,11 +1218,13 @@ def run_program(
     backend: str = "gg",
     globals_init: Optional[Dict[str, int]] = None,
     generator: Optional[GrahamGlanvilleCodeGenerator] = None,
+    target: Optional[object] = None,
 ) -> int:
-    """Compile and execute on the simulated VAX; returns the entry's r0."""
-    assembly = compile_program(source, backend, generator)
-    vax = assembly.simulator()
+    """Compile and execute on the target's simulator; returns the
+    entry's r0."""
+    assembly = compile_program(source, backend, generator, target=target)
+    cpu = assembly.simulator()
     if globals_init:
         for name, value in globals_init.items():
-            vax.set_global(name, value)
-    return vax.call(entry, list(args))
+            cpu.set_global(name, value)
+    return cpu.call(entry, list(args))

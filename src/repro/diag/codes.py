@@ -64,6 +64,7 @@ WORKER_CRASH = "WORKER-CRASH"
 WORKER_INIT = "WORKER-INIT"
 FN_FAILED = "FN-FAILED"
 FRONTEND_ERROR = "FRONTEND-ERROR"
+ENGINE_UNKNOWN = "ENGINE-UNKNOWN"
 
 # ------------------------------------------------------------- service
 SERVER_OVERLOAD = "SERVER-OVERLOAD"
@@ -144,6 +145,11 @@ REGISTRY: Dict[str, Tuple[str, str]] = {
     FRONTEND_ERROR: (
         ERROR,
         "the front end rejected the program before code generation",
+    ),
+    ENGINE_UNKNOWN: (
+        WARNING,
+        "the REPRO_MATCHER environment variable named an unknown "
+        "matcher engine; it was ignored and the default engine used",
     ),
     SERVER_OVERLOAD: (
         WARNING,

@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Tuple
 from ..ir.ops import Cond, Op
 from ..ir.tree import Forest, LabelDef, Node
 from ..ir.types import MachineType, integer_promote
-from ..vax.machine import VAX, VaxMachine
+from ..targets.base import Machine
+from ..targets.registry import resolve_target
 from . import cast
 from .cast import CType
 
@@ -64,7 +65,7 @@ class FunctionLowerer:
         self,
         func: cast.FuncDef,
         globals_: Dict[str, Symbol],
-        machine: VaxMachine,
+        machine: Machine,
     ) -> None:
         self.func = func
         self.machine = machine
@@ -496,8 +497,16 @@ class FunctionLowerer:
         return (Node(Op.PLUS, MachineType.LONG, [base, scaled]), element)
 
 
-def lower_program(program: cast.Program, machine: VaxMachine = VAX) -> CompiledProgram:
-    """Lower a parsed program into IR forests plus global layout."""
+def lower_program(
+    program: cast.Program, machine: Optional[Machine] = None
+) -> CompiledProgram:
+    """Lower a parsed program into IR forests plus global layout.
+
+    ``machine`` defaults to the session's resolved target (``REPRO_TARGET``
+    or the registry default), never to a hard-wired machine.
+    """
+    if machine is None:
+        machine = resolve_target(None).machine
     globals_: Dict[str, Symbol] = {}
     compiled = CompiledProgram()
     for decl in program.globals:
@@ -510,7 +519,7 @@ def lower_program(program: cast.Program, machine: VaxMachine = VAX) -> CompiledP
     return compiled
 
 
-def compile_c(source: str, machine: VaxMachine = VAX) -> CompiledProgram:
+def compile_c(source: str, machine: Optional[Machine] = None) -> CompiledProgram:
     """Parse and lower C-subset source in one call."""
     from .parser import parse
 

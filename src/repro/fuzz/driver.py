@@ -34,6 +34,9 @@ class FuzzConfig:
     seed: int = 0
     budget: float = 30.0          # wall-clock seconds
     jobs: int = 1
+    #: Target the GG backend compiles for ("vax", "r32", ...).  On a
+    #: target without a PCC baseline the oracle is two-way.
+    target: str = "vax"
     max_programs: Optional[int] = None
     minimize: bool = True
     max_findings: int = 10        # stop early once this many distinct cases
@@ -59,6 +62,7 @@ class Finding:
 @dataclass
 class CampaignStats:
     seed: int = 0
+    target: str = "vax"
     programs: int = 0
     timeouts: int = 0             # skipped: exceeded the fuzz step cap
     gg_instructions: int = 0
@@ -93,8 +97,10 @@ class CampaignStats:
                 f"{finding.statements} statement(s)"
             )
         if not self.findings:
-            lines.append("fuzz: all programs agree across "
-                         "interp/gg/pcc")
+            from .oracle import pipelines_for
+            from ..targets import resolve_target
+            names = "/".join(pipelines_for(resolve_target(self.target)))
+            lines.append(f"fuzz: all programs agree across {names}")
         return lines
 
 
@@ -134,22 +140,24 @@ def spec_for_case(seed: int, case: int) -> WorkloadSpec:
 # Module-level so a process pool can pickle it; the generator memo gives
 # each worker exactly one cache-warmed static phase.
 
-_WORKER_GENERATOR = None
+_WORKER_GENERATOR = None          # (target name, generator)
 
 
-def _worker_generator():
+def _worker_generator(target: str = "vax"):
     global _WORKER_GENERATOR
-    if _WORKER_GENERATOR is None:
+    if _WORKER_GENERATOR is None or _WORKER_GENERATOR[0] != target:
         from ..codegen.driver import GrahamGlanvilleCodeGenerator
-        _WORKER_GENERATOR = GrahamGlanvilleCodeGenerator()
-    return _WORKER_GENERATOR
+        _WORKER_GENERATOR = (
+            target, GrahamGlanvilleCodeGenerator(target=target)
+        )
+    return _WORKER_GENERATOR[1]
 
 
 def run_case(task) -> dict:
     """Evaluate one campaign task; returns a picklable summary."""
-    seed, case, minimize, max_steps = task
+    seed, case, minimize, max_steps, target = task
     source = generate_workload(spec_for_case(seed, case))
-    generator = _worker_generator()
+    generator = _worker_generator(target)
     report = run_oracle(source, gg_generator=generator, max_steps=max_steps)
     out = {
         "case": case,
@@ -194,7 +202,7 @@ def run_campaign(
     progress: Optional[Callable[[str], None]] = None,
 ) -> CampaignStats:
     """Run one budgeted campaign; returns aggregate stats plus findings."""
-    stats = CampaignStats(seed=config.seed)
+    stats = CampaignStats(seed=config.seed, target=config.target)
     started = time.perf_counter()
     say = progress or (lambda _line: None)
 
@@ -236,7 +244,8 @@ def run_campaign(
         case = 0
         while not done():
             record(run_case(
-                (config.seed, case, config.minimize, config.max_steps)))
+                (config.seed, case, config.minimize, config.max_steps,
+                 config.target)))
             case += 1
     else:
         with ProcessPoolExecutor(max_workers=config.jobs) as pool:
@@ -251,7 +260,7 @@ def run_campaign(
                     pending.add(pool.submit(
                         run_case,
                         (config.seed, case, config.minimize,
-                         config.max_steps)))
+                         config.max_steps, config.target)))
                     case += 1
                 if not pending:
                     break

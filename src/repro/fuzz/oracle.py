@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..compile import compile_program
 from ..frontend.lower import CompiledProgram, compile_c
 from ..sim.interp import Interpreter
+from ..targets.registry import resolve_target
 
 #: Arguments used for every entry point unless the caller says otherwise.
 DEFAULT_ARGS = (7, 3)
@@ -24,7 +25,19 @@ DEFAULT_ARGS = (7, 3)
 #: One observable execution: name -> value maps.
 Calls = Sequence[Tuple[str, Tuple[int, ...]]]
 
+#: The full pipeline set, on a target with a PCC baseline (VAX).
 PIPELINES = ("interp", "gg", "pcc")
+
+
+def pipelines_for(target) -> Tuple[str, ...]:
+    """The pipelines the oracle can run for *target*.
+
+    Every target gets the IR interpreter (the target-independent
+    reference) against its Graham-Glanville backend; the PCC baseline
+    joins only where it exists — it emits VAX assembly.
+    """
+    target = resolve_target(target)
+    return PIPELINES if target.supports_pcc else ("interp", "gg")
 
 
 def _sign32(value: int) -> int:
@@ -122,11 +135,14 @@ def _observe_interp(program: CompiledProgram, calls: Calls,
 def _observe_backend(program: CompiledProgram, source: str, backend: str,
                      calls: Calls, max_steps: int,
                      generator=None,
-                     init_globals: Optional[dict] = None) -> Observation:
+                     init_globals: Optional[dict] = None,
+                     target=None) -> Observation:
     observation = Observation()
     try:
         assembly = compile_program(
-            source, backend, generator=generator if backend == "gg" else None
+            source, backend,
+            generator=generator if backend == "gg" else None,
+            target=target if backend == "gg" else "vax",
         )
         vax = assembly.simulator(max_steps=max_steps)
     except Exception as exc:  # noqa: BLE001
@@ -184,14 +200,15 @@ def _classify(observations: Dict[str, Observation]) -> Tuple[Optional[str], str]
         return f"crash:{which}", detail
 
     reference = observations["interp"]
+    backends = [name for name in observations if name != "interp"]
     for key, value in reference.returns.items():
-        for name in ("gg", "pcc"):
+        for name in backends:
             other = observations[name].returns.get(key)
             if other != value:
                 return ("return-mismatch",
                         f"{key}: interp={value} {name}={other}")
     for key, value in reference.finals.items():
-        for name in ("gg", "pcc"):
+        for name in backends:
             other = observations[name].finals.get(key)
             if other != value:
                 return ("global-mismatch",
@@ -219,18 +236,31 @@ def run_oracle(
     gg_generator=None,
     max_steps: int = 5_000_000,
     init_globals: Optional[dict] = None,
+    target=None,
 ) -> OracleReport:
-    """Run *source* through all three pipelines and compare.
+    """Run *source* through every pipeline the target supports, compare.
+
+    ``target`` picks the machine the GG backend compiles for (name or
+    :class:`~repro.targets.base.Target`; default honours
+    ``$REPRO_TARGET``).  On a target with a PCC baseline (VAX) the
+    oracle is three-way — IR interpreter vs GG vs PCC; elsewhere it is
+    two-way, interpreter vs GG, the interpreter staying the
+    target-independent reference.
 
     ``gg_generator`` shares a constructed table set across many oracle
     runs (a fuzz campaign, the minimizer's candidate loop); without it
-    every call warm-starts from the persistent table cache.
+    every call warm-starts from the persistent table cache.  It must
+    match ``target`` when both are given.
     ``init_globals`` maps global names to initial element lists, seeded
-    identically into all three machines before the first call — how the
+    identically into all machines before the first call — how the
     benchmark kernels provide their reference arrays.
     """
+    if target is None and gg_generator is not None:
+        resolved = gg_generator.target
+    else:
+        resolved = resolve_target(target)
     try:
-        program = compile_c(source)
+        program = compile_c(source, resolved.machine)
     except Exception as exc:  # noqa: BLE001
         report = OracleReport(source=source, calls=[])
         report.divergence = "frontend-error"
@@ -243,9 +273,10 @@ def run_oracle(
         program, call_list, max_steps, init_globals=init_globals)
     report.observations["gg"] = _observe_backend(
         program, source, "gg", call_list, max_steps, generator=gg_generator,
-        init_globals=init_globals)
-    report.observations["pcc"] = _observe_backend(
-        program, source, "pcc", call_list, max_steps,
-        init_globals=init_globals)
+        init_globals=init_globals, target=resolved)
+    if resolved.supports_pcc:
+        report.observations["pcc"] = _observe_backend(
+            program, source, "pcc", call_list, max_steps,
+            init_globals=init_globals)
     report.divergence, report.detail = _classify(report.observations)
     return report

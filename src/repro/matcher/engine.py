@@ -75,6 +75,37 @@ ENV_RULE_OBS = "REPRO_OBS_RULES"
 
 _FALSEY = {"", "0", "off", "false", "no"}
 
+#: The engine used when nothing (argument, env) picks one.
+DEFAULT_ENGINE = "packed"
+
+#: Bad ``$REPRO_MATCHER`` values already warned about this process —
+#: ``resolve_engine`` runs per matcher construction, and one misspelled
+#: shell export must not repeat its warning thousands of times.
+_WARNED_ENV_VALUES: set = set()
+
+
+def _warn_unknown_env_engine(value: str) -> None:
+    """One structured WARNING per distinct bad env value per process."""
+    from ..diag import codes
+    from ..diag.diagnostics import Diagnostic
+
+    METRICS.inc("matcher.engine.env_ignored")
+    if value in _WARNED_ENV_VALUES:
+        return
+    _WARNED_ENV_VALUES.add(value)
+    diagnostic = Diagnostic(
+        code=codes.ENGINE_UNKNOWN,
+        message=(
+            f"${ENV_ENGINE} names unknown matcher engine {value!r}; "
+            f"falling back to {DEFAULT_ENGINE!r} "
+            f"(expected one of {', '.join(ENGINES)})"
+        ),
+        context={"value": value, "fallback": DEFAULT_ENGINE},
+    )
+    import sys
+
+    print(diagnostic.format(), file=sys.stderr)
+
 
 def resolve_engine(
     engine: Optional[str] = None, use_packed: Optional[bool] = None
@@ -82,8 +113,11 @@ def resolve_engine(
     """Pick a drive loop: explicit *engine* wins, then the legacy
     *use_packed* boolean, then ``$REPRO_MATCHER``, then ``"packed"``.
 
-    An explicit but unknown *engine* raises; an unknown environment
-    value is ignored (a misspelled env var must not break compiles).
+    An explicit but unknown *engine* raises.  An unknown environment
+    value still resolves to the default (a misspelled env var must not
+    break compiles) but is *reported*: a structured ENGINE-UNKNOWN
+    warning naming the bad value and the fallback engine, once per
+    distinct value per process — never silently swallowed.
     """
     if engine is not None:
         if engine not in ENGINES:
@@ -96,7 +130,9 @@ def resolve_engine(
     value = os.environ.get(ENV_ENGINE, "").strip().lower()
     if value in ENGINES:
         return value
-    return "packed"
+    if value:
+        _warn_unknown_env_engine(value)
+    return DEFAULT_ENGINE
 
 
 def rule_observation_enabled() -> bool:

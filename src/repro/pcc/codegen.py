@@ -205,6 +205,25 @@ class PccCodeGenerator:
 
     def _assign_inner(self, dest: Node, src: Node, ty: MachineType) -> None:
         suffix = ty.suffix
+
+        if src.op is Op.CALL:
+            # Emit the call before rendering the destination: condensing
+            # a computed destination loads an address register, and the
+            # callee may clobber any allocatable register.  r0 carries
+            # the return value while the address forms, so it is
+            # withheld from the scratch pool for the duration.
+            argc = src.kids[0].value if src.kids else 0
+            self._emit(f"calls ${argc},_{src.value}")
+            had_r0 = "r0" in self._free
+            if had_r0:
+                self._free.remove("r0")
+            dest_text = self._lvalue(dest)
+            if had_r0:
+                self._free.insert(0, "r0")
+                self._free.sort(key=self.machine.allocatable.index)
+            self._emit(f"mov{suffix} r0,{dest_text}")
+            return
+
         dest_text = self._lvalue(dest)
 
         # template: op3 directly into memory when both operands addressable
@@ -233,12 +252,6 @@ class PccCodeGenerator:
                 self._free_reg(l_text)
                 self._free_reg(r_text)
                 return
-
-        if src.op is Op.CALL:
-            argc = src.kids[0].value if src.kids else 0
-            self._emit(f"calls ${argc},_{src.value}")
-            self._emit(f"mov{suffix} r0,{dest_text}")
-            return
 
         operand = self._expr(src, want=ty)
         if operand == dest_text:

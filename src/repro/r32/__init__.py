@@ -1,0 +1,32 @@
+"""The R32 target: a clean load/store machine behind the same tables.
+
+The paper's retargetability claim, exercised: the code generator proper
+(phases 1-4, the SLR constructor, the matcher engines) is untouched; the
+R32 contributes only a description grammar, an instruction table, a
+machine model, semantic routines and a simulator back end — the same
+artifact list the VAX provides, registered under ``--target r32``.
+
+The machine itself is deliberately RISC-shaped where the VAX is CISC:
+three-operand register-register arithmetic, memory reached only through
+``ld``/``st``, one addressing mode (register indirect, plus the
+assembler's symbolic and frame displacements), no condition-code
+side effects from moves, and real unsigned divide/remainder instructions
+instead of library calls.
+"""
+
+from .grammar_gen import build_r32_grammar, r32_grammar_text
+from .insttable import R32_INSTRUCTION_TABLE
+from .machine import R32, R32Machine
+from .semantics import R32SemanticError, R32Semantics
+from .target import build_target
+
+__all__ = [
+    "R32",
+    "R32Machine",
+    "R32SemanticError",
+    "R32Semantics",
+    "R32_INSTRUCTION_TABLE",
+    "build_r32_grammar",
+    "build_target",
+    "r32_grammar_text",
+]

@@ -1,0 +1,223 @@
+"""The R32 machine-description grammar.
+
+The point of this description is what it *lacks*.  Where the VAX grammar
+spends most of its productions on addressing phrases (``disp``, ``dx``,
+autoincrement) and memory-operand instruction forms, the R32 is a
+load/store machine: every operator takes registers, memory is reached
+only through ``ld``/``st``, and the single addressing mode is register
+indirect (plus the assembler-level symbolic and frame displacements the
+``lval`` leaves carry).  The code generator proper — the SLR constructor,
+the matcher engines, phases 1 and 3c — is untouched; retargeting is this
+text plus the semantic routines, exactly the paper's claim.
+
+Structure mirrors :mod:`repro.vax.grammar_gen` so the two descriptions
+can be read side by side:
+
+* **Classes**: ``A`` (integer) and ``F`` (float) as on the VAX, but no
+  ``Y``/``q`` — the R32 has no quadword data and no scaled-index modes,
+  so the syntactic scale constants never appear.
+* **Factoring** (section 4): only three operand non-terminals survive —
+  ``con``, ``lval`` and ``reg``.  There is no ``rval``: an operand
+  position *is* a register, and constants/locations reach it through the
+  ``li``/``ld`` chain productions, which is where the load/store
+  instruction tax shows up in the E2 instruction counts.
+* **Overfactoring** (section 6.2.1): the VAX's condition-code repairs do
+  not apply — the R32 always compares explicitly — but the ordering
+  lesson does: the ``reg <- Dreg/Reg`` chains precede the ``lval``
+  chains so rvalue-context ties classify a register operand as ``reg``.
+* **Reversed operators** (section 5.1.3): same tags as the VAX; the
+  semantic routines re-order the computed values.
+"""
+
+from __future__ import annotations
+
+from ..targets.grammar import GrammarBundle, build_grammar_bundle
+
+#: Conversion endpoints for the generated cross product (no quad).
+CONVERSION_TYPES = ("b", "w", "l", "f", "d")
+
+GRAMMAR_HEADER = """\
+%start stmt
+%class A b w l
+%class F f d
+%class M b w l f d
+"""
+
+LEAVES = """\
+# --- constants -------------------------------------------------------------
+# Constant widening first: ties against the li chain resolve to these
+# (cost 0) at run time, so byte literals widen for free.
+con.w <- con.b :: glue !conw.w
+con.l <- con.w :: glue !conw.l
+con.$A <- Const.$A :: encap !con
+con.$A <- Zero.$A :: encap !con
+con.$A <- One.$A :: encap !con
+con.$A <- Two.$A :: encap !con
+con.$A <- Four.$A :: encap !con
+con.$A <- Eight.$A :: encap !con
+con.$F <- Const.$F :: encap !con
+
+# --- registers -------------------------------------------------------------
+# reg chains listed before the lval chains: in an rvalue context the
+# runtime tie prefers the earlier (reg) classification, in a destination
+# context only the lval classification is viable (section 6.2.1's
+# ordering lesson, without the condition-code half of the problem).
+reg.$M <- Dreg.$M :: glue !regleaf
+reg.$M <- Reg.$M :: glue !regleaf
+lval.$M <- Dreg.$M :: glue !regleaf
+lval.$M <- Reg.$M :: glue !regleaf
+
+# --- directly addressable locations ---------------------------------------
+lval.$M <- Name.$M :: encap !lv.name
+lval.$M <- Temp.$M :: encap !lv.temp
+"""
+
+# ---------------------------------------------------------------------------
+# Addressing: one mode.  A pointer value lives in a register; dereference
+# is register indirect.  Address arithmetic is ordinary Plus/Mul trees
+# through the integer ALU — there are no address phrases to factor, no
+# shift-preference commitments, and therefore no rescue bridges.
+# ---------------------------------------------------------------------------
+ADDRESSING = """\
+# --- addressing ------------------------------------------------------------
+acon.l <- Addrof.l Name.$M :: encap !aname
+reg.l <- acon.l :: emit "la %1,%0" @1 !la
+lval.$M <- Indir.$M reg.l :: encap !lv.regdef
+"""
+
+OPERANDS = """\
+# --- loads: the load/store tax (every operand reaches a register) -----------
+reg.$M <- lval.$M :: emit "ld.$M %1,%0" @1 !load.$M
+reg.$A <- con.$A :: emit "li.$A %1,%0" @1 !li.$A
+reg.$F <- con.$F :: emit "li.$F %1,%0" @1 !li.$F
+
+# --- implicit widenings (front ends rarely emit Conv; section 6.4) ----------
+# Direct b->l precedes b->w: runtime ties prefer the earlier production.
+reg.l <- reg.b :: emit "cvt.bl %1,%0" @1 !widen.b.l
+reg.l <- reg.w :: emit "cvt.wl %1,%0" @1 !widen.w.l
+reg.w <- reg.b :: emit "cvt.bw %1,%0" @1 !widen.b.w
+reg.d <- reg.f :: emit "cvt.fd %1,%0" @1 !widen.f.d
+"""
+
+ARITH = """\
+# --- three-operand register arithmetic --------------------------------------
+reg.$A <- Plus.$A reg.$A reg.$A :: emit "add.$A %2,%3,%0" @1 !op.add.$A
+reg.$A <- Minus.$A reg.$A reg.$A :: emit "sub.$A %2,%3,%0" @1 !op.sub.$A
+reg.$A <- Mul.$A reg.$A reg.$A :: emit "mul.$A %2,%3,%0" @1 !op.mul.$A
+reg.$A <- Div.$A reg.$A reg.$A :: emit "div.$A %2,%3,%0" @1 !op.div.$A
+reg.$A <- Or.$A reg.$A reg.$A :: emit "or.$A %2,%3,%0" @1 !op.or.$A
+reg.$A <- Xor.$A reg.$A reg.$A :: emit "xor.$A %2,%3,%0" @1 !op.xor.$A
+reg.$A <- And.$A reg.$A reg.$A :: emit "and.$A %2,%3,%0" @1 !op.and.$A
+reg.l <- Mod.l reg.l reg.l :: emit "rem.l %2,%3,%0" @1 !op.mod.l
+reg.$F <- Plus.$F reg.$F reg.$F :: emit "add.$F %2,%3,%0" @1 !op.add.$F
+reg.$F <- Minus.$F reg.$F reg.$F :: emit "sub.$F %2,%3,%0" @1 !op.sub.$F
+reg.$F <- Mul.$F reg.$F reg.$F :: emit "mul.$F %2,%3,%0" @1 !op.mul.$F
+reg.$F <- Div.$F reg.$F reg.$F :: emit "div.$F %2,%3,%0" @1 !op.div.$F
+
+# --- unary -------------------------------------------------------------------
+reg.$A <- Neg.$A reg.$A :: emit "neg.$A %2,%0" @1 !un.neg.$A
+reg.$F <- Neg.$F reg.$F :: emit "neg.$F %2,%0" @1 !un.neg.$F
+reg.$A <- Compl.$A reg.$A :: emit "not.$A %2,%0" @1 !un.not.$A
+
+# --- shifts (long only; constant left shifts became Mul in phase 1b) --------
+reg.l <- Lsh.l reg.l reg.l :: emit "sll %2,%3,%0" @1 !shift.lsh
+reg.l <- Rsh.l reg.l reg.l :: emit "sra %2,%3,%0" @1 !shift.rsh
+"""
+
+ASSIGN = """\
+# --- assignment (st to memory, mv register-to-register) ----------------------
+stmt <- Assign.$M lval.$M reg.$M :: emit "st.$M %3,%2" @1 !asg.$M
+# assignment as a value, for chained a = b = c
+lval.$M <- Assign.$M lval.$M reg.$M :: emit "st.$M %3,%2" @1 !asgv.$M
+"""
+
+BRANCHES = """\
+# --- compare and branch ------------------------------------------------------
+# No condition-code idioms: the R32 always compares explicitly, so the
+# VAX's section-6.2.1 overfactoring repairs have nothing to repair.
+stmt <- Cbranch.l Cmp.$A reg.$A reg.$A Label :: emit "cmp.$A %3,%4 ; b? %5" @2 !cmpbr.$A
+stmt <- Cbranch.l Cmp.$F reg.$F reg.$F Label :: emit "cmp.$F %3,%4 ; b? %5" @2 !cmpbr.$F
+stmt <- Jump.l Label :: emit "jmp %2" @1 !jump
+"""
+
+CALLS = """\
+# --- calls, arguments, returns ------------------------------------------------
+stmt <- Arg.l reg.l :: emit "push %2" @1 !arg.l
+stmt <- Arg.$F reg.$F :: emit "push.$F %2" @1 !arg.$F
+stmt <- Call.$M con.l :: emit "call %2,%v" @1 !call.$M
+stmt <- Assign.$M lval.$M Call.$M con.l :: emit "call %4,%v ; mv.$M r0,%2" @2 !callasg.$M
+stmt <- Return.$M reg.$M :: emit "mv.$M %2,r0 ; ret" @2 !ret.$M
+
+# --- statement glue -----------------------------------------------------------
+# All three discard classifications are listed: with no rval factoring a
+# discarded lval/con must not be forced through a ld/li just to be dropped
+# (the cost-0 glue wins the runtime tie against the chain productions).
+stmt <- Expr.$M lval.$M :: glue !drop
+stmt <- Expr.$A con.$A :: glue !drop
+stmt <- Expr.$F con.$F :: glue !drop
+stmt <- Expr.$M reg.$M :: glue !drop
+stmt <- Reghint.l Reg.l :: glue !reghint
+"""
+
+# Reversed operators (phase 1c, section 5.1.3): operands arrive swapped and
+# the semantic routines must "order the computed values properly".
+REVERSED = """\
+reg.$A <- Rminus.$A reg.$A reg.$A :: emit "sub.$A %3,%2,%0" @1 !rop.sub.$A
+reg.$A <- Rdiv.$A reg.$A reg.$A :: emit "div.$A %3,%2,%0" @1 !rop.div.$A
+reg.$F <- Rminus.$F reg.$F reg.$F :: emit "sub.$F %3,%2,%0" @1 !rop.sub.$F
+reg.$F <- Rdiv.$F reg.$F reg.$F :: emit "div.$F %3,%2,%0" @1 !rop.div.$F
+reg.l <- Rmod.l reg.l reg.l :: emit "rem.l %3,%2,%0" @1 !rop.mod.l
+reg.l <- Rlsh.l reg.l reg.l :: emit "sll %3,%2,%0" @1 !shift.rlsh
+reg.l <- Rrsh.l reg.l reg.l :: emit "sra %3,%2,%0" @1 !shift.rrsh
+stmt <- Rassign.$M reg.$M lval.$M :: emit "st.$M %2,%3" @1 !rasg.$M
+lval.$M <- Rassign.$M reg.$M lval.$M :: emit "st.$M %2,%3" @1 !rasgv.$M
+stmt <- Cbranch.l Rcmp.$A reg.$A reg.$A Label :: emit "cmp.$A %4,%3 ; b? %5" @2 !rcmpbr.$A
+stmt <- Cbranch.l Rcmp.$F reg.$F reg.$F Label :: emit "cmp.$F %4,%3 ; b? %5" @2 !rcmpbr.$F
+"""
+
+
+def conversion_productions() -> str:
+    """The conversion cross product (section 6.4), generated rather than
+    hand-written; register-to-register only — there are no fused
+    convert-and-store forms on a load/store machine."""
+    lines = ["# --- data-type conversion cross product (section 6.4) ---"]
+    for src in CONVERSION_TYPES:
+        for dst in CONVERSION_TYPES:
+            if src == dst:
+                continue
+            lines.append(
+                f"reg.{dst} <- Conv.{dst} reg.{src} :: "
+                f'emit "cvt.{src}{dst} %2,%0" @1 !conv.{src}.{dst}'
+            )
+    return "\n".join(lines) + "\n"
+
+
+def r32_grammar_text(
+    reversed_ops: bool = True,
+    overfactoring_fix: bool = True,
+    rescue_bridges: bool = True,
+) -> str:
+    """Assemble the full machine-description text.
+
+    ``overfactoring_fix`` and ``rescue_bridges`` are accepted so every
+    target offers the same experiment surface, but both are no-ops here:
+    the R32 grammar has no condition-code chains to repair and no
+    shift-preference commitments to rescue.
+    """
+    del overfactoring_fix, rescue_bridges
+    parts = [GRAMMAR_HEADER, LEAVES, ADDRESSING, OPERANDS,
+             conversion_productions(), ARITH, ASSIGN, BRANCHES, CALLS]
+    if reversed_ops:
+        parts.append(REVERSED)
+    return "\n".join(parts)
+
+
+def build_r32_grammar(
+    reversed_ops: bool = True,
+    overfactoring_fix: bool = True,
+    rescue_bridges: bool = True,
+) -> GrammarBundle:
+    """Parse, replicate, and sanity-check the R32 description."""
+    return build_grammar_bundle(
+        r32_grammar_text(reversed_ops, overfactoring_fix, rescue_bridges)
+    )

@@ -1,0 +1,61 @@
+"""The R32 instruction table: the flat end of Figure 3's spectrum.
+
+Each entry is a single three-operand variant — a load/store machine has
+no two-operand binding forms and no inc/dec/clr range idioms to drop to,
+so every cluster walk ends on its first row.  The value of routing the
+R32 through the same :func:`~repro.targets.insttable.select_variant`
+machinery is the *shape*: the semantic routines are written against the
+identical table interface on both targets, which is what lets the Figure
+3 walk stay target-independent.
+
+Signed/unsigned division and remainder are separate entries (``divs`` /
+``divu``, ``rems``/``remu``): the R32 has real unsigned divide hardware
+where the VAX calls a library routine (section 5.3.2), and the semantic
+routine picks the cluster by the operator's signedness attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..targets.insttable import Cluster, Variant
+
+__all__ = ["R32_INSTRUCTION_TABLE", "build_instruction_table"]
+
+_INT_SUFFIXES = ("b", "w", "l")
+_FLOAT_SUFFIXES = ("f", "d")
+
+
+def _flat(name: str, mnemonic: str, commutes: bool) -> Cluster:
+    return Cluster(
+        name=name,
+        variants=(Variant(mnemonic, operands=3, commutes=commutes),),
+    )
+
+
+def build_instruction_table() -> Dict[str, Cluster]:
+    table: Dict[str, Cluster] = {}
+    for suffix in _INT_SUFFIXES:
+        for op, commutes in (
+            ("add", True), ("sub", False), ("mul", True),
+            ("or", True), ("xor", True), ("and", True),
+        ):
+            name = f"{op}.{suffix}"
+            table[name] = _flat(name, name, commutes)
+        for op in ("divs", "divu"):
+            name = f"{op}.{suffix}"
+            table[name] = _flat(name, name, commutes=False)
+    for op in ("rems", "remu"):
+        name = f"{op}.l"
+        table[name] = _flat(name, name, commutes=False)
+    for suffix in _FLOAT_SUFFIXES:
+        for op, commutes in (
+            ("add", True), ("sub", False), ("mul", True), ("div", False),
+        ):
+            name = f"{op}.{suffix}"
+            table[name] = _flat(name, name, commutes)
+    return table
+
+
+#: The table the semantic routines consult.
+R32_INSTRUCTION_TABLE = build_instruction_table()

@@ -1,0 +1,35 @@
+"""The R32 machine model.
+
+The register *names* and calling linkage are shared with the VAX (the
+assembler's operand syntax and the simulator's frame layout are reused
+verbatim); what differs is the instruction shape.  The R32 is a pure
+load/store machine: no memory operands in arithmetic, no autoincrement
+addressing modes, spills move through ``st``/``ld`` rather than ``mov``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..targets.base import Machine
+
+
+@dataclass(frozen=True)
+class R32Machine(Machine):
+    """Static description of the R32 target used across the back end."""
+
+    name: str = "r32"
+
+    #: No autoincrement/autodecrement hardware: phase 1a expands
+    #: ``*p++``-shaped trees into explicit pointer arithmetic instead of
+    #: leaving them for the (non-existent) addressing-mode patterns.
+    has_autoincrement: bool = False
+
+    #: Spills and reloads are stores and loads, as on any load/store
+    #: machine.
+    spill_store: str = "st.{suffix} {register},{temp}"
+    spill_load: str = "ld.{suffix} {temp},{register}"
+
+
+#: The default machine instance used throughout the package.
+R32 = R32Machine()

@@ -1,0 +1,286 @@
+"""R32 semantic actions.
+
+The load/store discipline makes these routines dramatically shorter than
+the VAX's: there are no addressing phrases to condense, no memory-operand
+instruction forms, no condition-code bookkeeping and no library-call
+pseudo-instructions (the R32 has real unsigned divide hardware).  What
+remains is the irreducible core — allocate a destination register, pick
+the cluster, format the instruction — which is exactly the part the
+paper's Figure 3 walk describes.
+
+The target-neutral machinery (descriptor construction on shift, tag-head
+dispatch, ``choose``, phase-1 reservations, the shared encapsulating
+handlers) lives in :class:`repro.targets.semantics.BaseSemantics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence
+
+from ..ir.ops import Cond
+from ..ir.types import MachineType
+from ..matcher.descriptors import Descriptor, DKind, mem, void
+from ..targets.base import TargetSemanticError
+from ..targets.insttable import Selection, select_variant
+from ..targets.semantics import BaseSemantics, CodeBuffer
+from .insttable import R32_INSTRUCTION_TABLE
+from .machine import R32, R32Machine
+
+__all__ = ["CodeBuffer", "R32SemanticError", "R32Semantics"]
+
+
+class R32SemanticError(TargetSemanticError):
+    """An emitting reduction could not be realised."""
+
+
+#: Branch mnemonic per condition.
+_BRANCH = {cond: f"b{cond.value}" for cond in Cond}
+
+#: Integer widenings with a zero-extending form for unsigned sources.
+_CVTU = {("b", "w"), ("b", "l"), ("w", "l")}
+
+_FLOAT_SUFFIXES = ("f", "d")
+
+
+class R32Semantics(BaseSemantics):
+    """The full semantic-attribute evaluator for the R32 description."""
+
+    error = R32SemanticError
+
+    def __init__(
+        self,
+        machine: R32Machine = R32,
+        buffer: Optional[CodeBuffer] = None,
+        new_temp: Optional[Callable[[], str]] = None,
+    ) -> None:
+        super().__init__(machine, buffer=buffer, new_temp=new_temp)
+
+    def _emit_selection(self, selection: Selection) -> str:
+        operands = ",".join(self._use(d) for d in selection.operands)
+        line = f"{selection.mnemonic} {operands}"
+        self.buffer.emit(line)
+        return line
+
+    def _cluster(self, name: str):
+        try:
+            return R32_INSTRUCTION_TABLE[name]
+        except KeyError:
+            raise R32SemanticError(f"no instruction cluster {name!r}") from None
+
+    # ======================================================== encapsulation
+    def _h_lv(self, production, kids, rest):
+        # the Indir token (kids[0]) carries the exact node type, including
+        # the signedness the grammar suffix cannot encode
+        ty = kids[0].ty if kids else self._result_type(production)
+        if rest in ("name", "temp"):
+            return kids[0]
+        if rest == "regdef":
+            base = kids[1]
+            self.registers.hold(base.register)
+            return replace(
+                mem(f"({base.text})", ty, register=base.register),
+                signed=ty.signed,
+            )
+        raise R32SemanticError(f"unknown lval form {rest!r}")
+
+    def _h_aname(self, production, kids, rest):
+        """Address of a global: an immediate address constant ``$_x`` for
+        the ``la`` instruction to materialise."""
+        symbol = f"_{kids[1].text.lstrip('_')}"
+        return Descriptor(
+            DKind.IMM, MachineType.LONG, text=f"${symbol}", value=symbol,
+        )
+
+    # ============================================================= emission
+    def _h_la(self, production, kids, rest):
+        phrase = kids[0]
+        dest = self._alloc(MachineType.LONG, kids)
+        line = f"la {self._use(phrase)},{dest.text}"
+        self.buffer.emit(line)
+        return dest, line
+
+    def _h_load(self, production, kids, rest):
+        source = kids[0]
+        ty = self._result_type(production)
+        dest = self._alloc(ty, kids)
+        mnemonic = "mv" if source.is_register else "ld"
+        line = f"{mnemonic}.{rest} {self._use(source)},{dest.text}"
+        self.buffer.emit(line)
+        return dest, line
+
+    def _h_li(self, production, kids, rest):
+        source = kids[0]
+        ty = self._result_type(production)
+        dest = self._alloc(ty, kids)
+        line = f"li.{rest} {self._use(source)},{dest.text}"
+        self.buffer.emit(line)
+        return dest, line
+
+    def _h_widen(self, production, kids, rest):
+        return self._convert(production, kids, kids[0], rest)
+
+    def _h_conv(self, production, kids, rest):
+        return self._convert(production, kids, kids[1], rest)
+
+    def _convert(self, production, kids, source, rest):
+        src_suffix, dst_suffix = rest.split(".")
+        ty = self._result_type(production)
+        dest = self._alloc(ty, kids)
+        if not source.signed and (src_suffix, dst_suffix) in _CVTU:
+            line = f"cvtu.{src_suffix}{dst_suffix} {self._use(source)},{dest.text}"
+            self.buffer.emit(line)
+            return dest, f"{line}  [unsigned]"
+        line = f"cvt.{src_suffix}{dst_suffix} {self._use(source)},{dest.text}"
+        self.buffer.emit(line)
+        return dest, line
+
+    # ------------------------------------------------- binary arithmetic
+    def _h_op(self, production, kids, rest):
+        opname, suffix = rest.rsplit(".", 1)
+        sources = [kids[1], kids[2]]
+        return self._binary(production, kids, opname, suffix, sources)
+
+    def _h_rop(self, production, kids, rest):
+        opname, suffix = rest.rsplit(".", 1)
+        # reversed operator: the pattern's operands arrived swapped
+        sources = [kids[2], kids[1]]
+        return self._binary(production, kids, opname, suffix, sources)
+
+    def _binary(self, production, kids, opname, suffix, sources):
+        operator = kids[0]
+        name = f"{opname}.{suffix}"
+        if opname == "div" and suffix not in _FLOAT_SUFFIXES:
+            # real unsigned divide hardware, unlike the VAX's library call
+            name = f"div{'s' if operator.signed else 'u'}.{suffix}"
+        elif opname == "mod":
+            name = f"rem{'s' if operator.signed else 'u'}.{suffix}"
+        ty = self._result_type(production)
+        dest = self._alloc(ty, kids)
+        selection = select_variant(self._cluster(name), dest, sources)
+        return dest, self._emit_selection(selection)
+
+    # -------------------------------------------------------------- unary
+    def _h_un(self, production, kids, rest):
+        opname, suffix = rest.rsplit(".", 1)
+        ty = self._result_type(production)
+        dest = self._alloc(ty, kids)
+        line = f"{opname}.{suffix} {self._use(kids[1])},{dest.text}"
+        self.buffer.emit(line)
+        return dest, line
+
+    # -------------------------------------------------------------- shifts
+    def _h_shift(self, production, kids, rest):
+        if rest in ("lsh", "rsh"):
+            src, count = kids[1], kids[2]
+        else:  # rlsh / rrsh: operands arrived swapped
+            src, count = kids[2], kids[1]
+        operator = kids[0]
+        if rest.endswith("rsh"):
+            mnemonic = "sra" if operator.signed else "srl"
+        else:
+            mnemonic = "sll"
+        dest = self._alloc(MachineType.LONG, kids)
+        line = f"{mnemonic} {self._use(src)},{self._use(count)},{dest.text}"
+        self.buffer.emit(line)
+        return dest, line
+
+    # --------------------------------------------------------- assignment
+    def _h_asg(self, production, kids, rest):
+        return self._assign(kids, dest=kids[1], source=kids[2],
+                            suffix=rest, as_value=False)
+
+    def _h_asgv(self, production, kids, rest):
+        return self._assign(kids, dest=kids[1], source=kids[2],
+                            suffix=rest, as_value=True)
+
+    def _h_rasg(self, production, kids, rest):
+        return self._assign(kids, dest=kids[2], source=kids[1],
+                            suffix=rest, as_value=False)
+
+    def _h_rasgv(self, production, kids, rest):
+        return self._assign(kids, dest=kids[2], source=kids[1],
+                            suffix=rest, as_value=True)
+
+    def _assign(self, kids, dest, source, suffix, as_value):
+        if source.same_location(dest):
+            note = "store elided (source is destination)"
+        elif dest.is_register:
+            note = f"mv.{suffix} {self._use(source)},{self._use(dest)}"
+            self.buffer.emit(note)
+        else:
+            note = f"st.{suffix} {self._use(source)},{self._use(dest)}"
+            self.buffer.emit(note)
+        if as_value:
+            # free only the source's registers; the destination descriptor
+            # survives as the expression's value
+            self.registers.free_sources((source,))
+            return dest, note
+        self._free_all(kids)
+        return void(), note
+
+    # ------------------------------------------------------------ branches
+    def _h_cmpbr(self, production, kids, rest):
+        return self._compare_branch(kids, left=kids[2], right=kids[3],
+                                    cmp_op=kids[1], label=kids[4], suffix=rest)
+
+    def _h_rcmpbr(self, production, kids, rest):
+        # Rcmp: the original comparison was Cmp(right, left)
+        return self._compare_branch(kids, left=kids[3], right=kids[2],
+                                    cmp_op=kids[1], label=kids[4], suffix=rest)
+
+    def _compare_branch(self, kids, left, right, cmp_op, label, suffix):
+        cond = cmp_op.cond or Cond.NE
+        self.buffer.emit(f"cmp.{suffix} {self._use(left)},{self._use(right)}")
+        self.buffer.emit(f"{_BRANCH[cond]} {label.text}")
+        self._free_all(kids)
+        return void(), f"cmp.{suffix}; {_BRANCH[cond]} {label.text}"
+
+    def _h_jump(self, production, kids, rest):
+        label = kids[1]
+        self.buffer.emit(f"jmp {label.text}")
+        return void(), f"jmp {label.text}"
+
+    # --------------------------------------------------------------- calls
+    def _h_arg(self, production, kids, rest):
+        source = kids[1]
+        if rest == "l":
+            line = f"push {self._use(source)}"
+        else:
+            line = f"push.{rest} {self._use(source)}"
+        self.buffer.emit(line)
+        self._free_all(kids)
+        return void(), line
+
+    def _h_call(self, production, kids, rest):
+        callee = kids[0].value
+        argc = kids[1].value
+        line = f"call ${argc},_{callee}"
+        self.buffer.emit(line)
+        self._free_all(kids)
+        return void(), line
+
+    def _h_callasg(self, production, kids, rest):
+        dest = kids[1]
+        callee = kids[2].value
+        argc = kids[3].value
+        self.buffer.emit(f"call ${argc},_{callee}")
+        note = f"call ${argc},_{callee}"
+        if dest.is_register and dest.register == "r0":
+            pass
+        elif dest.is_register:
+            self.buffer.emit(f"mv.{rest} r0,{self._use(dest)}")
+            note += f"; mv.{rest} r0"
+        else:
+            self.buffer.emit(f"st.{rest} r0,{self._use(dest)}")
+            note += f"; st.{rest} r0"
+        self._free_all(kids)
+        return void(), note
+
+    def _h_ret(self, production, kids, rest):
+        source = kids[1]
+        if not (source.is_register and source.register == "r0"):
+            self.buffer.emit(f"mv.{rest} {self._use(source)},r0")
+        self.buffer.emit("ret")
+        self._free_all(kids)
+        return void(), "return value in r0"

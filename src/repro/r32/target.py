@@ -1,0 +1,28 @@
+"""The R32 :class:`~repro.targets.base.Target` registration entry."""
+
+from __future__ import annotations
+
+from ..targets.base import Target
+from .grammar_gen import build_r32_grammar, r32_grammar_text
+from .insttable import R32_INSTRUCTION_TABLE
+from .machine import R32
+from .semantics import R32SemanticError, R32Semantics
+
+
+def _make_simulator(program, max_steps: int = 2_000_000):
+    from ..sim.r32 import R32Cpu
+    return R32Cpu(program, max_steps=max_steps)
+
+
+def build_target() -> Target:
+    return Target(
+        name="r32",
+        machine=R32,
+        grammar_text=r32_grammar_text,
+        build_grammar=build_r32_grammar,
+        instruction_table=R32_INSTRUCTION_TABLE,
+        make_semantics=R32Semantics,
+        semantic_error=R32SemanticError,
+        make_simulator=_make_simulator,
+        supports_pcc=False,
+    )

@@ -7,13 +7,16 @@ the batch driver's incremental mode (:func:`repro.compile.compile_program`
 with ``incremental=True``): both probe the same keys, so a unit warmed
 by one is warm for the other.  The key is content-addressed end to end::
 
-    sha256(version | table fingerprint | engine | peephole |
+    sha256(version | target | table fingerprint | engine | peephole |
            canonical globals | canonical function source)
 
-so a warm entry is valid by construction: any change to the constructed
-tables (grammar edits, compaction changes — via the packed-content
-fingerprint), to the matcher engine, to the peephole toggle, or to the
-function's own source splits the key space and misses.  The value is
+so a warm entry is valid by construction: any change to the target, to
+the constructed tables (grammar edits, compaction changes — via the
+packed-content fingerprint), to the matcher engine, to the peephole
+toggle, or to the function's own source splits the key space and
+misses.  The target name is an *explicit* key component, not inferred
+from the tables: two machine descriptions must never alias, even if
+their packed tables ever hashed identically.  The value is
 the function's emitted assembly text plus compact stats (instruction
 count, the compile seconds it saved — which keeps ``cpu_seconds``
 accounting honest — and the recovery-ladder tier that produced it).
@@ -57,7 +60,10 @@ from .tables.cache import TableCache, cache_enabled
 #: Bump when the cached payload shape or the key derivation changes;
 #: old persistent entries become plain misses.  v2 added the compact
 #: stats (``instructions``, ``tier``, ``rescued``) to every entry.
-RESULT_VERSION = 2
+#: v3 added the target name to the table fingerprint: two targets whose
+#: packed tables happened to hash alike (or a future refactor that
+#: shares tables) must never serve each other's assembly.
+RESULT_VERSION = 3
 
 #: Envelope namespace inside the shared cache directory
 #: (``<key>.result.pickle``).
@@ -82,6 +88,7 @@ def table_fingerprint(generator: Any) -> str:
 
     hasher = hashlib.sha256()
     hasher.update(f"result-v{RESULT_VERSION}".encode())
+    hasher.update(f"|target={generator.target.name}".encode())
     hasher.update(matchgen_fingerprint(generator.tables.packed()).encode())
     hasher.update(f"|peephole={generator.peephole}".encode())
     return hasher.hexdigest()

@@ -117,7 +117,8 @@ class CompileClient:
     def compile(self, source: str, **options: Any) -> Dict[str, Any]:
         """Compile one translation unit; ``options`` pass through to the
         request (``jobs``, ``parallel``, ``resilient``, ``spans``,
-        ``timeout``)."""
+        ``timeout``, ``target`` — the server refuses a ``target`` other
+        than the one its tables were built for)."""
         return self.request({"op": "compile", "source": source, **options})
 
     def compile_batch(

@@ -223,6 +223,7 @@ class CompileServer:
         port: int = 0,
         jobs: int = 1,
         generator: Optional[GrahamGlanvilleCodeGenerator] = None,
+        target: Optional[object] = None,
         max_requests: Optional[int] = None,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         default_deadline: Optional[float] = None,
@@ -246,7 +247,9 @@ class CompileServer:
         self.max_requests = max_requests
         self.queue_limit = max(1, queue_limit)
         self.default_deadline = default_deadline
-        self.generator = generator or GrahamGlanvilleCodeGenerator()
+        self.generator = generator or GrahamGlanvilleCodeGenerator(
+            target=target
+        )
         self.pool: Optional[SharedTablePool] = None
         self.started_at = time.monotonic()
         self.requests_served = 0
@@ -812,7 +815,7 @@ class CompileServer:
                     # Fully cold: the worker compiles the whole unit.
                     probe["metrics"] = REGISTRY.drain()
                     return probe
-                program = lower_program(ast)
+                program = lower_program(ast, self.generator.machine)
                 if not misses:
                     # Every function warm: answer without a worker.
                     response = self._assembled_cached_response(
@@ -1040,6 +1043,7 @@ class CompileServer:
                 "broken": pool.broken,
             },
             "table_source": self.generator.table_source,
+            "target": self.generator.target.name,
         }
 
     # ---------------------------------------------------------- compile
@@ -1066,6 +1070,17 @@ class CompileServer:
         if not isinstance(source, str):
             self.errors += 1
             return _error("bad-request", "compile needs 'source' text")
+        wanted = request.get("target")
+        if wanted is not None and wanted != self.generator.target.name:
+            # One server serves one target's tables; answering a request
+            # for another machine with this machine's assembly would be
+            # a silent miscompile, so mismatches are refused loudly.
+            self.errors += 1
+            return _error(
+                "wrong-target",
+                f"this server compiles for "
+                f"{self.generator.target.name!r}, not {wanted!r}",
+            )
         resilient = bool(request.get("resilient", False))
         want_spans = bool(request.get("spans", False))
         use_cache = self.result_cache is not None and not resilient
@@ -1174,7 +1189,7 @@ class CompileServer:
             response["result_cache"] = {"hits": 0, "misses": len(misses)}
             return response
 
-        program = lower_program(ast)
+        program = lower_program(ast, self.generator.machine)
         cpu_seconds = 0.0
         for name in misses:
             result = self.generator.compile(program.forest(name))

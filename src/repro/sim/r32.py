@@ -1,0 +1,297 @@
+"""Interpreter for the assembled R32 subset.
+
+The R32 shares the VAX simulator's substrate — memory, register file,
+operand decoding, condition codes, and the ``calls``-style activation
+frames (the calling linkage is deliberately identical so the front end's
+argument lowering is target-neutral) — but dispatches through its own
+strict instruction table.  A VAX mnemonic reaching an R32 simulator is a
+*bug* (the wrong back end was selected, or a target leaked through a
+cache key), so there is no fallback to the VAX dispatch: unknown
+mnemonics fault.
+
+Instruction set interpreted (all register-register except ld/st/li/la):
+
+    li.{b,w,l,f,d}        immediate -> register
+    ld.{b,w,l,f,d}        memory -> register
+    st.{b,w,l,f,d}        register -> memory
+    mv.{b,w,l,f,d}        register -> register
+    la                    address -> register
+    cvt.XY  cvtu.XY       conversions (zero-extending unsigned forms)
+    add/sub/mul/or/xor/and.{b,w,l}   three-operand ALU
+    divs/divu.{b,w,l}  rems/remu.l   hardware divide/remainder
+    neg/not.{b,w,l}  neg.{f,d}       unary
+    sll srl sra           shifts (src,count,dest)
+    add/sub/mul/div.{f,d} float ALU
+    cmp.{b,w,l,f,d}       compare (sets N/Z/C)
+    b<cond>  jmp          branches
+    push  push.{f,d}      argument pushes
+    call  ret             activation frames (VAX-compatible linkage)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .assembler import Instruction
+from .cpu import (
+    SimError, Vax, _calls, _int_div, _jbr, _ret, _wrap,
+)
+
+_SIZES = {"b": 1, "w": 2, "l": 4, "f": 4, "d": 8}
+
+_R32_DISPATCH: Dict[str, Callable[["R32Cpu", Instruction], None]] = {}
+
+
+def _op(*names: str):
+    def register(fn):
+        for name in names:
+            _R32_DISPATCH[name] = fn
+        return fn
+    return register
+
+
+class R32Cpu(Vax):
+    """One simulated R32 instance, on the shared simulator substrate."""
+
+    def _execute(self, ins: Instruction) -> None:
+        handler = _R32_DISPATCH.get(ins.mnemonic)
+        if handler is None:
+            raise SimError(
+                f"line {ins.line_number}: not an R32 mnemonic "
+                f"{ins.mnemonic!r} ({ins.source.strip()})"
+            )
+        handler(self, ins)
+
+
+def _parts(mnemonic: str):
+    base, _, suffix = mnemonic.partition(".")
+    return base, suffix
+
+
+# ------------------------------------------------------------------ moves
+
+@_op(*[f"{base}.{s}" for base in ("li", "ld", "st", "mv") for s in "bwl"])
+def _move(cpu: R32Cpu, ins: Instruction) -> None:
+    _, suffix = _parts(ins.mnemonic)
+    size = _SIZES[suffix]
+    value = cpu.read_operand(ins.operands[0], size)
+    cpu.write_operand(ins.operands[1], size, value)
+    cpu._set_nz(value)
+
+
+@_op(*[f"{base}.{s}" for base in ("li", "ld", "st", "mv") for s in "fd"])
+def _move_float(cpu: R32Cpu, ins: Instruction) -> None:
+    _, suffix = _parts(ins.mnemonic)
+    size = _SIZES[suffix]
+    value = cpu.read_float(ins.operands[0], size)
+    cpu.write_float(ins.operands[1], size, value)
+    cpu._set_nz(0 if value == 0 else (-1 if value < 0 else 1))
+
+
+@_op("la")
+def _la(cpu: R32Cpu, ins: Instruction) -> None:
+    address = cpu._operand_address(ins.operands[0], 4)
+    cpu.write_operand(ins.operands[1], 4, address)
+    cpu._set_nz(address)
+
+
+# ------------------------------------------------------------ conversions
+
+@_op(*[f"cvt.{a}{b}" for a in "bwlfd" for b in "bwlfd" if a != b])
+def _cvt(cpu: R32Cpu, ins: Instruction) -> None:
+    _, pair = _parts(ins.mnemonic)
+    src_suffix, dst_suffix = pair[0], pair[1]
+    src_size = _SIZES[src_suffix]
+    dst_size = _SIZES[dst_suffix]
+    if src_suffix in "fd":
+        value_f = cpu.read_float(ins.operands[0], src_size)
+        if dst_suffix in "fd":
+            cpu.write_float(ins.operands[1], dst_size, value_f)
+            cpu._set_nz(0 if value_f == 0 else (-1 if value_f < 0 else 1))
+            return
+        value = _wrap(int(value_f), dst_size, True)
+        cpu.write_operand(ins.operands[1], dst_size, value)
+        cpu._set_nz(value)
+        return
+    value = cpu.read_operand(ins.operands[0], src_size)
+    if dst_suffix in "fd":
+        cpu.write_float(ins.operands[1], dst_size, float(value))
+        cpu._set_nz(value)
+        return
+    value = _wrap(value, dst_size, True)
+    cpu.write_operand(ins.operands[1], dst_size, value)
+    cpu._set_nz(value)
+
+
+@_op("cvtu.bw", "cvtu.bl", "cvtu.wl")
+def _cvtu(cpu: R32Cpu, ins: Instruction) -> None:
+    _, pair = _parts(ins.mnemonic)
+    value = cpu.read_operand(ins.operands[0], _SIZES[pair[0]], signed=False)
+    cpu.write_operand(ins.operands[1], _SIZES[pair[1]], value)
+    cpu._set_nz(value)
+
+
+# -------------------------------------------------------------------- ALU
+
+_ALU = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "and": lambda a, b: a & b,
+    "divs": _int_div,
+}
+
+
+@_op(*[f"{base}.{s}" for base in _ALU for s in "bwl"])
+def _alu(cpu: R32Cpu, ins: Instruction) -> None:
+    base, suffix = _parts(ins.mnemonic)
+    size = _SIZES[suffix]
+    left = cpu.read_operand(ins.operands[0], size)
+    right = cpu.read_operand(ins.operands[1], size)
+    value = _wrap(_ALU[base](left, right), size, True)
+    cpu.write_operand(ins.operands[2], size, value)
+    cpu._set_nz(value)
+
+
+@_op(*[f"{base}.{s}" for base in ("divu", "remu") for s in "bwl"],
+     "rems.l")
+def _divrem(cpu: R32Cpu, ins: Instruction) -> None:
+    base, suffix = _parts(ins.mnemonic)
+    size = _SIZES[suffix]
+    signed = base.endswith("s")
+    left = cpu.read_operand(ins.operands[0], size, signed=signed)
+    right = cpu.read_operand(ins.operands[1], size, signed=signed)
+    if right == 0:
+        raise SimError(f"{ins.mnemonic} divide by zero")
+    if base == "rems":
+        quotient = _int_div(left, right)
+        value = left - quotient * right
+    elif base == "remu":
+        value = left % right
+    else:  # divu
+        value = left // right
+    value = _wrap(value, size, True)
+    cpu.write_operand(ins.operands[2], size, value)
+    cpu._set_nz(value)
+
+
+@_op(*[f"{base}.{s}" for base in ("neg", "not") for s in "bwl"])
+def _unary(cpu: R32Cpu, ins: Instruction) -> None:
+    base, suffix = _parts(ins.mnemonic)
+    size = _SIZES[suffix]
+    value = cpu.read_operand(ins.operands[0], size)
+    value = _wrap(-value if base == "neg" else ~value, size, True)
+    cpu.write_operand(ins.operands[1], size, value)
+    cpu._set_nz(value)
+
+
+@_op("sll", "srl", "sra")
+def _shift(cpu: R32Cpu, ins: Instruction) -> None:
+    count = max(0, cpu.read_operand(ins.operands[1], 4))
+    if ins.mnemonic == "sll":
+        value = cpu.read_operand(ins.operands[0], 4)
+        result = _wrap(value << min(count, 32), 4, True)
+    elif ins.mnemonic == "sra":
+        value = cpu.read_operand(ins.operands[0], 4)
+        result = value >> min(count, 31)
+    else:  # srl: zero-filling
+        value = cpu.read_operand(ins.operands[0], 4, signed=False)
+        result = _wrap(value >> min(count, 32), 4, True)
+    cpu.write_operand(ins.operands[2], 4, result)
+    cpu._set_nz(result)
+
+
+@_op(*[f"{base}.{s}" for base in ("add", "sub", "mul", "div") for s in "fd"])
+def _float_alu(cpu: R32Cpu, ins: Instruction) -> None:
+    base, suffix = _parts(ins.mnemonic)
+    size = _SIZES[suffix]
+    left = cpu.read_float(ins.operands[0], size)
+    right = cpu.read_float(ins.operands[1], size)
+    if base == "add":
+        value = left + right
+    elif base == "sub":
+        value = left - right
+    elif base == "mul":
+        value = left * right
+    else:
+        if right == 0:
+            raise SimError("float divide by zero")
+        value = left / right
+    cpu.write_float(ins.operands[2], size, value)
+    cpu._set_nz(0 if value == 0 else (-1 if value < 0 else 1))
+
+
+# ---------------------------------------------------------------- compare
+
+@_op("cmp.b", "cmp.w", "cmp.l")
+def _cmp(cpu: R32Cpu, ins: Instruction) -> None:
+    _, suffix = _parts(ins.mnemonic)
+    size = _SIZES[suffix]
+    left = cpu.read_operand(ins.operands[0], size)
+    right = cpu.read_operand(ins.operands[1], size)
+    result = left - right
+    cpu.cc.n = result < 0
+    cpu.cc.z = result == 0
+    mask = (1 << (8 * size)) - 1
+    cpu.cc.c = (left & mask) < (right & mask)
+
+
+@_op("cmp.f", "cmp.d")
+def _cmp_float(cpu: R32Cpu, ins: Instruction) -> None:
+    _, suffix = _parts(ins.mnemonic)
+    size = _SIZES[suffix]
+    left = cpu.read_float(ins.operands[0], size)
+    right = cpu.read_float(ins.operands[1], size)
+    cpu.cc.n = left < right
+    cpu.cc.z = left == right
+    cpu.cc.c = left < right
+
+
+# --------------------------------------------------------------- branches
+
+@_op("beql", "bneq", "blss", "bleq", "bgtr", "bgeq",
+     "blssu", "blequ", "bgtru", "bgequ")
+def _bcond(cpu: R32Cpu, ins: Instruction) -> None:
+    cc = cpu.cc
+    take = {
+        "beql": cc.z,
+        "bneq": not cc.z,
+        "blss": cc.n,
+        "bleq": cc.n or cc.z,
+        "bgtr": not (cc.n or cc.z),
+        "bgeq": not cc.n,
+        "blssu": cc.c,
+        "blequ": cc.c or cc.z,
+        "bgtru": not (cc.c or cc.z),
+        "bgequ": not cc.c,
+    }[ins.mnemonic]
+    if take:
+        cpu._branch(ins)
+
+
+_op("jmp")(_jbr)
+
+
+# ------------------------------------------------------------------ calls
+
+@_op("push")
+def _push(cpu: R32Cpu, ins: Instruction) -> None:
+    cpu._push(cpu.read_operand(ins.operands[0], 4))
+
+
+@_op("push.f", "push.d")
+def _push_float(cpu: R32Cpu, ins: Instruction) -> None:
+    _, suffix = _parts(ins.mnemonic)
+    size = _SIZES[suffix]
+    value = cpu.read_float(ins.operands[0], size)
+    cpu.registers["sp"] -= size
+    cpu.float_store[cpu.registers["sp"]] = value
+
+
+#: ``call``/``ret`` reuse the VAX handlers verbatim: the linkage (argc
+#: cell, saved registers, ap/fp layout, builtin library fallback) is
+#: target-neutral by design so the front end's lowering needn't care.
+_op("call")(_calls)
+_op("ret")(_ret)

@@ -47,7 +47,10 @@ from ..obs.spans import span
 #: Bump when the pickled payload layout (or anything it closes over)
 #: changes shape incompatibly; old entries become plain misses.
 #: v2: the envelope carries a SHA-256 of the pickled payload.
-CACHE_VERSION = 2
+#: v3: callers key construction by target name (two machine
+#: descriptions must never alias), and the payload bundle carries
+#: target-parametric semantics hooks.
+CACHE_VERSION = 3
 
 #: Atomic-store attempts before giving up (racing writers, NFS hiccups).
 STORE_ATTEMPTS = 3

@@ -1,0 +1,55 @@
+"""Pluggable machine targets.
+
+The paper's retargetability claim, as an interface: a
+:class:`~repro.targets.base.Target` bundles the machine model, the
+description grammar, the instruction table, the semantic routines and
+the simulator for one machine, and the registry resolves them by name
+(``--target``, ``$REPRO_TARGET``).  The built-in targets register lazy
+loaders here; their modules are only imported when first resolved.
+"""
+
+from __future__ import annotations
+
+from .base import Machine, Target, TargetSemanticError
+from .insttable import (
+    RANGE_IDIOMS, Cluster, Selection, Variant, range_idiom, select_variant,
+)
+from .registry import (
+    DEFAULT_TARGET, ENV_TARGET, UnknownTargetError, available_targets,
+    get_target, register_target, resolve_target,
+)
+
+__all__ = [
+    "Machine",
+    "Target",
+    "TargetSemanticError",
+    "Cluster",
+    "Variant",
+    "Selection",
+    "RANGE_IDIOMS",
+    "range_idiom",
+    "select_variant",
+    "DEFAULT_TARGET",
+    "ENV_TARGET",
+    "UnknownTargetError",
+    "available_targets",
+    "get_target",
+    "register_target",
+    "resolve_target",
+]
+
+
+def _load_vax() -> Target:
+    from ..vax.target import build_target
+
+    return build_target()
+
+
+def _load_r32() -> Target:
+    from ..r32.target import build_target
+
+    return build_target()
+
+
+register_target("vax", _load_vax)
+register_target("r32", _load_r32)

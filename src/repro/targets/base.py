@@ -1,0 +1,139 @@
+"""Target-independent machine and target descriptions.
+
+The paper's retargetability claim (sections 3-4) is that the code
+generator proper is machine-independent: everything machine-specific
+lives in the description grammar, the instruction table, and the
+hand-coded semantic routines.  This module is that claim made concrete
+as an interface: a :class:`Target` bundles exactly the artifacts a new
+machine must provide, and :class:`Machine` is the static register-model
+every back-end phase consults.
+
+``repro.vax`` and ``repro.r32`` each build one :class:`Target` and
+register it with :mod:`repro.targets.registry`; nothing else in the
+pipeline imports a concrete target by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple, Type
+
+from ..ir.ops import Op
+from ..ir.types import MachineType
+
+
+class TargetSemanticError(RuntimeError):
+    """An emitting reduction could not be realised.
+
+    Base class for every target's semantic-failure exception; the
+    recovery ladder catches this (alongside :class:`MatchError`) without
+    knowing which target raised it.
+    """
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Static description of a target's register model.
+
+    Both shipped targets keep the same register *names* (r0-r11 plus the
+    ap/fp/sp/pc linkage registers) so the assembler's operand syntax is
+    shared; they differ in mnemonics, addressing modes and instruction
+    shape, which live in the grammar/semantics, not here.
+    """
+
+    name: str = "machine"
+
+    #: Registers the phase-3 register manager may allocate, in
+    #: allocation order.
+    allocatable: Tuple[str, ...] = ("r0", "r1", "r2", "r3", "r4", "r5")
+
+    #: Registers the first pass dedicates: register variables and the
+    #: hardware linkage registers.
+    dedicated: Tuple[str, ...] = (
+        "r6", "r7", "r8", "r9", "r10", "r11", "ap", "fp", "sp", "pc",
+    )
+
+    frame_pointer: str = "fp"
+    arg_pointer: str = "ap"
+    stack_pointer: str = "sp"
+    return_register: str = "r0"
+
+    #: Immediate operands in [0, max] assemble into a short form.
+    short_literal_max: int = 63
+
+    #: Whether phase 1 may leave ``Indir(Postinc/Predec Dreg)`` shapes
+    #: for the grammar's autoincrement addressing modes.  A load/store
+    #: machine without those modes sets this False and the shapes are
+    #: rewritten into explicit arithmetic instead.
+    has_autoincrement: bool = True
+
+    #: Instruction formats for the register manager's spill/reload moves
+    #: ("registers are always spilled to compiler generated variables").
+    #: ``{suffix}`` is the value's type suffix, ``{register}`` the
+    #: register, ``{temp}`` the frame temporary.
+    spill_store: str = "mov{suffix} {register},{temp}"
+    spill_load: str = "mov{suffix} {temp},{register}"
+
+    def is_register(self, text: str) -> bool:
+        return text in self.allocatable or text in self.dedicated
+
+    def register_pair(self, register: str) -> Tuple[str, str]:
+        """The (rN, rN+1) pair used for quad-word values."""
+        if not register.startswith("r"):
+            raise ValueError(f"{register!r} cannot start a register pair")
+        number = int(register[1:])
+        return register, f"r{number + 1}"
+
+    def needs_pair(self, ty: MachineType) -> bool:
+        """Quad-word integers occupy two consecutive registers."""
+        return ty.size == 8 and ty.is_integer
+
+    def safe_call_destination(self, dest: Any) -> bool:
+        """May a call's return register be stored to *dest* directly?
+
+        In the matcher's prefix order the destination tokens precede the
+        ``Call`` token, so any allocatable register the destination
+        operand consumes is materialised *before* the call instruction —
+        and the callee is free to clobber every allocatable register
+        (the ``.word 0`` entry mask saves none).  The base rule admits
+        only destinations whose rendering consumes no allocatable
+        register: register cells and symbol-direct memory.  Machines
+        with richer register-free addressing (displacement, deferred)
+        override and widen it; phase 1a stages every other call result
+        through a reserved value cell instead.
+        """
+        return dest.op in (Op.REG, Op.DREG, Op.NAME, Op.TEMP)
+
+
+@dataclass(frozen=True)
+class Target:
+    """Everything one machine contributes to the pipeline.
+
+    * ``grammar_text(reversed_ops, overfactoring_fix, rescue_bridges)``
+      renders the machine-description text the table constructor hashes
+      and builds; ``build_grammar`` parses + type-replicates it into a
+      bundle with a ``.grammar`` attribute.
+    * ``instruction_table`` maps cluster names to
+      :class:`~repro.targets.insttable.Cluster` rows for phase 3a/3b.
+    * ``make_semantics(machine, buffer, new_temp)`` constructs the
+      semantic-action evaluator for one function.
+    * ``make_simulator(assembled, max_steps)`` wraps the assembled unit
+      in the target's CPU model so the differential oracle can execute
+      the emitted assembly.
+    * ``supports_pcc`` gates the recovery ladder's PCC-degrade rung and
+      the three-way oracle: the Portable C Compiler baseline emits VAX
+      assembly only.
+    """
+
+    name: str
+    machine: Machine
+    grammar_text: Callable[..., str]
+    build_grammar: Callable[..., Any]
+    instruction_table: Any
+    make_semantics: Callable[..., Any]
+    semantic_error: Type[BaseException]
+    make_simulator: Callable[..., Any]
+    supports_pcc: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Target {self.name!r} machine={self.machine.name!r}>"

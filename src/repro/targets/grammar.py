@@ -1,0 +1,58 @@
+"""Shared machine-description grammar building.
+
+Every target renders its description text in the
+:mod:`repro.grammar.reader` notation and runs it through the same macro
+preprocessor (type replication, section 6.4) and the same sanity checks;
+only the text differs.  :func:`build_grammar_bundle` is that common path,
+and :class:`GrammarBundle` carries the built grammar plus the
+generic-grammar statistics experiment E1 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..grammar.grammar import Grammar, GrammarStats
+from ..grammar.macro import replicate_all
+from ..grammar.reader import read_generic
+
+
+@dataclass(frozen=True)
+class GrammarBundle:
+    """A built grammar plus the statistics experiment E1 reports."""
+
+    grammar: Grammar
+    generic_count: int
+    generic_terminals: int
+    generic_nonterminals: int
+
+    def generic_stats_row(self) -> Dict[str, int]:
+        return {
+            "productions": self.generic_count,
+            "terminals": self.generic_terminals,
+            "nonterminals": self.generic_nonterminals,
+        }
+
+    def replicated_stats(self) -> GrammarStats:
+        return self.grammar.stats()
+
+
+def build_grammar_bundle(text: str) -> GrammarBundle:
+    """Parse, type-replicate, and sanity-check one description text."""
+    start, generics = read_generic(text)
+    productions, _ = replicate_all(generics)
+    grammar = Grammar(start, productions)
+    grammar.check(allow_unreachable=True)
+
+    generic_symbols = set()
+    for generic in generics:
+        generic_symbols.add(generic.lhs)
+        generic_symbols.update(generic.rhs)
+    terminals = {s for s in generic_symbols if s[0].isupper() or s[0] == "$"}
+    return GrammarBundle(
+        grammar=grammar,
+        generic_count=len(generics),
+        generic_terminals=len(terminals),
+        generic_nonterminals=len(generic_symbols - terminals),
+    )

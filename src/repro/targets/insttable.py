@@ -1,0 +1,176 @@
+"""Target-independent instruction-table machinery (Figure 3's shape).
+
+"Instruction selection is driven by the selected syntactic pattern, and by
+the information stored in a hand written instruction table.  Each entry in
+the instruction table distinguishes among different instructions having
+the same syntactic description" (section 5.3.1).
+
+A :class:`Cluster` is one table entry: an ordered list of
+:class:`Variant` rows, from the most general (three-operand) down to the
+cheapest (one-operand).  Walking the rows applies the two idiom classes of
+section 5.3.2 in the required order: **binding idioms first** (does a
+source match the destination? then drop to the two-operand form), **range
+idioms second** (is the remaining source a constant in the row's range?
+then drop to the one-operand form).
+
+Nothing here knows a mnemonic: each target's ``insttable`` module builds
+its own cluster dictionary from these rows (``repro.vax.insttable`` for
+the CISC table with its inc/dec/clr idioms, ``repro.r32.insttable`` for
+the flat three-operand RISC table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..matcher.descriptors import Descriptor
+
+#: A range idiom: does *descriptor* (the remaining source) satisfy the
+#: constant range that admits the next, cheaper variant?
+RangeFn = Callable[[Descriptor], bool]
+
+RANGE_IDIOMS: Dict[str, RangeFn] = {}
+
+
+def range_idiom(name: str) -> Callable[[RangeFn], RangeFn]:
+    """Register a named range idiom, "implemented by functions written in
+    'C'; these functions follow a relatively straightforward coding
+    style" — ours follow an equally straightforward Python style."""
+
+    def register(fn: RangeFn) -> RangeFn:
+        RANGE_IDIOMS[name] = fn
+        return fn
+
+    return register
+
+
+@range_idiom("one")
+def _is_one(descriptor: Descriptor) -> bool:
+    return descriptor.is_constant and descriptor.value == 1
+
+
+@range_idiom("zero")
+def _is_zero(descriptor: Descriptor) -> bool:
+    return descriptor.is_constant and descriptor.value == 0
+
+
+@range_idiom("minus_one")
+def _is_minus_one(descriptor: Descriptor) -> bool:
+    return descriptor.is_constant and descriptor.value == -1
+
+
+@range_idiom("pow2")
+def _is_power_of_two(descriptor: Descriptor) -> bool:
+    value = descriptor.value
+    return (
+        descriptor.is_constant
+        and isinstance(value, int)
+        and value > 1
+        and value & (value - 1) == 0
+    )
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One row of a cluster: Figure 3's columns.
+
+    ``binding`` is the binding-idiom tag (the paper stores an operator
+    name like ``ADD``; any non-None value enables the dest/source match
+    check).  ``commutes`` is the figure's "can the source operands be
+    swapped" column; it governs *which* source may bind.  ``range_idiom``
+    names the check that admits the **next** row.
+    """
+
+    mnemonic: str
+    operands: int
+    binding: Optional[str] = None
+    commutes: bool = False
+    range_idiom: Optional[str] = None
+
+    def range_matches(self, descriptor: Descriptor) -> bool:
+        if self.range_idiom is None:
+            return False
+        return RANGE_IDIOMS[self.range_idiom](descriptor)
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One instruction-table entry: the variants for one generic operator
+    and operand type, ordered general-to-cheap."""
+
+    name: str
+    variants: Tuple[Variant, ...]
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError(f"cluster {self.name!r} has no variants")
+
+
+@dataclass(frozen=True)
+class Selection:
+    """The outcome of walking a cluster: the instruction to emit."""
+
+    mnemonic: str
+    operands: Tuple[Descriptor, ...]  # in assembler order (sources..., dest)
+    variant: Variant
+    idioms_applied: Tuple[str, ...]   # e.g. ("binding", "range:one")
+
+
+def select_variant(
+    cluster: Cluster,
+    dest: Descriptor,
+    sources: Sequence[Descriptor],
+) -> Selection:
+    """Figure 3's walk: binding idiom, then range idiom.
+
+    For the paper's ``a = 17 + b`` example the three-operand row binds
+    (the second source *b* matches the destination... when it does), the
+    two-operand row's range idiom then asks whether the other source is
+    the literal one, and ``addl2``/``incl`` falls out accordingly.
+    """
+    applied: List[str] = []
+    row_index = 0
+    operands = list(sources)
+
+    row = cluster.variants[row_index]
+    if row.binding is not None and row_index + 1 < len(cluster.variants):
+        bound = _bind(dest, operands, row.commutes)
+        if bound is not None:
+            operands = [bound]
+            row_index += 1
+            applied.append("binding")
+            row = cluster.variants[row_index]
+
+    if (
+        row.range_idiom is not None
+        and row_index + 1 < len(cluster.variants)
+        and len(operands) == 1
+        and row.range_matches(operands[0])
+    ):
+        applied.append(f"range:{row.range_idiom}")
+        operands = []
+        row_index += 1
+        row = cluster.variants[row_index]
+
+    return Selection(
+        mnemonic=row.mnemonic,
+        operands=tuple(operands) + (dest,),
+        variant=row,
+        idioms_applied=tuple(applied),
+    )
+
+
+def _bind(
+    dest: Descriptor, sources: List[Descriptor], commutes: bool
+) -> Optional[Descriptor]:
+    """Binding idiom: return the *other* source if one source matches the
+    destination; "either source will do" only when the row commutes."""
+    if len(sources) != 2:
+        return None
+    first, second = sources
+    if first.same_location(dest):
+        return second
+    if commutes and second.same_location(dest):
+        return first
+    return None

@@ -1,0 +1,287 @@
+"""Phase 3c: the register manager (section 5.3.3).
+
+"The register manager is extremely simple and unsophisticated."  It hands
+out allocatable registers with a stack discipline — the least recently
+allocated register is the one with the most distant future use — reclaims
+source registers for destinations when asked, and when nothing is free it
+spills the register at the *bottom* of the stack into a compiler-generated
+temporary (a "virtual register").  A spilled value's descriptor is patched
+in place to point at the temporary; it is reloaded into a register just
+before its next use as a register operand.
+
+The manager is machine-independent: the allocatable bank, the pairing
+rule and the spill/reload instruction formats all come from the
+:class:`~repro.targets.base.Machine` it is constructed with (``movX`` on
+the VAX, ``st.X``/``ld.X`` on the R32 load/store machine).
+
+Phase 1 also assigns registers (for its control-flow temporaries) from the
+same hardware bank; its assignments arrive via ``Reghint`` trees and are
+recorded with :meth:`RegisterManager.reserve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..ir.types import MachineType
+from ..matcher.descriptors import Descriptor, DKind
+from .base import Machine
+
+#: Callback the manager uses to emit spill/reload moves; receives the
+#: mnemonic suffix-complete instruction text, e.g. ``movl r2,T7``.
+EmitFn = Callable[[str], None]
+
+#: Callback producing a fresh virtual-register (temporary) name.
+TempFn = Callable[[], str]
+
+
+class RegisterPressureError(RuntimeError):
+    """Raised when even spilling cannot satisfy a request (e.g. a quad
+    pair is demanded while every register is pinned)."""
+
+
+@dataclass
+class _Slot:
+    """Bookkeeping for one live allocatable register."""
+
+    register: str
+    descriptor: Optional[Descriptor]
+    pinned: bool = False  # phase-1 reservations cannot be spilled
+    held: bool = False    # embedded in a condensed addressing mode
+    pair: Optional[str] = None  # second register of a quad pair
+
+
+class RegisterManager:
+    """Stack-discipline allocator over the machine's allocatable bank."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        emit: Optional[EmitFn] = None,
+        new_temp: Optional[TempFn] = None,
+    ) -> None:
+        self.machine = machine
+        self._emit = emit or (lambda line: None)
+        self._new_temp = new_temp or _default_temp_factory()
+        self._free: List[str] = list(machine.allocatable)
+        self._stack: List[_Slot] = []  # bottom = least recently allocated
+        self.spill_count = 0
+        self.reload_count = 0
+        self.high_water = 0
+
+    # ------------------------------------------------------------ allocate
+    def allocate(
+        self,
+        ty: MachineType,
+        descriptor: Optional[Descriptor] = None,
+        reclaim_from: Tuple[Descriptor, ...] = (),
+        avoid: Tuple[str, ...] = (),
+    ) -> str:
+        """Return a register for a value of type *ty*.
+
+        Source descriptors passed in ``reclaim_from`` are candidates for
+        reuse: "the register manager attempts to reclaim and reuse
+        allocatable registers from the source operands to the
+        instruction"; remaining source registers are freed.  Registers in
+        ``avoid`` are never chosen (a call result must not stay in r0,
+        where the next call would clobber it).
+        """
+        needs_pair = self.machine.needs_pair(ty)
+        reclaimed = self._reclaim(reclaim_from, needs_pair, avoid)
+        if reclaimed is not None:
+            self._bind(reclaimed, descriptor)
+            return reclaimed
+
+        register = self._take_free(needs_pair, avoid)
+        # A pair needs two *consecutive* free registers: keep evicting
+        # (bottom-of-stack first) until one materializes or nothing
+        # spillable remains.
+        attempts = 0
+        while register is None and attempts < len(self.machine.allocatable):
+            attempts += 1
+            self._spill_one()
+            register = self._take_free(needs_pair, avoid)
+        if register is None:
+            raise RegisterPressureError(
+                f"cannot allocate a {'pair' if needs_pair else 'register'}"
+            )
+
+        pair = self.machine.register_pair(register)[1] if needs_pair else None
+        if pair is not None:
+            self._free.remove(pair)
+        self._stack.append(_Slot(register, descriptor, pair=pair))
+        self.high_water = max(self.high_water, len(self._stack))
+        return register
+
+    def free(self, register: str) -> None:
+        """Release *register* (and its pair) back to the free list."""
+        for position, slot in enumerate(self._stack):
+            if slot.register == register:
+                if slot.pinned:
+                    return
+                del self._stack[position]
+                self._release(slot)
+                return
+        # Freeing an already-free or dedicated register is a no-op.
+
+    def hold(self, register: Optional[str]) -> None:
+        """Mark *register* unspillable: its name is baked into a condensed
+        addressing-mode descriptor's text, so evicting it would leave the
+        descriptor pointing at a stale register.  ``free`` releases holds."""
+        if register is None:
+            return
+        slot = self._find(register)
+        if slot is not None:
+            slot.held = True
+
+    def free_sources(self, descriptors: Tuple[Descriptor, ...]) -> None:
+        """Free every allocatable register held by the given descriptors."""
+        for descriptor in descriptors:
+            for register in (descriptor.register, descriptor.index_register):
+                if register and register in {s.register for s in self._stack}:
+                    self.free(register)
+
+    # ------------------------------------------------------------- spill
+    def ensure_register(self, descriptor: Descriptor, ty: MachineType) -> str:
+        """Reload a spilled value so it is in a register again.
+
+        "If a register is spilled, it is reloaded just before it is used."
+        Returns the register now holding the value and patches the
+        descriptor back to register kind.
+        """
+        if descriptor.kind is DKind.REG and not descriptor.spilled:
+            assert descriptor.register is not None
+            return descriptor.register
+        register = self.allocate(ty, descriptor)
+        self._emit(self.machine.spill_load.format(
+            suffix=ty.suffix, temp=descriptor.text, register=register
+        ))
+        self.reload_count += 1
+        descriptor.kind = DKind.REG
+        descriptor.text = register
+        descriptor.register = register
+        descriptor.spilled = False
+        return register
+
+    def _spill_one(self) -> None:
+        """Evict the bottom-of-stack (least recently allocated) register
+        into a fresh virtual register."""
+        for position, slot in enumerate(self._stack):
+            if not slot.pinned and not slot.held:
+                del self._stack[position]
+                break
+        else:
+            raise RegisterPressureError("all allocatable registers are pinned")
+
+        descriptor = slot.descriptor
+        temp = self._new_temp()
+        suffix = descriptor.ty.suffix if descriptor is not None else "l"
+        self._emit(self.machine.spill_store.format(
+            suffix=suffix, register=slot.register, temp=temp
+        ))
+        self.spill_count += 1
+        if descriptor is not None:
+            descriptor.kind = DKind.MEM
+            descriptor.text = temp
+            descriptor.register = None
+            descriptor.spilled = True
+        self._release(slot)
+
+    # --------------------------------------------------------- phase-1 API
+    def reserve(self, register: str, count: int = 1) -> None:
+        """Record a phase-1 register assignment (a ``Reghint`` tree): the
+        register is pinned for *count* uses (section 5.3.3)."""
+        if register in self._free:
+            self._free.remove(register)
+        slot = self._find(register)
+        if slot is None:
+            self._stack.append(_Slot(register, None, pinned=True))
+        else:
+            slot.pinned = True
+
+    def release_reservation(self, register: str) -> None:
+        slot = self._find(register)
+        if slot is not None and slot.pinned:
+            self._stack.remove(slot)
+            self._release(slot)
+
+    # ----------------------------------------------------------- internals
+    def _find(self, register: str) -> Optional[_Slot]:
+        for slot in self._stack:
+            if slot.register == register:
+                return slot
+        return None
+
+    def _bind(self, register: str, descriptor: Optional[Descriptor]) -> None:
+        slot = self._find(register)
+        if slot is not None:
+            slot.descriptor = descriptor
+
+    def _release(self, slot: _Slot) -> None:
+        if slot.register not in self._free:
+            self._free.append(slot.register)
+        if slot.pair and slot.pair not in self._free:
+            self._free.append(slot.pair)
+        self._free.sort(key=self.machine.allocatable.index)
+
+    def _take_free(self, needs_pair: bool, avoid: Tuple[str, ...] = ()) -> Optional[str]:
+        if not needs_pair:
+            for register in self._free:
+                if register not in avoid:
+                    self._free.remove(register)
+                    return register
+            return None
+        free = set(self._free)
+        for register in self._free:
+            if register in avoid:
+                continue
+            try:
+                _, partner = self.machine.register_pair(register)
+            except ValueError:
+                continue
+            if partner in free and partner in self.machine.allocatable:
+                self._free.remove(register)
+                return register
+        return None
+
+    def _reclaim(
+        self, sources: Tuple[Descriptor, ...], needs_pair: bool,
+        avoid: Tuple[str, ...] = (),
+    ) -> Optional[str]:
+        """Reuse one source register as the destination and free the rest."""
+        chosen: Optional[str] = None
+        for descriptor in sources:
+            register = descriptor.register
+            if register is None:
+                continue
+            slot = self._find(register)
+            if slot is None or slot.pinned:
+                continue
+            wants_pair = slot.pair is not None
+            if chosen is None and wants_pair == needs_pair and register not in avoid:
+                chosen = register
+                slot.descriptor = None
+                slot.held = False  # the consuming instruction has read it
+            else:
+                self.free(register)
+        return chosen
+
+    # --------------------------------------------------------------- stats
+    @property
+    def live_count(self) -> int:
+        return len(self._stack)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+
+def _default_temp_factory() -> TempFn:
+    counter = [0]
+
+    def make() -> str:
+        counter[0] += 1
+        return f"S{counter[0]}"
+
+    return make

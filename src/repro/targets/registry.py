@@ -1,0 +1,95 @@
+"""The target registry: name -> :class:`~repro.targets.base.Target`.
+
+Targets register lazily — a loader callable per name — so importing the
+registry never pulls in every machine's grammar and simulator.  The
+built-in targets install their loaders in :mod:`repro.targets`
+(``"vax"`` and ``"r32"``); out-of-tree targets call
+:func:`register_target` themselves.
+
+Resolution order for :func:`resolve_target`: an explicit argument wins
+(a :class:`Target` passes through, a string is looked up), then the
+``$REPRO_TARGET`` environment variable, then the default (``"vax"``).
+An unknown name is a *hard error* naming the registered targets —
+unlike a misspelled matcher engine, a misspelled target would silently
+compile for the wrong machine.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from .base import Target
+
+#: Environment override for the default target.
+ENV_TARGET = "REPRO_TARGET"
+
+#: The target used when nothing selects one explicitly.
+DEFAULT_TARGET = "vax"
+
+_lock = threading.Lock()
+_loaders: Dict[str, Callable[[], Target]] = {}
+_instances: Dict[str, Target] = {}
+
+
+class UnknownTargetError(ValueError):
+    """A target name that is not in the registry."""
+
+    def __init__(self, name: str, registered: Tuple[str, ...]) -> None:
+        self.name = name
+        self.registered = registered
+        options = ", ".join(registered) or "<none>"
+        super().__init__(
+            f"unknown target {name!r}; registered targets: {options}"
+        )
+
+
+def register_target(name: str, loader: Callable[[], Target]) -> None:
+    """Install (or replace) the loader for *name*.
+
+    The loader runs at most once; its :class:`Target` is memoized.
+    """
+    with _lock:
+        _loaders[name] = loader
+        _instances.pop(name, None)
+
+
+def available_targets() -> Tuple[str, ...]:
+    """Registered target names, sorted."""
+    with _lock:
+        return tuple(sorted(_loaders))
+
+
+def get_target(name: str) -> Target:
+    """The memoized :class:`Target` for *name*; hard error when unknown."""
+    with _lock:
+        instance = _instances.get(name)
+        loader = _loaders.get(name)
+    if instance is not None:
+        return instance
+    if loader is None:
+        raise UnknownTargetError(name, available_targets())
+    built = loader()
+    with _lock:
+        # a racing loader built the same immutable description; keep one
+        instance = _instances.setdefault(name, built)
+    return instance
+
+
+def resolve_target(target: Union[str, Target, None] = None) -> Target:
+    """Resolve the effective target once, at an entry point.
+
+    ``None`` consults ``$REPRO_TARGET`` and falls back to the default;
+    both an explicit unknown name and an unknown environment value raise
+    :class:`UnknownTargetError` — a wrong target must never be silently
+    substituted.
+    """
+    if isinstance(target, Target):
+        return target
+    if target is not None:
+        return get_target(target)
+    env = os.environ.get(ENV_TARGET, "").strip().lower()
+    if env:
+        return get_target(env)
+    return get_target(DEFAULT_TARGET)

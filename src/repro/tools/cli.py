@@ -84,9 +84,24 @@ from ..codegen.driver import GrahamGlanvilleCodeGenerator
 from ..compile import compile_program
 from ..matcher.trace import Tracer, format_trace
 from ..tables.slr import construct_tables
-from ..vax.grammar_gen import build_vax_grammar
+from ..targets import UnknownTargetError, available_targets, resolve_target
 from .ggdump import dump_blocking, dump_conflicts, dump_grammar
 from .stats import gather_statistics
+
+
+def _add_target_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--target`` flag.
+
+    ``choices`` comes straight from the registry, so an unknown name is
+    a hard argparse error listing the registered targets; an unknown
+    ``$REPRO_TARGET`` value raises
+    :class:`~repro.targets.registry.UnknownTargetError` at resolution.
+    """
+    parser.add_argument(
+        "--target", choices=available_targets(), default=None,
+        help="machine target to compile for (default honours "
+             "$REPRO_TARGET, then vax)",
+    )
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -98,6 +113,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("source", nargs="?", help="C-subset source file "
                         "('-' for stdin)")
     parser.add_argument("--backend", choices=("gg", "pcc"), default="gg")
+    _add_target_argument(parser)
     parser.add_argument("--trace", action="store_true",
                         help="print the pattern matcher's action trace")
     parser.add_argument("--stats", action="store_true",
@@ -116,7 +132,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="run the section-6.1 peephole optimizer over "
                              "the generated assembly")
     parser.add_argument("--run", metavar="FUNC",
-                        help="execute FUNC on the simulated VAX")
+                        help="execute FUNC on the target's simulator")
     parser.add_argument("--args", default="",
                         help="comma-separated integer arguments for --run")
     parser.add_argument("-o", "--output", help="write assembly to a file")
@@ -166,6 +182,7 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0,
                         help="master seed; every case derives from it")
+    _add_target_argument(parser)
     parser.add_argument("--budget", type=float, default=30.0,
                         help="wall-clock seconds to spend (default 30)")
     parser.add_argument("--jobs", type=int, default=1,
@@ -195,10 +212,16 @@ def fuzz_main(argv: List[str]) -> int:
             action.choices = sorted(BUGS)
     options = parser.parse_args(argv)
 
+    try:
+        target = resolve_target(options.target).name
+    except UnknownTargetError as exc:
+        print(f"ggcc fuzz: error: {exc}", file=sys.stderr)
+        return 2
     config = FuzzConfig(
         seed=options.seed,
         budget=options.budget,
         jobs=options.jobs,
+        target=target,
         max_programs=options.max_programs,
         minimize=not options.no_minimize,
     )
@@ -358,6 +381,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-reversed-ops", action="store_true")
     parser.add_argument("--peephole", action="store_true")
     parser.add_argument("--no-rescue-bridges", action="store_true")
+    _add_target_argument(parser)
     parser.add_argument("--engine", choices=("compiled", "packed", "dict"),
                         default=None,
                         help="matcher drive loop for the server's "
@@ -372,12 +396,17 @@ def serve_main(argv: List[str]) -> int:
     from ..server.supervisor import DEFAULT_JOB_TIMEOUT, DEFAULT_MAX_RETRIES
 
     options = build_serve_parser().parse_args(argv)
-    generator = GrahamGlanvilleCodeGenerator(
-        reversed_ops=not options.no_reversed_ops,
-        peephole=options.peephole,
-        rescue_bridges=not options.no_rescue_bridges,
-        engine=options.engine,
-    )
+    try:
+        generator = GrahamGlanvilleCodeGenerator(
+            target=options.target,
+            reversed_ops=not options.no_reversed_ops,
+            peephole=options.peephole,
+            rescue_bridges=not options.no_rescue_bridges,
+            engine=options.engine,
+        )
+    except UnknownTargetError as exc:
+        print(f"ggcc serve: error: {exc}", file=sys.stderr)
+        return 2
     shared = dict(
         jobs=options.jobs, generator=generator,
         max_requests=options.max_requests,
@@ -405,8 +434,8 @@ def serve_main(argv: List[str]) -> int:
         )
     server.bind()
     print(f"ggcc serve: listening on {server.address} "
-          f"(jobs={options.jobs}, workers={options.workers}, "
-          f"tables {generator.table_source})",
+          f"(target={generator.target.name}, jobs={options.jobs}, "
+          f"workers={options.workers}, tables {generator.table_source})",
           file=sys.stderr, flush=True)
     try:
         server.serve_forever()
@@ -436,6 +465,7 @@ def build_profile_parser() -> argparse.ArgumentParser:
                         help="emit the report as JSON instead of the "
                              "human table")
     parser.add_argument("--backend", choices=("gg", "pcc"), default="gg")
+    _add_target_argument(parser)
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--parallel", choices=("thread", "process"),
                         default="thread")
@@ -465,6 +495,7 @@ def profile_main(argv: List[str]) -> int:
             source, label=label, backend=options.backend,
             jobs=options.jobs, parallel=options.parallel,
             resilient=options.resilient,
+            target=options.target,
             reversed_ops=not options.no_reversed_ops,
             peephole=options.peephole,
         )
@@ -496,6 +527,7 @@ def build_match_bench_parser() -> argparse.ArgumentParser:
                         help="a .c file, '-' for stdin, or an example "
                              "module exposing SOURCE (e.g. "
                              "examples/quickstart)")
+    _add_target_argument(parser)
     parser.add_argument("--repeats", type=int, default=5,
                         help="best-of repeats per engine (default 5)")
     parser.add_argument("--engine", action="append", dest="engines",
@@ -525,8 +557,12 @@ def match_bench_main(argv: List[str]) -> int:
     engines = options.engines or list(ENGINES)
     repeats = max(1, options.repeats)
 
-    gen = GrahamGlanvilleCodeGenerator()
-    program = compile_c(source)
+    try:
+        gen = GrahamGlanvilleCodeGenerator(target=options.target)
+    except UnknownTargetError as exc:
+        print(f"ggcc match-bench: error: {exc}", file=sys.stderr)
+        return 2
+    program = compile_c(source, gen.machine)
     streams = []
     for name in program.order:
         work, _ = gen.transform(program.forest(name))
@@ -673,7 +709,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if options.stats or options.dump_grammar or options.dump_conflicts \
             or options.dump_blocking:
-        bundle = build_vax_grammar(reversed_ops=not options.no_reversed_ops)
+        try:
+            target = resolve_target(options.target)
+        except UnknownTargetError as exc:
+            print(f"ggcc: error: {exc}", file=sys.stderr)
+            return 2
+        bundle = target.build_grammar(
+            reversed_ops=not options.no_reversed_ops
+        )
         tables = construct_tables(bundle.grammar)
         if options.stats:
             print(gather_statistics(bundle, tables).format())
@@ -715,17 +758,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _compile_main(options: argparse.Namespace, source: str) -> int:
     generator = None
     if options.backend == "gg":
-        generator = GrahamGlanvilleCodeGenerator(
-            reversed_ops=not options.no_reversed_ops,
-            peephole=options.peephole,
-            rescue_bridges=not options.no_rescue_bridges,
-            engine=options.engine,
-        )
+        try:
+            generator = GrahamGlanvilleCodeGenerator(
+                target=options.target,
+                reversed_ops=not options.no_reversed_ops,
+                peephole=options.peephole,
+                rescue_bridges=not options.no_rescue_bridges,
+                engine=options.engine,
+            )
+        except UnknownTargetError as exc:
+            print(f"ggcc: error: {exc}", file=sys.stderr)
+            return 2
 
     if options.trace and options.backend == "gg":
         from ..frontend import compile_c
 
-        program = compile_c(source)
+        program = compile_c(source, generator.machine)
         for name in program.order:
             tracer = Tracer()
             generator.compile(program.forest(name), trace=tracer)
@@ -740,6 +788,7 @@ def _compile_main(options: argparse.Namespace, source: str) -> int:
             resilient=options.resilient, timeout=options.timeout,
             incremental=options.incremental,
             result_cache_dir=options.result_cache_dir,
+            target=options.target,
         )
     except Exception as exc:
         # without --resilient a block/crash is terminal; still report it

@@ -6,54 +6,58 @@ registers the code generator's own manager hands out, *dedicated*
 registers assigned by the first pass (register variables, and the
 ap/fp/sp/pc hardware linkage registers), with r0/r1 also serving as the
 function return registers.
+
+The generic register-model fields and helpers now live in
+:class:`repro.targets.base.Machine`; this subclass pins the VAX name and
+keeps autoincrement addressing enabled (the base defaults match PCC's
+VAX conventions, which the R32 target also adopts for its register
+*names*).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass
 
-from ..ir.types import MachineType
+from ..ir.ops import Op
+from ..targets.base import Machine
 
 
 @dataclass(frozen=True)
-class VaxMachine:
-    """Static description of the target used across the back end."""
+class VaxMachine(Machine):
+    """Static description of the VAX target used across the back end."""
 
     name: str = "vax-11/780"
 
-    #: Registers the phase-3 register manager may allocate, in allocation
-    #: order.  PCC reserves r0-r5 for expression evaluation.
-    allocatable: Tuple[str, ...] = ("r0", "r1", "r2", "r3", "r4", "r5")
+    #: The VAX's byte-displacement/autoincrement/autodecrement addressing
+    #: modes are real instructions here.
+    has_autoincrement: bool = True
 
-    #: Registers the first pass dedicates: register variables r6-r11 and
-    #: the hardware linkage registers.
-    dedicated: Tuple[str, ...] = (
-        "r6", "r7", "r8", "r9", "r10", "r11", "ap", "fp", "sp", "pc",
-    )
+    def safe_call_destination(self, dest) -> bool:
+        """The VAX's register-free operand phrases widen the base rule:
+        a call result may additionally be stored straight through
+        absolute, symbol, displacement-off-a-dedicated-register and
+        deferred destinations — none of those consume an allocatable
+        register, so nothing live crosses the call.  Indexed phrases
+        (``_a[rX]``) and computed addresses stay unsafe."""
+        if super().safe_call_destination(dest):
+            return True
+        if dest.op is Op.INDIR:
+            return self._register_free_address(dest.kids[0])
+        return False
 
-    frame_pointer: str = "fp"
-    arg_pointer: str = "ap"
-    stack_pointer: str = "sp"
-    return_register: str = "r0"
-
-    #: Immediate operands in [0, 63] assemble into the short-literal
-    #: addressing mode; anything else takes an immediate longword.
-    short_literal_max: int = 63
-
-    def is_register(self, text: str) -> bool:
-        return text in self.allocatable or text in self.dedicated
-
-    def register_pair(self, register: str) -> Tuple[str, str]:
-        """The (rN, rN+1) pair used for quad-word values."""
-        if not register.startswith("r"):
-            raise ValueError(f"{register!r} cannot start a register pair")
-        number = int(register[1:])
-        return register, f"r{number + 1}"
-
-    def needs_pair(self, ty: MachineType) -> bool:
-        """Quad-word integers occupy two consecutive registers."""
-        return ty.size == 8 and ty.is_integer
+    @classmethod
+    def _register_free_address(cls, addr) -> bool:
+        if addr.op in (Op.CONST, Op.NAME, Op.TEMP, Op.DREG):
+            return True
+        if addr.op is Op.PLUS and len(addr.kids) == 2:
+            first, second = addr.kids
+            return (
+                (first.op is Op.CONST and second.op is Op.DREG)
+                or (first.op is Op.DREG and second.op is Op.CONST)
+            )
+        if addr.op is Op.INDIR:  # deferred through a register-free cell
+            return cls._register_free_address(addr.kids[0])
+        return False
 
 
 #: The default machine instance used throughout the package.

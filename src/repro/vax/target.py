@@ -1,0 +1,37 @@
+"""The VAX target description for the registry.
+
+Bundles the pieces the rest of the pipeline needs — machine model,
+description grammar, Figure-3 instruction table, semantic routines and
+simulator — into one :class:`~repro.targets.base.Target`.  The loader in
+:mod:`repro.targets` registers :func:`build_target` under the name
+``"vax"``; nothing else imports this module directly.
+"""
+
+from __future__ import annotations
+
+from ..targets.base import Target
+from .grammar_gen import build_vax_grammar, vax_grammar_text
+from .insttable import INSTRUCTION_TABLE
+from .machine import VAX
+from .semantics import VaxSemanticError, VaxSemantics
+
+
+def _make_simulator(program, max_steps: int = 2_000_000):
+    from ..sim.cpu import Vax
+
+    return Vax(program, max_steps=max_steps)
+
+
+def build_target() -> Target:
+    """The ``"vax"`` target: the paper's machine, PCC baseline included."""
+    return Target(
+        name="vax",
+        machine=VAX,
+        grammar_text=vax_grammar_text,
+        build_grammar=build_vax_grammar,
+        instruction_table=INSTRUCTION_TABLE,
+        make_semantics=VaxSemantics,
+        semantic_error=VaxSemanticError,
+        make_simulator=_make_simulator,
+        supports_pcc=True,
+    )

@@ -1,0 +1,63 @@
+"""Call results stored through computed destinations — the clobber fix.
+
+Found by the R32 oracle smoke: in the matcher's prefix order the
+destination tokens of ``dest = f(...)`` precede the ``Call`` token, so a
+destination whose address needs an allocatable register materialised
+that register *before* the call — and the callee, which saves nothing
+(``.word 0`` entry mask), was free to clobber it.  On R32 every frame
+local hit this; on the VAX the indexed (``_a[rX]``) and
+computed-address forms did, surviving only when the callee happened not
+to touch the register.  Phase 1a now stages such call results through a
+reserved value cell (store happens after the call), gated per machine by
+:meth:`~repro.targets.base.Machine.safe_call_destination`, and the PCC
+baseline renders the destination only after emitting ``calls``.
+"""
+
+import pytest
+
+from repro.fuzz.oracle import run_oracle
+
+#: A callee fat enough to clobber several scratch registers.
+FAT_CALLEE = (
+    "int mix(int x, int y) {"
+    " return (x*y + x*2) * (y*3 + x) - (x*5 - y) * (x + y); }"
+)
+
+SHAPES = {
+    "local": (
+        "int mix(int x, int y) { return x * y; }"
+        "int main() { int t; t = mix(7, 8); return t; }"
+    ),
+    "indexed": (
+        "int a[8];" + FAT_CALLEE +
+        "int main() { int i; i = 2;"
+        " a[i*2 + 1] = mix(7, 8); return a[5]; }"
+    ),
+    "pointer": (
+        "int g;" + FAT_CALLEE +
+        "int main() { int *p; p = &g; *p = mix(7, 8); return g; }"
+    ),
+    "array_const_index": (
+        "int a[8];" + FAT_CALLEE +
+        "int main() { a[5] = mix(7, 8); return a[5]; }"
+    ),
+}
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+@pytest.mark.parametrize("target", ["vax", "r32"])
+def test_call_result_reaches_computed_destinations(target, shape):
+    report = run_oracle(SHAPES[shape], target=target)
+    assert report.divergence is None, \
+        f"{target}/{shape}: {report.divergence} ({report.detail})"
+
+
+def test_vax_simple_locals_are_not_staged(gg):
+    """The fix must not pessimise the common case: a frame-local dest
+    is a displacement operand on the VAX (register-free), so the
+    historical single ``movl r0,-N(fp)`` form — and with it golden
+    byte-identity — is preserved."""
+    from repro.compile import compile_program
+
+    text = compile_program(SHAPES["local"], generator=gg).text
+    assert "movl r0,-4(fp)" in text

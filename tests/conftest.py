@@ -37,6 +37,12 @@ def gg(vax_bundle, vax_tables):
 
 
 @pytest.fixture(scope="session")
+def r32_gg():
+    """A shared generator over the R32 tables (the second target)."""
+    return GrahamGlanvilleCodeGenerator(target="r32")
+
+
+@pytest.fixture(scope="session")
 def gg_norev():
     """Generator without reversed operators (the E4 ablation grammar)."""
     return GrahamGlanvilleCodeGenerator(reversed_ops=False)

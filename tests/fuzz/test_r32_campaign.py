@@ -1,0 +1,40 @@
+"""Fuzz-campaign smoke on the second target.
+
+The differential oracle is only as retargetable as its campaign driver:
+``FuzzConfig.target`` must reach the worker generators, and a seeded
+R32 campaign over the widened workload space must agree with the IR
+interpreter on every program — zero divergences is the CI gate for the
+new target, exactly as it is for the VAX.
+"""
+
+from repro.fuzz.driver import FuzzConfig, run_campaign
+
+
+def test_seeded_r32_campaign_has_zero_divergences():
+    stats = run_campaign(FuzzConfig(
+        seed=7, budget=300.0, max_programs=5, minimize=False,
+        target="r32",
+    ))
+    assert stats.programs == 5
+    assert stats.ok, [f.divergence for f in stats.findings]
+    assert stats.gg_instructions > 0
+    # two-way oracle off-VAX: the PCC pipeline never runs
+    assert stats.pcc_instructions == 0
+
+
+def test_same_seed_same_campaign_on_both_targets():
+    """One seed drives the same generated programs through either
+    target — the campaign's determinism is target-independent."""
+    vax = run_campaign(FuzzConfig(
+        seed=11, budget=300.0, max_programs=2, minimize=False,
+        target="vax",
+    ))
+    r32 = run_campaign(FuzzConfig(
+        seed=11, budget=300.0, max_programs=2, minimize=False,
+        target="r32",
+    ))
+    assert vax.ok and r32.ok
+    assert vax.programs == r32.programs == 2
+    # the VAX campaign also exercised its PCC baseline; R32 cannot
+    assert vax.pcc_instructions > 0
+    assert r32.pcc_instructions == 0

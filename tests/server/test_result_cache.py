@@ -47,12 +47,18 @@ SOURCE_EDITED = SOURCE.replace("a + b", "a - b")
 SOURCE_REGLOBALED = SOURCE.replace("int g;", "int g; int h;")
 
 
+class _StubTarget:
+    def __init__(self, name="vax"):
+        self.name = name
+
+
 class _StubGenerator:
     """Just enough surface for :func:`table_fingerprint`."""
 
-    def __init__(self, tables, peephole=False):
+    def __init__(self, tables, peephole=False, target="vax"):
         self.tables = tables
         self.peephole = peephole
+        self.target = _StubTarget(target)
 
 
 # ------------------------------------------------------------------- keys

@@ -1,0 +1,57 @@
+"""One server, one target — cross-target requests are refused loudly.
+
+A compile daemon holds one constructed table set, so it can only ever
+emit for the target those tables describe.  A client that wants a
+different target must get a structured error naming both sides — a
+silent wrong-machine compile through a shared daemon would be the
+service-path version of the cache-aliasing bug.
+"""
+
+import threading
+
+import pytest
+
+from repro.server import CompileClient, CompileServer
+
+SOURCE = "int f(int a) { return a * 2 + 1; }"
+
+
+@pytest.fixture
+def vax_server(tmp_path, gg):
+    path = str(tmp_path / "target.sock")
+    server = CompileServer(path=path, generator=gg)
+    server.bind()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield path
+    with CompileClient(path=path) as admin:
+        admin.shutdown()
+    thread.join(timeout=30)
+
+
+def test_matching_target_compiles(vax_server):
+    with CompileClient(path=vax_server) as client:
+        response = client.compile(SOURCE, target="vax")
+    assert response["ok"]
+    assert response["assembly"]
+
+
+def test_unspecified_target_keeps_working(vax_server):
+    with CompileClient(path=vax_server) as client:
+        response = client.compile(SOURCE)
+    assert response["ok"]
+
+
+def test_mismatched_target_is_refused_with_both_names(vax_server):
+    with CompileClient(path=vax_server) as client:
+        response = client.compile(SOURCE, target="r32")
+    assert not response["ok"]
+    assert response["error"]["type"] == "wrong-target"
+    message = response["error"]["message"]
+    assert "vax" in message and "r32" in message
+
+
+def test_stats_announce_the_served_target(vax_server):
+    with CompileClient(path=vax_server) as client:
+        stats = client.stats()
+    assert stats["target"] == "vax"

@@ -1,0 +1,94 @@
+"""The target registry: resolution order, hard errors, memoization.
+
+A misspelled matcher engine degrades to the default with a warning; a
+misspelled *target* must never degrade — silently compiling for the
+wrong machine is a miscompile, so both explicit names and
+``$REPRO_TARGET`` values outside the registry are hard errors that name
+every registered target.
+"""
+
+import pytest
+
+from repro.targets import (
+    DEFAULT_TARGET, ENV_TARGET, Target, UnknownTargetError,
+    available_targets, get_target, resolve_target,
+)
+
+
+class TestResolution:
+    def test_both_built_in_targets_are_registered(self):
+        names = available_targets()
+        assert "vax" in names and "r32" in names
+        assert names == tuple(sorted(names))
+
+    def test_explicit_name_resolves(self):
+        assert resolve_target("vax").name == "vax"
+        assert resolve_target("r32").name == "r32"
+
+    def test_target_instance_passes_through(self):
+        target = resolve_target("r32")
+        assert resolve_target(target) is target
+
+    def test_default_is_vax(self, monkeypatch):
+        monkeypatch.delenv(ENV_TARGET, raising=False)
+        assert DEFAULT_TARGET == "vax"
+        assert resolve_target(None).name == "vax"
+
+    def test_environment_selects_the_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_TARGET, "r32")
+        assert resolve_target(None).name == "r32"
+
+    def test_explicit_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_TARGET, "r32")
+        assert resolve_target("vax").name == "vax"
+
+    def test_instances_are_memoized(self):
+        assert get_target("r32") is get_target("r32")
+        assert resolve_target("vax") is resolve_target("vax")
+
+
+class TestHardErrors:
+    def test_unknown_name_raises_listing_registered_targets(self):
+        with pytest.raises(UnknownTargetError) as excinfo:
+            resolve_target("pdp11")
+        message = str(excinfo.value)
+        assert "pdp11" in message
+        for name in available_targets():
+            assert name in message
+
+    def test_unknown_environment_value_is_also_a_hard_error(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(ENV_TARGET, "m68k")
+        with pytest.raises(UnknownTargetError) as excinfo:
+            resolve_target(None)
+        assert "m68k" in str(excinfo.value)
+
+    def test_unknown_target_error_is_a_value_error(self):
+        assert issubclass(UnknownTargetError, ValueError)
+
+
+class TestTargetSurfaces:
+    def test_targets_disagree_where_the_machines_do(self):
+        vax, r32 = resolve_target("vax"), resolve_target("r32")
+        assert isinstance(vax, Target) and isinstance(r32, Target)
+        assert vax.machine.name != r32.machine.name
+        assert vax.machine.has_autoincrement
+        assert not r32.machine.has_autoincrement
+        assert vax.grammar_text() != r32.grammar_text()
+
+    def test_only_vax_carries_the_pcc_baseline(self):
+        assert resolve_target("vax").supports_pcc
+        assert not resolve_target("r32").supports_pcc
+
+    def test_each_target_builds_its_own_simulator(self):
+        from repro.sim.assembler import assemble
+        from repro.sim.cpu import Vax
+        from repro.sim.r32 import R32Cpu
+
+        empty = assemble("")
+        vax_cpu = resolve_target("vax").make_simulator(empty)
+        r32_cpu = resolve_target("r32").make_simulator(empty)
+        assert isinstance(vax_cpu, Vax)
+        assert isinstance(r32_cpu, R32Cpu)
+        assert type(vax_cpu) is not type(r32_cpu)
